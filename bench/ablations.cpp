@@ -1,0 +1,96 @@
+// Design-choice ablations called out in DESIGN.md:
+//   1. Key Cache (paper SIV.A): reload cost vs cache hits on small packets.
+//   2. Task Scheduler software latency: how slow can the 8-bit controller's
+//      scheduling loop be before it dents 4-core throughput?
+//   3. QoS priorities (paper SVIII extension): urgent-stream latency under
+//      bulk load, FIFO vs priority dispatch.
+#include "bench_common.h"
+
+namespace mccp::bench {
+namespace {
+
+double small_packet_throughput(bool key_cache) {
+  radio::Radio radio({.num_cores = 4, .key_cache_enabled = key_cache});
+  Rng rng(1);
+  radio.provision_key(1, rng.bytes(16));
+  auto ch = radio.open_channel(radio::ChannelMode::kGcm, 1, 16, 12).value();
+  const std::size_t kPackets = 40, kBytes = 256;
+  sim::Cycle start = radio.sim().now();
+  for (std::size_t i = 0; i < kPackets; ++i)
+    radio.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(kBytes));
+  radio.run_until_idle();
+  return mbps_from_cycles(kPackets * kBytes * 8, radio.sim().now() - start);
+}
+
+double throughput_with_control_latency(int latency) {
+  auto m = measure_platform({.num_cores = 4, .control_latency_cycles = latency},
+                            radio::ChannelMode::kGcm, 16, 2048, 16, 16, 12);
+  return m.aggregate_mbps;
+}
+
+struct QosResult {
+  double urgent_us;
+  double bulk_us;
+};
+QosResult qos_run(bool prioritized) {
+  radio::Radio radio({.num_cores = 4});
+  Rng rng(3);
+  radio.provision_key(1, rng.bytes(16));
+  auto bulk_ch = radio.open_channel(radio::ChannelMode::kGcm, 1, 16, 12).value();
+  auto voice_ch = radio.open_channel(radio::ChannelMode::kCtr, 1).value();
+
+  std::vector<radio::JobId> bulk, voice;
+  for (int i = 0; i < 24; ++i)
+    bulk.push_back(radio.submit_encrypt(bulk_ch, rng.bytes(12), {}, rng.bytes(2048), 200));
+  for (int i = 0; i < 8; ++i) {
+    Bytes ctr = rng.bytes(16);
+    ctr[14] = ctr[15] = 0;
+    voice.push_back(radio.submit_encrypt(voice_ch, ctr, {}, rng.bytes(160),
+                                         prioritized ? 0u : 200u));
+  }
+  radio.run_until_idle();
+  auto mean_latency = [&](const std::vector<radio::JobId>& ids) {
+    double total = 0;
+    for (auto id : ids)
+      total += static_cast<double>(radio.result(id).complete_cycle -
+                                   radio.result(id).submit_cycle);
+    return total / static_cast<double>(ids.size()) / kMHz;
+  };
+  return {mean_latency(voice), mean_latency(bulk)};
+}
+
+void run() {
+  print_header("Ablation 1 -- Key Cache (40 x 256-byte GCM packets, 4 cores)");
+  double with_cache = small_packet_throughput(true);
+  double without = small_packet_throughput(false);
+  std::printf("key cache enabled : %8.1f Mbps\n", with_cache);
+  std::printf("key cache disabled: %8.1f Mbps  (every request re-expands the key)\n", without);
+  std::printf("cache benefit     : %+.1f%%\n\n", 100.0 * (with_cache / without - 1.0));
+
+  print_header("Ablation 2 -- Task Scheduler software latency (GCM-128, 2 KB, 4 cores)");
+  std::printf("%-26s %-14s\n", "cycles per control instr", "aggregate Mbps");
+  for (int latency : {8, 24, 64, 128, 256, 512}) {
+    std::printf("%-26d %-14.1f%s\n", latency, throughput_with_control_latency(latency),
+                latency == 24 ? "   <- default (timing.h)" : "");
+  }
+  std::printf("\nThe control path only matters once its latency rivals per-packet\n"
+              "processing time (~7.2k cycles) divided by the packet-level parallelism.\n");
+
+  print_header("Ablation 3 -- QoS priorities (24 bulk 2KB GCM + 8 voice 160B CTR)");
+  QosResult fifo = qos_run(false);
+  QosResult prio = qos_run(true);
+  std::printf("%-22s %-22s %-20s\n", "dispatch", "voice latency (us)", "bulk latency (us)");
+  std::printf("%-22s %-22.1f %-20.1f\n", "arrival order (paper)", fifo.urgent_us, fifo.bulk_us);
+  std::printf("%-22s %-22.1f %-20.1f\n", "prioritized (SVIII)", prio.urgent_us, prio.bulk_us);
+  std::printf("\nvoice latency improvement: %.1fx at %.1f%% bulk cost — the scheduling\n"
+              "work the paper defers to its secure operating system (SVIII).\n",
+              fifo.urgent_us / prio.urgent_us, 100.0 * (prio.bulk_us / fifo.bulk_us - 1.0));
+}
+
+}  // namespace
+}  // namespace mccp::bench
+
+int main() {
+  mccp::bench::run();
+  return 0;
+}

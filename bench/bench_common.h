@@ -1,0 +1,143 @@
+// Shared measurement and table-printing helpers for the paper-reproduction
+// benches. All throughput numbers follow the paper's accounting:
+//   Mbps = payload bits x 190 MHz / cycles / 1e6
+// "Theoretical" numbers come from the measured steady-state loop slope
+// (cycles per 128-bit block); "2 KB packet" numbers come from processing a
+// 2048-byte payload end to end.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/single_core_harness.h"
+#include "crypto/ccm.h"
+#include "radio/radio.h"
+#include "radio/traffic.h"
+#include "sim/simulation.h"
+
+namespace mccp::bench {
+
+inline constexpr double kMHz = 190.0;
+
+inline double mbps_from_cycles(std::uint64_t bits, std::uint64_t cycles) {
+  return sim::throughput_mbps(bits, cycles);
+}
+
+// --- single-core measurements -------------------------------------------------
+
+struct CoreMeasurement {
+  double loop_cycles_per_block;  // steady-state slope
+  double theoretical_mbps;       // 128 bits x f / slope
+  double packet2kb_mbps;         // measured on a 2048-byte payload
+};
+
+/// Measure a mode on one isolated core. `make_job` builds a job for a given
+/// block count.
+inline CoreMeasurement measure_core(std::size_t key_len,
+                                    const std::function<core::CoreJob(std::size_t)>& make_job) {
+  Rng rng(key_len * 7 + 1);
+  Bytes key = rng.bytes(key_len);
+  core::SingleCoreHarness h(key);
+  auto r_small = h.run(make_job(8));
+  auto r_large = h.run(make_job(40));
+  double slope = static_cast<double>(r_large.cycles - r_small.cycles) / 32.0;
+  auto r_2kb = h.run(make_job(128));
+  CoreMeasurement m;
+  m.loop_cycles_per_block = slope;
+  m.theoretical_mbps = mbps_from_cycles(128, static_cast<std::uint64_t>(slope));
+  // Recompute precisely from the double slope (avoid integer rounding).
+  m.theoretical_mbps = 128.0 * kMHz / slope;
+  m.packet2kb_mbps = mbps_from_cycles(2048 * 8, r_2kb.cycles);
+  return m;
+}
+
+inline core::CoreJob gcm_job(std::size_t blocks, std::uint64_t seed) {
+  Rng r(seed + blocks);
+  Bytes iv = r.bytes(12);
+  return core::format_gcm_encrypt(iv, {}, r.bytes(blocks * 16));
+}
+
+inline core::CoreJob ccm1_job(std::size_t blocks, std::uint64_t seed) {
+  Rng r(seed + blocks);
+  crypto::CcmParams p{.tag_len = 8, .nonce_len = 13};
+  Bytes nonce = r.bytes(13);
+  return core::format_ccm1_encrypt(p, nonce, {}, r.bytes(blocks * 16));
+}
+
+inline core::CoreJob cbcmac_job(std::size_t blocks, std::uint64_t seed) {
+  Rng r(seed + blocks);
+  return core::format_cbcmac_generate(r.bytes((blocks + 1) * 16), 16);
+}
+
+// --- platform (multi-core) measurements ----------------------------------------
+
+struct PlatformMeasurement {
+  double aggregate_mbps;
+  double mean_latency_cycles;  // accept -> complete per packet
+  std::uint64_t makespan_cycles;
+  std::uint32_t rejections;
+};
+
+/// Saturate a platform with `packets` payloads of `payload_len` bytes on one
+/// channel and measure steady-state aggregate throughput.
+inline PlatformMeasurement measure_platform(const top::MccpConfig& cfg,
+                                            radio::ChannelMode mode, std::size_t key_len,
+                                            std::size_t payload_len, std::size_t packets,
+                                            unsigned tag_len = 8, unsigned nonce_len = 13) {
+  radio::Radio radio(cfg);
+  Rng rng(1234);
+  radio.provision_key(1, rng.bytes(key_len));
+  auto ch = radio.open_channel(mode, 1, tag_len, nonce_len);
+  if (!ch) throw std::runtime_error("measure_platform: open_channel failed");
+
+  std::vector<radio::JobId> ids;
+  sim::Cycle start = radio.sim().now();
+  for (std::size_t i = 0; i < packets; ++i) {
+    Bytes iv;
+    switch (mode) {
+      case radio::ChannelMode::kGcm: iv = rng.bytes(12); break;
+      case radio::ChannelMode::kCcm: iv = rng.bytes(nonce_len); break;
+      case radio::ChannelMode::kCtr: {
+        iv = rng.bytes(16);
+        iv[14] = iv[15] = 0;
+        break;
+      }
+      default: break;
+    }
+    ids.push_back(radio.submit_encrypt(*ch, iv, {}, rng.bytes(payload_len)));
+  }
+  radio.run_until_idle();
+  sim::Cycle makespan = radio.sim().now() - start;
+
+  PlatformMeasurement m{};
+  m.makespan_cycles = makespan;
+  m.aggregate_mbps =
+      mbps_from_cycles(static_cast<std::uint64_t>(packets) * payload_len * 8, makespan);
+  double lat = 0;
+  for (auto id : ids) {
+    const auto& r = radio.result(id);
+    lat += static_cast<double>(r.complete_cycle - r.accept_cycle);
+    m.rejections += r.rejections;
+  }
+  m.mean_latency_cycles = lat / static_cast<double>(packets);
+  return m;
+}
+
+// --- table formatting -----------------------------------------------------------
+
+inline void print_header(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '-').c_str());
+}
+
+/// "ours [paper]" cell, e.g. "496.3 [496]".
+inline std::string cell(double ours, double paper) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%7.1f [%4.0f]", ours, paper);
+  return buf;
+}
+
+}  // namespace mccp::bench

@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks of the from-scratch software crypto
+// layer (the golden reference). These are host wall-clock numbers — useful
+// for library users and for spotting regressions; the architecture study's
+// cycle numbers come from the table benches instead.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/ccm.h"
+#include "crypto/gcm.h"
+#include "crypto/gf128.h"
+#include "crypto/ghash.h"
+#include "crypto/whirlpool.h"
+
+namespace mccp::crypto {
+namespace {
+
+void BM_AesKeyExpansion(benchmark::State& state) {
+  Rng rng(1);
+  Bytes key = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(aes_expand_key(key));
+}
+BENCHMARK(BM_AesKeyExpansion)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  Rng rng(2);
+  auto keys = aes_expand_key(rng.bytes(static_cast<std::size_t>(state.range(0))));
+  Block128 block = rng.block();
+  for (auto _ : state) {
+    block = aes_encrypt_block(keys, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_Gf128MulBitSerial(benchmark::State& state) {
+  Rng rng(3);
+  Block128 a = rng.block(), b = rng.block();
+  for (auto _ : state) {
+    a = gf128_mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Gf128MulBitSerial);
+
+void BM_Gf128MulDigitSerial(benchmark::State& state) {
+  Rng rng(4);
+  Block128 a = rng.block(), b = rng.block();
+  for (auto _ : state) {
+    a = gf128_mul_digit(a, b, 3);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Gf128MulDigitSerial);
+
+void BM_GhashPerKilobyte(benchmark::State& state) {
+  Rng rng(5);
+  Block128 h = rng.block();
+  Bytes data = rng.bytes(1024);
+  for (auto _ : state) {
+    Ghash g(h);
+    g.update_padded(data);
+    benchmark::DoNotOptimize(g.digest());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_GhashPerKilobyte);
+
+void BM_GcmSeal(benchmark::State& state) {
+  Rng rng(6);
+  auto keys = aes_expand_key(rng.bytes(16));
+  Bytes iv = rng.bytes(12);
+  Bytes pt = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(gcm_seal(keys, iv, {}, pt));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_GcmSeal)->Arg(256)->Arg(2048);
+
+void BM_CcmSeal(benchmark::State& state) {
+  Rng rng(7);
+  auto keys = aes_expand_key(rng.bytes(16));
+  CcmParams p{.tag_len = 8, .nonce_len = 13};
+  Bytes nonce = rng.bytes(13);
+  Bytes pt = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(ccm_seal(keys, p, nonce, {}, pt));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CcmSeal)->Arg(256)->Arg(2048);
+
+void BM_Whirlpool(benchmark::State& state) {
+  Rng rng(8);
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(whirlpool(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Whirlpool)->Arg(64)->Arg(2048);
+
+}  // namespace
+}  // namespace mccp::crypto
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// The paper's core argument (SI-SII) made quantitative: pipelined
+// accelerators win mono-standard GCM races, but multi-standard /
+// multi-channel traffic — the SDR use case — inverts the ranking because
+// CCM's chaining dependency wastes an unrolled pipeline while the MCCP's
+// loosely-coupled cores keep all lanes busy.
+//
+// Pipelined and mono-core columns are closed-form models
+// (src/baseline/pipelined_model.h, parameters from the cited designs);
+// MCCP columns are measured on the simulator.
+#include "baseline/pipelined_model.h"
+#include "bench_common.h"
+
+namespace mccp::bench {
+namespace {
+
+void run() {
+  print_header("Flexibility / throughput trade-off (2 KB packets)");
+
+  baseline::PipelinedGcmCore pipe;
+  baseline::MonoCoreAccelerator mono;
+
+  double pipe_gcm = baseline::pipelined_gcm_mbps(pipe, 2048);
+  double pipe_ccm = baseline::pipelined_ccm_mbps(pipe);
+  double mono_gcm = baseline::mono_core_mbps(mono);
+
+  auto mccp_gcm = measure_platform({.num_cores = 4}, radio::ChannelMode::kGcm, 16, 2048, 16,
+                                   16, 12);
+  auto mccp_ccm = measure_platform({.num_cores = 4}, radio::ChannelMode::kCcm, 16, 2048, 16);
+
+  // 50/50 GCM/CCM byte mix (two concurrent standards on one radio).
+  double pipe_mix = baseline::mixed_traffic_mbps(0.5, pipe_gcm, pipe_ccm);
+  double mono_mix = baseline::mixed_traffic_mbps(0.5, mono_gcm,
+                                                 baseline::mono_core_mbps({104, 190.0}));
+  double mccp_mix =
+      baseline::mixed_traffic_mbps(0.5, mccp_gcm.aggregate_mbps, mccp_ccm.aggregate_mbps);
+
+  std::printf("%-34s %-12s %-12s %-14s %-12s\n", "architecture", "GCM Mbps", "CCM Mbps",
+              "50/50 mix", "area");
+  std::printf("%-34s %-12.0f %-12.0f %-14.0f %-12s\n",
+              "pipelined GCM core (model [1])", pipe_gcm, pipe_ccm, pipe_mix, "6000 (30)");
+  std::printf("%-34s %-12.0f %-12.0f %-14.0f %-12s\n",
+              "mono-core iterative (model)", mono_gcm,
+              baseline::mono_core_mbps({104, 190.0}), mono_mix, "~1000");
+  std::printf("%-34s %-12.0f %-12.0f %-14.0f %-12s\n",
+              "MCCP 4 cores (measured)", mccp_gcm.aggregate_mbps, mccp_ccm.aggregate_mbps,
+              mccp_mix, "4084 (26)");
+
+  std::printf(
+      "\nReadings:\n"
+      " * Mono-standard GCM: the fixed pipeline is %.1fx faster -- the paper never\n"
+      "   claims otherwise (Table III shows Lemsitzer at 32 Mbps/MHz).\n"
+      " * CCM: chaining admits one block per pipeline latency; the MCCP's four\n"
+      "   iterative cores are %.1fx faster despite ~2/3 the area.\n"
+      " * Multi-standard mix: the MCCP is %.1fx faster -- \"pipelined cores are better\n"
+      "   suited for mono-standard radio than for multi-standard ones\" (SII.B).\n"
+      " * Against the mono-core iterative baseline the MCCP scales %.1fx on the mix\n"
+      "   -- the multi-channel argument of SI.\n",
+      pipe_gcm / mccp_gcm.aggregate_mbps, mccp_ccm.aggregate_mbps / pipe_ccm,
+      mccp_mix / pipe_mix, mccp_mix / mono_mix);
+}
+
+}  // namespace
+}  // namespace mccp::bench
+
+int main() {
+  mccp::bench::run();
+  return 0;
+}

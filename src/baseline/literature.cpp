@@ -1,0 +1,22 @@
+#include "baseline/literature.h"
+
+namespace mccp::baseline {
+
+std::vector<LiteratureEntry> table3_literature() {
+  // Verbatim from Table III of the paper.
+  return {
+      {"Cryptonite [4]", "ASIC", true, "ECB", 5.62, 400, -1, -1},
+      {"Celator [15]", "ASIC", true, "CBC", 0.24, 190, -1, -1},
+      {"Cryptomaniac [16]", "ASIC", true, "ECB", 1.42, 360, -1, -1},
+      {"A. Aziz et al. [3]", "x3s200-5", false, "CCM", 2.78, 247, 487, 4},
+      {"S. Lemsitzer et al. [1]", "v4-FX100", false, "GCM", 32.00, 140, 6000, 30},
+  };
+}
+
+LiteratureEntry table3_mccp_paper_row() {
+  return {"MCCP (paper)", "v4-SX35-11", true, "GCM/CCM", 9.91, 190, 4084, 26};
+}
+
+ImplementationResults mccp_implementation() { return {}; }
+
+}  // namespace mccp::baseline

@@ -1,0 +1,42 @@
+// Literature comparison data for Table III.
+//
+// The paper compares against five published designs. Their throughput,
+// frequency and area figures are constants reported by the respective
+// papers (we cannot re-run an ASIC), while *our* row is measured live by
+// the benchmark harness. The comparison metric is throughput per MHz,
+// exactly as Table III normalises it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mccp::baseline {
+
+struct LiteratureEntry {
+  std::string implementation;
+  std::string platform;
+  bool programmable;
+  std::string algorithm;
+  double mbps_per_mhz;   // Table III "Throughput (Mbps/MHz)"
+  double frequency_mhz;
+  int slices;            // -1 for ASIC (not applicable)
+  int brams;             // -1 when not reported
+};
+
+/// The five comparison rows of Table III (published figures).
+std::vector<LiteratureEntry> table3_literature();
+
+/// The paper's own row for reference: v4-SX35-11, programmable (AES
+/// modes), GCM/CCM 9.91 / 4.43 Mbps/MHz at 190 MHz, 4084 slices (26 BRAM).
+LiteratureEntry table3_mccp_paper_row();
+
+/// Paper SVII.A implementation results for the whole MCCP.
+struct ImplementationResults {
+  double frequency_mhz = 190.0;
+  int slices = 4084;
+  int brams = 26;
+  const char* device = "Virtex-4 SX35-11";
+};
+ImplementationResults mccp_implementation();
+
+}  // namespace mccp::baseline

@@ -1,0 +1,29 @@
+#include "baseline/pipelined_model.h"
+
+namespace mccp::baseline {
+
+double pipelined_gcm_mbps(const PipelinedGcmCore& core, std::size_t packet_bytes) {
+  // Published streaming rate, derated by one pipeline fill per packet.
+  const double stream_mbps = core.gcm_mbps_per_mhz * core.frequency_mhz;
+  const double bits = static_cast<double>(packet_bytes) * 8.0;
+  const double stream_us = bits / stream_mbps;
+  const double fill_us = static_cast<double>(core.pipeline_depth) / core.frequency_mhz;
+  return bits / (stream_us + fill_us);
+}
+
+double pipelined_ccm_mbps(const PipelinedGcmCore& core) {
+  // CBC-MAC chaining: one block in flight at a time.
+  return 128.0 * core.frequency_mhz / static_cast<double>(core.pipeline_depth);
+}
+
+double mono_core_mbps(const MonoCoreAccelerator& core) {
+  return 128.0 * core.frequency_mhz / static_cast<double>(core.cycles_per_block);
+}
+
+double mixed_traffic_mbps(double gcm_fraction, double gcm_mbps, double ccm_mbps) {
+  // Time to move one bit of mix = weighted sum of per-mode times.
+  const double t = gcm_fraction / gcm_mbps + (1.0 - gcm_fraction) / ccm_mbps;
+  return 1.0 / t;
+}
+
+}  // namespace mccp::baseline

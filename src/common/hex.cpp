@@ -1,0 +1,53 @@
+#include "common/hex.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace mccp {
+
+std::string to_hex(ByteSpan data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    int n = nibble(c);
+    if (n < 0) throw std::invalid_argument("from_hex: invalid character");
+    if (hi < 0) {
+      hi = n;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | n));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) throw std::invalid_argument("from_hex: odd number of digits");
+  return out;
+}
+
+Block128 block_from_hex(std::string_view hex) {
+  Bytes raw = from_hex(hex);
+  if (raw.size() != 16) throw std::invalid_argument("block_from_hex: need 16 bytes");
+  return Block128::from_span(raw);
+}
+
+}  // namespace mccp

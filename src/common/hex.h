@@ -1,0 +1,21 @@
+// Hex encoding/decoding used by tests, examples and trace output.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace mccp {
+
+/// Encode bytes as lowercase hex.
+std::string to_hex(ByteSpan data);
+
+/// Decode a hex string (whitespace tolerated) into bytes.
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Convenience: parse exactly 16 hex bytes into a Block128.
+Block128 block_from_hex(std::string_view hex);
+
+}  // namespace mccp

@@ -1,0 +1,793 @@
+#include "core/firmware.h"
+
+#include "picoblaze/assembler.h"
+
+namespace mccp::core {
+
+namespace {
+
+// Bank-register roles by convention:
+//   b0 = counter block          b1 = keystream / scratch
+//   b2 = data block (pt/ct)     b3 = MAC accumulator / tag
+//
+// Input-stream layouts (built by the communication controller, SVI.B:
+// "the communication controller must format data prior to send them"):
+//   GCM enc: [J0][AAD...][PT...][LEN][J0]
+//   GCM dec: [J0][AAD...][CT...][LEN][J0][TAG]
+//   CCM 1-core enc: [CTR1][B0][encAAD...][PT...][CTR0]
+//   CCM 1-core dec: [CTR1][B0][encAAD...][CT...][CTR0][TAG]
+//   CCM CTR-half enc: [CTR0][PT...]           (tag mask via inter-core port)
+//   CCM CTR-half dec: [CTR0][CT...]
+//   CCM MAC-half enc: [B0][encAAD...][PT...]
+//   CCM MAC-half dec: [B0][encAAD...][TAG]    (plaintext via inter-core port)
+//   CTR:      [CTR0][DATA...]
+//   CBC-MAC:  [B0][DATA...]            (+[TAG] for verify)
+constexpr const char* kSource = R"(
+; ---------------------------------------------------------------- ports ----
+CONSTANT P_CU,       0x00
+CONSTANT P_STATUS,   0x01
+CONSTANT P_MASK0,    0x02
+CONSTANT P_MASK1,    0x03
+CONSTANT P_ALG,      0x10
+CONSTANT P_AAD,      0x11
+CONSTANT P_DATA,     0x12
+CONSTANT P_TAGMASK0, 0x13
+CONSTANT P_TAGMASK1, 0x14
+CONSTANT P_IVBLK,    0x15
+CONSTANT P_DONE,     0x20
+
+; ------------------------------------------- CU instruction bytes ----------
+; op<<4 | a<<2 | b
+CONSTANT I_LOAD0,    0x10
+CONSTANT I_LOAD1,    0x14
+CONSTANT I_LOAD2,    0x18
+CONSTANT I_LOAD3,    0x1C
+CONSTANT I_STORE1,   0x24
+CONSTANT I_STORE2,   0x28
+CONSTANT I_STORE3,   0x2C
+CONSTANT I_LOADH1,   0x34
+CONSTANT I_SGFM2,    0x48
+CONSTANT I_FGFM0,    0x50
+CONSTANT I_FGFM2,    0x58
+CONSTANT I_SAES0,    0x60
+CONSTANT I_SAES1,    0x64
+CONSTANT I_SAES2,    0x68
+CONSTANT I_SAES3,    0x6C
+CONSTANT I_FAES1,    0x74
+CONSTANT I_FAES3,    0x7C
+CONSTANT I_INC0,     0x80
+CONSTANT I_XOR03,    0x93
+CONSTANT I_XOR11,    0x95
+CONSTANT I_XOR12,    0x96
+CONSTANT I_XOR13,    0x97
+CONSTANT I_XOR21,    0x99
+CONSTANT I_XOR23,    0x9B
+CONSTANT I_XOR32,    0x9E
+CONSTANT I_EQU23,    0xAB
+CONSTANT I_SHOUT1,   0xB4
+CONSTANT I_SHOUT3,   0xBC
+CONSTANT I_SHIN0,    0xC0
+CONSTANT I_SHIN1,    0xC4
+CONSTANT I_SHIN2,    0xC8
+CONSTANT I_LOADH0,   0x30
+CONSTANT I_STORE0,   0x20
+CONSTANT I_SWPH,     0xD0
+CONSTANT I_FWPH,     0xE0
+
+; ------------------------------------------------------------ dispatcher ---
+main:
+    HALT                    ; sleep until the Task Scheduler start strobe
+    INPUT s0, P_ALG
+    COMPARE s0, 0
+    JUMP Z, gcm_enc
+    COMPARE s0, 1
+    JUMP Z, gcm_dec
+    COMPARE s0, 2
+    JUMP Z, ccm1_enc
+    COMPARE s0, 3
+    JUMP Z, ccm1_dec
+    COMPARE s0, 4
+    JUMP Z, ccmctr_enc
+    COMPARE s0, 5
+    JUMP Z, ccmctr_dec
+    COMPARE s0, 6
+    JUMP Z, ccmmac_enc
+    COMPARE s0, 7
+    JUMP Z, ccmmac_dec
+    COMPARE s0, 8
+    JUMP Z, ctr_mode
+    COMPARE s0, 9
+    JUMP Z, cbcmac_gen
+    COMPARE s0, 10
+    JUMP Z, cbcmac_ver
+    COMPARE s0, 11
+    JUMP Z, wph_hash
+    LOAD s0, 2              ; unknown algorithm ID
+    OUTPUT s0, P_DONE
+    JUMP main
+
+done_ok:
+    LOAD s0, 0
+    OUTPUT s0, P_DONE
+    JUMP main
+done_fail:
+    LOAD s0, 1
+    OUTPUT s0, P_DONE
+    JUMP main
+
+; --------------------------------------------------------------- helpers ---
+cux:                        ; issue the CU instruction in s0, wait for done
+    OUTPUT s0, P_CU
+    HALT
+    RETURN
+
+full_mask:                  ; XOR mask = 0xFFFF (keep all 16 bytes)
+    LOAD s0, 0xFF
+    OUTPUT s0, P_MASK0
+    OUTPUT s0, P_MASK1
+    RETURN
+
+tag_mask:                   ; XOR mask = scheduler-provided tag byte mask
+    INPUT s0, P_TAGMASK0
+    OUTPUT s0, P_MASK0
+    INPUT s0, P_TAGMASK1
+    OUTPUT s0, P_MASK1
+    RETURN
+
+check_equ:                  ; report OK/AUTH_FAIL from the CU equ flag
+    INPUT s0, P_STATUS
+    AND s0, 0x02
+    JUMP Z, done_fail
+    JUMP done_ok
+
+; ------------------------------------------------------------- AES-GCM -----
+; Prologue shared by encrypt/decrypt: H = E(0), LOADH, obtain J0 (either
+; pre-formatted for 96-bit IVs or derived on-core through GHASH for any
+; other IV length), stash E(J0) in b3 for the tag, absorb AAD.
+; On return: b0 = J0, b3 = E(J0), b2 = first data block (or LEN).
+gcm_prologue:
+    CALL full_mask
+    LOAD s0, I_XOR11        ; b1 = 0
+    CALL cux
+    LOAD s0, I_SAES1        ; start E(0)
+    CALL cux
+    LOAD s0, I_FAES1        ; b1 = H
+    CALL cux
+    LOAD s0, I_LOADH1       ; GHASH key = H, Y = 0
+    CALL cux
+    INPUT s3, P_IVBLK
+    COMPARE s3, 0
+    JUMP Z, gcmp_fastiv
+gcmp_ivl:                   ; J0 = GHASH(IV || pad || len(IV)) (SP 800-38D)
+    LOAD s0, I_LOAD2
+    CALL cux
+    LOAD s0, I_SGFM2
+    CALL cux
+    SUB s3, 1
+    JUMP NZ, gcmp_ivl
+    LOAD s0, I_FGFM0        ; b0 = J0
+    CALL cux
+    LOAD s0, I_LOADH1       ; rearm the hash for AAD/CT (H still in b1)
+    CALL cux
+    JUMP gcmp_j0done
+gcmp_fastiv:
+    LOAD s0, I_LOAD0        ; b0 = J0 = IV || 0x00000001 (pre-formatted)
+    CALL cux
+gcmp_j0done:
+    LOAD s0, I_SAES0        ; E(J0) for the tag keystream
+    CALL cux
+    LOAD s0, I_FAES3        ; b3 = E(J0) (b3 stays free through the loops)
+    CALL cux
+    INPUT s2, P_AAD
+    COMPARE s2, 0
+    JUMP Z, gcmp_noaad
+    LOAD s0, I_LOAD2        ; b2 = aad_1
+    CALL cux
+gcmp_aadl:
+    LOAD s0, I_SGFM2
+    CALL cux
+    LOAD s0, I_LOAD2        ; next aad block / first data block / LEN
+    CALL cux
+    SUB s2, 1
+    JUMP NZ, gcmp_aadl
+    RETURN
+gcmp_noaad:
+    LOAD s0, I_LOAD2        ; b2 = first data block / LEN
+    CALL cux
+    RETURN
+
+; Epilogue shared by encrypt/decrypt: on entry b2 = LEN block and
+; b3 = E(J0) (stashed by the prologue); computes b2 = (S ^ E(J0)) & mask.
+gcm_tag:
+    LOAD s0, I_SGFM2        ; absorb LEN
+    CALL cux
+    LOAD s0, I_FGFM2        ; b2 = S
+    CALL cux
+    CALL tag_mask
+    LOAD s0, I_XOR32        ; b2 = (E(J0) ^ S) & mask
+    CALL cux
+    RETURN
+
+gcm_enc:
+    CALL gcm_prologue
+    INPUT s1, P_DATA
+    COMPARE s1, 0
+    JUMP Z, gcme_epi
+    LOAD s0, I_INC0         ; ctr_1 = J0 + 1
+    CALL cux
+    LOAD s0, I_SAES0        ; start ks_1
+    CALL cux
+    LOAD s0, I_INC0         ; ctr_2 (consumed by the loop's first SAES)
+    CALL cux
+    LOAD sF, I_FAES1
+    LOAD sE, I_SAES0
+    LOAD sD, I_XOR12
+    LOAD sC, I_SGFM2
+    LOAD sB, I_STORE2
+    LOAD sA, I_INC0
+    LOAD s9, I_LOAD2
+gcmel:                      ; ---- paper Listing 1: 49 cycles / block ----
+    OUTPUT sF, P_CU         ; FAES: b1 = ks_i
+    HALT
+    OUTPUT sE, P_CU         ; SAES: start ks_{i+1} from b0
+    NOP
+    NOP
+    OUTPUT sD, P_CU         ; XOR: b2 = ks ^ pt = ct_i
+    NOP
+    NOP
+    OUTPUT sC, P_CU         ; SGFM: absorb ct_i
+    HALT
+    OUTPUT sB, P_CU         ; STORE ct_i
+    NOP
+    NOP
+    OUTPUT sA, P_CU         ; INC counter
+    NOP
+    NOP
+    OUTPUT s9, P_CU         ; LOAD b2 = pt_{i+1} (or LEN on the last pass)
+    SUB s1, 1
+    JUMP NZ, gcmel
+gcme_epi:
+    CALL gcm_tag
+    LOAD s0, I_STORE2       ; emit tag
+    CALL cux
+    JUMP done_ok
+
+gcm_dec:
+    CALL gcm_prologue
+    INPUT s1, P_DATA
+    COMPARE s1, 0
+    JUMP Z, gcmd_epi
+    LOAD s0, I_INC0
+    CALL cux
+    LOAD s0, I_SAES0
+    CALL cux
+    LOAD s0, I_INC0
+    CALL cux
+    LOAD sF, I_FAES1
+    LOAD sE, I_SAES0
+    LOAD sD, I_XOR12
+    LOAD sC, I_SGFM2
+    LOAD sB, I_STORE2
+    LOAD sA, I_INC0
+    LOAD s9, I_LOAD2
+gcmdl:                      ; ---- 49 cycles / block (SGFM before XOR) ----
+    OUTPUT sF, P_CU         ; FAES: b1 = ks_i
+    HALT
+    OUTPUT sE, P_CU         ; SAES: start ks_{i+1}
+    NOP
+    NOP
+    OUTPUT sC, P_CU         ; SGFM: absorb ct_i (before it is decrypted)
+    HALT
+    OUTPUT sD, P_CU         ; XOR: b2 = ks ^ ct = pt_i
+    NOP
+    NOP
+    OUTPUT sB, P_CU         ; STORE pt_i
+    NOP
+    NOP
+    OUTPUT sA, P_CU         ; INC counter
+    NOP
+    NOP
+    OUTPUT s9, P_CU         ; LOAD b2 = ct_{i+1} (or LEN)
+    SUB s1, 1
+    JUMP NZ, gcmdl
+gcmd_epi:
+    CALL gcm_tag            ; b2 = expected tag (masked)
+    LOAD s0, I_LOAD3        ; b3 = received tag (zero-padded block)
+    CALL cux
+    LOAD s0, I_EQU23
+    CALL cux
+    JUMP check_equ
+
+; ------------------------------------------------------------- AES-CCM -----
+; Single-core CCM; the CTR and CBC-MAC phases alternate on the one AES core:
+; T_loop = T_CTR + T_CBC = 104 cycles (SVII.A).
+ccm1_prologue:              ; shared: counter + B0 + AAD chain
+    CALL full_mask
+    LOAD s0, I_LOAD0        ; b0 = CTR1
+    CALL cux
+    LOAD s0, I_LOAD3        ; b3 = B0
+    CALL cux
+    LOAD s0, I_SAES3        ; X_1 = E(B0)
+    CALL cux
+    INPUT s2, P_AAD
+    COMPARE s2, 0
+    JUMP Z, ccm1p_noaad
+    LOAD s0, I_LOAD2        ; b2 = aad_1
+    CALL cux
+ccm1p_aadl:
+    LOAD s0, I_FAES3        ; X_i
+    CALL cux
+    LOAD s0, I_XOR23        ; X ^= aad_i
+    CALL cux
+    LOAD s0, I_SAES3
+    CALL cux
+    LOAD s0, I_LOAD2        ; next aad / first data block / CTR0
+    CALL cux
+    SUB s2, 1
+    JUMP NZ, ccm1p_aadl
+    RETURN
+ccm1p_noaad:
+    LOAD s0, I_LOAD2        ; b2 = first data block / CTR0
+    CALL cux
+    RETURN
+
+ccm1_tag:                   ; on entry: b2 = CTR0, b3 = T (CBC-MAC result)
+    LOAD s0, I_SAES2        ; E(CTR0)
+    CALL cux
+    LOAD s0, I_FAES1        ; b1 = E(CTR0)
+    CALL cux
+    CALL tag_mask
+    LOAD s0, I_XOR13        ; b3 = (E(CTR0) ^ T) & mask = tag
+    CALL cux
+    RETURN
+
+ccm1_enc:
+    CALL ccm1_prologue
+    INPUT s1, P_DATA
+    COMPARE s1, 0
+    JUMP Z, ccm1e_nodata
+    LOAD s0, I_FAES3        ; finish MAC chain over B0 + AAD
+    CALL cux
+    LOAD s0, I_SAES0        ; start ks_1 from CTR1 (loop INCs before SAES)
+    CALL cux
+    LOAD sF, I_FAES1
+    LOAD sE, I_SAES3
+    LOAD sD, I_XOR23
+    LOAD sC, I_XOR21
+    LOAD sB, I_STORE1
+    LOAD sA, I_INC0
+    LOAD s9, I_LOAD2
+    LOAD s8, I_FAES3
+    LOAD s7, I_SAES0
+ccm1el:                     ; ---- 104 cycles / block ----
+    OUTPUT sF, P_CU         ; FAES: b1 = ks_i (CTR phase completes)
+    HALT
+    OUTPUT sD, P_CU         ; XOR: acc ^= pt_i (CBC critical path)
+    NOP
+    NOP
+    OUTPUT sE, P_CU         ; SAES: MAC encryption starts
+    NOP
+    NOP
+    OUTPUT sC, P_CU         ; XOR: b1 = pt ^ ks = ct_i   [MAC shadow]
+    NOP
+    NOP
+    OUTPUT sB, P_CU         ; STORE ct_i                  [shadow]
+    NOP
+    NOP
+    OUTPUT s9, P_CU         ; LOAD b2 = pt_{i+1} / CTR0   [shadow]
+    NOP
+    NOP
+    OUTPUT sA, P_CU         ; INC counter                 [shadow]
+    OUTPUT s8, P_CU         ; FAES: b3 = X_i (waits MAC AES)
+    HALT
+    OUTPUT s7, P_CU         ; SAES: start ks_{i+1} (CTR phase)
+    NOP
+    NOP
+    SUB s1, 1
+    JUMP NZ, ccm1el
+    LOAD s0, I_FAES1        ; drain the in-flight keystream block
+    CALL cux
+    JUMP ccm1e_tag
+ccm1e_nodata:
+    LOAD s0, I_FAES3        ; finalize MAC over B0 + AAD only
+    CALL cux
+ccm1e_tag:
+    CALL ccm1_tag
+    LOAD s0, I_STORE3       ; emit tag
+    CALL cux
+    JUMP done_ok
+
+ccm1_dec:
+    CALL ccm1_prologue
+    INPUT s1, P_DATA
+    COMPARE s1, 0
+    JUMP Z, ccm1d_nodata
+    LOAD s0, I_FAES3
+    CALL cux
+    LOAD s0, I_SAES0        ; ks_1 from CTR1 (loop INCs before SAES)
+    CALL cux
+    LOAD sF, I_FAES1
+    LOAD sE, I_SAES3
+    LOAD sD, I_XOR12
+    LOAD sC, I_XOR23
+    LOAD sB, I_STORE2
+    LOAD sA, I_INC0
+    LOAD s9, I_LOAD2
+    LOAD s8, I_FAES3
+    LOAD s7, I_SAES0
+ccm1dl:                     ; decrypt: ks -> pt -> MAC(pt) -> store
+    OUTPUT sF, P_CU         ; FAES: b1 = ks_i
+    HALT
+    OUTPUT sD, P_CU         ; XOR: b2 = ks ^ ct = pt_i
+    HALT
+    OUTPUT sC, P_CU         ; XOR: acc ^= pt_i
+    NOP
+    NOP
+    OUTPUT sE, P_CU         ; SAES: MAC
+    NOP
+    NOP
+    OUTPUT sB, P_CU         ; STORE pt_i                  [MAC shadow]
+    NOP
+    NOP
+    OUTPUT s9, P_CU         ; LOAD b2 = ct_{i+1} / CTR0   [shadow]
+    NOP
+    NOP
+    OUTPUT sA, P_CU         ; INC counter                 [shadow]
+    OUTPUT s8, P_CU         ; FAES: b3 = X_i
+    HALT
+    OUTPUT s7, P_CU         ; SAES: ks_{i+1}
+    NOP
+    NOP
+    SUB s1, 1
+    JUMP NZ, ccm1dl
+    LOAD s0, I_FAES1        ; drain in-flight keystream
+    CALL cux
+    JUMP ccm1d_tag
+ccm1d_nodata:
+    LOAD s0, I_FAES3
+    CALL cux
+ccm1d_tag:
+    CALL ccm1_tag           ; b3 = expected tag
+    LOAD s0, I_LOAD2        ; b2 = received tag
+    CALL cux
+    LOAD s0, I_EQU23
+    CALL cux
+    JUMP check_equ
+
+; -------------------------------------------- CCM split across two cores ---
+; CTR half: computes E(CTR0), the keystream and the final tag; the CBC-MAC
+; value T arrives from the neighbouring core through the inter-core port.
+ccmctr_enc:
+    CALL full_mask
+    LOAD s0, I_LOAD0        ; b0 = CTR0
+    CALL cux
+    LOAD s0, I_SAES0        ; E(CTR0)
+    CALL cux
+    LOAD s0, I_FAES3        ; b3 = E(CTR0)
+    CALL cux
+    LOAD s0, I_INC0         ; ctr_1
+    CALL cux
+    INPUT s1, P_DATA
+    COMPARE s1, 0
+    JUMP Z, ccmce_fin
+    LOAD s0, I_SAES0        ; ks_1
+    CALL cux
+    LOAD s0, I_INC0         ; ctr_2
+    CALL cux
+    LOAD s0, I_LOAD2        ; b2 = pt_1
+    CALL cux
+    LOAD sF, I_FAES1
+    LOAD sE, I_SAES0
+    LOAD sD, I_XOR21
+    LOAD sB, I_STORE1
+    LOAD sA, I_INC0
+    LOAD s9, I_LOAD2
+ccmcel:                     ; ---- T_CBC partner loop is the bottleneck;
+                            ;      this CTR side runs at 49 ----
+    OUTPUT sF, P_CU         ; FAES: b1 = ks_i
+    HALT
+    OUTPUT sE, P_CU         ; SAES: ks_{i+1}
+    NOP
+    NOP
+    OUTPUT sD, P_CU         ; XOR: b1 = pt ^ ks = ct_i
+    NOP
+    NOP
+    OUTPUT sB, P_CU         ; STORE ct_i
+    NOP
+    NOP
+    OUTPUT sA, P_CU         ; INC
+    SUB s1, 1
+    JUMP Z, ccmcel_end
+    OUTPUT s9, P_CU         ; LOAD b2 = pt_{i+1}
+    JUMP ccmcel
+ccmcel_end:
+ccmce_fin:
+    LOAD s0, I_SHIN1        ; b1 = T from the MAC core
+    CALL cux
+    CALL tag_mask
+    LOAD s0, I_XOR13        ; b3 = (T ^ E(CTR0)) & mask
+    CALL cux
+    LOAD s0, I_STORE3       ; emit tag after the ciphertext
+    CALL cux
+    JUMP done_ok
+
+ccmctr_dec:                 ; decrypt half: forward each pt to the MAC core
+    CALL full_mask
+    LOAD s0, I_LOAD0        ; b0 = CTR0
+    CALL cux
+    LOAD s0, I_SAES0
+    CALL cux
+    LOAD s0, I_FAES3        ; b3 = E(CTR0)
+    CALL cux
+    LOAD s0, I_SHOUT3       ; send E(CTR0) to the MAC core first
+    CALL cux
+    LOAD s0, I_INC0
+    CALL cux
+    INPUT s1, P_DATA
+    COMPARE s1, 0
+    JUMP Z, ccmcd_done
+    LOAD s0, I_SAES0
+    CALL cux
+    LOAD s0, I_INC0
+    CALL cux
+    LOAD s0, I_LOAD2        ; b2 = ct_1
+    CALL cux
+ccmcdl:
+    LOAD s0, I_FAES1        ; b1 = ks_i
+    CALL cux
+    LOAD s0, I_SAES0        ; ks_{i+1}
+    CALL cux
+    LOAD s0, I_XOR21        ; b1 = ct ^ ks = pt_i
+    CALL cux
+    LOAD s0, I_STORE1       ; pt to output FIFO
+    CALL cux
+    LOAD s0, I_SHOUT1       ; SHIFTOUT b1: pt_i to the MAC core
+    CALL cux
+    LOAD s0, I_INC0
+    CALL cux
+    SUB s1, 1
+    JUMP Z, ccmcd_done
+    LOAD s0, I_LOAD2        ; next ct
+    CALL cux
+    JUMP ccmcdl
+ccmcd_done:
+    JUMP done_ok
+
+; CBC-MAC half. Encrypt: MAC B0 + AAD + PT from the FIFO, ship T over the
+; inter-core port. Decrypt: receive E(CTR0) then each pt block from the CTR
+; core, verify the tag locally.
+ccmmac_enc:
+    CALL full_mask
+    LOAD s0, I_LOAD3        ; b3 = B0
+    CALL cux
+    LOAD s0, I_SAES3
+    CALL cux
+    INPUT s1, P_AAD         ; total blocks to MAC = AAD + DATA
+    INPUT s2, P_DATA
+    ADD s1, s2
+    COMPARE s1, 0
+    JUMP Z, ccmme_fin
+    LOAD s0, I_LOAD2        ; b2 = first block
+    CALL cux
+    LOAD sF, I_FAES3
+    LOAD sD, I_XOR23
+    LOAD sE, I_SAES3
+    LOAD s9, I_LOAD2
+ccmmel:                     ; ---- T_CBC = 55 cycles / block ----
+    OUTPUT sF, P_CU         ; FAES: X_{i-1}
+    HALT
+    OUTPUT sD, P_CU         ; XOR: X ^= block_i
+    NOP
+    NOP
+    OUTPUT sE, P_CU         ; SAES
+    NOP
+    NOP
+    SUB s1, 1
+    JUMP Z, ccmmel_end
+    OUTPUT s9, P_CU         ; LOAD next block
+    JUMP ccmmel
+ccmmel_end:
+ccmme_fin:
+    LOAD s0, I_FAES3        ; b3 = T
+    CALL cux
+    LOAD s0, I_SHOUT3       ; T to the CTR core
+    CALL cux
+    JUMP done_ok
+
+ccmmac_dec:
+    CALL full_mask
+    LOAD s0, I_LOAD3        ; b3 = B0
+    CALL cux
+    LOAD s0, I_SAES3
+    CALL cux
+    INPUT s2, P_AAD
+    COMPARE s2, 0
+    JUMP Z, ccmmd_noaad
+    LOAD s0, I_LOAD2
+    CALL cux
+ccmmd_aadl:
+    LOAD s0, I_FAES3
+    CALL cux
+    LOAD s0, I_XOR23
+    CALL cux
+    LOAD s0, I_SAES3
+    CALL cux
+    SUB s2, 1
+    JUMP Z, ccmmd_aad_done
+    LOAD s0, I_LOAD2
+    CALL cux
+    JUMP ccmmd_aadl
+ccmmd_noaad:
+ccmmd_aad_done:
+    LOAD s0, I_SHIN0        ; b0 = E(CTR0) from the CTR core
+    CALL cux
+    INPUT s1, P_DATA
+    COMPARE s1, 0
+    JUMP Z, ccmmd_fin
+ccmmdl:
+    LOAD s0, I_FAES3        ; X_{i-1}
+    CALL cux
+    LOAD s0, I_SHIN2        ; b2 = pt_i from the CTR core
+    CALL cux
+    LOAD s0, I_XOR23        ; X ^= pt_i
+    CALL cux
+    LOAD s0, I_SAES3
+    CALL cux
+    SUB s1, 1
+    JUMP NZ, ccmmdl
+ccmmd_fin:
+    LOAD s0, I_FAES3        ; b3 = T
+    CALL cux
+    CALL tag_mask
+    LOAD s0, I_XOR03        ; b3 = (E(CTR0) ^ T) & mask = expected tag
+    CALL cux
+    LOAD s0, I_LOAD2        ; b2 = received tag
+    CALL cux
+    LOAD s0, I_EQU23
+    CALL cux
+    JUMP check_equ
+
+; ------------------------------------------------------------ plain CTR ----
+ctr_mode:
+    CALL full_mask
+    LOAD s0, I_LOAD0        ; b0 = initial counter
+    CALL cux
+    INPUT s1, P_DATA
+    COMPARE s1, 0
+    JUMP Z, ctr_fin
+    LOAD s0, I_SAES0
+    CALL cux
+    LOAD s0, I_INC0
+    CALL cux
+    LOAD s0, I_LOAD2        ; b2 = data_1
+    CALL cux
+    LOAD sF, I_FAES1
+    LOAD sE, I_SAES0
+    LOAD sD, I_XOR21
+    LOAD sB, I_STORE1
+    LOAD sA, I_INC0
+    LOAD s9, I_LOAD2
+ctrl:                       ; ---- T_CTR = 49 cycles / block ----
+    OUTPUT sF, P_CU         ; FAES: b1 = ks_i
+    HALT
+    OUTPUT sE, P_CU         ; SAES: ks_{i+1}
+    NOP
+    NOP
+    OUTPUT sD, P_CU         ; XOR: b1 = data ^ ks
+    NOP
+    NOP
+    OUTPUT sB, P_CU         ; STORE
+    NOP
+    NOP
+    OUTPUT sA, P_CU         ; INC
+    SUB s1, 1
+    JUMP Z, ctr_fin
+    OUTPUT s9, P_CU         ; LOAD next block
+    JUMP ctrl
+ctr_fin:
+    JUMP done_ok
+
+; ------------------------------------------------------- plain CBC-MAC -----
+cbcmac_gen:
+    CALL cbcmac_run
+    LOAD s0, I_FAES3        ; b3 = MAC
+    CALL cux
+    CALL tag_mask
+    LOAD s0, I_XOR11        ; b1 = 0 (mask still full... set below)
+    CALL cux
+    LOAD s0, I_XOR13        ; b3 = (0 ^ T) & tagmask
+    CALL cux
+    LOAD s0, I_STORE3
+    CALL cux
+    JUMP done_ok
+
+cbcmac_ver:
+    CALL cbcmac_run
+    LOAD s0, I_FAES3
+    CALL cux
+    CALL tag_mask
+    LOAD s0, I_XOR11
+    CALL cux
+    LOAD s0, I_XOR13
+    CALL cux
+    LOAD s0, I_LOAD2        ; b2 = received tag
+    CALL cux
+    LOAD s0, I_EQU23
+    CALL cux
+    JUMP check_equ
+
+cbcmac_run:                 ; MAC over [first block][DATA more blocks]
+    CALL full_mask
+    LOAD s0, I_LOAD3        ; b3 = first block
+    CALL cux
+    LOAD s0, I_SAES3
+    CALL cux
+    INPUT s1, P_DATA
+    COMPARE s1, 0
+    JUMP Z, cbcr_done
+    LOAD s0, I_LOAD2
+    CALL cux
+    LOAD sF, I_FAES3
+    LOAD sD, I_XOR23
+    LOAD sE, I_SAES3
+    LOAD s9, I_LOAD2
+cbcrl:                      ; ---- T_CBC = 55 cycles / block ----
+    OUTPUT sF, P_CU
+    HALT
+    OUTPUT sD, P_CU
+    NOP
+    NOP
+    OUTPUT sE, P_CU
+    NOP
+    NOP
+    SUB s1, 1
+    JUMP Z, cbcr_done
+    OUTPUT s9, P_CU
+    JUMP cbcrl
+cbcr_done:
+    RETURN
+
+; ------------------------------------- Whirlpool hashing (reconfigured) ----
+; Requires the Whirlpool image in the CU slot (paper SVII.B). The 4x128-bit
+; bank register holds one 512-bit message block; the stream is pre-padded
+; by the communication controller. Digest = final 512-bit chaining value.
+wph_hash:
+    LOAD s0, I_LOADH0       ; re-initialise the chaining value
+    CALL cux
+    INPUT s1, P_DATA        ; number of 512-bit blocks (>= 1 after padding)
+wph_loop:
+    LOAD s0, I_LOAD0
+    CALL cux
+    LOAD s0, I_LOAD1
+    CALL cux
+    LOAD s0, I_LOAD2
+    CALL cux
+    LOAD s0, I_LOAD3
+    CALL cux
+    LOAD s0, I_SWPH         ; compress (background, 108 cycles)
+    CALL cux
+    SUB s1, 1
+    JUMP NZ, wph_loop
+    LOAD s0, I_FWPH         ; digest -> banks b0..b3
+    CALL cux
+    LOAD s0, I_STORE0
+    CALL cux
+    LOAD s0, I_STORE1
+    CALL cux
+    LOAD s0, I_STORE2
+    CALL cux
+    LOAD s0, I_STORE3
+    CALL cux
+    JUMP done_ok
+)";
+
+}  // namespace
+
+std::string_view firmware_source() { return kSource; }
+
+const std::vector<pb::Word>& firmware_image() {
+  static const std::vector<pb::Word> image = pb::assemble(kSource);
+  return image;
+}
+
+}  // namespace mccp::core

@@ -1,0 +1,36 @@
+// Controller firmware for the Cryptographic Cores.
+//
+// The paper implements its block-cipher modes "with Xilinx PicoBlaze
+// assembler language which is used to generate the Cryptographic Unit
+// instruction flow" (SVI.A). This module carries that software layer: one
+// assembly program containing a dispatcher plus one routine per algorithm
+// ID, hand-scheduled so the steady-state main loops reproduce the paper's
+// cycle counts exactly:
+//
+//   GCM / CTR data loop        : T = 49 cycles per 128-bit block (AES-128)
+//   CBC-MAC chaining loop      : T = 55
+//   CCM on a single core       : T = 104
+//   (+8 / +16 per AES pass for 192 / 256-bit keys)
+//
+// The GCM loop is the paper's Listing 1: FAES / SAES / XOR / SGFM / STORE /
+// INC / LOAD with NOP spacing, HALT only where the next instruction truly
+// depends on the pending result ("a HALT instruction may be replaced by two
+// NOP instructions ... one clock cycle can be saved", SVI.A).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "picoblaze/isa.h"
+
+namespace mccp::core {
+
+/// The firmware assembly source (useful for documentation and tests).
+std::string_view firmware_source();
+
+/// The assembled 1024-word image, assembled once and shared by all cores
+/// (the paper shares one dual-port instruction memory between neighbouring
+/// cores for the same reason).
+const std::vector<pb::Word>& firmware_image();
+
+}  // namespace mccp::core

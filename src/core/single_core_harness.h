@@ -1,0 +1,70 @@
+// Single-core measurement harness, shared by tests and benchmarks.
+//
+// Plays the communication controller's role for one isolated core: dribbles
+// the input stream into the core FIFO (one 32-bit word per cycle) and
+// drains the output FIFO, honouring the hold-until-verified policy for
+// decryption. Used for the per-core columns of Table II and the SVII.A
+// loop-cycle measurements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/crypto_core.h"
+#include "core/stream_format.h"
+#include "crypto/aes.h"
+#include "sim/simulation.h"
+
+namespace mccp::core {
+
+struct SingleCoreRun {
+  CoreResult result;
+  WordStream output;
+  sim::Cycle cycles;  // start strobe to done
+};
+
+class SingleCoreHarness {
+ public:
+  explicit SingleCoreHarness(ByteSpan key) {
+    core_.load_round_keys(crypto::aes_expand_key(key));
+    sim_.add(&core_);
+    // Loop the core's own shift register back to itself so SHIFTIN/SHIFTOUT
+    // have a target in single-core runs (the MCCP wires a real ring).
+    core_.connect_shift_in(&core_.shift_out());
+  }
+
+  CryptoCore& core() { return core_; }
+  sim::Simulation& sim() { return sim_; }
+
+  SingleCoreRun run(const CoreJob& job, sim::Cycle max_cycles = 5'000'000) {
+    // Let the controller finish its return-to-idle (JUMP main; HALT) from a
+    // previous task so every measurement starts from the same state.
+    sim_.run_until([&] { return core_.controller().halted(); }, 100);
+    std::size_t fed = 0;
+    WordStream output;
+    sim::Cycle start = sim_.now();
+    core_.start_task(job.params);
+    sim_.run_until(
+        [&] {
+          if (fed < job.stream.size() && !core_.in_fifo().full())
+            core_.in_fifo().push(job.stream[fed++]);
+          if (!job.hold_output_until_done)
+            while (!core_.out_fifo().empty()) output.push_back(core_.out_fifo().pop());
+          return core_.done_pending();
+        },
+        max_cycles);
+    // Decrypted plaintext is only released once the tag has verified
+    // (RETRIEVE_DATA policy, paper SIV.C).
+    if (core_.result() == CoreResult::kOk)
+      while (!core_.out_fifo().empty()) output.push_back(core_.out_fifo().pop());
+    SingleCoreRun r{core_.result(), std::move(output), sim_.now() - start};
+    core_.acknowledge_done();
+    return r;
+  }
+
+ private:
+  CryptoCore core_{"core0"};
+  sim::Simulation sim_;
+};
+
+}  // namespace mccp::core

@@ -1,0 +1,207 @@
+#include "crypto/aes.h"
+
+#include <stdexcept>
+
+namespace mccp::crypto {
+
+namespace {
+
+// GF(2^8) arithmetic modulo the AES polynomial x^8+x^4+x^3+x+1.
+constexpr std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1B : 0x00));
+}
+
+constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+// S-box tables built from field arithmetic at static initialisation. The
+// affine transform is b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+// applied to the multiplicative inverse (with inv(0) = 0).
+struct SboxTables {
+  std::array<std::uint8_t, 256> fwd{};
+  std::array<std::uint8_t, 256> inv{};
+  SboxTables() {
+    // Build inverses by brute force; 256^2 work at startup is negligible.
+    std::array<std::uint8_t, 256> field_inv{};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (gmul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)) == 1) {
+          field_inv[static_cast<std::size_t>(a)] = static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    auto rotl8 = [](std::uint8_t x, int r) {
+      return static_cast<std::uint8_t>((x << r) | (x >> (8 - r)));
+    };
+    for (int x = 0; x < 256; ++x) {
+      std::uint8_t b = field_inv[static_cast<std::size_t>(x)];
+      std::uint8_t s = static_cast<std::uint8_t>(b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^
+                                                 rotl8(b, 4) ^ 0x63);
+      fwd[static_cast<std::size_t>(x)] = s;
+      inv[s] = static_cast<std::uint8_t>(x);
+    }
+  }
+};
+
+const SboxTables& tables() {
+  static const SboxTables t;
+  return t;
+}
+
+// State layout: we keep the AES state in a Block128 in the same byte order
+// as the input block (column-major in FIPS-197 terms: byte index 4*c + r is
+// row r of column c).
+constexpr std::size_t idx(int r, int c) {
+  return static_cast<std::size_t>(4 * c + r);
+}
+
+}  // namespace
+
+std::uint8_t aes_sbox(std::uint8_t x) { return tables().fwd[x]; }
+std::uint8_t aes_inv_sbox(std::uint8_t x) { return tables().inv[x]; }
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) { return gmul(a, b); }
+
+AesRoundKeys aes_expand_key(ByteSpan key) {
+  AesRoundKeys out;
+  int nk;
+  switch (key.size()) {
+    case 16: out.key_size = AesKeySize::k128; nk = 4; break;
+    case 24: out.key_size = AesKeySize::k192; nk = 6; break;
+    case 32: out.key_size = AesKeySize::k256; nk = 8; break;
+    default: throw std::invalid_argument("aes_expand_key: key must be 16/24/32 bytes");
+  }
+  const int nr = out.rounds();
+  const int total_words = 4 * (nr + 1);
+  std::array<std::uint32_t, 60> w{};
+  for (int i = 0; i < nk; ++i) w[static_cast<std::size_t>(i)] = load_be32(key.data() + 4 * i);
+
+  auto sub_word = [](std::uint32_t x) {
+    return (std::uint32_t{aes_sbox(static_cast<std::uint8_t>(x >> 24))} << 24) |
+           (std::uint32_t{aes_sbox(static_cast<std::uint8_t>(x >> 16))} << 16) |
+           (std::uint32_t{aes_sbox(static_cast<std::uint8_t>(x >> 8))} << 8) |
+           std::uint32_t{aes_sbox(static_cast<std::uint8_t>(x))};
+  };
+  auto rot_word = [](std::uint32_t x) { return (x << 8) | (x >> 24); };
+
+  std::uint8_t rcon = 0x01;
+  for (int i = nk; i < total_words; ++i) {
+    std::uint32_t temp = w[static_cast<std::size_t>(i - 1)];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^ (std::uint32_t{rcon} << 24);
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    w[static_cast<std::size_t>(i)] = w[static_cast<std::size_t>(i - nk)] ^ temp;
+  }
+  for (int r = 0; r <= nr; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      out.rk[static_cast<std::size_t>(r)].set_word(static_cast<std::size_t>(c),
+                                                   w[static_cast<std::size_t>(4 * r + c)]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Block128 add_round_key(Block128 s, const Block128& rk) { return s ^ rk; }
+
+Block128 sub_bytes(Block128 s) {
+  for (auto& b : s.b) b = aes_sbox(b);
+  return s;
+}
+Block128 inv_sub_bytes(Block128 s) {
+  for (auto& b : s.b) b = aes_inv_sbox(b);
+  return s;
+}
+
+Block128 shift_rows(const Block128& s) {
+  Block128 o;
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) o.b[idx(r, c)] = s.b[idx(r, (c + r) % 4)];
+  return o;
+}
+Block128 inv_shift_rows(const Block128& s) {
+  Block128 o;
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) o.b[idx(r, (c + r) % 4)] = s.b[idx(r, c)];
+  return o;
+}
+
+Block128 mix_columns(const Block128& s) {
+  Block128 o;
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t a0 = s.b[idx(0, c)], a1 = s.b[idx(1, c)], a2 = s.b[idx(2, c)], a3 = s.b[idx(3, c)];
+    o.b[idx(0, c)] = static_cast<std::uint8_t>(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+    o.b[idx(1, c)] = static_cast<std::uint8_t>(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+    o.b[idx(2, c)] = static_cast<std::uint8_t>(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+    o.b[idx(3, c)] = static_cast<std::uint8_t>(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+  }
+  return o;
+}
+Block128 inv_mix_columns(const Block128& s) {
+  Block128 o;
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t a0 = s.b[idx(0, c)], a1 = s.b[idx(1, c)], a2 = s.b[idx(2, c)], a3 = s.b[idx(3, c)];
+    o.b[idx(0, c)] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9));
+    o.b[idx(1, c)] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13));
+    o.b[idx(2, c)] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11));
+    o.b[idx(3, c)] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14));
+  }
+  return o;
+}
+
+}  // namespace
+
+Block128 aes_encrypt_block(const AesRoundKeys& keys, const Block128& in) {
+  const int nr = keys.rounds();
+  Block128 s = add_round_key(in, keys.rk[0]);
+  for (int r = 1; r < nr; ++r)
+    s = add_round_key(mix_columns(shift_rows(sub_bytes(s))), keys.rk[static_cast<std::size_t>(r)]);
+  return add_round_key(shift_rows(sub_bytes(s)), keys.rk[static_cast<std::size_t>(nr)]);
+}
+
+Block128 aes_decrypt_block(const AesRoundKeys& keys, const Block128& in) {
+  const int nr = keys.rounds();
+  Block128 s = add_round_key(in, keys.rk[static_cast<std::size_t>(nr)]);
+  for (int r = nr - 1; r >= 1; --r)
+    s = inv_mix_columns(add_round_key(inv_sub_bytes(inv_shift_rows(s)),
+                                      keys.rk[static_cast<std::size_t>(r)]));
+  return add_round_key(inv_sub_bytes(inv_shift_rows(s)), keys.rk[0]);
+}
+
+Block128 aes_encrypt_block(ByteSpan key, const Block128& in) {
+  return aes_encrypt_block(aes_expand_key(key), in);
+}
+
+std::uint32_t encrypt_round_column(const Block128& state, const Block128& rk, int col) {
+  // Column `col` of MixColumns(ShiftRows(SubBytes(state))) ^ rk.
+  std::uint8_t t[4];
+  for (int r = 0; r < 4; ++r) t[r] = aes_sbox(state.b[idx(r, (col + r) % 4)]);
+  std::uint8_t o0 = static_cast<std::uint8_t>(gmul(t[0], 2) ^ gmul(t[1], 3) ^ t[2] ^ t[3]);
+  std::uint8_t o1 = static_cast<std::uint8_t>(t[0] ^ gmul(t[1], 2) ^ gmul(t[2], 3) ^ t[3]);
+  std::uint8_t o2 = static_cast<std::uint8_t>(t[0] ^ t[1] ^ gmul(t[2], 2) ^ gmul(t[3], 3));
+  std::uint8_t o3 = static_cast<std::uint8_t>(gmul(t[0], 3) ^ t[1] ^ t[2] ^ gmul(t[3], 2));
+  std::uint32_t word = (std::uint32_t{o0} << 24) | (std::uint32_t{o1} << 16) |
+                       (std::uint32_t{o2} << 8) | std::uint32_t{o3};
+  return word ^ rk.word(static_cast<std::size_t>(col));
+}
+
+std::uint32_t final_round_column(const Block128& state, const Block128& rk, int col) {
+  std::uint8_t t[4];
+  for (int r = 0; r < 4; ++r) t[r] = aes_sbox(state.b[idx(r, (col + r) % 4)]);
+  std::uint32_t word = (std::uint32_t{t[0]} << 24) | (std::uint32_t{t[1]} << 16) |
+                       (std::uint32_t{t[2]} << 8) | std::uint32_t{t[3]};
+  return word ^ rk.word(static_cast<std::size_t>(col));
+}
+
+}  // namespace mccp::crypto

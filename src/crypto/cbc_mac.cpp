@@ -1,0 +1,23 @@
+#include "crypto/cbc_mac.h"
+
+#include <stdexcept>
+
+namespace mccp::crypto {
+
+void CbcMac::update_padded(ByteSpan data) {
+  std::size_t i = 0;
+  while (i + 16 <= data.size()) {
+    update(Block128::from_span(data.subspan(i, 16)));
+    i += 16;
+  }
+  if (i < data.size()) update(Block128::from_span(data.subspan(i)));
+}
+
+Block128 cbc_mac(const AesRoundKeys& keys, ByteSpan data) {
+  if (data.size() % 16 != 0) throw std::invalid_argument("cbc_mac: data must be block-aligned");
+  CbcMac m(keys);
+  m.update_padded(data);
+  return m.mac();
+}
+
+}  // namespace mccp::crypto

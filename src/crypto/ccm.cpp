@@ -1,0 +1,112 @@
+#include "crypto/ccm.h"
+
+#include <stdexcept>
+
+#include "crypto/cbc_mac.h"
+#include "crypto/ctr.h"
+
+namespace mccp::crypto {
+
+bool ccm_params_valid(const CcmParams& p) {
+  bool tag_ok = p.tag_len >= 4 && p.tag_len <= 16 && p.tag_len % 2 == 0;
+  bool nonce_ok = p.nonce_len >= 7 && p.nonce_len <= 13;
+  return tag_ok && nonce_ok;
+}
+
+Block128 ccm_b0(const CcmParams& p, ByteSpan nonce, std::size_t aad_len, std::size_t msg_len) {
+  const std::size_t q = 15 - p.nonce_len;
+  Block128 b0{};
+  std::uint8_t flags = 0;
+  if (aad_len > 0) flags |= 0x40;
+  flags |= static_cast<std::uint8_t>(((p.tag_len - 2) / 2) << 3);
+  flags |= static_cast<std::uint8_t>(q - 1);
+  b0.b[0] = flags;
+  for (std::size_t i = 0; i < p.nonce_len; ++i) b0.b[1 + i] = nonce[i];
+  std::uint64_t len = msg_len;
+  for (std::size_t i = 0; i < q; ++i) {
+    b0.b[15 - i] = static_cast<std::uint8_t>(len);
+    len >>= 8;
+  }
+  if (len != 0) throw std::invalid_argument("ccm: message too long for nonce length");
+  return b0;
+}
+
+Bytes ccm_encode_aad(ByteSpan aad) {
+  Bytes out;
+  const std::size_t a = aad.size();
+  if (a == 0) return out;
+  if (a < 0xFF00) {
+    out.push_back(static_cast<std::uint8_t>(a >> 8));
+    out.push_back(static_cast<std::uint8_t>(a));
+  } else if (a <= 0xFFFFFFFFULL) {
+    out.push_back(0xFF);
+    out.push_back(0xFE);
+    for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(a >> (8 * i)));
+  } else {
+    out.push_back(0xFF);
+    out.push_back(0xFF);
+    for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(a >> (8 * i)));
+  }
+  out.insert(out.end(), aad.begin(), aad.end());
+  // Zero-pad to a block boundary (the padded-AAD blocks feed CBC-MAC).
+  while (out.size() % 16 != 0) out.push_back(0);
+  return out;
+}
+
+Block128 ccm_ctr_block(const CcmParams& p, ByteSpan nonce, std::uint64_t index) {
+  const std::size_t q = 15 - p.nonce_len;
+  Block128 ctr{};
+  ctr.b[0] = static_cast<std::uint8_t>(q - 1);
+  for (std::size_t i = 0; i < p.nonce_len; ++i) ctr.b[1 + i] = nonce[i];
+  for (std::size_t i = 0; i < q; ++i) {
+    ctr.b[15 - i] = static_cast<std::uint8_t>(index);
+    index >>= 8;
+  }
+  return ctr;
+}
+
+namespace {
+
+Block128 ccm_compute_mac(const AesRoundKeys& keys, const CcmParams& p, ByteSpan nonce,
+                         ByteSpan aad, ByteSpan plaintext) {
+  CbcMac mac(keys);
+  mac.update(ccm_b0(p, nonce, aad.size(), plaintext.size()));
+  Bytes encoded = ccm_encode_aad(aad);
+  if (!encoded.empty()) mac.update_padded(encoded);
+  if (!plaintext.empty()) mac.update_padded(plaintext);
+  return mac.mac();
+}
+
+}  // namespace
+
+CcmSealed ccm_seal(const AesRoundKeys& keys, const CcmParams& p, ByteSpan nonce, ByteSpan aad,
+                   ByteSpan plaintext) {
+  if (!ccm_params_valid(p)) throw std::invalid_argument("ccm: invalid parameters");
+  if (nonce.size() != p.nonce_len) throw std::invalid_argument("ccm: nonce length mismatch");
+
+  Block128 t = ccm_compute_mac(keys, p, nonce, aad, plaintext);
+
+  CcmSealed out;
+  out.ciphertext = ctr_transform(keys, ccm_ctr_block(p, nonce, 1), plaintext);
+  Block128 a0_ks = aes_encrypt_block(keys, ccm_ctr_block(p, nonce, 0));
+  out.tag.resize(p.tag_len);
+  for (std::size_t i = 0; i < p.tag_len; ++i) out.tag[i] = t.b[i] ^ a0_ks.b[i];
+  return out;
+}
+
+std::optional<Bytes> ccm_open(const AesRoundKeys& keys, const CcmParams& p, ByteSpan nonce,
+                              ByteSpan aad, ByteSpan ciphertext, ByteSpan tag) {
+  if (!ccm_params_valid(p)) throw std::invalid_argument("ccm: invalid parameters");
+  if (nonce.size() != p.nonce_len) throw std::invalid_argument("ccm: nonce length mismatch");
+  if (tag.size() != p.tag_len) return std::nullopt;
+
+  Bytes plaintext = ctr_transform(keys, ccm_ctr_block(p, nonce, 1), ciphertext);
+  Block128 t = ccm_compute_mac(keys, p, nonce, aad, plaintext);
+  Block128 a0_ks = aes_encrypt_block(keys, ccm_ctr_block(p, nonce, 0));
+  Bytes expected(p.tag_len);
+  for (std::size_t i = 0; i < p.tag_len; ++i) expected[i] = t.b[i] ^ a0_ks.b[i];
+  if (!ct_equal(expected, tag)) return std::nullopt;
+  return plaintext;
+}
+
+}  // namespace mccp::crypto

@@ -1,0 +1,33 @@
+#include "crypto/ctr.h"
+
+namespace mccp::crypto {
+
+Block128 inc32(Block128 ctr) {
+  std::uint32_t low = ctr.word(3) + 1;
+  ctr.set_word(3, low);
+  return ctr;
+}
+
+Block128 inc16(Block128 ctr, unsigned step) {
+  std::uint16_t low = static_cast<std::uint16_t>((std::uint16_t{ctr.b[14]} << 8) | ctr.b[15]);
+  low = static_cast<std::uint16_t>(low + step);
+  ctr.b[14] = static_cast<std::uint8_t>(low >> 8);
+  ctr.b[15] = static_cast<std::uint8_t>(low);
+  return ctr;
+}
+
+Bytes ctr_transform(const AesRoundKeys& keys, const Block128& initial_ctr, ByteSpan data) {
+  Bytes out(data.size());
+  Block128 ctr = initial_ctr;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    Block128 ks = aes_encrypt_block(keys, ctr);
+    std::size_t n = data.size() - off < 16 ? data.size() - off : 16;
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ ks.b[i];
+    ctr = inc32(ctr);
+    off += n;
+  }
+  return out;
+}
+
+}  // namespace mccp::crypto

@@ -1,0 +1,26 @@
+// AES-CTR mode (NIST SP 800-38A §6.5).
+//
+// The counter block is incremented as a 32-bit big-endian integer in its
+// least significant word (the GCM "inc32" convention), which also covers the
+// MCCP hardware behaviour: the Cryptographic Unit's INC core increments the
+// 16 LSBs, sufficient for the <= 128-block packets the FIFOs can hold.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+
+namespace mccp::crypto {
+
+/// Increment the low 32 bits of a counter block (GCM inc32).
+Block128 inc32(Block128 ctr);
+
+/// Increment the low 16 bits by `step` (1..4), exactly what the paper's INC
+/// processing core implements ("Inc Core allows 16-bit incrementation by
+/// 1, 2, 3 or 4 of a 128-bit word").
+Block128 inc16(Block128 ctr, unsigned step);
+
+/// CTR keystream transform: out[i] = in[i] ^ E(K, ctr + i). Encryption and
+/// decryption are the same operation.
+Bytes ctr_transform(const AesRoundKeys& keys, const Block128& initial_ctr, ByteSpan data);
+
+}  // namespace mccp::crypto

@@ -1,0 +1,72 @@
+#include "crypto/gcm.h"
+
+#include <stdexcept>
+
+#include "crypto/ctr.h"
+#include "crypto/ghash.h"
+
+namespace mccp::crypto {
+
+Block128 gcm_hash_subkey(const AesRoundKeys& keys) {
+  return aes_encrypt_block(keys, Block128{});
+}
+
+Block128 gcm_j0(const AesRoundKeys& keys, ByteSpan iv) {
+  if (iv.size() == 12) {
+    Block128 j0 = Block128::from_span(iv);
+    j0.b[15] = 1;
+    return j0;
+  }
+  Ghash g(gcm_hash_subkey(keys));
+  g.update_padded(iv);
+  Block128 len{};
+  store_be64(len.b.data() + 8, static_cast<std::uint64_t>(iv.size()) * 8);
+  g.update(len);
+  return g.digest();
+}
+
+Block128 gcm_length_block(std::size_t aad_len_bytes, std::size_t ct_len_bytes) {
+  Block128 len{};
+  store_be64(len.b.data(), static_cast<std::uint64_t>(aad_len_bytes) * 8);
+  store_be64(len.b.data() + 8, static_cast<std::uint64_t>(ct_len_bytes) * 8);
+  return len;
+}
+
+namespace {
+
+Bytes gcm_tag(const AesRoundKeys& keys, const Block128& j0, ByteSpan aad, ByteSpan ciphertext,
+              std::size_t tag_len) {
+  Ghash g(gcm_hash_subkey(keys));
+  g.update_padded(aad);
+  g.update_padded(ciphertext);
+  g.update(gcm_length_block(aad.size(), ciphertext.size()));
+  Block128 s = g.digest();
+  Block128 ek_j0 = aes_encrypt_block(keys, j0);
+  Bytes tag(tag_len);
+  for (std::size_t i = 0; i < tag_len; ++i) tag[i] = s.b[i] ^ ek_j0.b[i];
+  return tag;
+}
+
+}  // namespace
+
+GcmSealed gcm_seal(const AesRoundKeys& keys, ByteSpan iv, ByteSpan aad, ByteSpan plaintext,
+                   std::size_t tag_len) {
+  if (tag_len < 4 || tag_len > 16) throw std::invalid_argument("gcm: tag_len must be 4..16");
+  if (iv.empty()) throw std::invalid_argument("gcm: IV must be non-empty");
+  Block128 j0 = gcm_j0(keys, iv);
+  GcmSealed out;
+  out.ciphertext = ctr_transform(keys, inc32(j0), plaintext);
+  out.tag = gcm_tag(keys, j0, aad, out.ciphertext, tag_len);
+  return out;
+}
+
+std::optional<Bytes> gcm_open(const AesRoundKeys& keys, ByteSpan iv, ByteSpan aad,
+                              ByteSpan ciphertext, ByteSpan tag) {
+  if (tag.size() < 4 || tag.size() > 16) return std::nullopt;
+  Block128 j0 = gcm_j0(keys, iv);
+  Bytes expected = gcm_tag(keys, j0, aad, ciphertext, tag.size());
+  if (!ct_equal(expected, tag)) return std::nullopt;
+  return ctr_transform(keys, inc32(j0), ciphertext);
+}
+
+}  // namespace mccp::crypto

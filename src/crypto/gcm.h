@@ -1,0 +1,40 @@
+// AES-GCM: Galois/Counter Mode (NIST SP 800-38D).
+//
+// Like the CCM header, the IV-to-J0 derivation and length-block formatting
+// are exposed so the radio substrate can pre-format packets exactly the way
+// the paper's communication controller does before streaming them into the
+// core FIFOs.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+
+namespace mccp::crypto {
+
+/// Hash subkey H = E(K, 0^128).
+Block128 gcm_hash_subkey(const AesRoundKeys& keys);
+
+/// Pre-counter block J0 from an IV of any length (96-bit IVs take the fast
+/// path IV || 0^31 || 1; other lengths go through GHASH).
+Block128 gcm_j0(const AesRoundKeys& keys, ByteSpan iv);
+
+/// The final GHASH length block: len64(aad_bits) || len64(ct_bits).
+Block128 gcm_length_block(std::size_t aad_len_bytes, std::size_t ct_len_bytes);
+
+struct GcmSealed {
+  Bytes ciphertext;
+  Bytes tag;  // tag_len bytes (<= 16)
+};
+
+/// Authenticated encryption; tag_len in [4, 16] bytes (SP 800-38D permits
+/// 12..16 plus 4 and 8 for special applications).
+GcmSealed gcm_seal(const AesRoundKeys& keys, ByteSpan iv, ByteSpan aad, ByteSpan plaintext,
+                   std::size_t tag_len = 16);
+
+/// Authenticated decryption; nullopt when the tag does not verify.
+std::optional<Bytes> gcm_open(const AesRoundKeys& keys, ByteSpan iv, ByteSpan aad,
+                              ByteSpan ciphertext, ByteSpan tag);
+
+}  // namespace mccp::crypto

@@ -1,0 +1,66 @@
+#include "crypto/gf128.h"
+
+namespace mccp::crypto {
+
+namespace {
+
+// Shift a block right by one bit (towards higher GCM bit indices).
+Block128 shr1(const Block128& v) {
+  Block128 o;
+  std::uint8_t carry = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    o.b[i] = static_cast<std::uint8_t>((v.b[i] >> 1) | (carry << 7));
+    carry = v.b[i] & 1;
+  }
+  return o;
+}
+
+bool bit(const Block128& v, int i) {
+  return (v.b[static_cast<std::size_t>(i / 8)] >> (7 - i % 8)) & 1;
+}
+
+const Block128 kR = [] {
+  Block128 r;
+  r.b[0] = 0xE1;
+  return r;
+}();
+
+}  // namespace
+
+Block128 gf128_mul(const Block128& x, const Block128& y) {
+  Block128 z{};
+  Block128 v = x;
+  for (int i = 0; i < 128; ++i) {
+    if (bit(y, i)) z ^= v;
+    bool lsb = v.b[15] & 1;
+    v = shr1(v);
+    if (lsb) v ^= kR;
+  }
+  return z;
+}
+
+Block128 gf128_mul_digit(const Block128& x, const Block128& y, int digit_bits) {
+  // Same recurrence as the bit-serial algorithm, but advancing the V
+  // register `digit_bits` positions per iteration, the way a digit-serial
+  // hardware multiplier retires D partial products per clock.
+  Block128 z{};
+  Block128 v = x;
+  const int iterations = gf128_digit_iterations(digit_bits);
+  int consumed = 0;
+  for (int it = 0; it < iterations; ++it) {
+    for (int d = 0; d < digit_bits; ++d) {
+      if (consumed < 128) {
+        if (bit(y, consumed)) z ^= v;
+        bool lsb = v.b[15] & 1;
+        v = shr1(v);
+        if (lsb) v ^= kR;
+      }
+      // Iterations past bit 127 model the multiplier's final reduction
+      // stage: no further partial products are accumulated.
+      ++consumed;
+    }
+  }
+  return z;
+}
+
+}  // namespace mccp::crypto

@@ -1,0 +1,39 @@
+// GF(2^128) arithmetic as specified for GCM (NIST SP 800-38D §6.3).
+//
+// Two multiplier implementations are provided:
+//  * `gf128_mul`        — the reference bit-serial algorithm from the spec.
+//  * `gf128_mul_digit`  — a digit-serial multiplier processing D bits of the
+//    second operand per iteration. With D = 3 it performs ceil(129/3) = 43
+//    iterations, matching the 43-cycle digit-serial GHASH core the paper
+//    adopts from Lemsitzer et al. (CHES'07). Both must agree bit-for-bit;
+//    property tests enforce this.
+//
+// GCM convention: within a block, bit 0 is the most significant bit of byte
+// 0, and the field polynomial is 1 + x + x^2 + x^7 + x^128 (represented by
+// the reduction constant R = 0xE1 << 120).
+#pragma once
+
+#include "common/bytes.h"
+
+namespace mccp::crypto {
+
+/// Reference GF(2^128) multiplication (SP 800-38D Algorithm 1).
+Block128 gf128_mul(const Block128& x, const Block128& y);
+
+/// Digit-serial GF(2^128) multiplication with `digit_bits` bits consumed per
+/// iteration; functionally identical to gf128_mul. digit_bits must be in
+/// [1, 8].
+Block128 gf128_mul_digit(const Block128& x, const Block128& y, int digit_bits);
+
+/// Number of iterations the digit-serial multiplier needs (the paper's GHASH
+/// core uses 3-bit digits -> 43 iterations / clock cycles).
+constexpr int gf128_digit_iterations(int digit_bits) {
+  // The hardware pipelines 128 bits plus a final reduction stage, giving
+  // ceil(129 / D) iterations -- 43 for D = 3, matching the paper.
+  return (129 + digit_bits - 1) / digit_bits;
+}
+
+static_assert(gf128_digit_iterations(3) == 43,
+              "paper Sec. V.A: digit-serial multiplication in 43 clock cycles");
+
+}  // namespace mccp::crypto

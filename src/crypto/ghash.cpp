@@ -1,0 +1,25 @@
+#include "crypto/ghash.h"
+
+#include <stdexcept>
+
+namespace mccp::crypto {
+
+void Ghash::update_padded(ByteSpan data) {
+  std::size_t i = 0;
+  while (i + 16 <= data.size()) {
+    update(Block128::from_span(data.subspan(i, 16)));
+    i += 16;
+  }
+  if (i < data.size()) {
+    update(Block128::from_span(data.subspan(i)));  // from_span zero-pads
+  }
+}
+
+Block128 ghash(const Block128& h, ByteSpan data) {
+  if (data.size() % 16 != 0) throw std::invalid_argument("ghash: data must be block-aligned");
+  Ghash g(h);
+  g.update_padded(data);
+  return g.digest();
+}
+
+}  // namespace mccp::crypto

@@ -1,0 +1,42 @@
+// GHASH (SP 800-38D §6.4): the universal hash underlying GCM authentication.
+//
+// Besides the one-shot helper, an incremental `Ghash` object mirrors how the
+// paper's GHASH processing core is driven: LOADH loads the hash subkey H,
+// each SGFM instruction absorbs one 128-bit block, FGFM reads the digest.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/gf128.h"
+
+namespace mccp::crypto {
+
+/// Incremental GHASH accumulator.
+class Ghash {
+ public:
+  Ghash() = default;
+  explicit Ghash(const Block128& h) : h_(h) {}
+
+  /// Load a new hash subkey (resets the accumulator).
+  void load_h(const Block128& h) {
+    h_ = h;
+    y_ = Block128{};
+  }
+
+  /// Absorb one 128-bit block: Y <- (Y ^ X) * H.
+  void update(const Block128& x) { y_ = gf128_mul(y_ ^ x, h_); }
+
+  /// Absorb a byte string, zero-padding the final partial block.
+  void update_padded(ByteSpan data);
+
+  const Block128& digest() const { return y_; }
+  const Block128& h() const { return h_; }
+
+ private:
+  Block128 h_{};
+  Block128 y_{};
+};
+
+/// One-shot GHASH over `data` (must be a multiple of 16 bytes).
+Block128 ghash(const Block128& h, ByteSpan data);
+
+}  // namespace mccp::crypto

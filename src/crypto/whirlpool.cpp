@@ -1,0 +1,193 @@
+#include "crypto/whirlpool.h"
+
+#include <cstring>
+
+namespace mccp::crypto {
+
+namespace {
+
+// --- S-box from the E / E^-1 / R mini-boxes (ISO/IEC 10118-3 annex) -------
+
+constexpr std::uint8_t kE[16] = {0x1, 0xB, 0x9, 0xC, 0xD, 0x6, 0xF, 0x3,
+                                 0xE, 0x8, 0x7, 0x4, 0xA, 0x2, 0x5, 0x0};
+constexpr std::uint8_t kR[16] = {0x7, 0xC, 0xB, 0xD, 0xE, 0x4, 0x9, 0xF,
+                                 0x6, 0x3, 0x8, 0xA, 0x2, 0x5, 0x1, 0x0};
+
+struct WpTables {
+  std::array<std::uint8_t, 256> sbox{};
+  WpTables() {
+    std::uint8_t einv[16];
+    for (int i = 0; i < 16; ++i) einv[kE[i]] = static_cast<std::uint8_t>(i);
+    for (int x = 0; x < 256; ++x) {
+      std::uint8_t hi = kE[x >> 4];
+      std::uint8_t lo = einv[x & 0xF];
+      std::uint8_t y = kR[hi ^ lo];
+      sbox[static_cast<std::size_t>(x)] =
+          static_cast<std::uint8_t>((kE[hi ^ y] << 4) | einv[lo ^ y]);
+    }
+  }
+};
+
+const WpTables& wp() {
+  static const WpTables t;
+  return t;
+}
+
+// GF(2^8) with the Whirlpool polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+constexpr std::uint8_t wp_xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1D : 0x00));
+}
+std::uint8_t wp_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    a = wp_xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+// The MDS diffusion matrix is circulant: row 0 is (1, 1, 4, 1, 8, 5, 2, 9),
+// row r is row 0 rotated right by r.
+constexpr std::uint8_t kCir[8] = {0x01, 0x01, 0x04, 0x01, 0x08, 0x05, 0x02, 0x09};
+
+// State is an 8x8 matrix of bytes; 512-bit blocks map to it row-major
+// (byte k -> row k/8, column k%8).
+using State = std::array<std::uint8_t, 64>;
+
+State sub_bytes(const State& s) {
+  State o;
+  for (std::size_t i = 0; i < 64; ++i) o[i] = wp().sbox[s[i]];
+  return o;
+}
+
+// gamma/pi: shift column j downwards by j positions.
+State shift_columns(const State& s) {
+  State o;
+  for (int c = 0; c < 8; ++c)
+    for (int r = 0; r < 8; ++r)
+      o[static_cast<std::size_t>(8 * ((r + c) % 8) + c)] =
+          s[static_cast<std::size_t>(8 * r + c)];
+  return o;
+}
+
+// theta: multiply the state by the circulant matrix on the right:
+// out[r][c] = sum_k state[r][k] * cir[(c - k) mod 8].
+State mix_rows(const State& s) {
+  State o{};
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      std::uint8_t acc = 0;
+      for (int k = 0; k < 8; ++k) {
+        acc ^= wp_mul(s[static_cast<std::size_t>(8 * r + k)], kCir[(c - k + 8) % 8]);
+      }
+      o[static_cast<std::size_t>(8 * r + c)] = acc;
+    }
+  }
+  return o;
+}
+
+State add_key(State s, const State& k) {
+  for (std::size_t i = 0; i < 64; ++i) s[i] ^= k[i];
+  return s;
+}
+
+// Round constant r: first row is S[8(r-1)] .. S[8(r-1)+7], rest zero.
+State round_constant(int r) {
+  State rc{};
+  for (int j = 0; j < 8; ++j)
+    rc[static_cast<std::size_t>(j)] = wp().sbox[static_cast<std::size_t>(8 * (r - 1) + j)];
+  return rc;
+}
+
+}  // namespace
+
+std::uint8_t whirlpool_sbox(std::uint8_t x) { return wp().sbox[x]; }
+
+void whirlpool_compress(std::array<std::uint8_t, 64>& h, const std::uint8_t block[64]) {
+  State m;
+  std::memcpy(m.data(), block, 64);
+  State k;
+  std::memcpy(k.data(), h.data(), 64);
+  State s = add_key(m, k);  // sigma[K^0]
+  for (int r = 1; r <= Whirlpool::kRounds; ++r) {
+    k = add_key(mix_rows(shift_columns(sub_bytes(k))), round_constant(r));
+    s = add_key(mix_rows(shift_columns(sub_bytes(s))), k);
+  }
+  // Miyaguchi-Preneel: H <- W(H, m) ^ H ^ m.
+  for (std::size_t i = 0; i < 64; ++i) h[i] = static_cast<std::uint8_t>(h[i] ^ s[i] ^ m[i]);
+}
+
+Bytes whirlpool_pad(ByteSpan message) {
+  Bytes out(message.begin(), message.end());
+  out.push_back(0x80);
+  while (out.size() % 64 != 32) out.push_back(0);
+  std::uint64_t bits = static_cast<std::uint64_t>(message.size()) * 8;
+  Bytes len(32, 0);  // 256-bit length field, we carry the low 64 bits
+  for (int i = 0; i < 8; ++i)
+    len[24 + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(bits >> (8 * (7 - i)));
+  out.insert(out.end(), len.begin(), len.end());
+  return out;
+}
+
+void Whirlpool::compress(const std::uint8_t* block) { whirlpool_compress(h_, block); }
+
+void Whirlpool::update(ByteSpan data) {
+  total_bytes_ += data.size();
+  std::size_t off = 0;
+  if (buf_len_ > 0) {
+    std::size_t take = std::min(data.size(), kBlockSize - buf_len_);
+    std::memcpy(buf_.data() + buf_len_, data.data(), take);
+    buf_len_ += take;
+    off = take;
+    if (buf_len_ == kBlockSize) {
+      compress(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    compress(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_.data(), data.data() + off, data.size() - off);
+    buf_len_ = data.size() - off;
+  }
+}
+
+std::array<std::uint8_t, Whirlpool::kDigestSize> Whirlpool::digest() {
+  // Pad: 0x80, zeros to 32 mod 64, then a 256-bit big-endian bit length
+  // (we only track 64 bits of it; the upper 192 bits are zero).
+  std::array<std::uint8_t, 2 * kBlockSize> pad{};
+  std::size_t pad_len;
+  std::size_t rem = buf_len_;
+  pad[0] = 0x80;
+  // Bytes needed after the 0x80 so that total length mod 64 == 32.
+  std::size_t after = (rem + 1) % kBlockSize;
+  std::size_t zeros = (after <= 32) ? (32 - after) : (kBlockSize + 32 - after);
+  pad_len = 1 + zeros + 32;
+  std::uint64_t bits = total_bytes_ * 8;
+  for (int i = 0; i < 8; ++i)
+    pad[pad_len - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bits >> (8 * (7 - i)));
+  update(ByteSpan(pad.data(), pad_len));
+  // After padding, buf_len_ is zero and total length is block-aligned.
+  std::array<std::uint8_t, kDigestSize> out;
+  std::memcpy(out.data(), h_.data(), kDigestSize);
+  return out;
+}
+
+void Whirlpool::reset() {
+  h_.fill(0);
+  buf_.fill(0);
+  buf_len_ = 0;
+  total_bytes_ = 0;
+}
+
+std::array<std::uint8_t, Whirlpool::kDigestSize> whirlpool(ByteSpan data) {
+  Whirlpool w;
+  w.update(data);
+  return w.digest();
+}
+
+}  // namespace mccp::crypto

@@ -1,0 +1,58 @@
+// Cryptographic Unit instruction set (paper Table I).
+//
+// 8-bit instructions: a 4-bit operation code and two 2-bit bank-register
+// addresses. Start instructions (SAES, SGFM) launch the AES / GHASH
+// processing cores in the background; finalize instructions (FAES, FGFM)
+// block until the background computation completes and transfer the result
+// into the bank register — this overlap is what lets the mode main loops
+// hide XOR/INC/I-O work inside the AES shadow.
+//
+// Table I lists LOAD/LOADH/SGFM/FGFM/SAES/FAES/INC/XOR/EQU; the paper's
+// Listing 1 additionally uses STORE (the 32-bit I/O core moves data in both
+// directions), and SIV.A's inter-core ports imply shift-register transfers,
+// which we expose as SHIFTOUT/SHIFTIN.
+#pragma once
+
+#include <cstdint>
+
+namespace mccp::cu {
+
+enum class CuOp : std::uint8_t {
+  kNop = 0x0,
+  kLoad = 0x1,      // LOAD @A: input FIFO -> bank[A] (4 x 32-bit beats)
+  kStore = 0x2,     // STORE @A: bank[A] -> output FIFO
+  kLoadH = 0x3,     // LOADH @A: bank[A] -> GHASH core H register (resets Y)
+  kSgfm = 0x4,      // SGFM @A: one background GHASH iteration on bank[A]
+  kFgfm = 0x5,      // FGFM @A: GHASH accumulator -> bank[A]
+  kSaes = 0x6,      // SAES @A: start background AES encryption of bank[A]
+  kFaes = 0x7,      // FAES @A: AES result -> bank[A]
+  kInc = 0x8,       // INC @A, I: 16-bit increment of bank[A] by I+1 (1..4)
+  kXor = 0x9,       // XOR @A, @B: bank[B] = (bank[A] ^ bank[B]) & byte-mask
+  kEqu = 0xA,       // EQU @A, @B: equ flag = (bank[A] == bank[B])
+  kShiftOut = 0xB,  // SHIFTOUT @A: bank[A] -> inter-core shift register
+  kShiftIn = 0xC,   // SHIFTIN @A: inter-core shift register -> bank[A]
+  // Whirlpool-personality instructions (available after the algorithm slot
+  // has been partially reconfigured, paper SVII.B). The 4x128-bit bank
+  // register holds exactly one 512-bit Whirlpool message block.
+  kSwph = 0xD,  // SWPH: start Miyaguchi-Preneel compression of banks b0..b3
+  kFwph = 0xE,  // FWPH: chaining value -> banks b0..b3 (512-bit digest)
+};
+
+/// Which algorithm image the reconfigurable slot currently hosts. SAES/
+/// SGFM/FAES/FGFM/LOADH require kAes; SWPH/FWPH require kWhirlpool — using
+/// an instruction of the absent personality is a firmware/scheduler bug and
+/// throws in the model (undefined behaviour in hardware).
+enum class CuPersonality : std::uint8_t { kAes, kWhirlpool };
+
+constexpr std::uint8_t cu_encode(CuOp op, unsigned a, unsigned b = 0) {
+  return static_cast<std::uint8_t>((static_cast<unsigned>(op) << 4) | ((a & 3) << 2) | (b & 3));
+}
+
+constexpr CuOp cu_opcode(std::uint8_t instr) { return static_cast<CuOp>(instr >> 4); }
+constexpr unsigned cu_field_a(std::uint8_t instr) { return (instr >> 2) & 3; }
+constexpr unsigned cu_field_b(std::uint8_t instr) { return instr & 3; }
+
+/// Human-readable name for traces.
+const char* cu_op_name(CuOp op);
+
+}  // namespace mccp::cu

@@ -1,0 +1,102 @@
+// MCCP control protocol (paper SIII.B).
+//
+// "Current release of the MCCP takes a 32-bit instruction as input and
+// returns an 8-bit value as output." Instructions execute in four
+// non-interruptible steps: write the Instruction Register, pulse start,
+// wait for done, read the Return Register.
+//
+// 32-bit instruction layout: [31:24] opcode, [23:16] A, [15:8] B, [7:0] C.
+// 8-bit return layout: 0x00|id = OK(+id), 0x40|id = AUTH_FAIL(+id),
+//                      0xC0|code = error.
+#pragma once
+
+#include <cstdint>
+
+namespace mccp::top {
+
+enum class ControlOp : std::uint8_t {
+  kOpen = 0x01,          // A = channel mode, B = key id, C = (tag_len-1)<<4 | nonce_len
+  kClose = 0x02,         // A = channel id
+  kEncrypt = 0x03,       // A = channel id, B = header blocks, C = data blocks
+  kDecrypt = 0x04,       // A = channel id, B = header blocks, C = data blocks
+  kRetrieveData = 0x05,  // no operands; acknowledges the oldest Data Available
+  kTransferDone = 0x06,  // A = request id
+};
+
+/// Channel algorithm selector carried by OPEN (paper: "OPEN Algorithm,
+/// Key ID"). GCM/CCM/CTR/CBC-MAC are the modes SIV.D lists.
+enum class ChannelMode : std::uint8_t {
+  kGcm = 0,
+  kCcm = 1,
+  kCtr = 2,
+  kCbcMac = 3,
+  /// Whirlpool hashing channel; requires a core whose CU slot has been
+  /// partially reconfigured with the Whirlpool image (paper SVII.B). The
+  /// key id is ignored (hashing is unkeyed).
+  kWhirlpool = 4,
+};
+
+enum class ControlError : std::uint8_t {
+  kBadInstruction = 1,
+  kNoChannel = 2,        // CLOSE/ENCRYPT on an unopened channel
+  kNoCoreAvailable = 3,  // paper: "error flag if no more resources"
+  kNoKey = 4,            // OPEN with an unknown key id
+  kNothingReady = 5,     // RETRIEVE with no Data Available pending
+  kNoSuchRequest = 6,    // TRANSFER_DONE on an unknown request
+  kChannelsExhausted = 7,
+  kBadParameters = 8,
+};
+
+// ---- encoding helpers -------------------------------------------------------
+
+constexpr std::uint32_t encode_instruction(ControlOp op, std::uint8_t a = 0, std::uint8_t b = 0,
+                                           std::uint8_t c = 0) {
+  return (static_cast<std::uint32_t>(op) << 24) | (std::uint32_t{a} << 16) |
+         (std::uint32_t{b} << 8) | std::uint32_t{c};
+}
+
+constexpr std::uint32_t encode_open(ChannelMode mode, std::uint8_t key_id, unsigned tag_len,
+                                    unsigned nonce_len) {
+  return encode_instruction(ControlOp::kOpen, static_cast<std::uint8_t>(mode), key_id,
+                            static_cast<std::uint8_t>(((tag_len - 1) << 4) | (nonce_len & 0xF)));
+}
+constexpr std::uint32_t encode_close(std::uint8_t channel) {
+  return encode_instruction(ControlOp::kClose, channel);
+}
+constexpr std::uint32_t encode_encrypt(std::uint8_t channel, std::uint8_t header_blocks,
+                                       std::uint8_t data_blocks) {
+  return encode_instruction(ControlOp::kEncrypt, channel, header_blocks, data_blocks);
+}
+constexpr std::uint32_t encode_decrypt(std::uint8_t channel, std::uint8_t header_blocks,
+                                       std::uint8_t data_blocks) {
+  return encode_instruction(ControlOp::kDecrypt, channel, header_blocks, data_blocks);
+}
+constexpr std::uint32_t encode_retrieve() {
+  return encode_instruction(ControlOp::kRetrieveData);
+}
+constexpr std::uint32_t encode_transfer_done(std::uint8_t request_id) {
+  return encode_instruction(ControlOp::kTransferDone, request_id);
+}
+
+// ---- return register --------------------------------------------------------
+
+constexpr std::uint8_t kReturnAuthFailFlag = 0x40;
+constexpr std::uint8_t kReturnErrorFlag = 0xC0;
+
+constexpr std::uint8_t make_ok(std::uint8_t id) { return id & 0x3F; }
+constexpr std::uint8_t make_auth_fail(std::uint8_t id) {
+  return static_cast<std::uint8_t>(kReturnAuthFailFlag | (id & 0x3F));
+}
+constexpr std::uint8_t make_error(ControlError e) {
+  return static_cast<std::uint8_t>(kReturnErrorFlag | static_cast<std::uint8_t>(e));
+}
+
+constexpr bool is_error(std::uint8_t rr) { return (rr & 0xC0) == 0xC0; }
+constexpr bool is_auth_fail(std::uint8_t rr) { return (rr & 0xC0) == 0x40; }
+constexpr bool is_ok(std::uint8_t rr) { return (rr & 0xC0) == 0x00; }
+constexpr std::uint8_t return_id(std::uint8_t rr) { return rr & 0x3F; }
+constexpr ControlError return_error(std::uint8_t rr) {
+  return static_cast<ControlError>(rr & 0x3F);
+}
+
+}  // namespace mccp::top

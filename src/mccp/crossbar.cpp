@@ -1,0 +1,48 @@
+#include "mccp/crossbar.h"
+
+#include <stdexcept>
+
+namespace mccp::top {
+
+void CrossBar::push_words(std::size_t core_idx, const std::vector<std::uint32_t>& words) {
+  Lane& lane = lanes_.at(core_idx);
+  if (!lane.write_granted)
+    throw std::logic_error("CrossBar: push to a core without a write grant");
+  lane.inbox.insert(lane.inbox.end(), words.begin(), words.end());
+}
+
+std::vector<std::uint32_t> CrossBar::take_output(std::size_t core_idx) {
+  Lane& lane = lanes_.at(core_idx);
+  std::vector<std::uint32_t> out(lane.outbox.begin(), lane.outbox.end());
+  lane.outbox.clear();
+  return out;
+}
+
+void CrossBar::tick() {
+  const std::size_t n = lanes_.size();
+  // One word into one core per cycle (write port).
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t i = (write_rr_ + k) % n;
+    Lane& lane = lanes_[i];
+    if (lane.write_granted && !lane.inbox.empty() && !cores_[i]->in_fifo().full()) {
+      cores_[i]->in_fifo().push(lane.inbox.front());
+      lane.inbox.pop_front();
+      ++words_in_;
+      write_rr_ = (i + 1) % n;
+      break;
+    }
+  }
+  // One word out of one core per cycle (read port).
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t i = (read_rr_ + k) % n;
+    Lane& lane = lanes_[i];
+    if (lane.read_granted && !cores_[i]->out_fifo().empty()) {
+      lane.outbox.push_back(cores_[i]->out_fifo().pop());
+      ++words_out_;
+      read_rr_ = (i + 1) % n;
+      break;
+    }
+  }
+}
+
+}  // namespace mccp::top

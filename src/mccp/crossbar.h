@@ -1,0 +1,74 @@
+// The Cross Bar (paper SIII.A, Fig. 1): connects the communication
+// controller's 32-bit I/O port to the core FIFOs under Task Scheduler
+// control.
+//
+// Grant model: the Task Scheduler opens a core FIFO "in write mode" when it
+// accepts an ENCRYPT/DECRYPT, and in read mode when RETRIEVE_DATA succeeds;
+// TRANSFER_DONE closes both. Bandwidth model: one 32-bit word per direction
+// per clock, arbitrated round-robin among granted cores — 6.08 Gbps each
+// way at 190 MHz, comfortably above the 4-core aggregate of Table II
+// (1.98 Gbps + overheads).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/crypto_core.h"
+#include "sim/clocked.h"
+
+namespace mccp::top {
+
+class CrossBar final : public sim::Clocked {
+ public:
+  explicit CrossBar(std::vector<core::CryptoCore*> cores) : cores_(std::move(cores)) {
+    lanes_.resize(cores_.size());
+  }
+
+  // -- grant control (Task Scheduler only) -----------------------------------
+  void open_write(std::size_t core_idx) { lanes_.at(core_idx).write_granted = true; }
+  void open_read(std::size_t core_idx) { lanes_.at(core_idx).read_granted = true; }
+  void close(std::size_t core_idx) {
+    auto& l = lanes_.at(core_idx);
+    l.write_granted = l.read_granted = false;
+    l.inbox.clear();
+    l.outbox.clear();
+  }
+  bool write_granted(std::size_t core_idx) const { return lanes_.at(core_idx).write_granted; }
+  bool read_granted(std::size_t core_idx) const { return lanes_.at(core_idx).read_granted; }
+
+  // -- communication-controller side ------------------------------------------
+  /// Queue words for delivery into a write-granted core FIFO. Throws if the
+  /// lane is not granted (hardware would simply not route the strobe; the
+  /// model treats it as a protocol error worth failing loudly on).
+  void push_words(std::size_t core_idx, const std::vector<std::uint32_t>& words);
+  /// Collect words the crossbar has drained from a read-granted core FIFO.
+  std::vector<std::uint32_t> take_output(std::size_t core_idx);
+  std::size_t pending_input(std::size_t core_idx) const {
+    return lanes_.at(core_idx).inbox.size();
+  }
+
+  void tick() override;
+  std::string name() const override { return "crossbar"; }
+
+  std::uint64_t words_in() const { return words_in_; }
+  std::uint64_t words_out() const { return words_out_; }
+
+ private:
+  struct Lane {
+    bool write_granted = false;
+    bool read_granted = false;
+    std::deque<std::uint32_t> inbox;   // waiting to enter the core's in-FIFO
+    std::deque<std::uint32_t> outbox;  // drained from the core's out-FIFO
+  };
+
+  std::vector<core::CryptoCore*> cores_;
+  std::vector<Lane> lanes_;
+  std::size_t write_rr_ = 0;
+  std::size_t read_rr_ = 0;
+  std::uint64_t words_in_ = 0;
+  std::uint64_t words_out_ = 0;
+};
+
+}  // namespace mccp::top

@@ -1,0 +1,323 @@
+#include "picoblaze/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace mccp::pb {
+
+namespace {
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+struct Operand {
+  enum class Kind { kRegister, kImmediate, kIndirect, kSymbol } kind;
+  unsigned reg = 0;       // kRegister / kIndirect
+  unsigned value = 0;     // kImmediate
+  std::string symbol;     // kSymbol (label or constant, resolved in pass 2)
+};
+
+struct Line {
+  std::size_t number;
+  std::string mnemonic;          // already uppercased; may carry condition ("JUMP NZ")
+  std::vector<Operand> operands;
+  unsigned address = 0;
+};
+
+std::optional<unsigned> parse_register(const std::string& tok) {
+  if (tok.size() < 2 || (tok[0] != 'S' && tok[0] != 's')) return std::nullopt;
+  std::string digits = tok.substr(1);
+  if (digits.empty() || digits.size() > 2) return std::nullopt;
+  unsigned v = 0;
+  for (char c : digits) {
+    int n;
+    if (c >= '0' && c <= '9') n = c - '0';
+    else if (c >= 'a' && c <= 'f') n = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') n = c - 'A' + 10;
+    else return std::nullopt;
+    v = v * 16 + static_cast<unsigned>(n);
+  }
+  // Accept s0..sF (hex single digit) only; "s10" would be register 16.
+  if (digits.size() != 1) return std::nullopt;
+  return v;
+}
+
+std::optional<unsigned> parse_number(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    unsigned long v = std::stoul(tok, &pos, 0);  // base 0: 0x.., 0.., decimal
+    if (pos != tok.size()) return std::nullopt;
+    return static_cast<unsigned>(v);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+Operand parse_operand(const std::string& raw, std::size_t line) {
+  std::string tok = trim(raw);
+  if (tok.empty()) throw AsmError(line, "empty operand");
+  if (tok.front() == '(' && tok.back() == ')') {
+    auto r = parse_register(trim(tok.substr(1, tok.size() - 2)));
+    if (!r) throw AsmError(line, "indirect operand must be a register: " + tok);
+    return {Operand::Kind::kIndirect, *r, 0, {}};
+  }
+  if (auto r = parse_register(tok)) return {Operand::Kind::kRegister, *r, 0, {}};
+  if (auto n = parse_number(tok)) return {Operand::Kind::kImmediate, 0, *n, {}};
+  return {Operand::Kind::kSymbol, 0, 0, upper(tok)};
+}
+
+const std::map<std::string, ShiftOp> kShiftMnemonics = {
+    {"SL0", ShiftOp::kSl0}, {"SL1", ShiftOp::kSl1}, {"SLX", ShiftOp::kSlx},
+    {"SLA", ShiftOp::kSla}, {"RL", ShiftOp::kRl},   {"SR0", ShiftOp::kSr0},
+    {"SR1", ShiftOp::kSr1}, {"SRX", ShiftOp::kSrx}, {"SRA", ShiftOp::kSra},
+    {"RR", ShiftOp::kRr},
+};
+
+struct CondOps {
+  Opcode plain, z, nz, c, nc;
+};
+const CondOps kJumpOps{Opcode::kJump, Opcode::kJumpZ, Opcode::kJumpNz, Opcode::kJumpC,
+                       Opcode::kJumpNc};
+const CondOps kCallOps{Opcode::kCall, Opcode::kCallZ, Opcode::kCallNz, Opcode::kCallC,
+                       Opcode::kCallNc};
+const CondOps kRetOps{Opcode::kReturn, Opcode::kReturnZ, Opcode::kReturnNz, Opcode::kReturnC,
+                      Opcode::kReturnNc};
+
+Opcode cond_opcode(const CondOps& ops, const std::string& cond, std::size_t line) {
+  if (cond.empty()) return ops.plain;
+  if (cond == "Z") return ops.z;
+  if (cond == "NZ") return ops.nz;
+  if (cond == "C") return ops.c;
+  if (cond == "NC") return ops.nc;
+  throw AsmError(line, "bad condition: " + cond);
+}
+
+}  // namespace
+
+std::vector<Word> assemble(std::string_view source) {
+  std::map<std::string, unsigned> constants;
+  std::map<std::string, unsigned> labels;
+  std::vector<Line> lines;
+
+  // ---- pass 1: tokenize, collect labels/constants, assign addresses -------
+  unsigned addr = 0;
+  std::size_t lineno = 0;
+  std::istringstream in{std::string(source)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (auto pos = raw.find(';'); pos != std::string::npos) raw.erase(pos);
+    std::string text = trim(raw);
+    if (text.empty()) continue;
+
+    // Labels (possibly followed by an instruction on the same line).
+    while (true) {
+      auto colon = text.find(':');
+      if (colon == std::string::npos) break;
+      std::string label = upper(trim(text.substr(0, colon)));
+      if (label.empty() || label.find(' ') != std::string::npos)
+        throw AsmError(lineno, "bad label");
+      if (labels.count(label) || constants.count(label))
+        throw AsmError(lineno, "duplicate symbol: " + label);
+      labels[label] = addr;
+      text = trim(text.substr(colon + 1));
+      if (text.empty()) break;
+    }
+    if (text.empty()) continue;
+
+    // Split mnemonic from operand list.
+    std::size_t sp = text.find_first_of(" \t");
+    std::string mnemonic = upper(text.substr(0, sp));
+    std::string rest = sp == std::string::npos ? "" : trim(text.substr(sp));
+
+    if (mnemonic == "CONSTANT") {
+      auto comma = rest.find(',');
+      if (comma == std::string::npos) throw AsmError(lineno, "CONSTANT needs name, value");
+      std::string name = upper(trim(rest.substr(0, comma)));
+      auto value = parse_number(trim(rest.substr(comma + 1)));
+      if (!value) throw AsmError(lineno, "CONSTANT value must be numeric");
+      if (labels.count(name) || constants.count(name))
+        throw AsmError(lineno, "duplicate symbol: " + name);
+      constants[name] = *value & 0xFF;
+      continue;
+    }
+    if (mnemonic == "ADDRESS") {
+      auto value = parse_number(rest);
+      if (!value || *value >= kImemWords) throw AsmError(lineno, "bad ADDRESS");
+      addr = *value;
+      continue;
+    }
+
+    Line l;
+    l.number = lineno;
+    l.address = addr;
+
+    // Conditions ride with the mnemonic: "JUMP NZ, label".
+    if ((mnemonic == "JUMP" || mnemonic == "CALL" || mnemonic == "RETURN") && !rest.empty()) {
+      std::string first = rest;
+      auto comma = rest.find(',');
+      if (comma != std::string::npos) first = trim(rest.substr(0, comma));
+      std::string cand = upper(first);
+      if (cand == "Z" || cand == "NZ" || cand == "C" || cand == "NC") {
+        mnemonic += " " + cand;
+        rest = comma == std::string::npos ? "" : trim(rest.substr(comma + 1));
+      }
+    }
+    // Two-word mnemonics: ENABLE/DISABLE INTERRUPT, RETURNI ENABLE/DISABLE.
+    if ((mnemonic == "ENABLE" || mnemonic == "DISABLE" || mnemonic == "RETURNI") &&
+        !rest.empty()) {
+      mnemonic += " " + upper(rest);
+      rest.clear();
+    }
+
+    l.mnemonic = mnemonic;
+    if (!rest.empty()) {
+      std::string cur;
+      int depth = 0;
+      for (char c : rest) {
+        if (c == '(') ++depth;
+        if (c == ')') --depth;
+        if (c == ',' && depth == 0) {
+          l.operands.push_back(parse_operand(cur, lineno));
+          cur.clear();
+        } else {
+          cur.push_back(c);
+        }
+      }
+      if (!trim(cur).empty()) l.operands.push_back(parse_operand(cur, lineno));
+    }
+    lines.push_back(std::move(l));
+    if (++addr > kImemWords) throw AsmError(lineno, "program exceeds instruction memory");
+  }
+
+  // ---- pass 2: encode ------------------------------------------------------
+  auto resolve_imm = [&](const Operand& o, std::size_t line) -> unsigned {
+    switch (o.kind) {
+      case Operand::Kind::kImmediate: return o.value & 0xFF;
+      case Operand::Kind::kSymbol: {
+        if (auto it = constants.find(o.symbol); it != constants.end()) return it->second;
+        if (auto it = labels.find(o.symbol); it != labels.end()) return it->second & 0xFF;
+        throw AsmError(line, "undefined symbol: " + o.symbol);
+      }
+      default: throw AsmError(line, "expected constant operand");
+    }
+  };
+  auto resolve_addr = [&](const Operand& o, std::size_t line) -> unsigned {
+    if (o.kind == Operand::Kind::kImmediate) return o.value & 0x3FF;
+    if (o.kind == Operand::Kind::kSymbol) {
+      if (auto it = labels.find(o.symbol); it != labels.end()) return it->second;
+      if (auto it = constants.find(o.symbol); it != constants.end()) return it->second;
+      throw AsmError(line, "undefined label: " + o.symbol);
+    }
+    throw AsmError(line, "expected address operand");
+  };
+
+  std::vector<Word> image(kImemWords, encode(Opcode::kNop, 0, 0));
+  for (const Line& l : lines) {
+    const auto n = l.operands.size();
+    auto need = [&](std::size_t k) {
+      if (n != k)
+        throw AsmError(l.number, l.mnemonic + ": expected " + std::to_string(k) + " operands");
+    };
+    auto reg0 = [&]() -> unsigned {
+      if (l.operands[0].kind != Operand::Kind::kRegister)
+        throw AsmError(l.number, l.mnemonic + ": first operand must be a register");
+      return l.operands[0].reg;
+    };
+
+    Word w = 0;
+    const std::string& m = l.mnemonic;
+
+    struct RkPair {
+      Opcode k, r;
+    };
+    static const std::map<std::string, RkPair> kAlu = {
+        {"LOAD", {Opcode::kLoadK, Opcode::kLoadR}},
+        {"AND", {Opcode::kAndK, Opcode::kAndR}},
+        {"OR", {Opcode::kOrK, Opcode::kOrR}},
+        {"XOR", {Opcode::kXorK, Opcode::kXorR}},
+        {"ADD", {Opcode::kAddK, Opcode::kAddR}},
+        {"ADDCY", {Opcode::kAddcyK, Opcode::kAddcyR}},
+        {"SUB", {Opcode::kSubK, Opcode::kSubR}},
+        {"SUBCY", {Opcode::kSubcyK, Opcode::kSubcyR}},
+        {"COMPARE", {Opcode::kCompareK, Opcode::kCompareR}},
+    };
+    static const std::map<std::string, RkPair> kIo = {
+        {"INPUT", {Opcode::kInputP, Opcode::kInputR}},
+        {"OUTPUT", {Opcode::kOutputP, Opcode::kOutputR}},
+        {"STORE", {Opcode::kStoreS, Opcode::kStoreR}},
+        {"FETCH", {Opcode::kFetchS, Opcode::kFetchR}},
+    };
+
+    if (auto it = kAlu.find(m); it != kAlu.end()) {
+      need(2);
+      unsigned sx = reg0();
+      const Operand& o = l.operands[1];
+      if (o.kind == Operand::Kind::kRegister) w = encode_rr(it->second.r, sx, o.reg);
+      else w = encode(it->second.k, sx, resolve_imm(o, l.number));
+    } else if (auto it2 = kIo.find(m); it2 != kIo.end()) {
+      need(2);
+      unsigned sx = reg0();
+      const Operand& o = l.operands[1];
+      if (o.kind == Operand::Kind::kIndirect) w = encode_rr(it2->second.r, sx, o.reg);
+      else w = encode(it2->second.k, sx, resolve_imm(o, l.number));
+    } else if (auto it3 = kShiftMnemonics.find(m); it3 != kShiftMnemonics.end()) {
+      need(1);
+      w = encode(Opcode::kShift, reg0(), static_cast<unsigned>(it3->second));
+    } else if (m == "JUMP" || m.rfind("JUMP ", 0) == 0) {
+      need(1);
+      std::string cond = m.size() > 4 ? m.substr(5) : "";
+      w = encode_jump(cond_opcode(kJumpOps, cond, l.number),
+                      resolve_addr(l.operands[0], l.number));
+    } else if (m == "CALL" || m.rfind("CALL ", 0) == 0) {
+      need(1);
+      std::string cond = m.size() > 4 ? m.substr(5) : "";
+      w = encode_jump(cond_opcode(kCallOps, cond, l.number),
+                      resolve_addr(l.operands[0], l.number));
+    } else if (m == "RETURN" || m.rfind("RETURN ", 0) == 0) {
+      need(0);
+      std::string cond = m.size() > 6 ? m.substr(7) : "";
+      w = encode_jump(cond_opcode(kRetOps, cond, l.number), 0);
+    } else if (m == "RETURNI ENABLE") {
+      need(0);
+      w = encode_jump(Opcode::kReturniEnable, 0);
+    } else if (m == "RETURNI DISABLE") {
+      need(0);
+      w = encode_jump(Opcode::kReturniDisable, 0);
+    } else if (m == "ENABLE INTERRUPT") {
+      need(0);
+      w = encode_jump(Opcode::kEnableInt, 0);
+    } else if (m == "DISABLE INTERRUPT") {
+      need(0);
+      w = encode_jump(Opcode::kDisableInt, 0);
+    } else if (m == "HALT") {
+      // Optional operand tolerated (the paper's listing writes "HALT
+      // DISABLE"); it has no architectural effect in our model.
+      w = encode_jump(Opcode::kHalt, 0);
+    } else if (m == "NOP") {
+      need(0);
+      w = encode(Opcode::kNop, 0, 0);
+    } else {
+      throw AsmError(l.number, "unknown mnemonic: " + m);
+    }
+    image[l.address] = w;
+  }
+  return image;
+}
+
+}  // namespace mccp::pb

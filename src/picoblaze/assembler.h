@@ -1,0 +1,47 @@
+// Two-pass assembler for the controller ISA.
+//
+// The paper writes its block-cipher mode programs "with Xilinx PicoBlaze
+// assembler language" (SVI.A); all MCCP firmware in this repository is
+// plain-text assembly compiled by this assembler at start-up.
+//
+// Syntax (case-insensitive mnemonics/registers):
+//   ; comment                        -- to end of line
+//   CONSTANT NAME, 0x1F              -- named 8-bit constant
+//   label:                           -- code label
+//   LOAD s0, 0x05        LOAD s0, s1
+//   ADD/ADDCY/SUB/SUBCY/AND/OR/XOR/COMPARE  sX, (sY | k)
+//   INPUT s0, 0x10       INPUT s0, (s1)      -- port-immediate / indirect
+//   OUTPUT s0, 0x10      OUTPUT s0, (s1)
+//   STORE/FETCH s0, 0x00 STORE/FETCH s0, (s1)
+//   SL0/SL1/SLX/SLA/RL/SR0/SR1/SRX/SRA/RR sX
+//   JUMP [Z|NZ|C|NC,] label          CALL [cond,] label
+//   RETURN [cond]                    RETURNI ENABLE|DISABLE
+//   ENABLE INTERRUPT / DISABLE INTERRUPT
+//   HALT                             NOP
+//   ADDRESS 0x3FF                    -- set assembly origin (interrupt vector)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "picoblaze/isa.h"
+
+namespace mccp::pb {
+
+/// Assembly error with 1-based line number context.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " + message), line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assemble source text into a 1024-word image (unused words are NOPs).
+std::vector<Word> assemble(std::string_view source);
+
+}  // namespace mccp::pb

@@ -1,0 +1,226 @@
+#include "picoblaze/cpu.h"
+
+#include <stdexcept>
+
+namespace mccp::pb {
+
+void Cpu::load_program(std::span<const Word> image) {
+  if (image.size() > kImemWords)
+    throw std::length_error("Cpu::load_program: image exceeds 1024 words");
+  imem_.fill(encode(Opcode::kNop, 0, 0));
+  for (std::size_t i = 0; i < image.size(); ++i) imem_[i] = image[i];
+  reset();
+}
+
+void Cpu::reset() {
+  regs_.fill(0);
+  scratch_.fill(0);
+  stack_.clear();
+  pc_ = 0;
+  zero_ = carry_ = false;
+  saved_zero_ = saved_carry_ = false;
+  int_enable_ = false;
+  halted_ = false;
+  wake_pending_ = false;
+  irq_pending_ = false;
+  fetch_phase_ = true;
+  current_ = 0;
+}
+
+void Cpu::tick() {
+  if (halted_) {
+    if (wake_pending_) {
+      halted_ = false;
+      wake_pending_ = false;
+      // Next cycle begins the fetch of the instruction after HALT.
+      fetch_phase_ = true;
+    }
+    return;
+  }
+  // Note: wake pulses are sticky. If the done signal fires between the
+  // OUTPUT that started an operation and the following HALT, the HALT must
+  // fall through immediately instead of sleeping forever.
+  if (fetch_phase_) {
+    // Interrupts are recognised at instruction boundaries, like KCPSM3.
+    if (irq_pending_ && int_enable_) {
+      irq_pending_ = false;
+      int_enable_ = false;
+      saved_zero_ = zero_;
+      saved_carry_ = carry_;
+      if (stack_.size() >= kStackDepth) throw std::runtime_error("PicoBlaze stack overflow");
+      stack_.push_back(pc_);
+      pc_ = kInterruptVector;
+    }
+    current_ = imem_[pc_ & (kImemWords - 1)];
+    pc_ = static_cast<std::uint16_t>((pc_ + 1) & (kImemWords - 1));
+    fetch_phase_ = false;
+  } else {
+    execute(current_);
+    ++retired_;
+    fetch_phase_ = true;
+  }
+}
+
+void Cpu::alu_writeback(unsigned sx, std::uint16_t wide, bool update_carry) {
+  std::uint8_t result = static_cast<std::uint8_t>(wide & 0xFF);
+  regs_[sx] = result;
+  zero_ = (result == 0);
+  if (update_carry) carry_ = (wide & 0x100) != 0;
+}
+
+void Cpu::execute(Word w) {
+  const Opcode op = opcode_of(w);
+  const unsigned sx = field_sx(w);
+  const unsigned sy = field_sy(w);
+  const std::uint8_t imm = static_cast<std::uint8_t>(field_imm(w));
+  const std::uint8_t ry = regs_[sy];
+
+  auto logical = [&](std::uint8_t v, char kind) {
+    std::uint8_t r = regs_[sx];
+    switch (kind) {
+      case '&': r &= v; break;
+      case '|': r |= v; break;
+      case '^': r ^= v; break;
+      default: r = v; break;  // load
+    }
+    regs_[sx] = r;
+    zero_ = (r == 0);
+    carry_ = false;  // KCPSM3 clears carry on logical ops
+  };
+
+  switch (op) {
+    case Opcode::kLoadK: regs_[sx] = imm; break;  // LOAD does not affect flags
+    case Opcode::kLoadR: regs_[sx] = ry; break;
+    case Opcode::kAndK: logical(imm, '&'); break;
+    case Opcode::kAndR: logical(ry, '&'); break;
+    case Opcode::kOrK: logical(imm, '|'); break;
+    case Opcode::kOrR: logical(ry, '|'); break;
+    case Opcode::kXorK: logical(imm, '^'); break;
+    case Opcode::kXorR: logical(ry, '^'); break;
+
+    case Opcode::kAddK: alu_writeback(sx, static_cast<std::uint16_t>(regs_[sx] + imm), true); break;
+    case Opcode::kAddR: alu_writeback(sx, static_cast<std::uint16_t>(regs_[sx] + ry), true); break;
+    case Opcode::kAddcyK:
+      alu_writeback(sx, static_cast<std::uint16_t>(regs_[sx] + imm + (carry_ ? 1 : 0)), true);
+      break;
+    case Opcode::kAddcyR:
+      alu_writeback(sx, static_cast<std::uint16_t>(regs_[sx] + ry + (carry_ ? 1 : 0)), true);
+      break;
+    case Opcode::kSubK: alu_writeback(sx, static_cast<std::uint16_t>(regs_[sx] - imm), true); break;
+    case Opcode::kSubR: alu_writeback(sx, static_cast<std::uint16_t>(regs_[sx] - ry), true); break;
+    case Opcode::kSubcyK:
+      alu_writeback(sx, static_cast<std::uint16_t>(regs_[sx] - imm - (carry_ ? 1 : 0)), true);
+      break;
+    case Opcode::kSubcyR:
+      alu_writeback(sx, static_cast<std::uint16_t>(regs_[sx] - ry - (carry_ ? 1 : 0)), true);
+      break;
+
+    case Opcode::kCompareK: {
+      std::uint16_t r = static_cast<std::uint16_t>(regs_[sx] - imm);
+      zero_ = ((r & 0xFF) == 0);
+      carry_ = (r & 0x100) != 0;
+      break;
+    }
+    case Opcode::kCompareR: {
+      std::uint16_t r = static_cast<std::uint16_t>(regs_[sx] - ry);
+      zero_ = ((r & 0xFF) == 0);
+      carry_ = (r & 0x100) != 0;
+      break;
+    }
+
+    case Opcode::kInputP: regs_[sx] = bus_->read_port(imm); break;
+    case Opcode::kInputR: regs_[sx] = bus_->read_port(ry); break;
+    case Opcode::kOutputP: bus_->write_port(imm, regs_[sx]); break;
+    case Opcode::kOutputR: bus_->write_port(ry, regs_[sx]); break;
+
+    case Opcode::kStoreS: scratch_[imm % kScratchpadBytes] = regs_[sx]; break;
+    case Opcode::kStoreR: scratch_[ry % kScratchpadBytes] = regs_[sx]; break;
+    case Opcode::kFetchS: regs_[sx] = scratch_[imm % kScratchpadBytes]; break;
+    case Opcode::kFetchR: regs_[sx] = scratch_[ry % kScratchpadBytes]; break;
+
+    case Opcode::kShift: {
+      std::uint8_t r = regs_[sx];
+      bool old_carry = carry_;
+      switch (static_cast<ShiftOp>(imm)) {
+        case ShiftOp::kSl0: carry_ = r & 0x80; r = static_cast<std::uint8_t>(r << 1); break;
+        case ShiftOp::kSl1: carry_ = r & 0x80; r = static_cast<std::uint8_t>((r << 1) | 1); break;
+        case ShiftOp::kSlx: carry_ = r & 0x80; r = static_cast<std::uint8_t>((r << 1) | (r & 1)); break;
+        case ShiftOp::kSla:
+          carry_ = r & 0x80;
+          r = static_cast<std::uint8_t>((r << 1) | (old_carry ? 1 : 0));
+          break;
+        case ShiftOp::kRl: carry_ = r & 0x80; r = static_cast<std::uint8_t>((r << 1) | (r >> 7)); break;
+        case ShiftOp::kSr0: carry_ = r & 1; r = static_cast<std::uint8_t>(r >> 1); break;
+        case ShiftOp::kSr1: carry_ = r & 1; r = static_cast<std::uint8_t>((r >> 1) | 0x80); break;
+        case ShiftOp::kSrx: carry_ = r & 1; r = static_cast<std::uint8_t>((r >> 1) | (r & 0x80)); break;
+        case ShiftOp::kSra:
+          carry_ = r & 1;
+          r = static_cast<std::uint8_t>((r >> 1) | (old_carry ? 0x80 : 0));
+          break;
+        case ShiftOp::kRr: carry_ = r & 1; r = static_cast<std::uint8_t>((r >> 1) | (r << 7)); break;
+        default: throw std::runtime_error("PicoBlaze: bad shift sub-op");
+      }
+      regs_[sx] = r;
+      zero_ = (r == 0);
+      break;
+    }
+
+    case Opcode::kJump: pc_ = static_cast<std::uint16_t>(field_addr(w)); break;
+    case Opcode::kJumpZ: if (zero_) pc_ = static_cast<std::uint16_t>(field_addr(w)); break;
+    case Opcode::kJumpNz: if (!zero_) pc_ = static_cast<std::uint16_t>(field_addr(w)); break;
+    case Opcode::kJumpC: if (carry_) pc_ = static_cast<std::uint16_t>(field_addr(w)); break;
+    case Opcode::kJumpNc: if (!carry_) pc_ = static_cast<std::uint16_t>(field_addr(w)); break;
+
+    case Opcode::kCall:
+    case Opcode::kCallZ:
+    case Opcode::kCallNz:
+    case Opcode::kCallC:
+    case Opcode::kCallNc: {
+      bool take = (op == Opcode::kCall) || (op == Opcode::kCallZ && zero_) ||
+                  (op == Opcode::kCallNz && !zero_) || (op == Opcode::kCallC && carry_) ||
+                  (op == Opcode::kCallNc && !carry_);
+      if (take) {
+        if (stack_.size() >= kStackDepth) throw std::runtime_error("PicoBlaze stack overflow");
+        stack_.push_back(pc_);
+        pc_ = static_cast<std::uint16_t>(field_addr(w));
+      }
+      break;
+    }
+
+    case Opcode::kReturn:
+    case Opcode::kReturnZ:
+    case Opcode::kReturnNz:
+    case Opcode::kReturnC:
+    case Opcode::kReturnNc: {
+      bool take = (op == Opcode::kReturn) || (op == Opcode::kReturnZ && zero_) ||
+                  (op == Opcode::kReturnNz && !zero_) || (op == Opcode::kReturnC && carry_) ||
+                  (op == Opcode::kReturnNc && !carry_);
+      if (take) {
+        if (stack_.empty()) throw std::runtime_error("PicoBlaze stack underflow");
+        pc_ = stack_.back();
+        stack_.pop_back();
+      }
+      break;
+    }
+
+    case Opcode::kReturniEnable:
+    case Opcode::kReturniDisable:
+      if (stack_.empty()) throw std::runtime_error("PicoBlaze RETURNI with empty stack");
+      pc_ = stack_.back();
+      stack_.pop_back();
+      zero_ = saved_zero_;
+      carry_ = saved_carry_;
+      int_enable_ = (op == Opcode::kReturniEnable);
+      break;
+
+    case Opcode::kEnableInt: int_enable_ = true; break;
+    case Opcode::kDisableInt: int_enable_ = false; break;
+
+    case Opcode::kHalt: halted_ = true; break;
+    case Opcode::kNop: break;
+
+    default: throw std::runtime_error("PicoBlaze: illegal opcode");
+  }
+}
+
+}  // namespace mccp::pb

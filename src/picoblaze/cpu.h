@@ -1,0 +1,86 @@
+// Cycle-accurate model of the modified PicoBlaze controller.
+//
+// Every instruction takes exactly 2 clock cycles (fetch tick + execute
+// tick), as in the paper. Port I/O goes through an IoBus the embedding
+// module provides; the custom HALT instruction parks the CPU until wake()
+// is pulsed (the Cryptographic Unit's done signal, or the Task Scheduler's
+// start strobe).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "picoblaze/isa.h"
+#include "sim/clocked.h"
+
+namespace mccp::pb {
+
+/// Port-mapped I/O seen by the controller. INPUT/OUTPUT instructions call
+/// straight into the embedding component (FIFO status registers, CU
+/// instruction port, parameter mailbox, ...).
+class IoBus {
+ public:
+  virtual ~IoBus() = default;
+  virtual std::uint8_t read_port(std::uint8_t port) = 0;
+  virtual void write_port(std::uint8_t port, std::uint8_t value) = 0;
+};
+
+class Cpu final : public sim::Clocked {
+ public:
+  Cpu(std::string name, IoBus& bus) : name_(std::move(name)), bus_(&bus) { reset(); }
+
+  /// Load a program image (words beyond the image are NOPs). The paper's
+  /// instruction memory is one FPGA block RAM of 1024 x 18-bit words,
+  /// dual-ported so two neighbouring cores can share it.
+  void load_program(std::span<const Word> image);
+
+  void reset();
+
+  // -- control/status lines ------------------------------------------------
+  /// Pulse the wake line (CU done signal); resumes a HALTed CPU.
+  void wake() { wake_pending_ = true; }
+  /// Assert the interrupt request line.
+  void request_interrupt() { irq_pending_ = true; }
+  bool halted() const { return halted_; }
+
+  // -- Clocked --------------------------------------------------------------
+  void tick() override;
+  std::string name() const override { return name_; }
+
+  // -- introspection for tests ----------------------------------------------
+  std::uint8_t reg(unsigned i) const { return regs_[i & 0xF]; }
+  void set_reg(unsigned i, std::uint8_t v) { regs_[i & 0xF] = v; }
+  std::uint16_t pc() const { return pc_; }
+  bool zero_flag() const { return zero_; }
+  bool carry_flag() const { return carry_; }
+  std::uint64_t instructions_retired() const { return retired_; }
+  std::uint8_t scratch(unsigned addr) const { return scratch_[addr % kScratchpadBytes]; }
+
+ private:
+  void execute(Word w);
+  void alu_writeback(unsigned sx, std::uint16_t wide, bool update_carry);
+
+  std::string name_;
+  IoBus* bus_;
+  std::array<Word, kImemWords> imem_{};
+  std::array<std::uint8_t, kNumRegisters> regs_{};
+  std::array<std::uint8_t, kScratchpadBytes> scratch_{};
+  std::vector<std::uint16_t> stack_;
+  std::uint16_t pc_ = 0;
+  bool zero_ = false;
+  bool carry_ = false;
+  bool saved_zero_ = false;
+  bool saved_carry_ = false;
+  bool int_enable_ = false;
+  bool halted_ = false;
+  bool wake_pending_ = false;
+  bool irq_pending_ = false;
+  bool fetch_phase_ = true;  // true: fetch tick, false: execute tick
+  Word current_ = 0;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace mccp::pb

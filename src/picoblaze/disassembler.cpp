@@ -1,0 +1,92 @@
+#include "picoblaze/disassembler.h"
+
+#include <sstream>
+
+namespace mccp::pb {
+
+namespace {
+std::string rk(const char* name, Word w, bool reg_form) {
+  std::ostringstream os;
+  os << name << " s" << std::hex << field_sx(w) << ", ";
+  if (reg_form) os << "s" << std::hex << field_sy(w);
+  else os << "0x" << std::hex << field_imm(w);
+  return os.str();
+}
+std::string io(const char* name, Word w, bool reg_form) {
+  std::ostringstream os;
+  os << name << " s" << std::hex << field_sx(w) << ", ";
+  if (reg_form) os << "(s" << std::hex << field_sy(w) << ")";
+  else os << "0x" << std::hex << field_imm(w);
+  return os.str();
+}
+std::string jmp(const char* name, const char* cond, Word w) {
+  std::ostringstream os;
+  os << name;
+  if (*cond) os << " " << cond << ",";
+  os << " 0x" << std::hex << field_addr(w);
+  return os.str();
+}
+}  // namespace
+
+std::string disassemble(Word w) {
+  switch (opcode_of(w)) {
+    case Opcode::kLoadK: return rk("LOAD", w, false);
+    case Opcode::kLoadR: return rk("LOAD", w, true);
+    case Opcode::kAndK: return rk("AND", w, false);
+    case Opcode::kAndR: return rk("AND", w, true);
+    case Opcode::kOrK: return rk("OR", w, false);
+    case Opcode::kOrR: return rk("OR", w, true);
+    case Opcode::kXorK: return rk("XOR", w, false);
+    case Opcode::kXorR: return rk("XOR", w, true);
+    case Opcode::kAddK: return rk("ADD", w, false);
+    case Opcode::kAddR: return rk("ADD", w, true);
+    case Opcode::kAddcyK: return rk("ADDCY", w, false);
+    case Opcode::kAddcyR: return rk("ADDCY", w, true);
+    case Opcode::kSubK: return rk("SUB", w, false);
+    case Opcode::kSubR: return rk("SUB", w, true);
+    case Opcode::kSubcyK: return rk("SUBCY", w, false);
+    case Opcode::kSubcyR: return rk("SUBCY", w, true);
+    case Opcode::kCompareK: return rk("COMPARE", w, false);
+    case Opcode::kCompareR: return rk("COMPARE", w, true);
+    case Opcode::kInputP: return io("INPUT", w, false);
+    case Opcode::kInputR: return io("INPUT", w, true);
+    case Opcode::kOutputP: return io("OUTPUT", w, false);
+    case Opcode::kOutputR: return io("OUTPUT", w, true);
+    case Opcode::kStoreS: return io("STORE", w, false);
+    case Opcode::kStoreR: return io("STORE", w, true);
+    case Opcode::kFetchS: return io("FETCH", w, false);
+    case Opcode::kFetchR: return io("FETCH", w, true);
+    case Opcode::kShift: {
+      static const char* kNames[] = {"SL0", "SL1", "SLX", "SLA", "RL",
+                                     "SR0", "SR1", "SRX", "SRA", "RR"};
+      unsigned sub = field_imm(w);
+      std::ostringstream os;
+      os << (sub < 10 ? kNames[sub] : "SHIFT?") << " s" << std::hex << field_sx(w);
+      return os.str();
+    }
+    case Opcode::kJump: return jmp("JUMP", "", w);
+    case Opcode::kJumpZ: return jmp("JUMP", "Z", w);
+    case Opcode::kJumpNz: return jmp("JUMP", "NZ", w);
+    case Opcode::kJumpC: return jmp("JUMP", "C", w);
+    case Opcode::kJumpNc: return jmp("JUMP", "NC", w);
+    case Opcode::kCall: return jmp("CALL", "", w);
+    case Opcode::kCallZ: return jmp("CALL", "Z", w);
+    case Opcode::kCallNz: return jmp("CALL", "NZ", w);
+    case Opcode::kCallC: return jmp("CALL", "C", w);
+    case Opcode::kCallNc: return jmp("CALL", "NC", w);
+    case Opcode::kReturn: return "RETURN";
+    case Opcode::kReturnZ: return "RETURN Z";
+    case Opcode::kReturnNz: return "RETURN NZ";
+    case Opcode::kReturnC: return "RETURN C";
+    case Opcode::kReturnNc: return "RETURN NC";
+    case Opcode::kReturniEnable: return "RETURNI ENABLE";
+    case Opcode::kReturniDisable: return "RETURNI DISABLE";
+    case Opcode::kEnableInt: return "ENABLE INTERRUPT";
+    case Opcode::kDisableInt: return "DISABLE INTERRUPT";
+    case Opcode::kHalt: return "HALT";
+    case Opcode::kNop: return "NOP";
+  }
+  return "???";
+}
+
+}  // namespace mccp::pb

@@ -1,0 +1,13 @@
+// Disassembler for debugging firmware and round-tripping assembler tests.
+#pragma once
+
+#include <string>
+
+#include "picoblaze/isa.h"
+
+namespace mccp::pb {
+
+/// Render one instruction word as assembly text (canonical form).
+std::string disassemble(Word w);
+
+}  // namespace mccp::pb

@@ -1,0 +1,108 @@
+// Instruction set of the 8-bit control processor.
+//
+// The paper prototypes its per-core controller and the Task Scheduler with a
+// modified Xilinx PicoBlaze (KCPSM3): 16 8-bit registers, 1024 x 18-bit
+// instruction memory, 2 clock cycles per instruction, interrupt support and
+// a custom HALT that sleeps the controller until the Cryptographic Unit
+// raises its done signal. We reproduce that programmer's model with a clean
+// 18-bit encoding of our own (the exact Xilinx bit patterns are proprietary
+// and irrelevant to the architecture study):
+//
+//   [17:12] opcode   [11:8] sX   [7:0] imm8 / [7:4] sY / shift sub-op
+//   jump/call forms: [17:12] opcode   [9:0] target address
+#pragma once
+
+#include <cstdint>
+
+namespace mccp::pb {
+
+inline constexpr unsigned kNumRegisters = 16;
+inline constexpr unsigned kImemWords = 1024;      // 1024 x 18-bit (paper SIV.B)
+inline constexpr unsigned kScratchpadBytes = 64;  // KCPSM3 scratchpad RAM
+inline constexpr unsigned kStackDepth = 31;
+inline constexpr unsigned kCyclesPerInstruction = 2;  // paper SIV.B
+inline constexpr std::uint16_t kInterruptVector = 0x3FF;
+
+enum class Opcode : std::uint8_t {
+  kLoadK = 0x00,
+  kLoadR = 0x01,
+  kAndK = 0x02,
+  kAndR = 0x03,
+  kOrK = 0x04,
+  kOrR = 0x05,
+  kXorK = 0x06,
+  kXorR = 0x07,
+  kAddK = 0x08,
+  kAddR = 0x09,
+  kAddcyK = 0x0A,
+  kAddcyR = 0x0B,
+  kSubK = 0x0C,
+  kSubR = 0x0D,
+  kSubcyK = 0x0E,
+  kSubcyR = 0x0F,
+  kCompareK = 0x10,
+  kCompareR = 0x11,
+  kInputP = 0x12,   // INPUT sX, port-imm
+  kInputR = 0x13,   // INPUT sX, (sY)
+  kOutputP = 0x14,  // OUTPUT sX, port-imm
+  kOutputR = 0x15,  // OUTPUT sX, (sY)
+  kStoreS = 0x16,   // STORE sX, scratch-imm
+  kStoreR = 0x17,   // STORE sX, (sY)
+  kFetchS = 0x18,   // FETCH sX, scratch-imm
+  kFetchR = 0x19,   // FETCH sX, (sY)
+  kShift = 0x1A,    // sub-op in imm8 (ShiftOp)
+  kJump = 0x20,
+  kJumpZ = 0x21,
+  kJumpNz = 0x22,
+  kJumpC = 0x23,
+  kJumpNc = 0x24,
+  kCall = 0x25,
+  kCallZ = 0x26,
+  kCallNz = 0x27,
+  kCallC = 0x28,
+  kCallNc = 0x29,
+  kReturn = 0x2A,
+  kReturnZ = 0x2B,
+  kReturnNz = 0x2C,
+  kReturnC = 0x2D,
+  kReturnNc = 0x2E,
+  kReturniEnable = 0x2F,
+  kReturniDisable = 0x30,
+  kEnableInt = 0x31,
+  kDisableInt = 0x32,
+  kHalt = 0x33,  // custom sleep-until-wake (paper SIV.B)
+  kNop = 0x3F,
+};
+
+enum class ShiftOp : std::uint8_t {
+  kSl0 = 0,  // shift left, fill 0
+  kSl1 = 1,  // shift left, fill 1
+  kSlx = 2,  // shift left, duplicate LSB
+  kSla = 3,  // shift left through carry
+  kRl = 4,   // rotate left
+  kSr0 = 5,
+  kSr1 = 6,
+  kSrx = 7,  // arithmetic right
+  kSra = 8,  // right through carry
+  kRr = 9,
+};
+
+using Word = std::uint32_t;  // low 18 bits used
+
+constexpr Word encode(Opcode op, unsigned sx, unsigned imm8) {
+  return (static_cast<Word>(op) << 12) | ((sx & 0xF) << 8) | (imm8 & 0xFF);
+}
+constexpr Word encode_rr(Opcode op, unsigned sx, unsigned sy) {
+  return (static_cast<Word>(op) << 12) | ((sx & 0xF) << 8) | ((sy & 0xF) << 4);
+}
+constexpr Word encode_jump(Opcode op, unsigned addr) {
+  return (static_cast<Word>(op) << 12) | (addr & 0x3FF);
+}
+
+constexpr Opcode opcode_of(Word w) { return static_cast<Opcode>((w >> 12) & 0x3F); }
+constexpr unsigned field_sx(Word w) { return (w >> 8) & 0xF; }
+constexpr unsigned field_sy(Word w) { return (w >> 4) & 0xF; }
+constexpr unsigned field_imm(Word w) { return w & 0xFF; }
+constexpr unsigned field_addr(Word w) { return w & 0x3FF; }
+
+}  // namespace mccp::pb

@@ -1,0 +1,57 @@
+#include "radio/traffic.h"
+
+namespace mccp::radio {
+
+ChannelProfile wifi_ccmp_profile() {
+  return {"wifi-ccmp", top::ChannelMode::kCcm, 16, 8, 13, 2048, 22};
+}
+
+ChannelProfile wimax_ccm_profile() {
+  return {"wimax-ccm", top::ChannelMode::kCcm, 16, 8, 13, 1024, 12};
+}
+
+ChannelProfile satcom_gcm_profile() {
+  return {"satcom-gcm", top::ChannelMode::kGcm, 32, 16, 12, 2048, 20};
+}
+
+ChannelProfile voice_ctr_profile() {
+  return {"voice-ctr", top::ChannelMode::kCtr, 16, 16, 12, 160, 0};
+}
+
+ChannelProfile telemetry_cbcmac_profile() {
+  return {"telemetry-cbcmac", top::ChannelMode::kCbcMac, 16, 8, 13, 256, 0};
+}
+
+std::vector<GeneratedPacket> generate_mix(const std::vector<ChannelProfile>& profiles,
+                                          std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GeneratedPacket> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t p = i % profiles.size();
+    const ChannelProfile& prof = profiles[p];
+    GeneratedPacket pkt;
+    pkt.profile_index = p;
+    switch (prof.mode) {
+      case top::ChannelMode::kGcm: pkt.iv_or_nonce = rng.bytes(12); break;
+      case top::ChannelMode::kCcm: pkt.iv_or_nonce = rng.bytes(prof.nonce_len); break;
+      case top::ChannelMode::kCtr: {
+        // CTR initial counter: random prefix, zeroed low 16 bits so the
+        // hardware INC core never wraps mid-packet.
+        pkt.iv_or_nonce = rng.bytes(16);
+        pkt.iv_or_nonce[14] = 0;
+        pkt.iv_or_nonce[15] = 0;
+        break;
+      }
+      case top::ChannelMode::kCbcMac:
+      case top::ChannelMode::kWhirlpool:
+        break;  // no IV
+    }
+    pkt.aad = rng.bytes(prof.aad_len);
+    pkt.payload = rng.bytes(prof.packet_len);
+    out.push_back(std::move(pkt));
+  }
+  return out;
+}
+
+}  // namespace mccp::radio

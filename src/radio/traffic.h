@@ -1,0 +1,54 @@
+// Multi-standard, multi-channel workload generation.
+//
+// The paper motivates the MCCP with secure SDR terminals that juggle
+// several waveform standards at once (UMTS / WiFi / WiMax, SI). We model a
+// channel as a (mode, key size, tag, packet-size) profile and generate
+// deterministic packet mixes from them; benches sweep offered load and
+// channel counts over these profiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "mccp/control.h"
+
+namespace mccp::radio {
+
+/// A communication-standard security profile.
+struct ChannelProfile {
+  std::string name;
+  top::ChannelMode mode;
+  std::size_t key_len;     // 16/24/32
+  unsigned tag_len;        // bytes
+  unsigned nonce_len;      // CCM nonce bytes (ignored otherwise)
+  std::size_t packet_len;  // payload bytes, multiple of 16
+  std::size_t aad_len;     // authenticated-only header bytes
+};
+
+/// Profiles inspired by the standards the paper's introduction cites.
+/// (Parameter values follow the respective security specs: 802.11i CCMP
+/// uses AES-CCM with 8-byte MIC and 13-byte nonce; 802.16e supports
+/// AES-CCM per-PDU; GCM profiles follow SP 800-38D defaults.)
+ChannelProfile wifi_ccmp_profile();     // AES-128-CCM, tag 8, 2 KB MPDU
+ChannelProfile wimax_ccm_profile();     // AES-128-CCM, tag 8, shorter PDU
+ChannelProfile satcom_gcm_profile();    // AES-256-GCM, tag 16, 2 KB frames
+ChannelProfile voice_ctr_profile();     // AES-128-CTR, small packets, latency-bound
+ChannelProfile telemetry_cbcmac_profile();  // authentication-only stream
+
+/// One generated packet.
+struct GeneratedPacket {
+  std::size_t profile_index;
+  Bytes iv_or_nonce;
+  Bytes aad;
+  Bytes payload;
+};
+
+/// Deterministic packet mix: `count` packets round-robin across profiles,
+/// contents and nonces from the seeded generator.
+std::vector<GeneratedPacket> generate_mix(const std::vector<ChannelProfile>& profiles,
+                                          std::size_t count, std::uint64_t seed);
+
+}  // namespace mccp::radio

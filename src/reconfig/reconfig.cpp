@@ -1,0 +1,67 @@
+#include "reconfig/reconfig.h"
+
+#include <stdexcept>
+
+namespace mccp::reconfig {
+
+const char* image_name(CoreImage img) {
+  switch (img) {
+    case CoreImage::kAesEncryptWithKs: return "AES-Encryption(+KS)";
+    case CoreImage::kWhirlpool: return "Whirlpool";
+  }
+  return "?";
+}
+
+const char* store_name(BitstreamStore s) {
+  switch (s) {
+    case BitstreamStore::kCompactFlash: return "CompactFlash";
+    case BitstreamStore::kRam: return "RAM";
+  }
+  return "?";
+}
+
+Bitstream bitstream_for(CoreImage img) {
+  // Table IV: slices (BRAM), bitstream size.
+  switch (img) {
+    case CoreImage::kAesEncryptWithKs: return {img, 351, 4, 89 * 1024};
+    case CoreImage::kWhirlpool: return {img, 1153, 4, 97 * 1024};
+  }
+  throw std::invalid_argument("bitstream_for: unknown image");
+}
+
+double store_bandwidth_bytes_per_s(BitstreamStore s) {
+  // Fitted to Table IV: 89 kB / 380 ms = ~234 kB/s (CF);
+  // 89 kB / 63 ms = ~1.41 MB/s (RAM). Both images fit within 2%.
+  switch (s) {
+    case BitstreamStore::kCompactFlash: return 89.0 * 1024.0 / 0.380;
+    case BitstreamStore::kRam: return 89.0 * 1024.0 / 0.063;
+  }
+  throw std::invalid_argument("store_bandwidth: unknown store");
+}
+
+double reconfiguration_seconds(CoreImage img, BitstreamStore s) {
+  return bitstream_for(img).size_bytes / store_bandwidth_bytes_per_s(s);
+}
+
+std::uint64_t reconfiguration_cycles(CoreImage img, BitstreamStore s, double frequency_hz) {
+  return static_cast<std::uint64_t>(reconfiguration_seconds(img, s) * frequency_hz);
+}
+
+std::uint64_t ReconfigurableSlot::begin_reconfiguration(CoreImage next, BitstreamStore store,
+                                                        double frequency_hz) {
+  if (reconfiguring())
+    throw std::logic_error("ReconfigurableSlot: reconfiguration already in progress");
+  next_ = next;
+  remaining_ = reconfiguration_cycles(next, store, frequency_hz);
+  return remaining_;
+}
+
+void ReconfigurableSlot::tick() {
+  if (remaining_ == 0) return;
+  if (--remaining_ == 0) {
+    image_ = next_;
+    ++completed_;
+  }
+}
+
+}  // namespace mccp::reconfig

@@ -1,0 +1,24 @@
+// Base interface for cycle-driven components.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mccp::sim {
+
+using Cycle = std::uint64_t;
+
+/// A component advanced once per clock cycle by the Simulation. Components
+/// are ticked in registration order; the MCCP registers controllers before
+/// datapath units so that a command issued in cycle N is visible to the
+/// datapath in the same cycle (the calibration constants in cu/timing.h
+/// account for this convention).
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  virtual void tick() = 0;
+  /// Human-readable identity for traces and error messages.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace mccp::sim

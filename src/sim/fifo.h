@@ -1,0 +1,72 @@
+// Hardware FIFO model.
+//
+// Each Cryptographic Core has two 512 x 32-bit FIFOs (paper SIV.A), i.e.
+// 2 KB of packet data each — "sufficient for most communication protocols".
+// The model is a bounded queue with occupancy statistics and a secure-clear
+// operation (the output FIFO is re-initialised when authentication fails,
+// SIV.C).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+namespace mccp::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= capacity_; }
+
+  /// True if the value was accepted (hardware write strobe honoured).
+  bool try_push(const T& v) {
+    if (full()) return false;
+    q_.push_back(v);
+    if (q_.size() > high_watermark_) high_watermark_ = q_.size();
+    ++total_pushed_;
+    return true;
+  }
+
+  /// Push that treats overflow as a modelling error.
+  void push(const T& v) {
+    if (!try_push(v)) throw std::overflow_error("Fifo overflow");
+  }
+
+  bool try_pop(T& out) {
+    if (q_.empty()) return false;
+    out = q_.front();
+    q_.pop_front();
+    return true;
+  }
+
+  T pop() {
+    T v;
+    if (!try_pop(v)) throw std::underflow_error("Fifo underflow");
+    return v;
+  }
+
+  const T& front() const { return q_.front(); }
+
+  /// Secure re-initialisation: drop all content (used on authentication
+  /// failure so unauthenticated plaintext can never be read out).
+  void clear() { q_.clear(); }
+
+  std::size_t high_watermark() const { return high_watermark_; }
+  std::size_t total_pushed() const { return total_pushed_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> q_;
+  std::size_t high_watermark_ = 0;
+  std::size_t total_pushed_ = 0;
+};
+
+/// The paper's core FIFO geometry: 512 entries x 32 bits = 2048 bytes.
+inline constexpr std::size_t kCoreFifoDepth = 512;
+
+}  // namespace mccp::sim

@@ -1,0 +1,49 @@
+// Inter-core shift register model (4 x 32 bits = one 128-bit word).
+//
+// Paper SIV.A: "Each Cryptographic Core communicates with the communication
+// controller and other cores through two FIFOs (512x32 bits) and one Shift
+// Register (4x32 bits)". It conveys temporary data core-to-core — e.g. the
+// CBC-MAC value forwarded to the CTR core when a CCM packet is split across
+// two cores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace mccp::sim {
+
+class ShiftRegister128 {
+ public:
+  /// Shift one 32-bit word in (oldest word falls out after four shifts).
+  void shift_in(std::uint32_t w) {
+    words_[0] = words_[1];
+    words_[1] = words_[2];
+    words_[2] = words_[3];
+    words_[3] = w;
+    ++shifts_;
+  }
+
+  /// True once a full 128-bit word has been shifted in since the last take().
+  bool word_ready() const { return shifts_ >= 4; }
+
+  /// Read the assembled 128-bit word and rearm.
+  mccp::Block128 take() {
+    mccp::Block128 out;
+    for (std::size_t i = 0; i < 4; ++i) out.set_word(i, words_[i]);
+    shifts_ = 0;
+    return out;
+  }
+
+  void load(const mccp::Block128& v) {
+    for (std::size_t i = 0; i < 4; ++i) words_[i] = v.word(i);
+    shifts_ = 4;
+  }
+
+ private:
+  std::array<std::uint32_t, 4> words_{};
+  unsigned shifts_ = 0;
+};
+
+}  // namespace mccp::sim

@@ -1,0 +1,4 @@
+#include "sim/simulation.h"
+
+// Simulation is header-only today; this translation unit anchors the
+// library so the build layout stays uniform across substrates.

@@ -1,0 +1,15 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace mccp::sim {
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << "[" << e.cycle << "] " << e.source << ": " << e.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mccp::sim

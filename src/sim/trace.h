@@ -1,0 +1,40 @@
+// Lightweight event trace for debugging and example output.
+//
+// Tracing is off by default (zero cost in benches); when enabled it records
+// (cycle, source, message) tuples that examples print as a waveform-style
+// log of scheduler decisions, core starts and reconfiguration events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mccp::sim {
+
+struct TraceEvent {
+  std::uint64_t cycle;
+  std::string source;
+  std::string message;
+};
+
+class Trace {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::uint64_t cycle, std::string source, std::string message) {
+    if (enabled_) events_.push_back({cycle, std::move(source), std::move(message)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Render events as aligned text lines.
+  std::string to_string() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mccp::sim

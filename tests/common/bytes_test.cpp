@@ -1,0 +1,74 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace mccp {
+namespace {
+
+TEST(Block128, WordRoundTrip) {
+  Block128 b;
+  for (std::size_t i = 0; i < 16; ++i) b[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  for (std::size_t w = 0; w < 4; ++w) {
+    std::uint32_t v = b.word(w);
+    Block128 c = b;
+    c.set_word(w, v);
+    EXPECT_EQ(b, c);
+  }
+}
+
+TEST(Block128, WordIsBigEndian) {
+  Block128 b;
+  b[0] = 0x12;
+  b[1] = 0x34;
+  b[2] = 0x56;
+  b[3] = 0x78;
+  EXPECT_EQ(b.word(0), 0x12345678u);
+}
+
+TEST(Block128, XorIsInvolutive) {
+  Block128 a, b;
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<std::uint8_t>(i);
+    b[i] = static_cast<std::uint8_t>(0xA5 ^ i);
+  }
+  Block128 c = a ^ b;
+  EXPECT_EQ(c ^ b, a);
+  EXPECT_EQ(c ^ a, b);
+}
+
+TEST(Block128, FromSpanZeroPads) {
+  Bytes short_data = {0xAA, 0xBB};
+  Block128 b = Block128::from_span(short_data);
+  EXPECT_EQ(b[0], 0xAA);
+  EXPECT_EQ(b[1], 0xBB);
+  for (std::size_t i = 2; i < 16; ++i) EXPECT_EQ(b[i], 0);
+}
+
+TEST(Endian, Be32RoundTrip) {
+  std::uint8_t buf[4];
+  store_be32(buf, 0xDEADBEEF);
+  EXPECT_EQ(buf[0], 0xDE);
+  EXPECT_EQ(load_be32(buf), 0xDEADBEEFu);
+}
+
+TEST(Endian, Be64RoundTrip) {
+  std::uint8_t buf[8];
+  store_be64(buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xEF);
+  EXPECT_EQ(load_be64(buf), 0x0123456789ABCDEFULL);
+}
+
+TEST(CtEqual, BasicBehaviour) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+}  // namespace
+}  // namespace mccp

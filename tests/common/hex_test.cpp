@@ -1,0 +1,35 @@
+#include "common/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace mccp {
+namespace {
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  Bytes data = {0x00, 0x01, 0x7F, 0x80, 0xFF};
+  EXPECT_EQ(to_hex(data), "00017f80ff");
+  EXPECT_EQ(from_hex("00017f80ff"), data);
+}
+
+TEST(Hex, DecodeToleratesWhitespaceAndCase) {
+  EXPECT_EQ(from_hex("DE AD\nbe ef"), (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Hex, RejectsMalformedInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd digits
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad chars
+}
+
+TEST(Hex, BlockFromHex) {
+  Block128 b = block_from_hex("000102030405060708090a0b0c0d0e0f");
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(b[i], i);
+  EXPECT_THROW(block_from_hex("0011"), std::invalid_argument);
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+}  // namespace
+}  // namespace mccp

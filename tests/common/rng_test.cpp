@@ -1,0 +1,55 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mccp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    EXPECT_EQ(r.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BytesHasRequestedLengthAndVariety) {
+  Rng r(3);
+  Bytes b = r.bytes(1024);
+  ASSERT_EQ(b.size(), 1024u);
+  std::set<std::uint8_t> distinct(b.begin(), b.end());
+  EXPECT_GT(distinct.size(), 100u);  // all 256 values likely, 100 is safe
+}
+
+TEST(Rng, FillPartialWordTail) {
+  Rng r(5);
+  Bytes b = r.bytes(13);  // exercises the non-multiple-of-8 tail path
+  EXPECT_EQ(b.size(), 13u);
+}
+
+}  // namespace
+}  // namespace mccp

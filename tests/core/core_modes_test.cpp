@@ -1,0 +1,234 @@
+// End-to-end functional equivalence: the cycle-level core running its
+// PicoBlaze firmware must produce byte-identical results to the golden
+// software reference for every mode, key size, and a sweep of packet
+// shapes.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/cbc_mac.h"
+#include "crypto/ccm.h"
+#include "crypto/ctr.h"
+#include "crypto/gcm.h"
+#include "harness.h"
+
+namespace mccp::core {
+namespace {
+
+using testing::CoreHarness;
+
+struct Shape {
+  std::size_t key_len;
+  std::size_t aad_len;
+  std::size_t data_blocks;
+};
+
+class GcmCoreVsReference : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GcmCoreVsReference, EncryptMatchesAndDecryptRoundTrips) {
+  auto [key_len, aad_len, data_blocks] = GetParam();
+  Rng rng(key_len * 131 + aad_len * 17 + data_blocks);
+  Bytes key = rng.bytes(key_len);
+  Bytes iv = rng.bytes(12);
+  Bytes aad = rng.bytes(aad_len);
+  Bytes pt = rng.bytes(data_blocks * 16);
+
+  CoreHarness h(key);
+  auto job = format_gcm_encrypt(iv, aad, pt);
+  auto run = h.run(job);
+  ASSERT_EQ(run.result, CoreResult::kOk);
+  auto out = parse_sealed_output(run.output, pt.size(), 16);
+
+  auto keys = crypto::aes_expand_key(key);
+  auto ref = crypto::gcm_seal(keys, iv, aad, pt);
+  EXPECT_EQ(to_hex(out.payload), to_hex(ref.ciphertext));
+  EXPECT_EQ(to_hex(out.tag), to_hex(ref.tag));
+
+  // Decrypt the core's own output on the core.
+  auto djob = format_gcm_decrypt(iv, aad, out.payload, out.tag);
+  auto drun = h.run(djob);
+  ASSERT_EQ(drun.result, CoreResult::kOk);
+  EXPECT_EQ(to_hex(words_to_bytes(drun.output)), to_hex(pt));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GcmCoreVsReference,
+    ::testing::Values(Shape{16, 0, 1}, Shape{16, 0, 8}, Shape{16, 13, 4}, Shape{16, 16, 0},
+                      Shape{16, 0, 0}, Shape{16, 32, 128},  // 2 KB packet
+                      Shape{24, 20, 16}, Shape{24, 0, 2}, Shape{32, 8, 32}, Shape{32, 0, 128}));
+
+class Ccm1CoreVsReference : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(Ccm1CoreVsReference, EncryptMatchesAndDecryptRoundTrips) {
+  auto [key_len, aad_len, data_blocks] = GetParam();
+  Rng rng(key_len * 733 + aad_len * 31 + data_blocks);
+  Bytes key = rng.bytes(key_len);
+  crypto::CcmParams p{.tag_len = 8, .nonce_len = 13};
+  Bytes nonce = rng.bytes(p.nonce_len);
+  Bytes aad = rng.bytes(aad_len);
+  Bytes pt = rng.bytes(data_blocks * 16);
+
+  CoreHarness h(key);
+  auto job = format_ccm1_encrypt(p, nonce, aad, pt);
+  auto run = h.run(job);
+  ASSERT_EQ(run.result, CoreResult::kOk);
+  auto out = parse_sealed_output(run.output, pt.size(), p.tag_len);
+
+  auto keys = crypto::aes_expand_key(key);
+  auto ref = crypto::ccm_seal(keys, p, nonce, aad, pt);
+  EXPECT_EQ(to_hex(out.payload), to_hex(ref.ciphertext));
+  EXPECT_EQ(to_hex(out.tag), to_hex(ref.tag));
+
+  auto djob = format_ccm1_decrypt(p, nonce, aad, out.payload, out.tag);
+  auto drun = h.run(djob);
+  ASSERT_EQ(drun.result, CoreResult::kOk);
+  EXPECT_EQ(to_hex(words_to_bytes(drun.output)), to_hex(pt));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Ccm1CoreVsReference,
+    ::testing::Values(Shape{16, 0, 1}, Shape{16, 8, 4}, Shape{16, 0, 0}, Shape{16, 24, 128},
+                      Shape{24, 5, 8}, Shape{32, 12, 64}, Shape{32, 0, 128}));
+
+TEST(Ccm1Core, TagLengthSweep) {
+  Rng rng(1234);
+  Bytes key = rng.bytes(16);
+  auto keys = crypto::aes_expand_key(key);
+  for (std::size_t tag_len : {4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+    crypto::CcmParams p{.tag_len = tag_len, .nonce_len = 13};
+    Bytes nonce = rng.bytes(13), aad = rng.bytes(9), pt = rng.bytes(48);
+    CoreHarness h(key);
+    auto run = h.run(format_ccm1_encrypt(p, nonce, aad, pt));
+    ASSERT_EQ(run.result, CoreResult::kOk);
+    auto out = parse_sealed_output(run.output, pt.size(), p.tag_len);
+    auto ref = crypto::ccm_seal(keys, p, nonce, aad, pt);
+    EXPECT_EQ(to_hex(out.tag), to_hex(ref.tag)) << "tag_len " << tag_len;
+  }
+}
+
+TEST(GcmCore, TruncatedTags) {
+  Rng rng(77);
+  Bytes key = rng.bytes(16);
+  auto keys = crypto::aes_expand_key(key);
+  for (std::size_t tag_len : {4u, 8u, 12u, 16u}) {
+    Bytes iv = rng.bytes(12), pt = rng.bytes(32);
+    CoreHarness h(key);
+    auto run = h.run(format_gcm_encrypt(iv, {}, pt, tag_len));
+    ASSERT_EQ(run.result, CoreResult::kOk);
+    auto out = parse_sealed_output(run.output, pt.size(), tag_len);
+    auto ref = crypto::gcm_seal(keys, iv, {}, pt, tag_len);
+    EXPECT_EQ(to_hex(out.tag), to_hex(ref.tag)) << "tag_len " << tag_len;
+  }
+}
+
+TEST(GcmCore, AuthFailureClearsOutputAndReportsAuthFail) {
+  Rng rng(99);
+  Bytes key = rng.bytes(16);
+  Bytes iv = rng.bytes(12), aad = rng.bytes(7), pt = rng.bytes(64);
+  auto keys = crypto::aes_expand_key(key);
+  auto ref = crypto::gcm_seal(keys, iv, aad, pt);
+
+  Bytes bad_tag = ref.tag;
+  bad_tag[3] ^= 0x40;
+  CoreHarness h(key);
+  auto run = h.run(format_gcm_decrypt(iv, aad, ref.ciphertext, bad_tag));
+  EXPECT_EQ(run.result, CoreResult::kAuthFail);
+  // Security rule SIV.C: no plaintext may be readable after a failed check.
+  EXPECT_TRUE(run.output.empty());
+}
+
+TEST(Ccm1Core, AuthFailureClearsOutput) {
+  Rng rng(100);
+  Bytes key = rng.bytes(16);
+  crypto::CcmParams p{.tag_len = 10, .nonce_len = 11};
+  Bytes nonce = rng.bytes(11), pt = rng.bytes(32);
+  auto keys = crypto::aes_expand_key(key);
+  auto ref = crypto::ccm_seal(keys, p, nonce, {}, pt);
+  Bytes bad_ct = ref.ciphertext;
+  bad_ct[0] ^= 1;
+  CoreHarness h(key);
+  auto run = h.run(format_ccm1_decrypt(p, nonce, {}, bad_ct, ref.tag));
+  EXPECT_EQ(run.result, CoreResult::kAuthFail);
+  EXPECT_TRUE(run.output.empty());
+}
+
+TEST(CtrCore, MatchesReferenceAndInverts) {
+  Rng rng(5);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    Bytes key = rng.bytes(key_len);
+    Block128 ctr0 = rng.block();
+    ctr0.b[14] = 0;  // keep the 16-bit INC within range (<= 255 blocks)
+    ctr0.b[15] = 0;
+    Bytes data = rng.bytes(10 * 16);
+    CoreHarness h(key);
+    auto run = h.run(format_ctr(ctr0, data));
+    ASSERT_EQ(run.result, CoreResult::kOk);
+    Bytes ct = words_to_bytes(run.output);
+    auto keys = crypto::aes_expand_key(key);
+    EXPECT_EQ(to_hex(ct), to_hex(crypto::ctr_transform(keys, ctr0, data)));
+    // Running the core again inverts (CTR is an involution).
+    auto run2 = h.run(format_ctr(ctr0, ct));
+    EXPECT_EQ(to_hex(words_to_bytes(run2.output)), to_hex(data));
+  }
+}
+
+TEST(CbcMacCore, GenerateMatchesReference) {
+  Rng rng(6);
+  Bytes key = rng.bytes(16);
+  auto keys = crypto::aes_expand_key(key);
+  for (std::size_t blocks : {1u, 2u, 5u, 32u}) {
+    Bytes msg = rng.bytes(blocks * 16);
+    CoreHarness h(key);
+    auto run = h.run(format_cbcmac_generate(msg, 16));
+    ASSERT_EQ(run.result, CoreResult::kOk);
+    Bytes mac = words_to_bytes(run.output);
+    EXPECT_EQ(to_hex(mac), to_hex(crypto::cbc_mac(keys, msg).to_bytes())) << blocks;
+  }
+}
+
+TEST(CbcMacCore, VerifyAcceptsAndRejects) {
+  Rng rng(7);
+  Bytes key = rng.bytes(16);
+  auto keys = crypto::aes_expand_key(key);
+  Bytes msg = rng.bytes(6 * 16);
+  Bytes mac = crypto::cbc_mac(keys, msg).to_bytes();
+  mac.resize(8);  // truncated tag
+
+  CoreHarness h(key);
+  EXPECT_EQ(h.run(format_cbcmac_verify(msg, mac)).result, CoreResult::kOk);
+  Bytes bad = mac;
+  bad[7] ^= 1;
+  EXPECT_EQ(h.run(format_cbcmac_verify(msg, bad)).result, CoreResult::kAuthFail);
+  Bytes bad_msg = msg;
+  bad_msg[0] ^= 1;
+  EXPECT_EQ(h.run(format_cbcmac_verify(bad_msg, mac)).result, CoreResult::kAuthFail);
+}
+
+TEST(Core, BackToBackPacketsOnOneCore) {
+  // A core must be reusable without reloading firmware (stream reassignment,
+  // SVIII): run GCM, CCM, CTR back-to-back on one core instance.
+  Rng rng(8);
+  Bytes key = rng.bytes(16);
+  auto keys = crypto::aes_expand_key(key);
+  CoreHarness h(key);
+  for (int round = 0; round < 3; ++round) {
+    Bytes iv = rng.bytes(12), pt = rng.bytes(32);
+    auto run = h.run(format_gcm_encrypt(iv, {}, pt));
+    ASSERT_EQ(run.result, CoreResult::kOk);
+    auto out = parse_sealed_output(run.output, pt.size(), 16);
+    auto ref = crypto::gcm_seal(keys, iv, {}, pt);
+    EXPECT_EQ(to_hex(out.tag), to_hex(ref.tag)) << "round " << round;
+  }
+}
+
+TEST(Core, UnknownAlgorithmReported) {
+  Rng rng(9);
+  CoreHarness h(rng.bytes(16));
+  CoreJob job;
+  job.params.alg = static_cast<AlgId>(0x7F);
+  auto run = h.run(job);
+  EXPECT_EQ(run.result, CoreResult::kBadAlgorithm);
+}
+
+}  // namespace
+}  // namespace mccp::core

@@ -1,0 +1,42 @@
+#include "core/firmware.h"
+
+#include <gtest/gtest.h>
+
+#include "picoblaze/disassembler.h"
+
+namespace mccp::core {
+namespace {
+
+TEST(Firmware, AssemblesAndFitsInstructionMemory) {
+  // The paper's instruction memory is one 1024 x 18-bit block RAM.
+  const auto& img = firmware_image();
+  EXPECT_EQ(img.size(), pb::kImemWords);
+}
+
+TEST(Firmware, UsesAReasonableFractionOfImem) {
+  const auto& img = firmware_image();
+  const pb::Word nop = pb::encode(pb::Opcode::kNop, 0, 0);
+  std::size_t used = 0;
+  for (pb::Word w : img)
+    if (w != nop) ++used;
+  EXPECT_GT(used, 300u);   // all eleven mode routines are present
+  EXPECT_LT(used, 1024u);  // head-room remains for extensions
+}
+
+TEST(Firmware, EntryIsTheIdleHalt) {
+  // Address 0 must be the dispatcher's HALT: a core out of reset sleeps
+  // until the Task Scheduler's start strobe.
+  EXPECT_EQ(pb::disassemble(firmware_image()[0]), "HALT");
+}
+
+TEST(Firmware, SourceDocumentsEveryAlgorithm) {
+  auto src = firmware_source();
+  for (const char* label : {"gcm_enc", "gcm_dec", "ccm1_enc", "ccm1_dec", "ccmctr_enc",
+                            "ccmctr_dec", "ccmmac_enc", "ccmmac_dec", "ctr_mode",
+                            "cbcmac_gen", "cbcmac_ver"}) {
+    EXPECT_NE(src.find(label), std::string_view::npos) << label;
+  }
+}
+
+}  // namespace
+}  // namespace mccp::core

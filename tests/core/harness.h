@@ -1,0 +1,11 @@
+// Test-local aliases over the shared single-core harness.
+#pragma once
+
+#include "core/single_core_harness.h"
+
+namespace mccp::core::testing {
+
+using RunResult = SingleCoreRun;
+using CoreHarness = SingleCoreHarness;
+
+}  // namespace mccp::core::testing

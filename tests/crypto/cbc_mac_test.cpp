@@ -1,0 +1,70 @@
+#include "crypto/cbc_mac.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+
+namespace mccp::crypto {
+namespace {
+
+TEST(CbcMac, SingleBlockIsPlainEncryption) {
+  Rng rng(1);
+  auto keys = aes_expand_key(rng.bytes(16));
+  Block128 m = rng.block();
+  CbcMac mac(keys);
+  mac.update(m);
+  EXPECT_EQ(mac.mac(), aes_encrypt_block(keys, m));
+}
+
+TEST(CbcMac, ChainingRule) {
+  Rng rng(2);
+  auto keys = aes_expand_key(rng.bytes(16));
+  Block128 m1 = rng.block(), m2 = rng.block();
+  CbcMac mac(keys);
+  mac.update(m1);
+  mac.update(m2);
+  Block128 expected = aes_encrypt_block(keys, aes_encrypt_block(keys, m1) ^ m2);
+  EXPECT_EQ(mac.mac(), expected);
+}
+
+TEST(CbcMac, SensitiveToBlockOrder) {
+  Rng rng(3);
+  auto keys = aes_expand_key(rng.bytes(16));
+  Block128 m1 = rng.block(), m2 = rng.block();
+  CbcMac a(keys), b(keys);
+  a.update(m1);
+  a.update(m2);
+  b.update(m2);
+  b.update(m1);
+  EXPECT_NE(a.mac(), b.mac());
+}
+
+TEST(CbcMac, PaddedUpdateMatchesManualPadding) {
+  Rng rng(4);
+  auto keys = aes_expand_key(rng.bytes(24));
+  Bytes data = rng.bytes(45);
+  CbcMac a(keys);
+  a.update_padded(data);
+  Bytes padded = data;
+  padded.resize(48, 0);
+  EXPECT_EQ(a.mac(), cbc_mac(keys, padded));
+}
+
+TEST(CbcMac, OneShotRequiresAlignment) {
+  auto keys = aes_expand_key(Bytes(16, 0));
+  EXPECT_THROW(cbc_mac(keys, Bytes(15)), std::invalid_argument);
+}
+
+TEST(CbcMac, DeterministicAcrossKeySizes) {
+  Rng rng(5);
+  Bytes data = rng.bytes(64);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    auto keys = aes_expand_key(Bytes(key_len, 0x42));
+    EXPECT_EQ(cbc_mac(keys, data), cbc_mac(keys, data));
+  }
+}
+
+}  // namespace
+}  // namespace mccp::crypto

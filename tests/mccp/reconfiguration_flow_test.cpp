@@ -1,0 +1,145 @@
+// Platform-integrated partial reconfiguration (paper SVII.B): swapping a
+// core's Cryptographic Unit image, personality-aware task mapping, and the
+// "other parts keep working" property.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/gcm.h"
+#include "crypto/whirlpool.h"
+#include "radio/radio.h"
+
+namespace mccp::radio {
+namespace {
+
+using reconfig::BitstreamStore;
+using reconfig::CoreImage;
+
+TEST(ReconfigFlow, WhirlpoolChannelNeedsAReconfiguredCore) {
+  Radio radio({.num_cores = 4});
+  auto ch = radio.open_channel(ChannelMode::kWhirlpool, /*key (ignored)=*/0);
+  ASSERT_TRUE(ch.has_value());
+  // All cores still host the AES image -> no resource for hash requests.
+  JobId job = radio.submit_encrypt(*ch, {}, {}, Bytes(100, 0xAB));
+  EXPECT_THROW(radio.run_until_idle(2'000'000), std::runtime_error);
+  (void)job;
+}
+
+TEST(ReconfigFlow, HashAfterReconfigurationMatchesReference) {
+  Radio radio({.num_cores = 4});
+  Rng rng(1);
+
+  // Swap core 3 to the Whirlpool image from the RAM bitstream cache.
+  auto cycles = radio.mccp().begin_core_reconfiguration(3, CoreImage::kWhirlpool,
+                                                        BitstreamStore::kRam);
+  ASSERT_TRUE(cycles.has_value());
+  EXPECT_TRUE(radio.mccp().core_reconfiguring(3));
+  radio.run(*cycles + 2);
+  EXPECT_FALSE(radio.mccp().core_reconfiguring(3));
+  EXPECT_EQ(radio.mccp().core_image(3), CoreImage::kWhirlpool);
+
+  auto ch = radio.open_channel(ChannelMode::kWhirlpool, 0);
+  ASSERT_TRUE(ch.has_value());
+  for (std::size_t n : {0u, 1u, 31u, 32u, 33u, 64u, 200u, 1000u}) {
+    Bytes msg = rng.bytes(n);
+    JobId job = radio.submit_encrypt(*ch, {}, {}, msg);
+    radio.run_until_idle();
+    const JobResult& r = radio.result(job);
+    ASSERT_TRUE(r.complete);
+    auto ref = crypto::whirlpool(msg);
+    EXPECT_EQ(to_hex(r.payload), to_hex(ByteSpan(ref.data(), ref.size()))) << "len " << n;
+  }
+}
+
+TEST(ReconfigFlow, OtherCoresKeepEncryptingDuringSwap) {
+  // "the reconfiguration of one part of the FPGA does not prevent others
+  // parts to work" (SVII.B).
+  Radio radio({.num_cores = 4});
+  Rng rng(2);
+  Bytes key = rng.bytes(16);
+  radio.provision_key(1, key);
+  auto gcm = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(gcm.has_value());
+
+  auto cycles = radio.mccp().begin_core_reconfiguration(0, CoreImage::kWhirlpool,
+                                                        BitstreamStore::kRam);
+  ASSERT_TRUE(cycles.has_value());
+
+  // During the multi-millisecond swap, packets flow through cores 1..3.
+  std::vector<JobId> jobs;
+  for (int i = 0; i < 6; ++i)
+    jobs.push_back(radio.submit_encrypt(*gcm, rng.bytes(12), {}, rng.bytes(512)));
+  radio.run_until_idle();
+  for (JobId id : jobs) {
+    ASSERT_TRUE(radio.result(id).complete);
+    EXPECT_TRUE(radio.result(id).auth_ok);
+  }
+  EXPECT_TRUE(radio.mccp().core_reconfiguring(0));  // swap still in flight
+}
+
+TEST(ReconfigFlow, ReconfiguringCoreIsNotSchedulable) {
+  Radio radio({.num_cores = 1});
+  Rng rng(3);
+  radio.provision_key(1, rng.bytes(16));
+  auto gcm = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(gcm.has_value());
+  ASSERT_TRUE(radio.mccp()
+                  .begin_core_reconfiguration(0, CoreImage::kWhirlpool, BitstreamStore::kRam)
+                  .has_value());
+  // The only core is reserved by the bitstream transfer: requests bounce.
+  JobId job = radio.submit_encrypt(*gcm, rng.bytes(12), {}, rng.bytes(64));
+  radio.run(50'000);
+  EXPECT_FALSE(radio.result(job).complete);
+  EXPECT_GT(radio.result(job).rejections, 0u);
+}
+
+TEST(ReconfigFlow, BusyCoreCannotBeReconfigured) {
+  Radio radio({.num_cores = 1});
+  Rng rng(4);
+  radio.provision_key(1, rng.bytes(16));
+  auto gcm = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(gcm.has_value());
+  JobId job = radio.submit_encrypt(*gcm, rng.bytes(12), {}, rng.bytes(2048));
+  radio.run(2000);  // core now busy with the packet
+  EXPECT_FALSE(radio.mccp()
+                   .begin_core_reconfiguration(0, CoreImage::kWhirlpool, BitstreamStore::kRam)
+                   .has_value());
+  radio.run_until_idle();
+  EXPECT_TRUE(radio.result(job).complete);
+}
+
+TEST(ReconfigFlow, RoundTripAesWhirlpoolAes) {
+  Radio radio({.num_cores = 2});
+  Rng rng(5);
+  Bytes key = rng.bytes(16);
+  radio.provision_key(1, key);
+
+  auto swap = [&](std::size_t idx, CoreImage img) {
+    auto c = radio.mccp().begin_core_reconfiguration(idx, img, BitstreamStore::kRam);
+    ASSERT_TRUE(c.has_value());
+    radio.run(*c + 2);
+  };
+  swap(1, CoreImage::kWhirlpool);
+  auto wp_ch = radio.open_channel(ChannelMode::kWhirlpool, 0);
+  ASSERT_TRUE(wp_ch.has_value());
+  Bytes msg = rng.bytes(123);
+  JobId h = radio.submit_encrypt(*wp_ch, {}, {}, msg);
+  radio.run_until_idle();
+  auto ref = crypto::whirlpool(msg);
+  EXPECT_EQ(to_hex(radio.result(h).payload), to_hex(ByteSpan(ref.data(), ref.size())));
+
+  swap(1, CoreImage::kAesEncryptWithKs);
+  auto gcm = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(gcm.has_value());
+  Bytes iv = rng.bytes(12), pt = rng.bytes(128);
+  JobId e1 = radio.submit_encrypt(*gcm, iv, {}, pt);
+  JobId e2 = radio.submit_encrypt(*gcm, iv, {}, pt);  // forces use of core 1 too
+  radio.run_until_idle();
+  auto keys = crypto::aes_expand_key(key);
+  auto gref = crypto::gcm_seal(keys, iv, {}, pt);
+  EXPECT_EQ(to_hex(radio.result(e1).tag), to_hex(gref.tag));
+  EXPECT_EQ(to_hex(radio.result(e2).tag), to_hex(gref.tag));
+}
+
+}  // namespace
+}  // namespace mccp::radio

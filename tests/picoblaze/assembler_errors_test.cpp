@@ -1,0 +1,89 @@
+// Assembler negative-path coverage: every malformed construct must fail
+// with a line-accurate diagnostic, never assemble silently.
+#include <gtest/gtest.h>
+
+#include "picoblaze/assembler.h"
+
+namespace mccp::pb {
+namespace {
+
+std::size_t error_line(const char* src) {
+  try {
+    assemble(src);
+  } catch (const AsmError& e) {
+    return e.line();
+  }
+  return 0;
+}
+
+TEST(AsmErrors, UnknownMnemonic) { EXPECT_EQ(error_line("NOP\nFROB s0\n"), 2u); }
+
+TEST(AsmErrors, WrongOperandCounts) {
+  EXPECT_EQ(error_line("LOAD s0\n"), 1u);
+  EXPECT_EQ(error_line("LOAD s0, 1, 2\n"), 1u);
+  EXPECT_EQ(error_line("NOP s0\n"), 1u);
+  EXPECT_EQ(error_line("SL0 s0, s1\n"), 1u);
+  EXPECT_EQ(error_line("RETURN s0\n"), 1u);
+}
+
+TEST(AsmErrors, FirstOperandMustBeRegister) {
+  EXPECT_EQ(error_line("LOAD 5, s0\n"), 1u);
+  EXPECT_EQ(error_line("ADD 0x10, 1\n"), 1u);
+}
+
+TEST(AsmErrors, BadIndirectOperand) {
+  EXPECT_EQ(error_line("OUTPUT s0, (5)\n"), 1u);
+  EXPECT_EQ(error_line("INPUT s0, (nope)\n"), 1u);
+}
+
+TEST(AsmErrors, UndefinedSymbols) {
+  EXPECT_EQ(error_line("JUMP nowhere\n"), 1u);
+  EXPECT_EQ(error_line("LOAD s0, MISSING_CONST\n"), 1u);
+}
+
+TEST(AsmErrors, DuplicateSymbols) {
+  EXPECT_EQ(error_line("CONSTANT X, 1\nCONSTANT X, 2\n"), 2u);
+  EXPECT_EQ(error_line("x:\nNOP\nx:\nNOP\n"), 3u);
+  EXPECT_EQ(error_line("CONSTANT y, 1\ny:\nNOP\n"), 2u);
+}
+
+TEST(AsmErrors, MalformedConstants) {
+  EXPECT_EQ(error_line("CONSTANT Z\n"), 1u);
+  EXPECT_EQ(error_line("CONSTANT Z, banana\n"), 1u);
+}
+
+TEST(AsmErrors, BadAddressDirective) {
+  EXPECT_EQ(error_line("ADDRESS 0x400\n"), 1u);  // beyond 1024 words
+  EXPECT_EQ(error_line("ADDRESS pancake\n"), 1u);
+}
+
+TEST(AsmErrors, ProgramOverflow) {
+  std::string big;
+  for (int i = 0; i < 1025; ++i) big += "NOP\n";
+  EXPECT_THROW(assemble(big), AsmError);
+}
+
+TEST(AsmErrors, BadCondition) {
+  // "QQ" is not a condition, so it parses as an extra operand -> rejected.
+  EXPECT_EQ(error_line("JUMP QQ, 0\n"), 1u);
+}
+
+TEST(AsmErrors, RegisterNamesAreSingleHexDigit) {
+  // s10 is not register 16; it must be rejected, not silently truncated.
+  EXPECT_EQ(error_line("LOAD s10, 1\n"), 1u);
+}
+
+TEST(AsmErrors, ValidProgramStillAssembles) {
+  // Guard against over-eager rejection.
+  EXPECT_NO_THROW(assemble(R"(
+CONSTANT P, 0x10
+start:
+    LOAD s0, P
+    OUTPUT s0, (s1)
+    JUMP NZ, start
+    HALT
+)"));
+}
+
+}  // namespace
+}  // namespace mccp::pb

@@ -1,0 +1,132 @@
+#include "picoblaze/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "picoblaze/disassembler.h"
+
+namespace mccp::pb {
+namespace {
+
+TEST(Assembler, EncodesBasicAluForms) {
+  auto img = assemble("LOAD s0, 0x42\nLOAD s1, s0\nADD s2, 0x10\nXOR s3, s4\n");
+  EXPECT_EQ(img[0], encode(Opcode::kLoadK, 0, 0x42));
+  EXPECT_EQ(img[1], encode_rr(Opcode::kLoadR, 1, 0));
+  EXPECT_EQ(img[2], encode(Opcode::kAddK, 2, 0x10));
+  EXPECT_EQ(img[3], encode_rr(Opcode::kXorR, 3, 4));
+}
+
+TEST(Assembler, LabelsAndJumps) {
+  auto img = assemble(R"(
+start:
+    LOAD s0, 10
+loop:
+    SUB s0, 1
+    JUMP NZ, loop
+    JUMP start
+)");
+  EXPECT_EQ(img[0], encode(Opcode::kLoadK, 0, 10));
+  EXPECT_EQ(img[1], encode(Opcode::kSubK, 0, 1));
+  EXPECT_EQ(img[2], encode_jump(Opcode::kJumpNz, 1));
+  EXPECT_EQ(img[3], encode_jump(Opcode::kJump, 0));
+}
+
+TEST(Assembler, ConstantsResolve) {
+  auto img = assemble("CONSTANT PORT_X, 0x1F\nOUTPUT s0, PORT_X\nINPUT s1, PORT_X\n");
+  EXPECT_EQ(img[0], encode(Opcode::kOutputP, 0, 0x1F));
+  EXPECT_EQ(img[1], encode(Opcode::kInputP, 1, 0x1F));
+}
+
+TEST(Assembler, IndirectIoForms) {
+  auto img = assemble("OUTPUT s2, (s3)\nINPUT s4, (s5)\nSTORE s6, (s7)\nFETCH s8, (s9)\n");
+  EXPECT_EQ(img[0], encode_rr(Opcode::kOutputR, 2, 3));
+  EXPECT_EQ(img[1], encode_rr(Opcode::kInputR, 4, 5));
+  EXPECT_EQ(img[2], encode_rr(Opcode::kStoreR, 6, 7));
+  EXPECT_EQ(img[3], encode_rr(Opcode::kFetchR, 8, 9));
+}
+
+TEST(Assembler, ShiftMnemonics) {
+  auto img = assemble("SL0 s0\nSR0 s1\nRL s2\nRR s3\nSRA s4\n");
+  EXPECT_EQ(img[0], encode(Opcode::kShift, 0, static_cast<unsigned>(ShiftOp::kSl0)));
+  EXPECT_EQ(img[1], encode(Opcode::kShift, 1, static_cast<unsigned>(ShiftOp::kSr0)));
+  EXPECT_EQ(img[2], encode(Opcode::kShift, 2, static_cast<unsigned>(ShiftOp::kRl)));
+  EXPECT_EQ(img[3], encode(Opcode::kShift, 3, static_cast<unsigned>(ShiftOp::kRr)));
+  EXPECT_EQ(img[4], encode(Opcode::kShift, 4, static_cast<unsigned>(ShiftOp::kSra)));
+}
+
+TEST(Assembler, CallReturnAndInterruptForms) {
+  auto img = assemble(R"(
+    CALL sub
+    RETURN
+sub:
+    ENABLE INTERRUPT
+    DISABLE INTERRUPT
+    RETURNI ENABLE
+    RETURN NZ
+)");
+  EXPECT_EQ(img[0], encode_jump(Opcode::kCall, 2));
+  EXPECT_EQ(img[1], encode_jump(Opcode::kReturn, 0));
+  EXPECT_EQ(img[2], encode_jump(Opcode::kEnableInt, 0));
+  EXPECT_EQ(img[3], encode_jump(Opcode::kDisableInt, 0));
+  EXPECT_EQ(img[4], encode_jump(Opcode::kReturniEnable, 0));
+  EXPECT_EQ(img[5], encode_jump(Opcode::kReturnNz, 0));
+}
+
+TEST(Assembler, HaltToleratesPaperStyleOperand) {
+  // The paper's Listing 1 writes "HALT DISABLE".
+  auto img = assemble("HALT\nHALT DISABLE\n");
+  EXPECT_EQ(opcode_of(img[0]), Opcode::kHalt);
+  EXPECT_EQ(opcode_of(img[1]), Opcode::kHalt);
+}
+
+TEST(Assembler, AddressDirectivePlacesInterruptHandler) {
+  auto img = assemble(R"(
+    NOP
+    ADDRESS 0x3FF
+    RETURNI ENABLE
+)");
+  EXPECT_EQ(opcode_of(img[0]), Opcode::kNop);
+  EXPECT_EQ(img[kInterruptVector], encode_jump(Opcode::kReturniEnable, 0));
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  auto img = assemble("; full line comment\n\n  LOAD s0, 1 ; trailing comment\n");
+  EXPECT_EQ(img[0], encode(Opcode::kLoadK, 0, 1));
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("NOP\nBOGUS s0\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+  EXPECT_THROW(assemble("x:\nNOP\nx:\nNOP\n"), AsmError);
+}
+
+TEST(Assembler, UndefinedSymbolRejected) {
+  EXPECT_THROW(assemble("JUMP nowhere\n"), AsmError);
+}
+
+TEST(Assembler, DisassemblerRoundTrip) {
+  const char* src = R"(
+    LOAD s0, 0x42
+    ADD s1, s2
+    OUTPUT s3, 0x10
+    INPUT s4, (s5)
+    JUMP NZ, 0x0
+    HALT
+)";
+  auto img = assemble(src);
+  EXPECT_EQ(disassemble(img[0]), "LOAD s0, 0x42");
+  EXPECT_EQ(disassemble(img[1]), "ADD s1, s2");
+  EXPECT_EQ(disassemble(img[2]), "OUTPUT s3, 0x10");
+  EXPECT_EQ(disassemble(img[3]), "INPUT s4, (s5)");
+  EXPECT_EQ(disassemble(img[4]), "JUMP NZ, 0x0");
+  EXPECT_EQ(disassemble(img[5]), "HALT");
+}
+
+}  // namespace
+}  // namespace mccp::pb

@@ -1,0 +1,227 @@
+// Extended controller coverage: multi-byte arithmetic chains, subroutine
+// nesting, stack discipline, indirect addressing, all shift variants and
+// boundary conditions.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "picoblaze/assembler.h"
+#include "picoblaze/cpu.h"
+#include "sim/simulation.h"
+
+namespace mccp::pb {
+namespace {
+
+class NullBus : public IoBus {
+ public:
+  std::uint8_t read_port(std::uint8_t port) override { return inputs[port]; }
+  void write_port(std::uint8_t port, std::uint8_t value) override { outputs[port] = value; }
+  std::map<std::uint8_t, std::uint8_t> inputs, outputs;
+};
+
+struct H {
+  NullBus bus;
+  Cpu cpu{"cpu", bus};
+  sim::Simulation sim;
+  H() { sim.add(&cpu); }
+  void run(const char* src, sim::Cycle max = 100000) {
+    cpu.load_program(assemble(src));
+    sim.run_until([&] { return cpu.halted(); }, max);
+  }
+};
+
+TEST(CpuExt, SixteenBitSubtractionWithBorrow) {
+  // 0x0100 - 0x0001 = 0x00FF via SUB/SUBCY.
+  H h;
+  h.run(R"(
+    LOAD s0, 0x00   ; low
+    LOAD s1, 0x01   ; high
+    SUB s0, 0x01
+    SUBCY s1, 0x00
+    HALT
+)");
+  EXPECT_EQ(h.cpu.reg(0), 0xFF);
+  EXPECT_EQ(h.cpu.reg(1), 0x00);
+}
+
+TEST(CpuExt, TwentyFourBitCounterIncrement) {
+  H h;
+  h.run(R"(
+    LOAD s0, 0xFF
+    LOAD s1, 0xFF
+    LOAD s2, 0x00
+    ADD s0, 1
+    ADDCY s1, 0
+    ADDCY s2, 0
+    HALT
+)");
+  EXPECT_EQ(h.cpu.reg(0), 0x00);
+  EXPECT_EQ(h.cpu.reg(1), 0x00);
+  EXPECT_EQ(h.cpu.reg(2), 0x01);
+}
+
+TEST(CpuExt, NestedCallsThreeDeep) {
+  H h;
+  h.run(R"(
+    CALL f1
+    HALT
+f1: LOAD s0, 1
+    CALL f2
+    RETURN
+f2: LOAD s1, 2
+    CALL f3
+    RETURN
+f3: LOAD s2, 3
+    RETURN
+)");
+  EXPECT_EQ(h.cpu.reg(0), 1);
+  EXPECT_EQ(h.cpu.reg(1), 2);
+  EXPECT_EQ(h.cpu.reg(2), 3);
+}
+
+TEST(CpuExt, StackOverflowDetected) {
+  H h;
+  h.cpu.load_program(assemble("x: CALL x\n"));
+  EXPECT_THROW(h.sim.run(1000), std::runtime_error);
+}
+
+TEST(CpuExt, ReturnWithoutCallDetected) {
+  H h;
+  h.cpu.load_program(assemble("RETURN\n"));
+  EXPECT_THROW(h.sim.run(10), std::runtime_error);
+}
+
+TEST(CpuExt, ConditionalCallAndReturn) {
+  H h;
+  h.run(R"(
+    LOAD s0, 5
+    COMPARE s0, 5
+    CALL Z, yes     ; taken
+    COMPARE s0, 6
+    CALL Z, no      ; not taken
+    HALT
+yes: LOAD s1, 0xAA
+    RETURN
+no: LOAD s2, 0xBB
+    RETURN
+)");
+  EXPECT_EQ(h.cpu.reg(1), 0xAA);
+  EXPECT_EQ(h.cpu.reg(2), 0x00);
+}
+
+TEST(CpuExt, IndirectScratchpadWalk) {
+  // Fill scratchpad[0..7] with squares via (sY) addressing.
+  H h;
+  h.run(R"(
+    LOAD s0, 0      ; index
+    LOAD s1, 0      ; value accumulator
+loop:
+    LOAD s2, s0
+    ADD s2, s0      ; s2 = 2*i  (placeholder arithmetic)
+    STORE s2, (s0)
+    ADD s0, 1
+    COMPARE s0, 8
+    JUMP NZ, loop
+    HALT
+)");
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(h.cpu.scratch(i), 2 * i);
+}
+
+TEST(CpuExt, AllShiftVariants) {
+  struct Case {
+    const char* mnemonic;
+    std::uint8_t in;
+    bool carry_in;
+    std::uint8_t expect;
+    bool carry_out;
+  };
+  const Case cases[] = {
+      {"SL0", 0x81, false, 0x02, true},  {"SL1", 0x01, false, 0x03, false},
+      {"SLX", 0x03, false, 0x07, false}, {"SLA", 0x80, true, 0x01, true},
+      {"RL", 0xC0, false, 0x81, true},   {"SR0", 0x81, false, 0x40, true},
+      {"SR1", 0x02, false, 0x81, false}, {"SRX", 0x82, false, 0xC1, false},
+      {"SRA", 0x01, true, 0x80, true},   {"RR", 0x03, false, 0x81, true},
+  };
+  for (const Case& c : cases) {
+    H h;
+    std::string src;
+    if (c.carry_in) src = "LOAD s1, 0xFF\nADD s1, 1\n";  // sets carry
+    src += std::string("LOAD s0, ") + std::to_string(c.in) + "\n" + c.mnemonic + " s0\nHALT\n";
+    h.run(src.c_str());
+    EXPECT_EQ(h.cpu.reg(0), c.expect) << c.mnemonic;
+    EXPECT_EQ(h.cpu.carry_flag(), c.carry_out) << c.mnemonic;
+  }
+}
+
+TEST(CpuExt, CompareBranchLadder) {
+  // Classic three-way dispatch on a value.
+  for (int v : {3, 7, 9}) {
+    H h;
+    h.bus.inputs[0x01] = static_cast<std::uint8_t>(v);
+    h.run(R"(
+    INPUT s0, 0x01
+    COMPARE s0, 3
+    JUMP Z, small
+    COMPARE s0, 7
+    JUMP Z, medium
+    LOAD s1, 3
+    HALT
+small:  LOAD s1, 1
+    HALT
+medium: LOAD s1, 2
+    HALT
+)");
+    EXPECT_EQ(h.cpu.reg(1), v == 3 ? 1 : v == 7 ? 2 : 3);
+  }
+}
+
+TEST(CpuExt, JumpCarryConditions) {
+  H h;
+  h.run(R"(
+    LOAD s0, 1
+    COMPARE s0, 2   ; 1 < 2 -> carry (borrow) set
+    JUMP C, below
+    LOAD s1, 0xEE
+    HALT
+below:
+    LOAD s1, 0x11
+    COMPARE s0, 0   ; 1 >= 0 -> no carry
+    JUMP NC, done
+    LOAD s1, 0xEE
+done:
+    HALT
+)");
+  EXPECT_EQ(h.cpu.reg(1), 0x11);
+}
+
+TEST(CpuExt, RetiredInstructionCountExact) {
+  H h;
+  h.run("LOAD s0, 1\nADD s0, 1\nADD s0, 1\nHALT\n");
+  EXPECT_EQ(h.cpu.instructions_retired(), 4u);  // including the HALT
+  EXPECT_EQ(h.sim.now(), 8u);                   // 4 instructions x 2 cycles
+}
+
+TEST(CpuExt, ScratchpadAddressingWraps) {
+  H h;
+  h.run("LOAD s0, 0x42\nSTORE s0, 0x40\nHALT\n");  // 0x40 % 64 == 0
+  EXPECT_EQ(h.cpu.scratch(0), 0x42);
+}
+
+TEST(CpuExt, OutputPortSeenByBus) {
+  H h;
+  h.run("LOAD s0, 0x99\nOUTPUT s0, 0x55\nHALT\n");
+  EXPECT_EQ(h.bus.outputs[0x55], 0x99);
+}
+
+TEST(CpuExt, ResetRestoresCleanState) {
+  H h;
+  h.run("LOAD s0, 7\nSTORE s0, 0\nHALT\n");
+  h.cpu.reset();
+  EXPECT_EQ(h.cpu.reg(0), 0);
+  EXPECT_EQ(h.cpu.scratch(0), 0);
+  EXPECT_EQ(h.cpu.pc(), 0);
+  EXPECT_FALSE(h.cpu.halted());
+}
+
+}  // namespace
+}  // namespace mccp::pb

@@ -1,0 +1,265 @@
+// Cycle-accurate behaviour of the 8-bit controller: ALU semantics, flags,
+// 2-cycles-per-instruction timing, HALT/wake, interrupts and port I/O.
+#include "picoblaze/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "picoblaze/assembler.h"
+#include "sim/simulation.h"
+
+namespace mccp::pb {
+namespace {
+
+class RecordingBus : public IoBus {
+ public:
+  std::uint8_t read_port(std::uint8_t port) override { return inputs[port]; }
+  void write_port(std::uint8_t port, std::uint8_t value) override {
+    writes.push_back({port, value});
+  }
+  std::map<std::uint8_t, std::uint8_t> inputs;
+  std::vector<std::pair<std::uint8_t, std::uint8_t>> writes;
+};
+
+struct Harness {
+  RecordingBus bus;
+  Cpu cpu{"cpu", bus};
+  sim::Simulation sim;
+  Harness() { sim.add(&cpu); }
+  void load(const char* src) { cpu.load_program(assemble(src)); }
+  // Run until the CPU halts (HALT instruction), bounded.
+  void run_to_halt(sim::Cycle max = 100000) {
+    sim.run_until([&] { return cpu.halted(); }, max);
+  }
+};
+
+TEST(Cpu, TwoCyclesPerInstruction) {
+  Harness h;
+  h.load("LOAD s0, 1\nLOAD s0, 2\nLOAD s0, 3\nHALT\n");
+  h.sim.run(2);
+  EXPECT_EQ(h.cpu.reg(0), 1);
+  h.sim.run(2);
+  EXPECT_EQ(h.cpu.reg(0), 2);
+  h.sim.run(2);
+  EXPECT_EQ(h.cpu.reg(0), 3);
+  EXPECT_EQ(h.cpu.instructions_retired(), 3u);
+}
+
+TEST(Cpu, ArithmeticFlags) {
+  Harness h;
+  h.load("LOAD s0, 0xFF\nADD s0, 1\nHALT\n");  // 0xFF + 1 = 0x00, carry
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(0), 0);
+  EXPECT_TRUE(h.cpu.zero_flag());
+  EXPECT_TRUE(h.cpu.carry_flag());
+}
+
+TEST(Cpu, SubBorrowSetsCarry) {
+  Harness h;
+  h.load("LOAD s0, 5\nSUB s0, 7\nHALT\n");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(0), 0xFE);
+  EXPECT_TRUE(h.cpu.carry_flag());
+  EXPECT_FALSE(h.cpu.zero_flag());
+}
+
+TEST(Cpu, AddcySubcyChain16Bit) {
+  // 16-bit add: 0x01FF + 0x0001 = 0x0200 via ADD/ADDCY.
+  Harness h;
+  h.load(R"(
+    LOAD s0, 0xFF   ; low
+    LOAD s1, 0x01   ; high
+    ADD s0, 0x01
+    ADDCY s1, 0x00
+    HALT
+)");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(0), 0x00);
+  EXPECT_EQ(h.cpu.reg(1), 0x02);
+}
+
+TEST(Cpu, CompareSetsFlagsWithoutWriteback) {
+  Harness h;
+  h.load("LOAD s0, 9\nCOMPARE s0, 9\nHALT\n");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(0), 9);
+  EXPECT_TRUE(h.cpu.zero_flag());
+  EXPECT_FALSE(h.cpu.carry_flag());
+}
+
+TEST(Cpu, LogicalOpsClearCarry) {
+  Harness h;
+  h.load("LOAD s0, 0xFF\nADD s0, 1\nOR s0, 0x00\nHALT\n");
+  h.run_to_halt();
+  EXPECT_FALSE(h.cpu.carry_flag());
+  EXPECT_TRUE(h.cpu.zero_flag());
+}
+
+TEST(Cpu, LoopCountdown) {
+  Harness h;
+  h.load(R"(
+    LOAD s0, 10
+    LOAD s1, 0
+loop:
+    ADD s1, 2
+    SUB s0, 1
+    JUMP NZ, loop
+    HALT
+)");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(1), 20);
+}
+
+TEST(Cpu, CallAndReturn) {
+  Harness h;
+  h.load(R"(
+    CALL sub
+    LOAD s1, 0xAA
+    HALT
+sub:
+    LOAD s0, 0x55
+    RETURN
+)");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(0), 0x55);
+  EXPECT_EQ(h.cpu.reg(1), 0xAA);
+}
+
+TEST(Cpu, ScratchpadStoreFetch) {
+  Harness h;
+  h.load(R"(
+    LOAD s0, 0x77
+    STORE s0, 0x20
+    LOAD s0, 0x00
+    FETCH s1, 0x20
+    HALT
+)");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(1), 0x77);
+  EXPECT_EQ(h.cpu.scratch(0x20), 0x77);
+}
+
+TEST(Cpu, PortOutputAndInput) {
+  Harness h;
+  h.bus.inputs[0x10] = 0x5A;
+  h.load(R"(
+    INPUT s0, 0x10
+    OUTPUT s0, 0x20
+    LOAD s1, 0x21
+    OUTPUT s0, (s1)
+    HALT
+)");
+  h.run_to_halt();
+  ASSERT_EQ(h.bus.writes.size(), 2u);
+  EXPECT_EQ(h.bus.writes[0], (std::pair<std::uint8_t, std::uint8_t>{0x20, 0x5A}));
+  EXPECT_EQ(h.bus.writes[1], (std::pair<std::uint8_t, std::uint8_t>{0x21, 0x5A}));
+}
+
+TEST(Cpu, HaltSleepsUntilWake) {
+  Harness h;
+  h.load("LOAD s0, 1\nHALT\nLOAD s0, 2\nHALT\n");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(0), 1);
+  h.sim.run(10);
+  EXPECT_EQ(h.cpu.reg(0), 1);  // still asleep
+  h.cpu.wake();
+  h.sim.run(5);  // wake + fetch + execute
+  EXPECT_EQ(h.cpu.reg(0), 2);
+  EXPECT_TRUE(h.cpu.halted());
+}
+
+TEST(Cpu, WakeBeforeHaltIsSticky) {
+  // A done pulse arriving before the HALT executes must not be lost.
+  Harness h;
+  h.load("LOAD s0, 1\nHALT\nLOAD s0, 2\nHALT\n");
+  h.cpu.wake();  // pulse arrives "early"
+  h.sim.run(3);  // LOAD executed, HALT executing
+  h.sim.run(6);
+  EXPECT_EQ(h.cpu.reg(0), 2);  // fell through the first HALT
+}
+
+TEST(Cpu, InterruptVectorsAndReturni) {
+  Harness h;
+  h.load(R"(
+    ENABLE INTERRUPT
+main:
+    LOAD s0, 1
+    JUMP main
+isr:
+    LOAD s1, 0xEE
+    RETURNI ENABLE
+    ADDRESS 0x3FF
+    JUMP isr        ; the vector address holds a jump to the handler
+)");
+  h.sim.run(8);
+  h.cpu.request_interrupt();
+  h.sim.run(8);
+  EXPECT_EQ(h.cpu.reg(1), 0xEE);  // handler ran
+  EXPECT_EQ(h.cpu.reg(0), 1);     // main loop resumed
+}
+
+TEST(Cpu, InterruptIgnoredWhenDisabled) {
+  Harness h;
+  h.load(R"(
+main:
+    LOAD s0, 1
+    JUMP main
+isr:
+    LOAD s1, 0xEE
+    RETURNI DISABLE
+    ADDRESS 0x3FF
+    JUMP isr
+)");
+  h.sim.run(4);
+  h.cpu.request_interrupt();
+  h.sim.run(8);
+  EXPECT_EQ(h.cpu.reg(1), 0x00);
+}
+
+TEST(Cpu, InterruptPreservesFlags) {
+  Harness h;
+  h.load(R"(
+    ENABLE INTERRUPT
+    LOAD s0, 0xFF
+    ADD s0, 1       ; sets Z and C
+spin:
+    JUMP spin
+isr:
+    LOAD s1, 0x01
+    ADD s1, 0x01    ; clears Z and C in handler
+    RETURNI ENABLE
+    ADDRESS 0x3FF
+    JUMP isr
+)");
+  h.sim.run(6);  // through the ADD
+  EXPECT_TRUE(h.cpu.zero_flag());
+  h.cpu.request_interrupt();
+  h.sim.run(16);
+  EXPECT_TRUE(h.cpu.zero_flag());   // restored by RETURNI
+  EXPECT_TRUE(h.cpu.carry_flag());
+}
+
+TEST(Cpu, ShiftAndRotate) {
+  Harness h;
+  h.load(R"(
+    LOAD s0, 0x81
+    RL s0          ; 0x03, carry set
+    LOAD s1, 0x81
+    SR0 s1         ; 0x40, carry set
+    HALT
+)");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(0), 0x03);
+  EXPECT_EQ(h.cpu.reg(1), 0x40);
+}
+
+TEST(Cpu, ProgramTooLargeRejected) {
+  RecordingBus bus;
+  Cpu cpu{"x", bus};
+  std::vector<Word> big(kImemWords + 1, 0);
+  EXPECT_THROW(cpu.load_program(big), std::length_error);
+}
+
+}  // namespace
+}  // namespace mccp::pb

@@ -1,0 +1,183 @@
+// Radio / communication-controller layer: channel lifecycle, resource
+// exhaustion, decrypt-heavy traffic, and end-to-end stats plumbing.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/ccm.h"
+#include "crypto/gcm.h"
+#include "radio/radio.h"
+#include "radio/traffic.h"
+
+namespace mccp::radio {
+namespace {
+
+TEST(Radio, ChannelLifecycleOpenCloseReopen) {
+  Radio radio({.num_cores = 2});
+  Rng rng(1);
+  radio.provision_key(1, rng.bytes(16));
+  auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_TRUE(radio.close_channel(*ch));
+  // Traffic on a closed channel fails cleanly (job completes unauthenticated).
+  JobId job = radio.submit_encrypt(*ch, rng.bytes(12), {}, rng.bytes(32));
+  radio.run_until_idle();
+  EXPECT_TRUE(radio.result(job).complete);
+  EXPECT_FALSE(radio.result(job).auth_ok);
+  // Re-open gets the freed channel id back.
+  auto ch2 = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(ch2.has_value());
+  EXPECT_EQ(ch2->id, ch->id);
+}
+
+TEST(Radio, ChannelTableExhaustsAtSixtyFour) {
+  Radio radio({.num_cores = 1});
+  radio.provision_key(1, Bytes(16, 1));
+  std::vector<ChannelHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    auto ch = radio.open_channel(ChannelMode::kCtr, 1);
+    ASSERT_TRUE(ch.has_value()) << i;
+    handles.push_back(*ch);
+  }
+  EXPECT_FALSE(radio.open_channel(ChannelMode::kCtr, 1).has_value());
+  EXPECT_TRUE(radio.close_channel(handles[10]));
+  EXPECT_TRUE(radio.open_channel(ChannelMode::kCtr, 1).has_value());
+}
+
+TEST(Radio, DecryptHeavyTrafficMix) {
+  // Seal a batch in software, decrypt everything through the platform.
+  Radio radio({.num_cores = 4});
+  Rng rng(2);
+  Bytes k1 = rng.bytes(16), k2 = rng.bytes(24);
+  radio.provision_key(1, k1);
+  radio.provision_key(2, k2);
+  auto gcm = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  auto ccm = radio.open_channel(ChannelMode::kCcm, 2, 8, 13);
+  ASSERT_TRUE(gcm && ccm);
+  auto keys1 = crypto::aes_expand_key(k1);
+  auto keys2 = crypto::aes_expand_key(k2);
+
+  struct Pkt {
+    JobId id;
+    Bytes pt;
+  };
+  std::vector<Pkt> pkts;
+  for (int i = 0; i < 10; ++i) {
+    Bytes pt = rng.bytes(16 * (1 + rng.next_below(30)));
+    if (i % 2 == 0) {
+      Bytes iv = rng.bytes(12), aad = rng.bytes(6);
+      auto sealed = crypto::gcm_seal(keys1, iv, aad, pt);
+      pkts.push_back({radio.submit_decrypt(*gcm, iv, aad, sealed.ciphertext, sealed.tag), pt});
+    } else {
+      Bytes nonce = rng.bytes(13), aad = rng.bytes(4);
+      auto sealed =
+          crypto::ccm_seal(keys2, {.tag_len = 8, .nonce_len = 13}, nonce, aad, pt);
+      pkts.push_back({radio.submit_decrypt(*ccm, nonce, aad, sealed.ciphertext, sealed.tag), pt});
+    }
+  }
+  radio.run_until_idle();
+  for (const auto& p : pkts) {
+    ASSERT_TRUE(radio.result(p.id).complete);
+    EXPECT_TRUE(radio.result(p.id).auth_ok);
+    EXPECT_EQ(to_hex(radio.result(p.id).payload), to_hex(p.pt));
+  }
+}
+
+TEST(Radio, GcmChannelWithNonStandardIvLength) {
+  // OPEN carries the channel's IV length; non-96-bit IVs take the on-core
+  // GHASH J0 derivation.
+  Radio radio({.num_cores = 2});
+  Rng rng(9);
+  Bytes key = rng.bytes(16);
+  radio.provision_key(1, key);
+  auto ch = radio.open_channel(ChannelMode::kGcm, 1, /*tag=*/16, /*iv len=*/8);
+  ASSERT_TRUE(ch.has_value());
+  Bytes iv = rng.bytes(8), pt = rng.bytes(128);
+  JobId job = radio.submit_encrypt(*ch, iv, {}, pt);
+  radio.run_until_idle();
+  auto ref = crypto::gcm_seal(crypto::aes_expand_key(key), iv, {}, pt);
+  EXPECT_EQ(to_hex(radio.result(job).payload), to_hex(ref.ciphertext));
+  EXPECT_EQ(to_hex(radio.result(job).tag), to_hex(ref.tag));
+}
+
+TEST(Radio, JobTimestampsAreOrdered) {
+  Radio radio({.num_cores = 1});
+  Rng rng(3);
+  radio.provision_key(1, rng.bytes(16));
+  auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12).value();
+  JobId job = radio.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(256));
+  radio.run_until_idle();
+  const auto& r = radio.result(job);
+  EXPECT_LE(r.submit_cycle, r.accept_cycle);
+  EXPECT_LT(r.accept_cycle, r.complete_cycle);
+}
+
+TEST(Traffic, ProfilesAreWellFormed) {
+  for (const auto& p : {wifi_ccmp_profile(), wimax_ccm_profile(), satcom_gcm_profile(),
+                        voice_ctr_profile(), telemetry_cbcmac_profile()}) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_EQ(p.packet_len % 16, 0u) << p.name;
+    EXPECT_TRUE(p.key_len == 16 || p.key_len == 24 || p.key_len == 32) << p.name;
+    if (p.mode == ChannelMode::kCcm) {
+      EXPECT_TRUE(crypto::ccm_params_valid({p.tag_len, p.nonce_len})) << p.name;
+    }
+  }
+}
+
+TEST(Traffic, GenerateMixIsDeterministicAndRoundRobin) {
+  std::vector<ChannelProfile> profiles = {voice_ctr_profile(), satcom_gcm_profile()};
+  auto a = generate_mix(profiles, 10, 99);
+  auto b = generate_mix(profiles, 10, 99);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].profile_index, i % 2);
+    EXPECT_EQ(a[i].payload, b[i].payload);
+    EXPECT_EQ(a[i].iv_or_nonce, b[i].iv_or_nonce);
+  }
+  auto c = generate_mix(profiles, 10, 100);
+  EXPECT_NE(a[0].payload, c[0].payload);  // different seed, different data
+}
+
+TEST(Traffic, CtrCountersAreIncSafe) {
+  auto packets = generate_mix({voice_ctr_profile()}, 20, 7);
+  for (const auto& p : packets) {
+    ASSERT_EQ(p.iv_or_nonce.size(), 16u);
+    EXPECT_EQ(p.iv_or_nonce[14], 0);
+    EXPECT_EQ(p.iv_or_nonce[15], 0);
+  }
+}
+
+TEST(Radio, PerCoreStatisticsAccumulate) {
+  Radio radio({.num_cores = 2});
+  Rng rng(4);
+  radio.provision_key(1, rng.bytes(16));
+  auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12).value();
+  for (int i = 0; i < 4; ++i) radio.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(512));
+  radio.run_until_idle();
+  std::uint64_t total_tasks = 0, total_aes = 0;
+  for (std::size_t i = 0; i < radio.mccp().num_cores(); ++i) {
+    total_tasks += radio.mccp().core(i).tasks_completed();
+    total_aes += radio.mccp().core(i).unit().aes_blocks();
+  }
+  EXPECT_EQ(total_tasks, 4u);
+  // 512 B = 32 blocks -> >= 33 AES per packet (keystream + H + wasted + tag).
+  EXPECT_GE(total_aes, 4u * 34u);
+  EXPECT_EQ(radio.mccp().requests_completed(), 4u);
+}
+
+TEST(Radio, TraceRecordsSchedulerDecisions) {
+  Radio radio({.num_cores = 1});
+  radio.mccp().trace().enable(true);
+  Rng rng(5);
+  radio.provision_key(1, rng.bytes(16));
+  auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12).value();
+  radio.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(64));
+  radio.run_until_idle();
+  std::string log = radio.mccp().trace().to_string();
+  EXPECT_NE(log.find("OPEN channel"), std::string::npos);
+  EXPECT_NE(log.find("ENCRYPT req"), std::string::npos);
+  EXPECT_NE(log.find("TRANSFER_DONE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mccp::radio

@@ -1,0 +1,93 @@
+// Partial-reconfiguration model vs Table IV.
+#include "reconfig/reconfig.h"
+
+#include <gtest/gtest.h>
+
+namespace mccp::reconfig {
+namespace {
+
+TEST(Reconfig, BitstreamCatalogueMatchesTable4) {
+  auto aes = bitstream_for(CoreImage::kAesEncryptWithKs);
+  EXPECT_EQ(aes.slices, 351u);
+  EXPECT_EQ(aes.brams, 4u);
+  EXPECT_EQ(aes.size_bytes, 89u * 1024u);
+
+  auto wp = bitstream_for(CoreImage::kWhirlpool);
+  EXPECT_EQ(wp.slices, 1153u);
+  EXPECT_EQ(wp.brams, 4u);
+  EXPECT_EQ(wp.size_bytes, 97u * 1024u);
+}
+
+TEST(Reconfig, RegionFitsBothImages) {
+  ReconfigurableRegion region;
+  for (auto img : {CoreImage::kAesEncryptWithKs, CoreImage::kWhirlpool}) {
+    auto bs = bitstream_for(img);
+    EXPECT_LE(bs.slices, region.slices) << image_name(img);
+    EXPECT_LE(bs.brams, region.brams) << image_name(img);
+  }
+}
+
+TEST(Reconfig, TimesReproduceTable4WithinTwoPercent) {
+  struct Row {
+    CoreImage img;
+    BitstreamStore store;
+    double expected_ms;
+  };
+  // Table IV: AES 380/63 ms, Whirlpool 416/69 ms.
+  const Row rows[] = {
+      {CoreImage::kAesEncryptWithKs, BitstreamStore::kCompactFlash, 380.0},
+      {CoreImage::kAesEncryptWithKs, BitstreamStore::kRam, 63.0},
+      {CoreImage::kWhirlpool, BitstreamStore::kCompactFlash, 416.0},
+      {CoreImage::kWhirlpool, BitstreamStore::kRam, 69.0},
+  };
+  for (const Row& r : rows) {
+    double ms = reconfiguration_seconds(r.img, r.store) * 1e3;
+    EXPECT_NEAR(ms, r.expected_ms, r.expected_ms * 0.02)
+        << image_name(r.img) << " from " << store_name(r.store);
+  }
+}
+
+TEST(Reconfig, CachingInRamIsMuchFaster) {
+  // The paper's conclusion: "caching of bitstream is needed to obtain the
+  // best performances."
+  double cf = reconfiguration_seconds(CoreImage::kWhirlpool, BitstreamStore::kCompactFlash);
+  double ram = reconfiguration_seconds(CoreImage::kWhirlpool, BitstreamStore::kRam);
+  EXPECT_GT(cf / ram, 5.0);
+}
+
+TEST(Reconfig, NotRealTime) {
+  // "magnitude of the reconfiguration times does not allow to consider
+  // real-time partial reconfiguration": even from RAM, a swap costs ~12M
+  // cycles at 190 MHz — thousands of 2KB packets' worth.
+  std::uint64_t cycles = reconfiguration_cycles(CoreImage::kAesEncryptWithKs,
+                                                BitstreamStore::kRam);
+  EXPECT_GT(cycles, 10'000'000u);
+}
+
+TEST(Reconfig, SlotSwapsImageAfterExactCycleCount) {
+  ReconfigurableSlot slot(CoreImage::kAesEncryptWithKs);
+  EXPECT_EQ(slot.image(), CoreImage::kAesEncryptWithKs);
+  // Use a tiny synthetic frequency so the test stays fast.
+  std::uint64_t cycles = slot.begin_reconfiguration(CoreImage::kWhirlpool,
+                                                    BitstreamStore::kRam, /*hz=*/1000.0);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_TRUE(slot.reconfiguring());
+  for (std::uint64_t i = 0; i + 1 < cycles; ++i) slot.tick();
+  EXPECT_TRUE(slot.reconfiguring());
+  EXPECT_EQ(slot.image(), CoreImage::kAesEncryptWithKs);  // old image until done
+  slot.tick();
+  EXPECT_FALSE(slot.reconfiguring());
+  EXPECT_EQ(slot.image(), CoreImage::kWhirlpool);
+  EXPECT_EQ(slot.reconfigurations_done(), 1u);
+}
+
+TEST(Reconfig, ConcurrentSwapRejected) {
+  ReconfigurableSlot slot;
+  slot.begin_reconfiguration(CoreImage::kWhirlpool, BitstreamStore::kRam, 1000.0);
+  EXPECT_THROW(slot.begin_reconfiguration(CoreImage::kAesEncryptWithKs,
+                                          BitstreamStore::kRam, 1000.0),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace mccp::reconfig

@@ -1,0 +1,46 @@
+#include "sim/shift_register.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+
+namespace mccp::sim {
+namespace {
+
+TEST(ShiftRegister, AssemblesFourWordsMsbFirst) {
+  ShiftRegister128 sr;
+  sr.shift_in(0x00112233);
+  EXPECT_FALSE(sr.word_ready());
+  sr.shift_in(0x44556677);
+  sr.shift_in(0x8899aabb);
+  EXPECT_FALSE(sr.word_ready());
+  sr.shift_in(0xccddeeff);
+  EXPECT_TRUE(sr.word_ready());
+  EXPECT_EQ(to_hex(sr.take().to_bytes()), "00112233445566778899aabbccddeeff");
+}
+
+TEST(ShiftRegister, TakeRearms) {
+  ShiftRegister128 sr;
+  for (std::uint32_t i = 0; i < 4; ++i) sr.shift_in(i);
+  sr.take();
+  EXPECT_FALSE(sr.word_ready());
+}
+
+TEST(ShiftRegister, LoadMakesWordAvailable) {
+  ShiftRegister128 sr;
+  mccp::Block128 b = mccp::block_from_hex("0102030405060708090a0b0c0d0e0f10");
+  sr.load(b);
+  EXPECT_TRUE(sr.word_ready());
+  EXPECT_EQ(sr.take(), b);
+}
+
+TEST(ShiftRegister, OldWordsFallOut) {
+  ShiftRegister128 sr;
+  for (std::uint32_t i = 0; i < 6; ++i) sr.shift_in(i);  // 0,1 shifted out
+  mccp::Block128 b = sr.take();
+  EXPECT_EQ(b.word(0), 2u);
+  EXPECT_EQ(b.word(3), 5u);
+}
+
+}  // namespace
+}  // namespace mccp::sim

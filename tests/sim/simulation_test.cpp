@@ -1,0 +1,70 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace mccp::sim {
+namespace {
+
+class Counter final : public Clocked {
+ public:
+  void tick() override { ++count; }
+  std::string name() const override { return "counter"; }
+  int count = 0;
+};
+
+TEST(Simulation, StepAdvancesAllComponents) {
+  Simulation s;
+  Counter a, b;
+  s.add(&a);
+  s.add(&b);
+  s.run(10);
+  EXPECT_EQ(s.now(), 10u);
+  EXPECT_EQ(a.count, 10);
+  EXPECT_EQ(b.count, 10);
+}
+
+TEST(Simulation, TickOrderIsRegistrationOrder) {
+  Simulation s;
+  std::vector<int> order;
+  class Probe final : public Clocked {
+   public:
+    Probe(std::vector<int>& o, int id) : order_(&o), id_(id) {}
+    void tick() override { order_->push_back(id_); }
+    std::string name() const override { return "probe"; }
+
+   private:
+    std::vector<int>* order_;
+    int id_;
+  };
+  Probe p1(order, 1), p2(order, 2);
+  s.add(&p1);
+  s.add(&p2);
+  s.step();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulation, RunUntilReturnsElapsedCycles) {
+  Simulation s;
+  Counter c;
+  s.add(&c);
+  Cycle elapsed = s.run_until([&] { return c.count >= 7; });
+  EXPECT_EQ(elapsed, 7u);
+}
+
+TEST(Simulation, RunUntilThrowsOnDeadlock) {
+  Simulation s;
+  EXPECT_THROW(s.run_until([] { return false; }, 100), std::runtime_error);
+}
+
+TEST(Simulation, ThroughputArithmeticMatchesPaper) {
+  // Paper Table II: T_GCMloop = 49 cycles -> 496 Mbps at 190 MHz.
+  double mbps = throughput_mbps(128, 49);
+  EXPECT_NEAR(mbps, 496.3, 0.1);
+  // CCM single core: 104 cycles -> 233 Mbps.
+  EXPECT_NEAR(throughput_mbps(128, 104), 233.8, 0.1);
+  // CBC half of a two-core CCM: 55 cycles -> 442 Mbps.
+  EXPECT_NEAR(throughput_mbps(128, 55), 442.2, 0.1);
+}
+
+}  // namespace
+}  // namespace mccp::sim

@@ -1,0 +1,36 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace mccp::sim {
+namespace {
+
+TEST(Trace, DisabledByDefaultAndFree) {
+  Trace t;
+  t.record(1, "x", "y");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t;
+  t.enable(true);
+  t.record(10, "scheduler", "OPEN channel 0");
+  t.record(20, "core0", "done");
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].cycle, 10u);
+  EXPECT_EQ(t.events()[1].source, "core0");
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("[10] scheduler: OPEN channel 0"), std::string::npos);
+  EXPECT_NE(s.find("[20] core0: done"), std::string::npos);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.enable(true);
+  t.record(1, "a", "b");
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+}  // namespace
+}  // namespace mccp::sim
