@@ -5,6 +5,7 @@
 //   3. QoS priorities (paper SVIII extension): urgent-stream latency under
 //      bulk load, FIFO vs priority dispatch.
 #include "bench_common.h"
+#include "radio/radio.h"
 
 namespace mccp::bench {
 namespace {

@@ -4,6 +4,12 @@
 // "Theoretical" numbers come from the measured steady-state loop slope
 // (cycles per 128-bit block); "2 KB packet" numbers come from processing a
 // 2048-byte payload end to end.
+//
+// Platform measurements run through the asynchronous host driver
+// (`host::Engine`): channels are opened as RAII handles, packets are
+// submitted as completion-token jobs, and the engine is stepped until the
+// fleet drains. One-device measurements are the `measure_platform` special
+// case of the general multi-device `measure_engine`.
 #pragma once
 
 #include <cstdio>
@@ -14,7 +20,7 @@
 #include "common/rng.h"
 #include "core/single_core_harness.h"
 #include "crypto/ccm.h"
-#include "radio/radio.h"
+#include "host/engine.h"
 #include "radio/traffic.h"
 #include "sim/simulation.h"
 
@@ -47,8 +53,6 @@ inline CoreMeasurement measure_core(std::size_t key_len,
   auto r_2kb = h.run(make_job(128));
   CoreMeasurement m;
   m.loop_cycles_per_block = slope;
-  m.theoretical_mbps = mbps_from_cycles(128, static_cast<std::uint64_t>(slope));
-  // Recompute precisely from the double slope (avoid integer rounding).
   m.theoretical_mbps = 128.0 * kMHz / slope;
   m.packet2kb_mbps = mbps_from_cycles(2048 * 8, r_2kb.cycles);
   return m;
@@ -72,7 +76,7 @@ inline core::CoreJob cbcmac_job(std::size_t blocks, std::uint64_t seed) {
   return core::format_cbcmac_generate(r.bytes((blocks + 1) * 16), 16);
 }
 
-// --- platform (multi-core) measurements ----------------------------------------
+// --- engine (multi-device) measurements -----------------------------------------
 
 struct PlatformMeasurement {
   double aggregate_mbps;
@@ -81,49 +85,70 @@ struct PlatformMeasurement {
   std::uint32_t rejections;
 };
 
-/// Saturate a platform with `packets` payloads of `payload_len` bytes on one
-/// channel and measure steady-state aggregate throughput.
-inline PlatformMeasurement measure_platform(const top::MccpConfig& cfg,
-                                            radio::ChannelMode mode, std::size_t key_len,
-                                            std::size_t payload_len, std::size_t packets,
-                                            unsigned tag_len = 8, unsigned nonce_len = 13) {
-  radio::Radio radio(cfg);
-  Rng rng(1234);
-  radio.provision_key(1, rng.bytes(key_len));
-  auto ch = radio.open_channel(mode, 1, tag_len, nonce_len);
-  if (!ch) throw std::runtime_error("measure_platform: open_channel failed");
-
-  std::vector<radio::JobId> ids;
-  sim::Cycle start = radio.sim().now();
-  for (std::size_t i = 0; i < packets; ++i) {
-    Bytes iv;
-    switch (mode) {
-      case radio::ChannelMode::kGcm: iv = rng.bytes(12); break;
-      case radio::ChannelMode::kCcm: iv = rng.bytes(nonce_len); break;
-      case radio::ChannelMode::kCtr: {
-        iv = rng.bytes(16);
-        iv[14] = iv[15] = 0;
-        break;
-      }
-      default: break;
+inline Bytes make_iv(Rng& rng, host::ChannelMode mode, unsigned nonce_len) {
+  switch (mode) {
+    case host::ChannelMode::kGcm: return rng.bytes(12);
+    case host::ChannelMode::kCcm: return rng.bytes(nonce_len);
+    case host::ChannelMode::kCtr: {
+      Bytes iv = rng.bytes(16);
+      iv[14] = iv[15] = 0;
+      return iv;
     }
-    ids.push_back(radio.submit_encrypt(*ch, iv, {}, rng.bytes(payload_len)));
+    default: return {};
   }
-  radio.run_until_idle();
-  sim::Cycle makespan = radio.sim().now() - start;
+}
+
+/// Saturate an engine-driven fleet with `packets` payloads of `payload_len`
+/// bytes, one channel per device (sharded by the placement policy), and
+/// measure the steady-state aggregate throughput. Asynchronous end to end:
+/// every job is tracked by its Completion token, and the makespan is the
+/// furthest-ahead device clock when the fleet drains.
+inline PlatformMeasurement measure_engine(const host::EngineConfig& cfg,
+                                          host::ChannelMode mode, std::size_t key_len,
+                                          std::size_t payload_len, std::size_t packets,
+                                          unsigned tag_len = 8, unsigned nonce_len = 13) {
+  host::Engine engine(cfg);
+  Rng rng(1234);
+  engine.provision_key(1, rng.bytes(key_len));
+
+  std::vector<host::Channel> channels;
+  for (std::size_t d = 0; d < engine.num_devices(); ++d) {
+    auto ch = engine.open_channel(mode, 1, tag_len, nonce_len);
+    if (!ch) throw std::runtime_error("measure_engine: open_channel failed");
+    channels.push_back(std::move(ch));
+  }
+
+  std::vector<host::Completion> jobs;
+  sim::Cycle start = engine.max_cycle();
+  for (std::size_t i = 0; i < packets; ++i) {
+    Bytes iv = make_iv(rng, mode, nonce_len);
+    jobs.push_back(engine.submit_encrypt(channels[i % channels.size()], std::move(iv), {},
+                                         rng.bytes(payload_len)));
+  }
+  engine.wait_all();
+  sim::Cycle makespan = engine.max_cycle() - start;
 
   PlatformMeasurement m{};
   m.makespan_cycles = makespan;
   m.aggregate_mbps =
       mbps_from_cycles(static_cast<std::uint64_t>(packets) * payload_len * 8, makespan);
   double lat = 0;
-  for (auto id : ids) {
-    const auto& r = radio.result(id);
+  for (auto& job : jobs) {
+    const auto& r = job.result();
     lat += static_cast<double>(r.complete_cycle - r.accept_cycle);
     m.rejections += r.rejections;
   }
   m.mean_latency_cycles = lat / static_cast<double>(packets);
   return m;
+}
+
+/// One-device special case (the paper's single-MCCP platform).
+inline PlatformMeasurement measure_platform(const top::MccpConfig& cfg,
+                                            host::ChannelMode mode, std::size_t key_len,
+                                            std::size_t payload_len, std::size_t packets,
+                                            unsigned tag_len = 8, unsigned nonce_len = 13) {
+  return measure_engine({.num_devices = 1, .device = cfg}, mode, key_len, payload_len, packets,
+                        tag_len, nonce_len);
 }
 
 // --- table formatting -----------------------------------------------------------

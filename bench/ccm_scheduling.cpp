@@ -42,16 +42,14 @@ void run() {
   // lower latency is pure win, and the adaptive policy should match it.
   print_header("Light load (packets arrive one at a time)");
   auto light = [](top::CcmMapping mapping) {
-    radio::Radio radio({.num_cores = 4, .ccm_mapping = mapping});
+    host::Engine engine({.num_devices = 1, .device = {.num_cores = 4, .ccm_mapping = mapping}});
     Rng rng(9);
-    radio.provision_key(1, rng.bytes(16));
-    auto ch = radio.open_channel(radio::ChannelMode::kCcm, 1, 8, 13).value();
+    engine.provision_key(1, rng.bytes(16));
+    auto ch = engine.open_channel(host::ChannelMode::kCcm, 1, 8, 13);
     double total = 0;
     for (int i = 0; i < 6; ++i) {
-      auto id = radio.submit_encrypt(ch, rng.bytes(13), {}, rng.bytes(2048));
-      radio.run_until_idle();
-      total += static_cast<double>(radio.result(id).complete_cycle -
-                                   radio.result(id).accept_cycle);
+      const auto& r = engine.submit_encrypt(ch, rng.bytes(13), {}, rng.bytes(2048)).wait();
+      total += static_cast<double>(r.complete_cycle - r.accept_cycle);
     }
     return total / 6.0 / kMHz;
   };

@@ -8,24 +8,22 @@
 #include "common/hex.h"
 #include "common/rng.h"
 #include "crypto/ccm.h"
-#include "radio/radio.h"
+#include "host/engine.h"
 
 using namespace mccp;
 
 namespace {
 
 double run_config(top::CcmMapping mapping, const char* label) {
-  radio::Radio radio({.num_cores = 4, .ccm_mapping = mapping});
+  host::Engine engine({.num_devices = 1, .device = {.num_cores = 4, .ccm_mapping = mapping}});
   Rng rng(5);
   Bytes key = rng.bytes(16);
-  radio.provision_key(1, key);
-  auto ch = radio.open_channel(radio::ChannelMode::kCcm, 1, /*tag=*/8, /*nonce=*/13);
+  engine.provision_key(1, key);
+  auto ch = engine.open_channel(host::ChannelMode::kCcm, 1, /*tag=*/8, /*nonce=*/13);
   if (!ch) return 0;
 
   Bytes nonce = rng.bytes(13), aad = rng.bytes(10), pt = rng.bytes(2048);
-  radio::JobId job = radio.submit_encrypt(*ch, nonce, aad, pt);
-  radio.run_until_idle();
-  const radio::JobResult& r = radio.result(job);
+  const host::JobResult& r = engine.submit_encrypt(ch, nonce, aad, pt).wait();
 
   // Validate against the software reference every time.
   auto ref = crypto::ccm_seal(crypto::aes_expand_key(key),
@@ -35,7 +33,7 @@ double run_config(top::CcmMapping mapping, const char* label) {
   double latency_us = static_cast<double>(r.complete_cycle - r.accept_cycle) / 190.0;
   std::printf("%-28s latency %7.1f us   tag %s   %s\n", label, latency_us,
               to_hex(r.tag).c_str(), ok ? "(matches reference)" : "(MISMATCH!)");
-  return latency_us;
+  return ok ? latency_us : 0;
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
 // The main controller provisions and rotates session keys in the Key
 // Memory; the MCCP only ever sees round keys, expanded by the Key Scheduler
 // straight into core key caches. This example rotates a channel's key
-// mid-session and shows the key-cache statistics.
+// mid-session and shows the key-cache statistics, driving the platform
+// through the asynchronous host API.
 //
 //   $ ./build/examples/key_rotation
 #include <cstdio>
@@ -11,49 +12,47 @@
 #include "common/hex.h"
 #include "common/rng.h"
 #include "crypto/gcm.h"
-#include "radio/radio.h"
+#include "host/engine.h"
 
 using namespace mccp;
 
 int main() {
-  radio::Radio radio({.num_cores = 2});
+  host::Engine engine({.num_devices = 1, .device = {.num_cores = 2}});
   Rng rng(42);
 
   // Epoch 1: provision key #1 and run traffic.
   Bytes key_epoch1 = rng.bytes(32);
-  radio.provision_key(1, key_epoch1);
-  auto ch = radio.open_channel(radio::ChannelMode::kGcm, 1, 16, 12);
+  engine.provision_key(1, key_epoch1);
+  auto ch = engine.open_channel(host::ChannelMode::kGcm, 1, 16, 12);
   if (!ch) return 1;
 
   Bytes iv1 = rng.bytes(12), pt = rng.bytes(512);
-  auto j1 = radio.submit_encrypt(*ch, iv1, {}, pt);
-  radio.run_until_idle();
+  const auto& r1 = engine.submit_encrypt(ch, iv1, {}, pt).wait();
   auto ref1 = crypto::gcm_seal(crypto::aes_expand_key(key_epoch1), iv1, {}, pt);
-  std::printf("epoch 1 (AES-256): tag %s (%s)\n", to_hex(radio.result(j1).tag).c_str(),
-              radio.result(j1).tag == ref1.tag ? "ok" : "MISMATCH");
+  std::printf("epoch 1 (AES-256): tag %s (%s)\n", to_hex(r1.tag).c_str(),
+              r1.tag == ref1.tag ? "ok" : "MISMATCH");
 
   // More packets on the same key: the per-core Key Cache avoids re-expansion.
-  for (int i = 0; i < 4; ++i) radio.submit_encrypt(*ch, rng.bytes(12), {}, pt);
-  radio.run_until_idle();
+  for (int i = 0; i < 4; ++i) engine.submit_encrypt(ch, rng.bytes(12), {}, pt);
+  engine.wait_all();
+  const auto& ks = engine.sim_device(0)->mccp().key_scheduler();
   std::printf("key scheduler: %llu expansions performed, %llu skipped via Key Cache\n",
-              static_cast<unsigned long long>(radio.mccp().key_scheduler().loads_performed()),
-              static_cast<unsigned long long>(radio.mccp().key_scheduler().loads_skipped()));
+              static_cast<unsigned long long>(ks.loads_performed()),
+              static_cast<unsigned long long>(ks.loads_skipped()));
 
   // Epoch 2: the main controller rotates key id 1 in place. The MCCP has no
   // write path into the Key Memory — only this platform call does it.
   Bytes key_epoch2 = rng.bytes(32);
-  radio.provision_key(1, key_epoch2);
+  engine.provision_key(1, key_epoch2);
   Bytes iv2 = rng.bytes(12);
-  auto j2 = radio.submit_encrypt(*ch, iv2, {}, pt);
-  radio.run_until_idle();
+  const auto& r2 = engine.submit_encrypt(ch, iv2, {}, pt).wait();
   auto ref2 = crypto::gcm_seal(crypto::aes_expand_key(key_epoch2), iv2, {}, pt);
-  std::printf("epoch 2 (rotated): tag %s (%s)\n", to_hex(radio.result(j2).tag).c_str(),
-              radio.result(j2).tag == ref2.tag ? "ok — new key in effect" : "MISMATCH");
+  std::printf("epoch 2 (rotated): tag %s (%s)\n", to_hex(r2.tag).c_str(),
+              r2.tag == ref2.tag ? "ok — new key in effect" : "MISMATCH");
 
   // A packet sealed under epoch 1 no longer verifies.
-  auto j3 = radio.submit_decrypt(*ch, iv1, {}, ref1.ciphertext, ref1.tag);
-  radio.run_until_idle();
+  const auto& r3 = engine.submit_decrypt(ch, iv1, {}, ref1.ciphertext, ref1.tag).wait();
   std::printf("epoch-1 ciphertext under epoch-2 key: %s\n",
-              radio.result(j3).auth_ok ? "ACCEPTED (bug!)" : "rejected (AUTH_FAIL), as it must be");
+              r3.auth_ok ? "ACCEPTED (bug!)" : "rejected (AUTH_FAIL), as it must be");
   return 0;
 }

@@ -2,20 +2,20 @@
 // paper's introduction motivates: one radio terminal concurrently serving
 // a WiFi-style CCM link, a satellite GCM link, a latency-sensitive CTR
 // voice stream and an authentication-only telemetry stream, all through
-// one 4-core MCCP.
+// one 4-core MCCP behind the asynchronous host driver.
 //
 //   $ ./build/examples/multichannel_radio
 #include <cstdio>
-#include <map>
 #include <vector>
 
-#include "radio/radio.h"
+#include "host/engine.h"
 #include "radio/traffic.h"
 
 using namespace mccp;
 
 int main() {
-  radio::Radio radio({.num_cores = 4, .ccm_mapping = top::CcmMapping::kSingleCore});
+  host::Engine engine(
+      {.num_devices = 1, .device = {.num_cores = 4, .ccm_mapping = top::CcmMapping::kSingleCore}});
   Rng rng(7);
 
   std::vector<radio::ChannelProfile> profiles = {
@@ -25,68 +25,64 @@ int main() {
       radio::telemetry_cbcmac_profile(),
   };
 
-  std::vector<radio::ChannelHandle> channels;
+  std::vector<host::Channel> channels;
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     auto key_id = static_cast<top::KeyId>(i + 1);
-    radio.provision_key(key_id, rng.bytes(profiles[i].key_len));
-    auto ch = radio.open_channel(profiles[i].mode, key_id, profiles[i].tag_len,
-                                 profiles[i].nonce_len);
+    engine.provision_key(key_id, rng.bytes(profiles[i].key_len));
+    auto ch = engine.open_channel(profiles[i].mode, key_id, profiles[i].tag_len,
+                                  profiles[i].nonce_len);
     if (!ch) {
       std::printf("failed to open %s\n", profiles[i].name.c_str());
       return 1;
     }
-    channels.push_back(*ch);
     std::printf("opened %-18s (channel %u, key %u, %zu-bit AES)\n", profiles[i].name.c_str(),
-                ch->id, key_id, profiles[i].key_len * 8);
+                ch.id(), key_id, profiles[i].key_len * 8);
+    channels.push_back(std::move(ch));
   }
 
-  // 40 packets round-robin across the four standards.
+  // 40 packets round-robin across the four standards, all in flight at
+  // once; the driver multiplexes them over the single control port.
   auto packets = radio::generate_mix(profiles, 40, /*seed=*/99);
-  struct Stat {
-    std::size_t packets = 0, bytes = 0;
-    double latency_cycles = 0;
-  };
-  std::map<std::size_t, Stat> stats;
-  std::vector<std::pair<radio::JobId, std::size_t>> jobs;
+  std::vector<host::Completion> jobs;
+  bool failed = false;
 
-  sim::Cycle start = radio.sim().now();
-  for (const auto& pkt : packets)
-    jobs.push_back({radio.submit_encrypt(channels[pkt.profile_index], pkt.iv_or_nonce,
-                                         pkt.aad, pkt.payload),
-                    pkt.profile_index});
-  radio.run_until_idle();
-  sim::Cycle makespan = radio.sim().now() - start;
-
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const auto& r = radio.result(jobs[i].first);
-    if (!r.complete || !r.auth_ok) {
-      std::printf("packet %zu failed!\n", i);
-      return 1;
-    }
-    Stat& s = stats[jobs[i].second];
-    ++s.packets;
-    s.bytes += packets[i].payload.size();
-    s.latency_cycles += static_cast<double>(r.complete_cycle - r.accept_cycle);
+  sim::Cycle start = engine.max_cycle();
+  for (const auto& pkt : packets) {
+    auto job = engine.submit_encrypt(channels[pkt.profile_index], pkt.iv_or_nonce, pkt.aad,
+                                     pkt.payload);
+    job.on_done([&failed](const host::JobResult& r) {
+      if (!r.complete || !r.auth_ok) failed = true;
+    });
+    jobs.push_back(std::move(job));
+  }
+  engine.wait_all();
+  sim::Cycle makespan = engine.max_cycle() - start;
+  if (failed) {
+    std::printf("a packet failed!\n");
+    return 1;
   }
 
+  std::uint64_t total_bytes = 0;
+  for (const auto& ch : channels) total_bytes += ch.stats().payload_bytes;
   std::printf("\n%zu packets, makespan %.1f us at 190 MHz\n", packets.size(),
               static_cast<double>(makespan) / 190.0);
   std::printf("aggregate goodput: %.1f Mbps\n\n",
-              sim::throughput_mbps([&] {
-                std::size_t total = 0;
-                for (auto& [_, s] : stats) total += s.bytes;
-                return static_cast<std::uint64_t>(total) * 8;
-              }(), makespan));
+              sim::throughput_mbps(total_bytes * 8, makespan));
 
+  // Per-channel statistics come straight off the RAII handles now.
   std::printf("%-18s %-9s %-10s %-18s\n", "standard", "packets", "kB", "mean latency (us)");
-  for (auto& [idx, s] : stats)
-    std::printf("%-18s %-9zu %-10.1f %-18.1f\n", profiles[idx].name.c_str(), s.packets,
-                static_cast<double>(s.bytes) / 1024.0,
-                s.latency_cycles / static_cast<double>(s.packets) / 190.0);
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const host::ChannelStats& s = channels[i].stats();
+    std::printf("%-18s %-9llu %-10.1f %-18.1f\n", profiles[i].name.c_str(),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<double>(s.payload_bytes) / 1024.0,
+                s.mean_service_latency_cycles() / 190.0);
+  }
 
   std::printf("\nper-core utilisation:\n");
-  for (std::size_t i = 0; i < radio.mccp().num_cores(); ++i) {
-    const auto& c = radio.mccp().core(i);
+  top::Mccp& mccp = engine.sim_device(0)->mccp();
+  for (std::size_t i = 0; i < mccp.num_cores(); ++i) {
+    const auto& c = mccp.core(i);
     std::printf("  core %zu: %llu tasks, %llu busy cycles, %llu AES blocks\n", i,
                 static_cast<unsigned long long>(c.tasks_completed()),
                 static_cast<unsigned long long>(c.busy_cycles()),

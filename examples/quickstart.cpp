@@ -1,6 +1,6 @@
-// Quickstart: provision a key, open an AES-GCM channel, push one packet
-// through the 4-core MCCP, and check the result against the software
-// reference.
+// Quickstart: provision a key, open an AES-GCM channel through the
+// asynchronous host driver, push one packet through the 4-core MCCP, and
+// check the result against the software reference.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
@@ -8,40 +8,47 @@
 #include "common/hex.h"
 #include "common/rng.h"
 #include "crypto/gcm.h"
-#include "radio/radio.h"
+#include "host/engine.h"
 
 using namespace mccp;
 
 int main() {
-  // The platform: 4 cryptographic cores, the paper's configuration.
-  radio::Radio radio({.num_cores = 4});
+  // The host driver: one simulated MCCP device with 4 cryptographic cores,
+  // the paper's configuration. (num_devices > 1 shards channels across a
+  // fleet — see examples/fleet.)
+  host::Engine engine({.num_devices = 1, .device = {.num_cores = 4}});
 
   // Main-controller duty: provision a session key into the Key Memory.
   // (The MCCP itself can never read or write this memory directly.)
   Rng rng(2026);
   Bytes session_key = rng.bytes(16);
-  radio.provision_key(/*key id=*/1, session_key);
+  engine.provision_key(/*key id=*/1, session_key);
 
-  // OPEN an AES-128-GCM channel (control protocol, SIII.B).
-  auto channel = radio.open_channel(radio::ChannelMode::kGcm, /*key=*/1,
-                                    /*tag_len=*/16, /*nonce_len=*/12);
+  // OPEN an AES-128-GCM channel (control protocol, SIII.B). The handle is
+  // RAII: going out of scope CLOSEs the channel on its device.
+  host::Channel channel = engine.open_channel(host::ChannelMode::kGcm, /*key=*/1,
+                                              /*tag_len=*/16, /*nonce_len=*/12);
   if (!channel) {
-    std::printf("OPEN failed (error 0x%02x)\n", radio.last_error());
+    std::printf("OPEN failed (error 0x%02x)\n", engine.last_error());
     return 1;
   }
-  std::printf("channel %u open (AES-128-GCM)\n", channel->id);
+  std::printf("channel %u open (AES-128-GCM) on device %zu\n", channel.id(),
+              channel.device_index());
 
-  // ENCRYPT one 512-byte packet.
+  // ENCRYPT one 512-byte packet. submit_encrypt is asynchronous: it returns
+  // a Completion immediately; on_done registers a callback that fires
+  // exactly once when the device retires the packet.
   Bytes iv = rng.bytes(12);
   Bytes aad = rng.bytes(20);     // authenticated-only header
   Bytes payload = rng.bytes(512);
-  radio::JobId job = radio.submit_encrypt(*channel, iv, aad, payload);
-  radio.run_until_idle();
+  host::Completion job = engine.submit_encrypt(channel, iv, aad, payload);
+  job.on_done([](const host::JobResult& r) {
+    std::printf("[callback] packet processed in %llu cycles (%.1f us at 190 MHz)\n",
+                static_cast<unsigned long long>(r.complete_cycle - r.accept_cycle),
+                static_cast<double>(r.complete_cycle - r.accept_cycle) / 190.0);
+  });
+  const host::JobResult& r = job.wait();  // advance the engine until done
 
-  const radio::JobResult& r = radio.result(job);
-  std::printf("packet processed in %llu cycles (%.1f us at 190 MHz)\n",
-              static_cast<unsigned long long>(r.complete_cycle - r.accept_cycle),
-              static_cast<double>(r.complete_cycle - r.accept_cycle) / 190.0);
   std::printf("ciphertext[0..15] = %s...\n",
               to_hex(ByteSpan(r.payload).subspan(0, 16)).c_str());
   std::printf("tag               = %s\n", to_hex(r.tag).c_str());
@@ -53,12 +60,16 @@ int main() {
   std::printf("matches software AES-GCM reference: %s\n", match ? "yes" : "NO");
 
   // And decrypt it back through the MCCP.
-  radio::JobId dec = radio.submit_decrypt(*channel, iv, aad, r.payload, r.tag);
-  radio.run_until_idle();
-  const radio::JobResult& d = radio.result(dec);
+  const host::JobResult& d =
+      engine.submit_decrypt(channel, iv, aad, r.payload, r.tag).wait();
   std::printf("decrypt: auth %s, plaintext %s\n", d.auth_ok ? "OK" : "FAILED",
               d.payload == payload ? "recovered" : "MISMATCH");
 
-  radio.close_channel(*channel);
+  // Per-channel statistics accumulated by the driver.
+  const host::ChannelStats& s = channel.stats();
+  std::printf("channel stats: %llu jobs, %llu bytes, %.0f cycles mean service latency\n",
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.payload_bytes),
+              s.mean_service_latency_cycles());
   return match && d.auth_ok ? 0 : 1;
 }

@@ -15,7 +15,7 @@
 #include "common/hex.h"
 #include "common/rng.h"
 #include "crypto/whirlpool.h"
-#include "radio/radio.h"
+#include "host/engine.h"
 #include "reconfig/reconfig.h"
 
 using namespace mccp;
@@ -23,46 +23,45 @@ using reconfig::BitstreamStore;
 using reconfig::CoreImage;
 
 int main() {
-  radio::Radio radio({.num_cores = 4});
+  host::Engine engine({.num_devices = 1, .device = {.num_cores = 4}});
+  host::SimDevice& dev = *engine.sim_device(0);
   Rng rng(11);
-  radio.provision_key(1, rng.bytes(16));
-  auto gcm = radio.open_channel(radio::ChannelMode::kGcm, 1, 16, 12);
+  engine.provision_key(1, rng.bytes(16));
+  auto gcm = engine.open_channel(host::ChannelMode::kGcm, 1, 16, 12);
   if (!gcm) return 1;
 
   // Kick off the swap of core 3 from the RAM-cached bitstream.
-  auto swap_cycles = radio.mccp().begin_core_reconfiguration(3, CoreImage::kWhirlpool,
-                                                             BitstreamStore::kRam);
+  auto swap_cycles =
+      dev.mccp().begin_core_reconfiguration(3, CoreImage::kWhirlpool, BitstreamStore::kRam);
   if (!swap_cycles) return 1;
   std::printf("reconfiguring core 3 -> Whirlpool: %llu cycles = %.1f ms (Table IV: 69 ms)\n",
               static_cast<unsigned long long>(*swap_cycles),
               static_cast<double>(*swap_cycles) / 190e3);
 
   // While the region reconfigures, the OTHER cores keep serving traffic.
-  std::vector<radio::JobId> jobs;
-  for (int i = 0; i < 8; ++i)
-    jobs.push_back(radio.submit_encrypt(*gcm, rng.bytes(12), {}, rng.bytes(1024)));
-  radio.run_until_idle();
   std::size_t done = 0;
-  for (auto id : jobs)
-    if (radio.result(id).complete && radio.result(id).auth_ok) ++done;
-  std::printf("during the swap, cores 0-2 completed %zu/%zu GCM packets\n", done, jobs.size());
+  for (int i = 0; i < 8; ++i)
+    engine.submit_encrypt(gcm, rng.bytes(12), {}, rng.bytes(1024))
+        .on_done([&done](const host::JobResult& r) {
+          if (r.complete && r.auth_ok) ++done;
+        });
+  engine.wait_all();
+  std::printf("during the swap, cores 0-2 completed %zu/8 GCM packets\n", done);
   std::printf("core 3 still reconfiguring: %s\n",
-              radio.mccp().core_reconfiguring(3) ? "yes" : "no");
+              dev.mccp().core_reconfiguring(3) ? "yes" : "no");
 
   // Wait out the remainder of the bitstream transfer.
-  radio.run(*swap_cycles);
-  std::printf("core 3 image now: %s\n", reconfig::image_name(radio.mccp().core_image(3)));
+  engine.run(*swap_cycles);
+  std::printf("core 3 image now: %s\n", reconfig::image_name(dev.mccp().core_image(3)));
 
   // Open a hash channel; the scheduler maps it onto the Whirlpool core.
-  auto wp = radio.open_channel(radio::ChannelMode::kWhirlpool, 0);
+  auto wp = engine.open_channel(host::ChannelMode::kWhirlpool, 0);
   if (!wp) {
-    std::printf("failed to open hash channel (0x%02x)\n", radio.last_error());
+    std::printf("failed to open hash channel (0x%02x)\n", engine.last_error());
     return 1;
   }
   Bytes blob = rng.bytes(4096);
-  radio::JobId h = radio.submit_encrypt(*wp, {}, {}, blob);
-  radio.run_until_idle();
-  const auto& r = radio.result(h);
+  const auto& r = engine.submit_encrypt(wp, {}, {}, blob).wait();
   auto ref = crypto::whirlpool(blob);
   bool match = r.payload == Bytes(ref.begin(), ref.end());
   std::printf("Whirlpool(4 KB firmware blob) = %s... (%s, %.1f us on-core)\n",
@@ -71,14 +70,14 @@ int main() {
               static_cast<double>(r.complete_cycle - r.accept_cycle) / 190.0);
 
   // Swap AES back in from CompactFlash to show the cost of a cache miss.
-  auto cf_cycles = radio.mccp().begin_core_reconfiguration(3, CoreImage::kAesEncryptWithKs,
-                                                           BitstreamStore::kCompactFlash);
+  auto cf_cycles = dev.mccp().begin_core_reconfiguration(3, CoreImage::kAesEncryptWithKs,
+                                                         BitstreamStore::kCompactFlash);
   if (!cf_cycles) return 1;
   std::printf("restoring AES from CompactFlash: %.1f ms (Table IV: 380 ms) — %.0fx slower "
               "than the RAM cache\n",
               static_cast<double>(*cf_cycles) / 190e3,
               static_cast<double>(*cf_cycles) / static_cast<double>(*swap_cycles) * 89.0 / 97.0);
-  radio.run(*cf_cycles + 2);
-  std::printf("core 3 restored to: %s\n", reconfig::image_name(radio.mccp().core_image(3)));
+  engine.run(*cf_cycles + 2);
+  std::printf("core 3 restored to: %s\n", reconfig::image_name(dev.mccp().core_image(3)));
   return match ? 0 : 1;
 }

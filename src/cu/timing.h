@@ -1,5 +1,19 @@
 // Cycle calibration of the Cryptographic Unit (paper SV and SVII.A).
 //
+// NOTE on the two timing headers: the cycle model is deliberately split by
+// hardware layer, mirroring the paper's decomposition, and this is the
+// single source of truth for everything *inside* a Cryptographic Unit:
+//   * cu/timing.h   (this file, namespace mccp::cu)  — CU datapath
+//     instruction costs: I/O beats, AES/GHASH background latencies,
+//     XOR/INC, Whirlpool compression. Locked by
+//     tests/core/loop_timing_test.cpp.
+//   * mccp/timing.h (namespace mccp::top) — MCCP top-level software/
+//     hardware overheads: Task Scheduler control-instruction latency,
+//     done-polling, Key Scheduler expansion. Amortized over whole packets.
+// The two layers never redefine each other's constants; host-layer code
+// (host::Engine / host::SimDevice) includes neither and observes timing
+// only through the simulated device clocks.
+//
 // Fixed points taken from the paper:
 //   * AES block latency: 44 / 52 / 60 cycles for 128 / 192 / 256-bit keys
 //     (Chodowiec-Gaj iterative 32-bit core, SV.A).

@@ -1,0 +1,76 @@
+// RAII channel handles and per-channel statistics.
+//
+// `Engine::open_channel()` returns a `Channel` that owns the device-side
+// channel slot: destroying (or move-assigning over) the handle issues the
+// CLOSE instruction, so channel slots can never leak — the device's 64-entry
+// channel table is reclaimed deterministically. The engine records
+// per-channel traffic statistics (throughput, busy rejections, retry and
+// service latency) keyed by the handle.
+#pragma once
+
+#include <cstdint>
+
+#include "host/device.h"
+
+namespace mccp::host {
+
+class Engine;
+
+struct ChannelStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  // completed with auth_ok == false
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t rejections = 0;             // busy-error retries across all jobs
+  std::uint64_t retry_latency_cycles = 0;   // submit -> accept, summed
+  std::uint64_t service_latency_cycles = 0; // accept -> complete, summed
+  sim::Cycle first_submit_cycle = 0;
+  sim::Cycle last_complete_cycle = 0;
+
+  double mean_retry_latency_cycles() const {
+    return completed ? static_cast<double>(retry_latency_cycles) / completed : 0.0;
+  }
+  double mean_service_latency_cycles() const {
+    return completed ? static_cast<double>(service_latency_cycles) / completed : 0.0;
+  }
+  /// Goodput over the channel's active window (first submit to last
+  /// completion), in Mbps at the paper's 190 MHz operating point.
+  double throughput_mbps() const;
+};
+
+class Channel {
+ public:
+  Channel() = default;  // invalid handle
+  Channel(Channel&& other) noexcept { *this = std::move(other); }
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  /// Auto-CLOSE: releases the device channel slot.
+  ~Channel() { close(); }
+
+  bool valid() const { return engine_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  const ChannelInfo& info() const { return info_; }
+  std::uint8_t id() const { return info_.id; }
+  ChannelMode mode() const { return info_.mode; }
+  /// Which engine device this channel was placed on.
+  std::size_t device_index() const { return device_; }
+
+  const ChannelStats& stats() const;
+
+  /// Explicit early close (idempotent; also run by the destructor).
+  void close();
+
+ private:
+  friend class Engine;
+  Channel(Engine* engine, std::uint64_t uid, std::size_t device, ChannelInfo info)
+      : engine_(engine), uid_(uid), device_(device), info_(info) {}
+
+  Engine* engine_ = nullptr;  // engine must outlive its channels
+  std::uint64_t uid_ = 0;
+  std::size_t device_ = 0;
+  ChannelInfo info_{};
+};
+
+}  // namespace mccp::host

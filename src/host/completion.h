@@ -1,0 +1,66 @@
+// Completion: the async handle `Engine::submit_*` returns.
+//
+// Replaces the Radio facade's global `run_until_idle()` rendezvous with
+// per-job completion: poll with `done()`, block with `wait()` (which
+// advances the engine), or register `on_done` callbacks — each registered
+// callback fires exactly once, from inside `Engine::step()` when the
+// device reports the job complete (or immediately if it already has).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "host/device.h"
+
+namespace mccp::host {
+
+class Engine;
+
+/// Engine-global job identifier (unique across all devices).
+using JobId = std::uint64_t;
+
+namespace detail {
+
+struct JobState {
+  JobId id = 0;
+  std::size_t device = 0;
+  DeviceJobId device_job = 0;
+  std::uint64_t channel_uid = 0;  // 0 = raw submit (no stats channel)
+  bool done = false;
+  JobResult result;  // final copy once done
+  std::vector<std::function<void(const JobResult&)>> callbacks;
+};
+
+}  // namespace detail
+
+class Completion {
+ public:
+  Completion() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  JobId id() const { return state_ ? state_->id : 0; }
+  bool done() const { return state_ && state_->done; }
+
+  /// Final result; throws std::logic_error while still in flight.
+  const JobResult& result() const;
+
+  /// Register a callback; fires exactly once — immediately if the job is
+  /// already done, otherwise from Engine::step() on completion.
+  void on_done(std::function<void(const JobResult&)> fn);
+
+  /// Advance the engine until this job completes (or throw after
+  /// max_cycles of device time).
+  const JobResult& wait(sim::Cycle max_cycles = 100'000'000);
+
+ private:
+  friend class Engine;
+  Completion(Engine* engine, std::shared_ptr<detail::JobState> state)
+      : engine_(engine), state_(std::move(state)) {}
+
+  Engine* engine_ = nullptr;
+  std::shared_ptr<detail::JobState> state_;
+};
+
+}  // namespace mccp::host

@@ -1,0 +1,108 @@
+// The host driver's device abstraction.
+//
+// The paper's MCCP "is embedded in a much larger platform including one main
+// controller and one communication controller" (SIII.A), and the
+// architecture "is scalable; the number of embedded crypto-cores may vary".
+// Production deployments scale one step further: a fleet of MCCP devices
+// behind one host driver. `Device` is the stable seam between that driver
+// (`host::Engine`) and whatever sits underneath — the cycle-accurate
+// simulator today (`SimDevice`), RTL co-simulation or real PCIe/AXI hardware
+// later. Everything above this interface is transport-agnostic.
+//
+// A Device bundles one MCCP's control port (the 4-step instruction protocol
+// of SIII.B) with its crossbar pump (packet formatting, lane streaming,
+// Data-Available service, output draining). Control-plane calls complete
+// synchronously; the data plane is asynchronous: `submit()` queues a job and
+// returns immediately, `step()` advances the device one scheduling round,
+// and `result()` exposes the job's live state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "mccp/control.h"
+#include "mccp/key_store.h"
+#include "sim/clocked.h"
+
+namespace mccp::host {
+
+using top::ChannelMode;
+
+/// Descriptor of an open channel on one device. Plain data — the RAII
+/// `host::Channel` wraps one of these; the legacy `radio::ChannelHandle` is
+/// an alias for it.
+struct ChannelInfo {
+  std::uint8_t id = 0;
+  ChannelMode mode{};
+  top::KeyId key_id = 0;
+  std::uint8_t tag_len = 16;
+  std::uint8_t nonce_len = 13;  // CCM only
+};
+
+/// Device-local job identifier (dense, per-device).
+using DeviceJobId = std::uint64_t;
+
+/// Final (or in-flight partial) state of a transferred packet.
+struct JobResult {
+  bool complete = false;
+  bool auth_ok = true;
+  Bytes payload;          // ciphertext (encrypt) or plaintext (decrypt)
+  Bytes tag;              // encrypt only
+  sim::Cycle submit_cycle = 0;
+  sim::Cycle accept_cycle = 0;    // ENCRYPT/DECRYPT acknowledged
+  sim::Cycle complete_cycle = 0;  // TRANSFER_DONE acknowledged
+  std::uint32_t rejections = 0;   // busy-error retries before acceptance
+};
+
+/// Everything the device needs to run one packet.
+struct JobSpec {
+  ChannelInfo channel;
+  bool decrypt = false;
+  Bytes iv_or_nonce;
+  Bytes aad;
+  Bytes payload;
+  Bytes tag;  // decrypt only
+  /// 0 = most urgent; equal priorities are served in arrival order
+  /// (SIII.C); distinct priorities implement the SVIII QoS extension.
+  unsigned priority = 128;
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+  virtual std::string name() const = 0;
+
+  // -- main-controller duties (red/black boundary, SIII.A) --------------------
+  virtual void provision_key(top::KeyId id, Bytes session_key) = 0;
+
+  // -- control plane (each call runs the 4-step protocol to completion) -------
+  virtual std::optional<ChannelInfo> open_channel(ChannelMode mode, top::KeyId key,
+                                                  unsigned tag_len = 16,
+                                                  unsigned nonce_len = 13) = 0;
+  virtual bool close_channel(std::uint8_t channel_id) = 0;
+  /// Return-register value of the last control instruction.
+  virtual std::uint8_t last_error() const = 0;
+
+  // -- data plane (asynchronous) ----------------------------------------------
+  /// Queue a packet; never blocks. Errors (unknown channel, ...) surface on
+  /// the job itself: it completes with `auth_ok == false`.
+  virtual DeviceJobId submit(JobSpec spec) = 0;
+  /// Advance one scheduling round: service interrupts, drain outputs, issue
+  /// the next pending instruction, tick the clock at least once.
+  virtual void step() = 0;
+  virtual bool idle() const = 0;
+  /// Live view of a job (partial until `complete`); nullptr if unknown.
+  virtual const JobResult* result(DeviceJobId id) const = 0;
+  /// Drop a completed job's bookkeeping (the Engine copies results out).
+  virtual void forget(DeviceJobId id) = 0;
+
+  // -- introspection ----------------------------------------------------------
+  virtual sim::Cycle now() const = 0;
+  virtual std::size_t num_cores() const = 0;
+  virtual std::size_t inflight() const = 0;
+  virtual std::size_t open_channel_count() const = 0;
+};
+
+}  // namespace mccp::host

@@ -1,0 +1,339 @@
+#include "host/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace mccp::host {
+
+// ---- Completion -------------------------------------------------------------
+
+const JobResult& Completion::result() const {
+  if (!state_) throw std::logic_error("Completion::result: invalid (default) completion");
+  if (!state_->done)
+    throw std::logic_error("Completion::result: job " + std::to_string(state_->id) +
+                           " still in flight; poll done() or wait() first");
+  return state_->result;
+}
+
+void Completion::on_done(std::function<void(const JobResult&)> fn) {
+  if (!state_) throw std::logic_error("Completion::on_done: invalid (default) completion");
+  if (state_->done) {
+    fn(state_->result);  // already complete: fire immediately, exactly once
+    return;
+  }
+  state_->callbacks.push_back(std::move(fn));
+}
+
+const JobResult& Completion::wait(sim::Cycle max_cycles) {
+  if (!state_ || engine_ == nullptr)
+    throw std::logic_error("Completion::wait: invalid (default) completion");
+  sim::Cycle start = engine_->max_cycle();
+  while (!state_->done) {
+    if (engine_->max_cycle() - start > max_cycles)
+      throw std::runtime_error("Completion::wait: job " + std::to_string(state_->id) +
+                               " did not complete within max_cycles");
+    engine_->step();
+  }
+  return state_->result;
+}
+
+// ---- ChannelStats / Channel -------------------------------------------------
+
+double ChannelStats::throughput_mbps() const {
+  if (last_complete_cycle <= first_submit_cycle) return 0.0;
+  return sim::throughput_mbps(payload_bytes * 8, last_complete_cycle - first_submit_cycle);
+}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    engine_ = std::exchange(other.engine_, nullptr);
+    uid_ = std::exchange(other.uid_, 0);
+    device_ = std::exchange(other.device_, 0);
+    info_ = other.info_;
+  }
+  return *this;
+}
+
+void Channel::close() {
+  if (engine_ != nullptr) {
+    engine_->release_channel(uid_);
+    engine_ = nullptr;
+    uid_ = 0;
+  }
+}
+
+const ChannelStats& Channel::stats() const {
+  static const ChannelStats kEmpty{};
+  if (engine_ == nullptr) return kEmpty;
+  const ChannelStats* s = engine_->channel_stats(uid_);
+  return s != nullptr ? *s : kEmpty;
+}
+
+// ---- Engine -----------------------------------------------------------------
+
+Engine::Engine(const EngineConfig& config) : placement_(config.placement) {
+  std::size_t n = std::max<std::size_t>(1, config.num_devices);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto dev = std::make_unique<SimDevice>(config.device, "mccp" + std::to_string(i));
+    sim_devices_.push_back(dev.get());
+    devices_.push_back(std::move(dev));
+  }
+}
+
+Engine::Engine(std::vector<std::unique_ptr<Device>> devices, Placement placement)
+    : devices_(std::move(devices)), placement_(placement) {
+  if (devices_.empty()) throw std::invalid_argument("Engine: need at least one device");
+  for (auto& d : devices_) sim_devices_.push_back(dynamic_cast<SimDevice*>(d.get()));
+}
+
+Engine::~Engine() = default;
+
+void Engine::provision_key(top::KeyId id, const Bytes& session_key) {
+  for (auto& d : devices_) d->provision_key(id, session_key);
+}
+
+std::size_t Engine::device_load(std::size_t i) const {
+  return devices_[i]->inflight() + devices_[i]->open_channel_count();
+}
+
+std::size_t Engine::pick_device(ChannelMode mode) const {
+  switch (placement_) {
+    case Placement::kRoundRobin:
+      return rr_next_ % devices_.size();
+    case Placement::kLeastLoaded: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < devices_.size(); ++i)
+        if (device_load(i) < device_load(best)) best = i;
+      return best;
+    }
+    case Placement::kModeAffinity: {
+      // Prefer the least-loaded device already hosting this mode, so one
+      // mode's channels cluster (warm key caches, mode-specific images);
+      // first channel of a mode lands on its static home slot.
+      std::size_t best = devices_.size();
+      for (const auto& [uid, rec] : channels_)
+        if (rec.open && rec.info.mode == mode)
+          if (best == devices_.size() || device_load(rec.device) < device_load(best))
+            best = rec.device;
+      if (best < devices_.size()) return best;
+      return static_cast<std::size_t>(mode) % devices_.size();
+    }
+  }
+  return 0;
+}
+
+Channel Engine::open_channel(ChannelMode mode, top::KeyId key, unsigned tag_len,
+                             unsigned nonce_len) {
+  std::size_t first = pick_device(mode);
+  for (std::size_t k = 0; k < devices_.size(); ++k) {
+    std::size_t idx = (first + k) % devices_.size();
+    auto info = devices_[idx]->open_channel(mode, key, tag_len, nonce_len);
+    last_rr_ = devices_[idx]->last_error();
+    if (info) {
+      if (placement_ == Placement::kRoundRobin) rr_next_ = idx + 1;
+      std::uint64_t uid = next_channel_uid_++;
+      channels_[uid] = ChannelRecord{idx, *info, {}, true};
+      return Channel(this, uid, idx, *info);
+    }
+    // Key errors are global (keys are broadcast): trying another device
+    // cannot help, so fail fast with the real error code.
+    if (top::return_error(last_rr_) == top::ControlError::kNoKey) break;
+  }
+  return Channel{};
+}
+
+void Engine::release_channel(std::uint64_t uid) {
+  auto it = channels_.find(uid);
+  if (it == channels_.end() || !it->second.open) return;
+  devices_[it->second.device]->close_channel(it->second.info.id);
+  it->second.open = false;
+}
+
+const ChannelStats* Engine::channel_stats(std::uint64_t uid) const {
+  auto it = channels_.find(uid);
+  return it == channels_.end() ? nullptr : &it->second.stats;
+}
+
+Completion Engine::submit(const Channel& ch, JobSpec spec) {
+  if (!ch.valid() || ch.engine_ != this)
+    throw std::invalid_argument("Engine::submit: invalid or foreign channel handle");
+  spec.channel = ch.info();
+
+  auto st = std::make_shared<detail::JobState>();
+  st->id = next_job_++;
+  st->device = ch.device_index();
+  st->channel_uid = ch.uid_;
+
+  ChannelRecord& rec = channels_.at(ch.uid_);
+  if (rec.stats.submitted == 0) rec.stats.first_submit_cycle = devices_[st->device]->now();
+  ++rec.stats.submitted;
+  rec.stats.payload_bytes += spec.payload.size();
+
+  st->device_job = devices_[st->device]->submit(std::move(spec));
+  jobs_[st->id] = st;
+  inflight_.push_back(st);
+  return Completion(this, st);
+}
+
+Completion Engine::submit_encrypt(const Channel& ch, Bytes iv_or_nonce, Bytes aad,
+                                  Bytes plaintext, unsigned priority) {
+  JobSpec spec;
+  spec.decrypt = false;
+  spec.iv_or_nonce = std::move(iv_or_nonce);
+  spec.aad = std::move(aad);
+  spec.payload = std::move(plaintext);
+  spec.priority = priority;
+  return submit(ch, std::move(spec));
+}
+
+Completion Engine::submit_decrypt(const Channel& ch, Bytes iv_or_nonce, Bytes aad,
+                                  Bytes ciphertext, Bytes tag, unsigned priority) {
+  JobSpec spec;
+  spec.decrypt = true;
+  spec.iv_or_nonce = std::move(iv_or_nonce);
+  spec.aad = std::move(aad);
+  spec.payload = std::move(ciphertext);
+  spec.tag = std::move(tag);
+  spec.priority = priority;
+  return submit(ch, std::move(spec));
+}
+
+Completion Engine::submit_raw(std::size_t device_index, const ChannelInfo& channel,
+                              JobSpec spec) {
+  if (device_index >= devices_.size())
+    throw std::out_of_range("Engine::submit_raw: no device " + std::to_string(device_index));
+  spec.channel = channel;
+  auto st = std::make_shared<detail::JobState>();
+  st->id = next_job_++;
+  st->device = device_index;
+  st->device_job = devices_[device_index]->submit(std::move(spec));
+  jobs_[st->id] = st;
+  inflight_.push_back(st);
+  return Completion(this, st);
+}
+
+void Engine::finish_job(detail::JobState& st, const JobResult& result) {
+  // `result` may alias the device's own bookkeeping, so copy first and
+  // only forget() once nothing reads through the reference anymore.
+  st.result = result;
+  st.done = true;
+
+  if (st.channel_uid != 0) {
+    auto it = channels_.find(st.channel_uid);
+    if (it != channels_.end()) {
+      ChannelStats& s = it->second.stats;
+      ++s.completed;
+      if (!result.auth_ok) ++s.failed;
+      s.rejections += result.rejections;
+      // A job rejected unrecoverably (e.g. its channel was closed while it
+      // queued) completes with accept_cycle still 0: it has no retry or
+      // service latency to account.
+      if (result.accept_cycle >= result.submit_cycle && result.accept_cycle > 0) {
+        s.retry_latency_cycles += result.accept_cycle - result.submit_cycle;
+        s.service_latency_cycles += result.complete_cycle - result.accept_cycle;
+      }
+      s.last_complete_cycle = std::max(s.last_complete_cycle, result.complete_cycle);
+    }
+  }
+  devices_[st.device]->forget(st.device_job);
+
+  // Fire callbacks exactly once: detach the list before invoking so a
+  // callback registering further work cannot re-trigger this batch.
+  auto callbacks = std::move(st.callbacks);
+  st.callbacks.clear();
+  for (auto& fn : callbacks) fn(st.result);
+}
+
+void Engine::poll_completions() {
+  // An on_done callback may legally re-enter the engine (Completion::wait
+  // on another job calls step() -> poll_completions()), mutating inflight_
+  // under us. Detach each completed entry from inflight_ *before* running
+  // its callbacks, and restart the scan afterwards — indices are stale once
+  // a callback has run.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < inflight_.size(); ++i) {
+      std::shared_ptr<detail::JobState> st = inflight_[i];
+      const JobResult* r = devices_[st->device]->result(st->device_job);
+      if (r != nullptr && r->complete) {
+        inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(i));
+        finish_job(*st, *r);
+        progress = true;
+        break;
+      }
+    }
+  }
+}
+
+void Engine::step() {
+  for (auto& d : devices_) d->step();
+  poll_completions();
+}
+
+void Engine::run(sim::Cycle n) {
+  for (sim::Cycle i = 0; i < n; ++i) step();
+}
+
+bool Engine::idle() const {
+  if (!inflight_.empty()) return false;
+  for (const auto& d : devices_)
+    if (!d->idle()) return false;
+  return true;
+}
+
+void Engine::wait_all(sim::Cycle max_cycles) {
+  sim::Cycle start = max_cycle();
+  while (!idle()) {
+    if (max_cycle() - start > max_cycles)
+      throw std::runtime_error("Engine::wait_all: jobs did not complete within max_cycles");
+    step();
+  }
+}
+
+Engine::ResultStatus Engine::status(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return ResultStatus::kUnknown;
+  return it->second->done ? ResultStatus::kComplete : ResultStatus::kPending;
+}
+
+const JobResult* Engine::find_result(JobId id) const {
+  auto it = jobs_.find(id);
+  return it != jobs_.end() && it->second->done ? &it->second->result : nullptr;
+}
+
+const JobResult* Engine::peek(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return nullptr;
+  if (it->second->done) return &it->second->result;
+  return devices_[it->second->device]->result(it->second->device_job);
+}
+
+const JobResult& Engine::result(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    throw std::out_of_range("Engine::result: unknown JobId " + std::to_string(id) +
+                            " (never issued by this engine)");
+  if (!it->second->done)
+    throw std::out_of_range("Engine::result: JobId " + std::to_string(id) +
+                            " is still in flight; use wait()/step() or peek()");
+  return it->second->result;
+}
+
+sim::Cycle Engine::max_cycle() const {
+  sim::Cycle m = 0;
+  for (const auto& d : devices_) m = std::max(m, d->now());
+  return m;
+}
+
+std::size_t Engine::inflight() const {
+  std::size_t n = 0;
+  for (const auto& d : devices_) n += d->inflight();
+  return n;
+}
+
+}  // namespace mccp::host

@@ -1,0 +1,145 @@
+// host::Engine — the asynchronous multi-device host driver.
+//
+// The paper scales the MCCP by varying the number of crypto-cores; a
+// production platform scales one level further, with a fleet of MCCP
+// devices behind one driver. The Engine owns N `host::Device`s, shards
+// channels across them with a pluggable placement policy, multiplexes any
+// number of in-flight jobs, and exposes an asynchronous submit API:
+// `submit_*()` returns a `Completion` token (callbacks + poll/wait) instead
+// of the old blocking `run_until_idle()` rendezvous. RAII `host::Channel`
+// handles auto-CLOSE their device channel slot and carry per-channel
+// statistics.
+//
+// Later scaling work (job batching, work stealing across devices, non-sim
+// backends) plugs into this seam without touching clients.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/channel.h"
+#include "host/completion.h"
+#include "host/device.h"
+#include "host/sim_device.h"
+
+namespace mccp::host {
+
+/// How open_channel() places channels onto devices.
+enum class Placement : std::uint8_t {
+  kRoundRobin,   // rotate through devices
+  kLeastLoaded,  // fewest open channels + in-flight jobs
+  kModeAffinity, // channels of one mode cluster on the same device (warm
+                 // key caches / mode-specific core images), least-loaded
+                 // among devices already serving that mode
+};
+
+struct EngineConfig {
+  std::size_t num_devices = 1;
+  top::MccpConfig device{};  // applied to every simulated device
+  Placement placement = Placement::kRoundRobin;
+};
+
+class Engine {
+ public:
+  /// Build a fleet of `num_devices` identical simulated MCCPs.
+  explicit Engine(const EngineConfig& config);
+  /// Adopt an existing (possibly heterogeneous) fleet.
+  explicit Engine(std::vector<std::unique_ptr<Device>> devices,
+                  Placement placement = Placement::kRoundRobin);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  // -- main-controller duties ---------------------------------------------------
+  /// Provision a session key on every device, so placement is free to put
+  /// any channel anywhere.
+  void provision_key(top::KeyId id, const Bytes& session_key);
+
+  // -- control plane ------------------------------------------------------------
+  /// Open a channel on a device chosen by the placement policy (falling
+  /// back to the other devices if it is out of slots). Returns an invalid
+  /// Channel on failure with the return register in last_error().
+  Channel open_channel(ChannelMode mode, top::KeyId key, unsigned tag_len = 16,
+                       unsigned nonce_len = 13);
+  std::uint8_t last_error() const { return last_rr_; }
+
+  // -- data plane ---------------------------------------------------------------
+  Completion submit_encrypt(const Channel& ch, Bytes iv_or_nonce, Bytes aad, Bytes plaintext,
+                            unsigned priority = 128);
+  Completion submit_decrypt(const Channel& ch, Bytes iv_or_nonce, Bytes aad, Bytes ciphertext,
+                            Bytes tag, unsigned priority = 128);
+  /// Low-level submit against a raw channel descriptor on a specific
+  /// device; no RAII handle or channel stats involved. This is the
+  /// compatibility path the `radio::Radio` shim uses.
+  Completion submit_raw(std::size_t device_index, const ChannelInfo& channel, JobSpec spec);
+
+  /// Advance every device one scheduling round and fire completions.
+  void step();
+  /// `n` engine steps (each >= 1 device cycle).
+  void run(sim::Cycle n);
+  bool idle() const;
+  /// Step until every submitted job completed (or throw after max_cycles
+  /// of device time).
+  void wait_all(sim::Cycle max_cycles = 100'000'000);
+
+  // -- results ------------------------------------------------------------------
+  enum class ResultStatus { kComplete, kPending, kUnknown };
+  ResultStatus status(JobId id) const;
+  /// Final result, or nullptr while pending / unknown (never throws).
+  const JobResult* find_result(JobId id) const;
+  /// Live view: final result once done, the in-flight partial before that;
+  /// nullptr if the id was never issued.
+  const JobResult* peek(JobId id) const;
+  /// Final result; throws std::out_of_range with a distinct, descriptive
+  /// message for unknown vs still-pending ids (never a bare map::at).
+  const JobResult& result(JobId id) const;
+
+  // -- fleet introspection ------------------------------------------------------
+  std::size_t num_devices() const { return devices_.size(); }
+  Device& device(std::size_t i) { return *devices_[i]; }
+  const Device& device(std::size_t i) const { return *devices_[i]; }
+  /// The simulated backend, when this engine was built from an
+  /// EngineConfig (nullptr for adopted non-sim devices).
+  SimDevice* sim_device(std::size_t i) { return sim_devices_[i]; }
+  /// Furthest-ahead device clock (devices advance independently).
+  sim::Cycle max_cycle() const;
+  std::size_t inflight() const;
+  Placement placement() const { return placement_; }
+
+ private:
+  friend class Channel;
+  friend class Completion;
+
+  struct ChannelRecord {
+    std::size_t device = 0;
+    ChannelInfo info{};
+    ChannelStats stats{};
+    bool open = true;
+  };
+
+  std::size_t pick_device(ChannelMode mode) const;
+  std::size_t device_load(std::size_t i) const;
+  Completion submit(const Channel& ch, JobSpec spec);
+  void release_channel(std::uint64_t uid);
+  void poll_completions();
+  void finish_job(detail::JobState& st, const JobResult& result);
+  const ChannelStats* channel_stats(std::uint64_t uid) const;
+
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<SimDevice*> sim_devices_;  // parallel to devices_; null if foreign
+  Placement placement_;
+
+  std::map<std::uint64_t, ChannelRecord> channels_;
+  std::uint64_t next_channel_uid_ = 1;
+  std::size_t rr_next_ = 0;  // round-robin cursor
+
+  std::map<JobId, std::shared_ptr<detail::JobState>> jobs_;
+  std::vector<std::shared_ptr<detail::JobState>> inflight_;
+  JobId next_job_ = 1;
+  std::uint8_t last_rr_ = 0;
+};
+
+}  // namespace mccp::host

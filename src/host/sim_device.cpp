@@ -1,0 +1,258 @@
+#include "host/sim_device.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/ccm.h"
+#include "crypto/whirlpool.h"
+
+namespace mccp::host {
+
+SimDevice::SimDevice(const top::MccpConfig& config, std::string name)
+    : name_(std::move(name)), mccp_(config, key_memory_) {
+  sim_.add(&mccp_);
+}
+
+std::uint8_t SimDevice::run_control(std::uint32_t instruction) {
+  // The four non-interruptible steps of SIII.B. The rest of the platform
+  // (cores, crossbar) keeps running while the scheduler decodes, and the
+  // controller keeps draining read-granted output FIFOs.
+  mccp_.write_instruction(instruction);
+  mccp_.pulse_start();
+  while (!mccp_.instruction_done()) {
+    drain_retrieved();
+    sim_.step();
+  }
+  last_rr_ = mccp_.return_register();
+  return last_rr_;
+}
+
+void SimDevice::drain_retrieved() {
+  for (auto& [id, job] : jobs_)
+    if (job.state == Job::State::kRetrieved) {
+      drain_outputs(job);
+      if (fully_drained(job)) job.state = Job::State::kDrained;
+    }
+}
+
+std::optional<ChannelInfo> SimDevice::open_channel(ChannelMode mode, top::KeyId key,
+                                                   unsigned tag_len, unsigned nonce_len) {
+  std::uint8_t rr = run_control(top::encode_open(mode, key, tag_len, nonce_len));
+  if (top::is_error(rr)) return std::nullopt;
+  ++open_channels_;
+  return ChannelInfo{top::return_id(rr), mode, key, static_cast<std::uint8_t>(tag_len),
+                     static_cast<std::uint8_t>(nonce_len)};
+}
+
+bool SimDevice::close_channel(std::uint8_t channel_id) {
+  bool ok = top::is_ok(run_control(top::encode_close(channel_id)));
+  if (ok && open_channels_ > 0) --open_channels_;
+  return ok;
+}
+
+namespace {
+
+// Instruction header/data fields per mode (the firmware conventions of
+// stream_format.cpp).
+std::pair<std::uint8_t, std::uint8_t> block_fields(const ChannelInfo& ch, std::size_t aad_len,
+                                                   std::size_t payload_len) {
+  switch (ch.mode) {
+    case ChannelMode::kGcm:
+      return {static_cast<std::uint8_t>(core::blocks_of(aad_len)),
+              static_cast<std::uint8_t>(payload_len / 16)};
+    case ChannelMode::kCcm: {
+      Bytes enc = crypto::ccm_encode_aad(Bytes(aad_len, 0));
+      return {static_cast<std::uint8_t>(enc.size() / 16),
+              static_cast<std::uint8_t>(payload_len / 16)};
+    }
+    case ChannelMode::kCtr:
+      return {0, static_cast<std::uint8_t>(payload_len / 16)};
+    case ChannelMode::kCbcMac:
+      return {0, static_cast<std::uint8_t>(payload_len / 16 - 1)};
+    case ChannelMode::kWhirlpool:
+      return {0, static_cast<std::uint8_t>(crypto::whirlpool_padded_len(payload_len) / 64)};
+  }
+  return {0, 0};
+}
+
+}  // namespace
+
+DeviceJobId SimDevice::submit(JobSpec spec) {
+  Job job;
+  job.id = next_job_++;
+  job.spec = std::move(spec);
+  auto [hb, db] = block_fields(job.spec.channel, job.spec.aad.size(), job.spec.payload.size());
+  job.header_blocks = hb;
+  job.data_blocks = db;
+  results_[job.id].submit_cycle = sim_.now();
+  pending_.push_back(job.id);
+  DeviceJobId id = job.id;
+  jobs_[id] = std::move(job);
+  return id;
+}
+
+const JobResult* SimDevice::result(DeviceJobId id) const {
+  auto it = results_.find(id);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+void SimDevice::forget(DeviceJobId id) { results_.erase(id); }
+
+void SimDevice::on_accept(Job& job, std::uint8_t request_id) {
+  job.request_id = request_id;
+  const top::Mccp::RequestInfo* info = mccp_.request_info(request_id);
+  if (info == nullptr) throw std::logic_error("SimDevice: accepted request has no info");
+  job.lanes = info->lanes;
+  job.state = Job::State::kAccepted;
+  results_[job.id].accept_cycle = sim_.now();
+
+  // Now that the core mapping is known, format the per-lane streams
+  // ("the communication controller must format data prior to send").
+  const ChannelInfo& ch = job.spec.channel;
+  const JobSpec& s = job.spec;
+  job.lane_jobs.clear();
+  switch (ch.mode) {
+    case ChannelMode::kGcm:
+      job.lane_jobs.push_back(
+          s.decrypt ? core::format_gcm_decrypt(s.iv_or_nonce, s.aad, s.payload, s.tag)
+                    : core::format_gcm_encrypt(s.iv_or_nonce, s.aad, s.payload, ch.tag_len));
+      break;
+    case ChannelMode::kCcm: {
+      crypto::CcmParams p{ch.tag_len, ch.nonce_len};
+      if (info->split_ccm) {
+        auto split = s.decrypt
+                         ? core::format_ccm2_decrypt(p, s.iv_or_nonce, s.aad, s.payload, s.tag)
+                         : core::format_ccm2_encrypt(p, s.iv_or_nonce, s.aad, s.payload);
+        job.lane_jobs.push_back(std::move(split.ctr));
+        job.lane_jobs.push_back(std::move(split.mac));
+      } else {
+        job.lane_jobs.push_back(
+            s.decrypt ? core::format_ccm1_decrypt(p, s.iv_or_nonce, s.aad, s.payload, s.tag)
+                      : core::format_ccm1_encrypt(p, s.iv_or_nonce, s.aad, s.payload));
+      }
+      break;
+    }
+    case ChannelMode::kCtr:
+      job.lane_jobs.push_back(core::format_ctr(Block128::from_span(s.iv_or_nonce), s.payload));
+      break;
+    case ChannelMode::kCbcMac:
+      job.lane_jobs.push_back(s.decrypt ? core::format_cbcmac_verify(s.payload, s.tag)
+                                        : core::format_cbcmac_generate(s.payload, ch.tag_len));
+      break;
+    case ChannelMode::kWhirlpool:
+      job.lane_jobs.push_back(core::format_whirlpool_hash(s.payload));
+      break;
+  }
+  if (job.lane_jobs.size() != job.lanes.size())
+    throw std::logic_error("SimDevice: lane/job count mismatch");
+  job.collected.resize(job.lanes.size());
+  for (std::size_t i = 0; i < job.lanes.size(); ++i)
+    mccp_.crossbar().push_words(job.lanes[i], job.lane_jobs[i].stream);
+}
+
+void SimDevice::drain_outputs(Job& job) {
+  for (std::size_t i = 0; i < job.lanes.size(); ++i) {
+    auto words = mccp_.crossbar().take_output(job.lanes[i]);
+    job.collected[i].insert(job.collected[i].end(), words.begin(), words.end());
+  }
+}
+
+bool SimDevice::fully_drained(const Job& job) const {
+  for (std::size_t i = 0; i < job.lanes.size(); ++i)
+    if (job.collected[i].size() < job.lane_jobs[i].expected_output_words) return false;
+  return true;
+}
+
+void SimDevice::finalize(Job& job) {
+  JobResult& res = results_[job.id];
+  res.complete = true;
+  res.auth_ok = job.auth_ok;
+  res.complete_cycle = sim_.now();
+  if (job.auth_ok && !job.lane_jobs.empty()) {
+    // Lane 0 carries the payload stream in every mapping.
+    if (job.spec.decrypt) {
+      res.payload = core::words_to_bytes(job.collected[0]);
+      res.payload.resize(job.spec.payload.size());
+    } else if (job.spec.channel.mode == ChannelMode::kCbcMac) {
+      Bytes tag_block = core::words_to_bytes(job.collected[0]);
+      res.tag.assign(tag_block.begin(), tag_block.begin() + job.spec.channel.tag_len);
+    } else if (job.spec.channel.mode == ChannelMode::kCtr) {
+      res.payload = core::words_to_bytes(job.collected[0]);
+    } else if (job.spec.channel.mode == ChannelMode::kWhirlpool) {
+      res.payload = core::words_to_bytes(job.collected[0]);  // 64-byte digest
+    } else {
+      auto parsed = core::parse_sealed_output(job.collected[0], job.spec.payload.size(),
+                                              job.spec.channel.tag_len);
+      res.payload = std::move(parsed.payload);
+      res.tag = std::move(parsed.tag);
+    }
+  }
+  jobs_.erase(job.id);
+}
+
+void SimDevice::pump() {
+  // Continuous duties: drain read-granted outputs.
+  drain_retrieved();
+
+  // Priority 1: service the Data Available interrupt.
+  if (mccp_.data_available()) {
+    std::uint8_t rr = run_control(top::encode_retrieve());
+    if (!top::is_error(rr)) {
+      std::uint8_t req = top::return_id(rr);
+      for (auto& [id, job] : jobs_) {
+        if (job.state == Job::State::kAccepted && job.request_id == req) {
+          job.auth_ok = !top::is_auth_fail(rr);
+          job.state = job.auth_ok ? Job::State::kRetrieved : Job::State::kDrained;
+          break;
+        }
+      }
+    }
+    return;
+  }
+
+  // Priority 2: close out fully drained requests.
+  for (auto& [id, job] : jobs_) {
+    if (job.state == Job::State::kDrained) {
+      std::uint8_t rr = run_control(top::encode_transfer_done(job.request_id));
+      if (top::is_ok(rr)) finalize(job);
+      // kBadParameters: cores not fully retired yet; retry next pump.
+      return;
+    }
+  }
+
+  // Priority 3: submit the most urgent pending packet — lowest priority
+  // value first, arrival order within a class (SIII.C default; SVIII QoS
+  // extension when priorities differ).
+  if (!pending_.empty()) {
+    auto best = pending_.begin();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it)
+      if (jobs_.at(*it).spec.priority < jobs_.at(*best).spec.priority) best = it;
+    DeviceJobId id = *best;
+    Job& job = jobs_.at(id);
+    std::uint32_t instr =
+        job.spec.decrypt
+            ? top::encode_decrypt(job.spec.channel.id, job.header_blocks, job.data_blocks)
+            : top::encode_encrypt(job.spec.channel.id, job.header_blocks, job.data_blocks);
+    std::uint8_t rr = run_control(instr);
+    if (top::is_ok(rr)) {
+      pending_.erase(best);
+      on_accept(job, top::return_id(rr));
+    } else if (top::return_error(rr) == top::ControlError::kNoCoreAvailable) {
+      ++results_[id].rejections;  // busy: retry on a later pump
+    } else {
+      // Unrecoverable (bad channel etc.): surface as failed job.
+      pending_.erase(best);
+      results_[id].complete = true;
+      results_[id].auth_ok = false;
+      results_[id].complete_cycle = sim_.now();
+      jobs_.erase(id);
+    }
+  }
+}
+
+void SimDevice::step() {
+  pump();  // may advance the simulation through run_control
+  sim_.step();
+}
+
+}  // namespace mccp::host

@@ -1,0 +1,89 @@
+// SimDevice: the cycle-accurate simulator backend of `host::Device`.
+//
+// Owns one `top::Mccp` (plus its Key Memory and clock domain) and plays the
+// communication controller's data-plane role for it: formats packet streams
+// (SVI.B), drives the 4-step control protocol, pumps the crossbar, and
+// reacts to the Data Available interrupt. This is the machinery that used
+// to live inside `radio::Radio`; it moved behind the Device seam so the
+// multi-device `host::Engine` can own any number of these.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/stream_format.h"
+#include "host/device.h"
+#include "mccp/mccp.h"
+#include "sim/simulation.h"
+
+namespace mccp::host {
+
+class SimDevice final : public Device {
+ public:
+  explicit SimDevice(const top::MccpConfig& config, std::string name = "mccp0");
+
+  std::string name() const override { return name_; }
+
+  // -- Device interface -------------------------------------------------------
+  void provision_key(top::KeyId id, Bytes session_key) override {
+    key_memory_.provision(id, std::move(session_key));
+  }
+  std::optional<ChannelInfo> open_channel(ChannelMode mode, top::KeyId key,
+                                          unsigned tag_len = 16,
+                                          unsigned nonce_len = 13) override;
+  bool close_channel(std::uint8_t channel_id) override;
+  std::uint8_t last_error() const override { return last_rr_; }
+
+  DeviceJobId submit(JobSpec spec) override;
+  void step() override;
+  bool idle() const override { return pending_.empty() && jobs_.empty(); }
+  const JobResult* result(DeviceJobId id) const override;
+  void forget(DeviceJobId id) override;
+
+  sim::Cycle now() const override { return sim_.now(); }
+  std::size_t num_cores() const override { return mccp_.num_cores(); }
+  std::size_t inflight() const override { return pending_.size() + jobs_.size(); }
+  std::size_t open_channel_count() const override { return open_channels_; }
+
+  // -- simulator plumbing (tests, benches, reconfiguration flows) -------------
+  sim::Simulation& sim() { return sim_; }
+  top::Mccp& mccp() { return mccp_; }
+  top::KeyMemory& key_memory() { return key_memory_; }
+
+ private:
+  struct Job {
+    DeviceJobId id;
+    JobSpec spec;
+    std::uint8_t header_blocks = 0, data_blocks = 0;
+    enum class State { kPending, kAccepted, kRetrieved, kDrained } state = State::kPending;
+    std::uint8_t request_id = 0;
+    std::vector<std::size_t> lanes;
+    std::vector<core::CoreJob> lane_jobs;
+    std::vector<core::WordStream> collected;  // parallel to lanes
+    bool auth_ok = true;
+  };
+
+  void pump();  // one round of communication-controller work
+  void drain_retrieved();
+  std::uint8_t run_control(std::uint32_t instruction);
+  void on_accept(Job& job, std::uint8_t request_id);
+  void drain_outputs(Job& job);
+  bool fully_drained(const Job& job) const;
+  void finalize(Job& job);
+
+  std::string name_;
+  top::KeyMemory key_memory_;
+  top::Mccp mccp_;
+  sim::Simulation sim_;
+
+  std::deque<DeviceJobId> pending_;
+  std::map<DeviceJobId, Job> jobs_;           // in flight
+  std::map<DeviceJobId, JobResult> results_;  // completed + in-flight partials
+  DeviceJobId next_job_ = 1;
+  std::uint8_t last_rr_ = 0;
+  std::size_t open_channels_ = 0;
+};
+
+}  // namespace mccp::host

@@ -7,6 +7,14 @@
 // cycles). These overheads are amortized over whole packets (thousands of
 // cycles), so Table II throughput is insensitive to their exact values;
 // bench/ccm_scheduling reports them explicitly.
+//
+// NOTE on the two timing headers: this file (namespace mccp::top) owns the
+// MCCP top-level overheads only — Task Scheduler decode/dispatch, done
+// polling, Key Scheduler expansion. The Cryptographic Unit datapath costs
+// (AES/GHASH latencies, I/O beats, per-instruction occupancy) live in
+// cu/timing.h (namespace mccp::cu); see the note there. Neither header
+// redefines the other's constants, and the host layer observes timing only
+// through the simulated device clocks.
 #pragma once
 
 #include "crypto/aes.h"

@@ -2,291 +2,73 @@
 
 #include <stdexcept>
 
-#include "crypto/ccm.h"
-#include "crypto/whirlpool.h"
-
 namespace mccp::radio {
 
-Radio::Radio(const top::MccpConfig& config) : mccp_(config, key_memory_) {
-  sim_.add(&mccp_);
-}
-
-std::uint8_t Radio::run_control(std::uint32_t instruction) {
-  // The four non-interruptible steps of SIII.B. The rest of the platform
-  // (cores, crossbar) keeps running while the scheduler decodes, and the
-  // controller keeps draining read-granted output FIFOs.
-  mccp_.write_instruction(instruction);
-  mccp_.pulse_start();
-  while (!mccp_.instruction_done()) {
-    drain_retrieved();
-    sim_.step();
-  }
-  last_rr_ = mccp_.return_register();
-  return last_rr_;
-}
-
-void Radio::drain_retrieved() {
-  for (auto& [id, job] : jobs_)
-    if (job.state == Job::State::kRetrieved) {
-      drain_outputs(job);
-      if (fully_drained(job)) job.state = Job::State::kDrained;
-    }
-}
+Radio::Radio(const top::MccpConfig& config)
+    : engine_(host::EngineConfig{.num_devices = 1, .device = config}) {}
 
 std::optional<ChannelHandle> Radio::open_channel(ChannelMode mode, top::KeyId key,
                                                  unsigned tag_len, unsigned nonce_len) {
-  std::uint8_t rr = run_control(top::encode_open(mode, key, tag_len, nonce_len));
-  if (top::is_error(rr)) return std::nullopt;
-  return ChannelHandle{top::return_id(rr), mode, key, static_cast<std::uint8_t>(tag_len),
-                       static_cast<std::uint8_t>(nonce_len)};
+  // Device-level open: the legacy API hands out copyable non-owning
+  // handles, so the RAII host::Channel path is bypassed on purpose.
+  return device().open_channel(mode, key, tag_len, nonce_len);
 }
 
-bool Radio::close_channel(const ChannelHandle& ch) {
-  return top::is_ok(run_control(top::encode_close(ch.id)));
-}
-
-namespace {
-
-// Instruction header/data fields per mode (the firmware conventions of
-// stream_format.cpp).
-std::pair<std::uint8_t, std::uint8_t> block_fields(const ChannelHandle& ch, std::size_t aad_len,
-                                                   std::size_t payload_len) {
-  switch (ch.mode) {
-    case ChannelMode::kGcm:
-      return {static_cast<std::uint8_t>(core::blocks_of(aad_len)),
-              static_cast<std::uint8_t>(payload_len / 16)};
-    case ChannelMode::kCcm: {
-      Bytes enc = crypto::ccm_encode_aad(Bytes(aad_len, 0));
-      return {static_cast<std::uint8_t>(enc.size() / 16),
-              static_cast<std::uint8_t>(payload_len / 16)};
-    }
-    case ChannelMode::kCtr:
-      return {0, static_cast<std::uint8_t>(payload_len / 16)};
-    case ChannelMode::kCbcMac:
-      return {0, static_cast<std::uint8_t>(payload_len / 16 - 1)};
-    case ChannelMode::kWhirlpool:
-      return {0, static_cast<std::uint8_t>(crypto::whirlpool_padded_len(payload_len) / 64)};
-  }
-  return {0, 0};
-}
-
-}  // namespace
+bool Radio::close_channel(const ChannelHandle& ch) { return device().close_channel(ch.id); }
 
 JobId Radio::submit_encrypt(const ChannelHandle& ch, Bytes iv_or_nonce, Bytes aad,
                             Bytes plaintext, unsigned priority) {
-  Job job;
-  job.id = next_job_++;
-  job.priority = priority;
-  job.channel = ch;
-  job.decrypt = false;
-  job.iv_or_nonce = std::move(iv_or_nonce);
-  job.aad = std::move(aad);
-  job.payload = std::move(plaintext);
-  auto [hb, db] = block_fields(ch, job.aad.size(), job.payload.size());
-  job.header_blocks = hb;
-  job.data_blocks = db;
-  results_[job.id].submit_cycle = sim_.now();
-  pending_.push_back(job.id);
-  jobs_[job.id] = std::move(job);
-  return next_job_ - 1;
+  host::JobSpec spec;
+  spec.decrypt = false;
+  spec.iv_or_nonce = std::move(iv_or_nonce);
+  spec.aad = std::move(aad);
+  spec.payload = std::move(plaintext);
+  spec.priority = priority;
+  JobId id = next_job_++;
+  jobs_.emplace(id, engine_.submit_raw(0, ch, std::move(spec)));
+  return id;
 }
 
 JobId Radio::submit_decrypt(const ChannelHandle& ch, Bytes iv_or_nonce, Bytes aad,
                             Bytes ciphertext, Bytes tag, unsigned priority) {
-  Job job;
-  job.id = next_job_++;
-  job.priority = priority;
-  job.channel = ch;
-  job.decrypt = true;
-  job.iv_or_nonce = std::move(iv_or_nonce);
-  job.aad = std::move(aad);
-  job.payload = std::move(ciphertext);
-  job.tag = std::move(tag);
-  auto [hb, db] = block_fields(ch, job.aad.size(), job.payload.size());
-  job.header_blocks = hb;
-  job.data_blocks = db;
-  results_[job.id].submit_cycle = sim_.now();
-  pending_.push_back(job.id);
-  jobs_[job.id] = std::move(job);
-  return next_job_ - 1;
+  host::JobSpec spec;
+  spec.decrypt = true;
+  spec.iv_or_nonce = std::move(iv_or_nonce);
+  spec.aad = std::move(aad);
+  spec.payload = std::move(ciphertext);
+  spec.tag = std::move(tag);
+  spec.priority = priority;
+  JobId id = next_job_++;
+  jobs_.emplace(id, engine_.submit_raw(0, ch, std::move(spec)));
+  return id;
 }
 
-void Radio::on_accept(Job& job, std::uint8_t request_id) {
-  job.request_id = request_id;
-  const top::Mccp::RequestInfo* info = mccp_.request_info(request_id);
-  if (info == nullptr) throw std::logic_error("Radio: accepted request has no info");
-  job.lanes = info->lanes;
-  job.state = Job::State::kAccepted;
-  results_[job.id].accept_cycle = sim_.now();
-
-  // Now that the core mapping is known, format the per-lane streams
-  // ("the communication controller must format data prior to send").
-  const ChannelHandle& ch = job.channel;
-  job.lane_jobs.clear();
-  switch (ch.mode) {
-    case ChannelMode::kGcm:
-      job.lane_jobs.push_back(job.decrypt
-                                  ? core::format_gcm_decrypt(job.iv_or_nonce, job.aad,
-                                                             job.payload, job.tag)
-                                  : core::format_gcm_encrypt(job.iv_or_nonce, job.aad,
-                                                             job.payload, ch.tag_len));
-      break;
-    case ChannelMode::kCcm: {
-      crypto::CcmParams p{ch.tag_len, ch.nonce_len};
-      if (info->split_ccm) {
-        auto split = job.decrypt
-                         ? core::format_ccm2_decrypt(p, job.iv_or_nonce, job.aad, job.payload,
-                                                     job.tag)
-                         : core::format_ccm2_encrypt(p, job.iv_or_nonce, job.aad, job.payload);
-        job.lane_jobs.push_back(std::move(split.ctr));
-        job.lane_jobs.push_back(std::move(split.mac));
-      } else {
-        job.lane_jobs.push_back(job.decrypt
-                                    ? core::format_ccm1_decrypt(p, job.iv_or_nonce, job.aad,
-                                                                job.payload, job.tag)
-                                    : core::format_ccm1_encrypt(p, job.iv_or_nonce, job.aad,
-                                                                job.payload));
-      }
-      break;
-    }
-    case ChannelMode::kCtr:
-      job.lane_jobs.push_back(core::format_ctr(Block128::from_span(job.iv_or_nonce), job.payload));
-      break;
-    case ChannelMode::kCbcMac:
-      job.lane_jobs.push_back(job.decrypt ? core::format_cbcmac_verify(job.payload, job.tag)
-                                          : core::format_cbcmac_generate(job.payload, ch.tag_len));
-      break;
-    case ChannelMode::kWhirlpool:
-      job.lane_jobs.push_back(core::format_whirlpool_hash(job.payload));
-      break;
-  }
-  if (job.lane_jobs.size() != job.lanes.size())
-    throw std::logic_error("Radio: lane/job count mismatch");
-  job.collected.resize(job.lanes.size());
-  for (std::size_t i = 0; i < job.lanes.size(); ++i)
-    mccp_.crossbar().push_words(job.lanes[i], job.lane_jobs[i].stream);
+const JobResult* Radio::try_result(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return nullptr;
+  return engine_.peek(it->second.id());
 }
 
-void Radio::drain_outputs(Job& job) {
-  for (std::size_t i = 0; i < job.lanes.size(); ++i) {
-    auto words = mccp_.crossbar().take_output(job.lanes[i]);
-    job.collected[i].insert(job.collected[i].end(), words.begin(), words.end());
-  }
-}
-
-bool Radio::fully_drained(const Job& job) const {
-  for (std::size_t i = 0; i < job.lanes.size(); ++i)
-    if (job.collected[i].size() < job.lane_jobs[i].expected_output_words) return false;
-  return true;
-}
-
-void Radio::finalize(Job& job) {
-  JobResult& res = results_[job.id];
-  res.complete = true;
-  res.auth_ok = job.auth_ok;
-  res.complete_cycle = sim_.now();
-  if (job.auth_ok && !job.lane_jobs.empty()) {
-    // Lane 0 carries the payload stream in every mapping.
-    if (job.decrypt) {
-      res.payload = core::words_to_bytes(job.collected[0]);
-      res.payload.resize(job.payload.size());
-    } else if (job.channel.mode == ChannelMode::kCbcMac) {
-      Bytes tag_block = core::words_to_bytes(job.collected[0]);
-      res.tag.assign(tag_block.begin(), tag_block.begin() + job.channel.tag_len);
-    } else if (job.channel.mode == ChannelMode::kCtr) {
-      res.payload = core::words_to_bytes(job.collected[0]);
-    } else if (job.channel.mode == ChannelMode::kWhirlpool) {
-      res.payload = core::words_to_bytes(job.collected[0]);  // 64-byte digest
-    } else {
-      auto parsed = core::parse_sealed_output(job.collected[0], job.payload.size(),
-                                              job.channel.tag_len);
-      res.payload = std::move(parsed.payload);
-      res.tag = std::move(parsed.tag);
-    }
-  }
-  jobs_.erase(job.id);
-}
-
-void Radio::pump() {
-  // Continuous duties: drain read-granted outputs.
-  drain_retrieved();
-
-  // Priority 1: service the Data Available interrupt.
-  if (mccp_.data_available()) {
-    std::uint8_t rr = run_control(top::encode_retrieve());
-    if (!top::is_error(rr)) {
-      std::uint8_t req = top::return_id(rr);
-      for (auto& [id, job] : jobs_) {
-        if (job.state == Job::State::kAccepted && job.request_id == req) {
-          job.auth_ok = !top::is_auth_fail(rr);
-          job.state = job.auth_ok ? Job::State::kRetrieved : Job::State::kDrained;
-          break;
-        }
-      }
-    }
-    return;
-  }
-
-  // Priority 2: close out fully drained requests.
-  for (auto& [id, job] : jobs_) {
-    if (job.state == Job::State::kDrained) {
-      std::uint8_t rr = run_control(top::encode_transfer_done(job.request_id));
-      if (top::is_ok(rr)) finalize(job);
-      // kBadParameters: cores not fully retired yet; retry next pump.
-      return;
-    }
-  }
-
-  // Priority 3: submit the most urgent pending packet — lowest priority
-  // value first, arrival order within a class (SIII.C default; SVIII QoS
-  // extension when priorities differ).
-  if (!pending_.empty()) {
-    auto best = pending_.begin();
-    for (auto it = pending_.begin(); it != pending_.end(); ++it)
-      if (jobs_.at(*it).priority < jobs_.at(*best).priority) best = it;
-    JobId id = *best;
-    Job& job = jobs_.at(id);
-    std::uint32_t instr = job.decrypt
-                              ? top::encode_decrypt(job.channel.id, job.header_blocks,
-                                                    job.data_blocks)
-                              : top::encode_encrypt(job.channel.id, job.header_blocks,
-                                                    job.data_blocks);
-    std::uint8_t rr = run_control(instr);
-    if (top::is_ok(rr)) {
-      pending_.erase(best);
-      on_accept(job, top::return_id(rr));
-    } else if (top::return_error(rr) == top::ControlError::kNoCoreAvailable) {
-      ++results_[id].rejections;  // busy: retry on a later pump
-    } else {
-      // Unrecoverable (bad channel etc.): surface as failed job.
-      pending_.erase(best);
-      job.auth_ok = false;
-      results_[id].complete = true;
-      results_[id].auth_ok = false;
-      jobs_.erase(id);
-    }
-  }
+const JobResult& Radio::result(JobId id) const {
+  const JobResult* r = try_result(id);
+  if (r == nullptr)
+    throw std::out_of_range("Radio::result: unknown JobId " + std::to_string(id) +
+                            " (never returned by submit_encrypt/submit_decrypt)");
+  return *r;
 }
 
 void Radio::run(sim::Cycle n) {
-  sim::Cycle target = sim_.now() + n;
-  while (sim_.now() < target) {
-    pump();  // may advance the simulation through run_control
-    if (sim_.now() >= target) break;
-    sim_.step();
-  }
+  sim::Cycle target = device().now() + n;
+  while (device().now() < target) engine_.step();
 }
 
 void Radio::run_until_idle(sim::Cycle max_cycles) {
-  sim::Cycle start = sim_.now();
-  while (!all_idle()) {
-    if (sim_.now() - start > max_cycles)
+  sim::Cycle start = device().now();
+  while (!engine_.idle()) {
+    if (device().now() - start > max_cycles)
       throw std::runtime_error("Radio: jobs did not complete");
-    pump();
-    sim_.step();
+    engine_.step();
   }
 }
-
-bool Radio::all_idle() const { return pending_.empty() && jobs_.empty(); }
 
 }  // namespace mccp::radio

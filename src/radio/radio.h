@@ -1,56 +1,41 @@
-// The communication-controller / radio platform model.
+// The legacy communication-controller / radio facade.
 //
-// The MCCP "is embedded in a much larger platform including one main
-// controller and one communication controller which manages communications
-// going through the radio" (paper SIII.A). This module plays both roles for
-// simulations: it provisions keys (main controller), drives the 4-step
-// control protocol, formats packet streams (SVI.B), pumps the crossbar, and
-// reacts to the Data Available interrupt.
+// DEPRECATED — compatibility shim. `radio::Radio` predates the asynchronous
+// multi-device host driver and is now a thin blocking wrapper over a
+// one-device `host::Engine`; all of its machinery (control protocol,
+// packet formatting, crossbar pump) lives in `host::SimDevice`. New code
+// should use `host::Engine` directly: it drives any number of MCCP devices,
+// shards channels across them, and returns per-job `host::Completion`
+// tokens (callbacks + poll/wait) instead of the global `run_until_idle()`
+// rendezvous modeled here. Migration path:
 //
-// `Radio` is a blocking facade over a cycle-driven pump: submit_* queues
-// packets, run_until_idle() advances the simulation while the pump
-// multiplexes any number of in-flight packets over the single control port
-// and the crossbar — exactly how Table II's 4x1-core numbers arise.
+//   radio::Radio radio(cfg);            ->  host::Engine eng({.device = cfg});
+//   radio.open_channel(mode, key)       ->  eng.open_channel(mode, key)  (RAII)
+//   radio.submit_encrypt(ch, ...)       ->  eng.submit_encrypt(ch, ...)  (Completion)
+//   radio.run_until_idle(); result(id)  ->  completion.wait()  /  .on_done(cb)
+//
+// This shim is kept so existing clients and the paper-reproduction tests
+// keep compiling; it will be removed once nothing links against it.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <optional>
-#include <string>
-#include <vector>
 
-#include "common/bytes.h"
-#include "core/stream_format.h"
-#include "mccp/mccp.h"
-#include "sim/simulation.h"
+#include "host/engine.h"
 
 namespace mccp::radio {
 
 using top::ChannelMode;
 
-/// Client-side view of an open channel.
-struct ChannelHandle {
-  std::uint8_t id = 0;
-  ChannelMode mode{};
-  std::uint8_t key_id = 0;
-  std::uint8_t tag_len = 16;
-  std::uint8_t nonce_len = 13;  // CCM only
-};
+/// Client-side view of an open channel (plain data, no RAII — see
+/// host::Channel for the owning handle).
+using ChannelHandle = host::ChannelInfo;
 
 using JobId = std::uint32_t;
 
 /// Final state of a transferred packet.
-struct JobResult {
-  bool complete = false;
-  bool auth_ok = true;
-  Bytes payload;          // ciphertext (encrypt) or plaintext (decrypt)
-  Bytes tag;              // encrypt only
-  sim::Cycle submit_cycle = 0;
-  sim::Cycle accept_cycle = 0;    // ENCRYPT/DECRYPT acknowledged
-  sim::Cycle complete_cycle = 0;  // TRANSFER_DONE acknowledged
-  std::uint32_t rejections = 0;   // busy-error retries before acceptance
-};
+using JobResult = host::JobResult;
 
 class Radio {
  public:
@@ -58,21 +43,16 @@ class Radio {
 
   // -- main-controller duties ---------------------------------------------------
   void provision_key(top::KeyId id, Bytes session_key) {
-    key_memory_.provision(id, std::move(session_key));
+    device().provision_key(id, std::move(session_key));
   }
 
   // -- control-plane helpers (each runs the 4-step protocol to completion) ----
-  /// Returns the channel handle, or nullopt with the error code left in
-  /// last_error().
   std::optional<ChannelHandle> open_channel(ChannelMode mode, top::KeyId key,
                                             unsigned tag_len = 16, unsigned nonce_len = 13);
   bool close_channel(const ChannelHandle& ch);
-  std::uint8_t last_error() const { return last_rr_; }
+  std::uint8_t last_error() const { return engine_.device(0).last_error(); }
 
   // -- data-plane ---------------------------------------------------------------
-  /// `priority`: 0 = most urgent. Equal priorities are served in arrival
-  /// order (the paper's SIII.C behaviour); distinct priorities implement
-  /// the quality-of-service stream prioritisation SVIII calls for.
   JobId submit_encrypt(const ChannelHandle& ch, Bytes iv_or_nonce, Bytes aad, Bytes plaintext,
                        unsigned priority = 128);
   JobId submit_decrypt(const ChannelHandle& ch, Bytes iv_or_nonce, Bytes aad, Bytes ciphertext,
@@ -84,48 +64,28 @@ class Radio {
   /// Advance exactly n cycles (pump included).
   void run(sim::Cycle n);
 
-  const JobResult& result(JobId id) const { return results_.at(id); }
-  bool all_idle() const;
+  /// Live job state (partial until complete). Throws std::out_of_range
+  /// with a descriptive message for an unknown id.
+  const JobResult& result(JobId id) const;
+  /// Non-throwing lookup: nullptr if the id was never issued.
+  const JobResult* try_result(JobId id) const;
+  bool all_idle() const { return engine_.idle(); }
 
   // -- plumbing access for tests/benches -----------------------------------------
-  sim::Simulation& sim() { return sim_; }
-  top::Mccp& mccp() { return mccp_; }
-  top::KeyMemory& key_memory() { return key_memory_; }
+  sim::Simulation& sim() { return device().sim(); }
+  top::Mccp& mccp() { return device().mccp(); }
+  top::KeyMemory& key_memory() { return device().key_memory(); }
+  host::Engine& engine() { return engine_; }
 
  private:
-  struct Job {
-    JobId id;
-    ChannelHandle channel;
-    bool decrypt;
-    Bytes iv_or_nonce, aad, payload, tag;
-    std::uint8_t header_blocks = 0, data_blocks = 0;
+  host::SimDevice& device() { return *engine_.sim_device(0); }
+  const host::SimDevice& device() const {
+    return *const_cast<Radio*>(this)->engine_.sim_device(0);
+  }
 
-    unsigned priority = 128;
-    enum class State { kPending, kAccepted, kRetrieved, kDrained, kDone } state = State::kPending;
-    std::uint8_t request_id = 0;
-    std::vector<std::size_t> lanes;
-    std::vector<core::CoreJob> lane_jobs;
-    std::vector<core::WordStream> collected;  // parallel to lanes
-    bool auth_ok = true;
-  };
-
-  void pump();  // one round of communication-controller work
-  void drain_retrieved();
-  std::uint8_t run_control(std::uint32_t instruction);
-  void on_accept(Job& job, std::uint8_t request_id);
-  void drain_outputs(Job& job);
-  bool fully_drained(const Job& job) const;
-  void finalize(Job& job);
-
-  top::KeyMemory key_memory_;
-  top::Mccp mccp_;
-  sim::Simulation sim_;
-
-  std::deque<JobId> pending_;
-  std::map<JobId, Job> jobs_;          // in flight
-  std::map<JobId, JobResult> results_; // completed + in-flight partials
+  host::Engine engine_;
+  std::map<JobId, host::Completion> jobs_;
   JobId next_job_ = 1;
-  std::uint8_t last_rr_ = 0;
 };
 
 }  // namespace mccp::radio

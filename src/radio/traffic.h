@@ -17,6 +17,8 @@
 
 namespace mccp::radio {
 
+using top::ChannelMode;
+
 /// A communication-standard security profile.
 struct ChannelProfile {
   std::string name;

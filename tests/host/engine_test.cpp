@@ -1,0 +1,387 @@
+// host::Engine — the asynchronous multi-device driver: channel sharding
+// across devices, RAII channel-slot reclamation, exactly-once completion
+// callbacks, result-lookup ergonomics, placement policies, and mixed
+// GCM/CCM traffic across a heterogeneous fleet, all checked against the
+// golden software references.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/ccm.h"
+#include "crypto/gcm.h"
+#include "host/engine.h"
+
+namespace mccp::host {
+namespace {
+
+TEST(Engine, RoundRobinShardsChannelsAcrossDevices) {
+  Engine engine({.num_devices = 3, .device = {.num_cores = 2}});
+  engine.provision_key(1, Bytes(16, 7));
+  std::vector<Channel> channels;
+  for (int i = 0; i < 6; ++i) {
+    channels.push_back(engine.open_channel(ChannelMode::kGcm, 1, 16, 12));
+    ASSERT_TRUE(channels.back().valid()) << i;
+  }
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(channels[static_cast<std::size_t>(i)].device_index(),
+              static_cast<std::size_t>(i) % 3u);
+  for (std::size_t d = 0; d < 3; ++d)
+    EXPECT_EQ(engine.device(d).open_channel_count(), 2u);
+}
+
+TEST(Engine, TwoDevicesProcessShardedTrafficConcurrently) {
+  // The acceptance scenario: >= 2 devices, sharded channels, callback-based
+  // completion, every result checked against the software reference.
+  Engine engine({.num_devices = 2, .device = {.num_cores = 2}});
+  Rng rng(21);
+  Bytes key = rng.bytes(16);
+  engine.provision_key(1, key);
+  auto keys = crypto::aes_expand_key(key);
+
+  Channel a = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  Channel b = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(a.valid() && b.valid());
+  ASSERT_NE(a.device_index(), b.device_index());  // genuinely sharded
+
+  struct Pkt {
+    Bytes iv, pt;
+    Completion job;
+  };
+  std::vector<Pkt> pkts;
+  std::size_t callbacks = 0;
+  for (int i = 0; i < 8; ++i) {
+    Pkt p{rng.bytes(12), rng.bytes(512), {}};
+    p.job = engine.submit_encrypt(i % 2 ? a : b, p.iv, {}, p.pt);
+    p.job.on_done([&callbacks](const JobResult& r) {
+      EXPECT_TRUE(r.complete);
+      ++callbacks;
+    });
+    pkts.push_back(std::move(p));
+  }
+  // Both devices have accepted work before anything finishes.
+  engine.step();
+  EXPECT_GT(engine.device(0).inflight(), 0u);
+  EXPECT_GT(engine.device(1).inflight(), 0u);
+
+  engine.wait_all();
+  EXPECT_EQ(callbacks, pkts.size());
+  for (auto& p : pkts) {
+    auto ref = crypto::gcm_seal(keys, p.iv, {}, p.pt);
+    EXPECT_EQ(to_hex(p.job.result().payload), to_hex(ref.ciphertext));
+    EXPECT_EQ(to_hex(p.job.result().tag), to_hex(ref.tag));
+  }
+  // Both device clocks actually advanced (concurrent progress).
+  EXPECT_GT(engine.device(0).now(), 0u);
+  EXPECT_GT(engine.device(1).now(), 0u);
+}
+
+TEST(Engine, RaiiChannelAutoCloseReleasesSlots) {
+  // The channel table holds 64 entries (6-bit ids). Fill it with RAII
+  // handles, let them die, and the slots must all come back.
+  Engine engine({.num_devices = 1, .device = {.num_cores = 1}});
+  engine.provision_key(1, Bytes(16, 1));
+  {
+    std::vector<Channel> channels;
+    for (int i = 0; i < 64; ++i) {
+      channels.push_back(engine.open_channel(ChannelMode::kCtr, 1));
+      ASSERT_TRUE(channels.back().valid()) << i;
+    }
+    EXPECT_FALSE(engine.open_channel(ChannelMode::kCtr, 1).valid());  // exhausted
+    EXPECT_EQ(engine.device(0).open_channel_count(), 64u);
+  }  // ~Channel x64 -> CLOSE x64
+  EXPECT_EQ(engine.device(0).open_channel_count(), 0u);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_TRUE(engine.open_channel(ChannelMode::kCtr, 1).valid()) << i;
+}
+
+TEST(Engine, ExplicitAndMoveCloseAreIdempotent) {
+  Engine engine({.num_devices = 1, .device = {.num_cores = 1}});
+  engine.provision_key(1, Bytes(16, 2));
+  Channel ch = engine.open_channel(ChannelMode::kCtr, 1);
+  ASSERT_TRUE(ch.valid());
+  ch.close();
+  EXPECT_FALSE(ch.valid());
+  ch.close();  // second close is a no-op
+  EXPECT_EQ(engine.device(0).open_channel_count(), 0u);
+
+  Channel a = engine.open_channel(ChannelMode::kCtr, 1);
+  Channel b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(engine.device(0).open_channel_count(), 1u);
+  a = std::move(b);  // move-assign back; still exactly one open slot
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(engine.device(0).open_channel_count(), 1u);
+}
+
+TEST(Engine, CompletionCallbacksFireExactlyOnce) {
+  Engine engine({.num_devices = 1, .device = {.num_cores = 2}});
+  Rng rng(3);
+  engine.provision_key(1, rng.bytes(16));
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(ch.valid());
+
+  int before = 0, after = 0;
+  Completion job = engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(128));
+  job.on_done([&before](const JobResult&) { ++before; });  // registered in flight
+  EXPECT_EQ(before, 0);
+
+  job.wait();
+  // Keep stepping well past completion: the callback must not re-fire.
+  engine.run(2000);
+  EXPECT_EQ(before, 1);
+
+  job.on_done([&after](const JobResult&) { ++after; });  // registered after done
+  EXPECT_EQ(after, 1);  // fired immediately...
+  engine.run(500);
+  EXPECT_EQ(after, 1);  // ...and never again
+}
+
+TEST(Engine, CallbackMayWaitOnAnotherCompletion) {
+  // on_done callbacks are allowed to re-enter the engine (e.g. wait() on a
+  // dependent job); completion polling must stay consistent when the
+  // in-flight list shifts underneath it.
+  Engine engine({.num_devices = 1, .device = {.num_cores = 2}});
+  Rng rng(91);
+  engine.provision_key(1, rng.bytes(16));
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(ch.valid());
+
+  Completion a = engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(256));
+  Completion b = engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(1024));
+  Completion c = engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(256));
+  bool chained = false;
+  a.on_done([&](const JobResult&) {
+    b.wait();  // advances the engine from inside the completion path
+    chained = true;
+  });
+  engine.wait_all();
+  EXPECT_TRUE(chained);
+  EXPECT_TRUE(a.done() && b.done() && c.done());
+  EXPECT_TRUE(c.result().complete);  // no job silently dropped from tracking
+}
+
+TEST(Engine, JobQueuedOnClosedChannelFailsWithoutPoisoningStats) {
+  // Closing a channel with a job still queued fails that job cleanly
+  // (complete, !auth_ok); the never-accepted job must not underflow the
+  // channel's latency accounting.
+  Engine engine({.num_devices = 1, .device = {.num_cores = 1}});
+  Rng rng(92);
+  engine.provision_key(1, rng.bytes(16));
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(ch.valid());
+  const ChannelStats& s = ch.stats();  // engine-side record outlives the handle
+
+  Completion job = engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(64));
+  ch.close();  // CLOSE races ahead of the queued ENCRYPT
+  const JobResult& r = job.wait();
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.auth_ok);
+  EXPECT_EQ(r.accept_cycle, 0u);  // never accepted by the device
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.retry_latency_cycles, 0u);    // would be ~1.8e19 on underflow
+  EXPECT_EQ(s.service_latency_cycles, 0u);
+  EXPECT_EQ(s.mean_retry_latency_cycles(), 0.0);
+}
+
+TEST(Engine, ResultLookupHasClearErrors) {
+  Engine engine({.num_devices = 1, .device = {.num_cores = 1}});
+  Rng rng(4);
+  engine.provision_key(1, rng.bytes(16));
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+
+  EXPECT_EQ(engine.status(999), Engine::ResultStatus::kUnknown);
+  EXPECT_EQ(engine.find_result(999), nullptr);
+  EXPECT_THROW(
+      {
+        try {
+          engine.result(999);
+        } catch (const std::out_of_range& e) {
+          EXPECT_NE(std::string(e.what()).find("unknown JobId"), std::string::npos);
+          throw;
+        }
+      },
+      std::out_of_range);
+
+  Completion job = engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(64));
+  EXPECT_EQ(engine.status(job.id()), Engine::ResultStatus::kPending);
+  EXPECT_EQ(engine.find_result(job.id()), nullptr);
+  EXPECT_THROW(
+      {
+        try {
+          engine.result(job.id());
+        } catch (const std::out_of_range& e) {
+          EXPECT_NE(std::string(e.what()).find("still in flight"), std::string::npos);
+          throw;
+        }
+      },
+      std::out_of_range);
+  EXPECT_THROW(job.result(), std::logic_error);  // completion mirrors it
+  EXPECT_NE(engine.peek(job.id()), nullptr);     // partial is visible
+
+  job.wait();
+  EXPECT_EQ(engine.status(job.id()), Engine::ResultStatus::kComplete);
+  ASSERT_NE(engine.find_result(job.id()), nullptr);
+  EXPECT_TRUE(engine.result(job.id()).complete);
+}
+
+TEST(Engine, LeastLoadedPlacementBalancesUnevenFleet) {
+  std::vector<std::unique_ptr<Device>> fleet;
+  fleet.push_back(std::make_unique<SimDevice>(top::MccpConfig{.num_cores = 1}, "d0"));
+  fleet.push_back(std::make_unique<SimDevice>(top::MccpConfig{.num_cores = 1}, "d1"));
+  Engine engine(std::move(fleet), Placement::kLeastLoaded);
+  engine.provision_key(1, Bytes(16, 5));
+
+  // Open channels one at a time: least-loaded must alternate devices.
+  std::vector<Channel> channels;
+  for (int i = 0; i < 4; ++i) channels.push_back(engine.open_channel(ChannelMode::kCtr, 1));
+  EXPECT_EQ(engine.device(0).open_channel_count(), 2u);
+  EXPECT_EQ(engine.device(1).open_channel_count(), 2u);
+}
+
+TEST(Engine, ModeAffinityClustersModes) {
+  Engine engine(
+      {.num_devices = 2, .device = {.num_cores = 2}, .placement = Placement::kModeAffinity});
+  engine.provision_key(1, Bytes(16, 6));
+  Channel g1 = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  Channel c1 = engine.open_channel(ChannelMode::kCcm, 1, 8, 13);
+  Channel g2 = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  Channel c2 = engine.open_channel(ChannelMode::kCcm, 1, 8, 13);
+  EXPECT_EQ(g1.device_index(), g2.device_index());
+  EXPECT_EQ(c1.device_index(), c2.device_index());
+  EXPECT_NE(g1.device_index(), c1.device_index());
+}
+
+TEST(Engine, PlacementFallsBackWhenPreferredDeviceIsFull) {
+  Engine engine({.num_devices = 2, .device = {.num_cores = 1}});
+  engine.provision_key(1, Bytes(16, 8));
+  std::vector<Channel> channels;
+  for (int i = 0; i < 128; ++i) {
+    channels.push_back(engine.open_channel(ChannelMode::kCtr, 1));
+    ASSERT_TRUE(channels.back().valid()) << i;  // spills onto the other device
+  }
+  EXPECT_EQ(engine.device(0).open_channel_count(), 64u);
+  EXPECT_EQ(engine.device(1).open_channel_count(), 64u);
+  EXPECT_FALSE(engine.open_channel(ChannelMode::kCtr, 1).valid());  // fleet-wide exhaustion
+}
+
+TEST(Engine, MixedTrafficAcrossHeterogeneousFleet) {
+  // A big 4-core device plus a small 2-core device, GCM and CCM channels
+  // sharded across both, every packet checked against the reference.
+  std::vector<std::unique_ptr<Device>> fleet;
+  fleet.push_back(std::make_unique<SimDevice>(top::MccpConfig{.num_cores = 4}, "big"));
+  fleet.push_back(std::make_unique<SimDevice>(
+      top::MccpConfig{.num_cores = 2, .ccm_mapping = top::CcmMapping::kPairPreferred}, "small"));
+  Engine engine(std::move(fleet), Placement::kRoundRobin);
+
+  Rng rng(31);
+  Bytes key = rng.bytes(16);
+  engine.provision_key(1, key);
+  auto keys = crypto::aes_expand_key(key);
+
+  std::vector<Channel> channels;
+  for (int i = 0; i < 4; ++i) {
+    ChannelMode mode = i % 2 ? ChannelMode::kCcm : ChannelMode::kGcm;
+    channels.push_back(engine.open_channel(mode, 1, mode == ChannelMode::kCcm ? 8 : 16,
+                                           mode == ChannelMode::kCcm ? 13 : 12));
+    ASSERT_TRUE(channels.back().valid()) << i;
+  }
+  std::set<std::size_t> used;
+  for (auto& ch : channels) used.insert(ch.device_index());
+  EXPECT_EQ(used.size(), 2u);
+
+  struct Pkt {
+    std::size_t ch;
+    Bytes iv, aad, pt;
+    Completion job;
+  };
+  std::vector<Pkt> pkts;
+  for (int i = 0; i < 12; ++i) {
+    std::size_t c = static_cast<std::size_t>(i) % channels.size();
+    bool ccm = channels[c].mode() == ChannelMode::kCcm;
+    Pkt p{c, rng.bytes(ccm ? 13 : 12), rng.bytes(8), rng.bytes(256), {}};
+    p.job = engine.submit_encrypt(channels[c], p.iv, p.aad, p.pt);
+    pkts.push_back(std::move(p));
+  }
+  engine.wait_all();
+
+  for (auto& p : pkts) {
+    const JobResult& r = p.job.result();
+    ASSERT_TRUE(r.complete && r.auth_ok);
+    if (channels[p.ch].mode() == ChannelMode::kCcm) {
+      auto ref = crypto::ccm_seal(keys, {.tag_len = 8, .nonce_len = 13}, p.iv, p.aad, p.pt);
+      EXPECT_EQ(to_hex(r.payload), to_hex(ref.ciphertext));
+      EXPECT_EQ(to_hex(r.tag), to_hex(ref.tag));
+    } else {
+      auto ref = crypto::gcm_seal(keys, p.iv, p.aad, p.pt);
+      EXPECT_EQ(to_hex(r.payload), to_hex(ref.ciphertext));
+      EXPECT_EQ(to_hex(r.tag), to_hex(ref.tag));
+    }
+  }
+  // Per-channel stats add up to the offered load.
+  std::uint64_t completed = 0;
+  for (auto& ch : channels) completed += ch.stats().completed;
+  EXPECT_EQ(completed, pkts.size());
+}
+
+TEST(Engine, ChannelStatsTrackLatencyAndThroughput) {
+  Engine engine({.num_devices = 1, .device = {.num_cores = 2}});
+  Rng rng(41);
+  engine.provision_key(1, rng.bytes(16));
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  for (int i = 0; i < 4; ++i) engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(1024));
+  engine.wait_all();
+
+  const ChannelStats& s = ch.stats();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.payload_bytes, 4096u);
+  EXPECT_GT(s.mean_service_latency_cycles(), 0.0);
+  EXPECT_GT(s.throughput_mbps(), 0.0);
+  EXPECT_GT(s.last_complete_cycle, s.first_submit_cycle);
+}
+
+TEST(Engine, SubmitOnClosedOrForeignChannelThrows) {
+  Engine engine({.num_devices = 1, .device = {.num_cores = 1}});
+  Engine other({.num_devices = 1, .device = {.num_cores = 1}});
+  Rng rng(51);
+  Bytes key = rng.bytes(16);
+  engine.provision_key(1, key);
+  other.provision_key(1, key);
+
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ch.close();
+  EXPECT_THROW(engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(16)),
+               std::invalid_argument);
+
+  Channel elsewhere = other.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  EXPECT_THROW(engine.submit_encrypt(elsewhere, rng.bytes(12), {}, rng.bytes(16)),
+               std::invalid_argument);
+}
+
+TEST(Engine, OpenChannelReportsMissingKey) {
+  Engine engine({.num_devices = 3, .device = {.num_cores = 1}});
+  Channel ch = engine.open_channel(ChannelMode::kGcm, /*key=*/9, 16, 12);
+  EXPECT_FALSE(ch.valid());
+  EXPECT_TRUE(top::is_error(engine.last_error()));
+  EXPECT_EQ(top::return_error(engine.last_error()), top::ControlError::kNoKey);
+}
+
+TEST(Engine, WaitAllThrowsOnImpossibleDeadline) {
+  Engine engine({.num_devices = 1, .device = {.num_cores = 1}});
+  Rng rng(61);
+  engine.provision_key(1, rng.bytes(16));
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(2048));
+  EXPECT_THROW(engine.wait_all(/*max_cycles=*/10), std::runtime_error);
+  engine.wait_all();  // generous deadline drains fine afterwards
+}
+
+}  // namespace
+}  // namespace mccp::host

@@ -1,8 +1,9 @@
-// Full-platform integration: the Radio (communication controller) drives
-// the MCCP through the control protocol and crossbar; results must match
-// the golden software references, including two-core split CCM through the
-// inter-core ring, concurrent multi-channel traffic, and the cross-core
-// authentication-failure wipe.
+// Full-platform integration: the host driver plays the communication
+// controller, driving the MCCP through the control protocol and crossbar;
+// results must match the golden software references, including two-core
+// split CCM through the inter-core ring, concurrent multi-channel traffic,
+// and the cross-core authentication-failure wipe. All traffic runs through
+// the asynchronous host::Engine API (completion tokens, RAII channels).
 #include <gtest/gtest.h>
 
 #include "common/hex.h"
@@ -11,50 +12,48 @@
 #include "crypto/ccm.h"
 #include "crypto/ctr.h"
 #include "crypto/gcm.h"
-#include "radio/radio.h"
+#include "host/engine.h"
 #include "radio/traffic.h"
 
-namespace mccp::radio {
+namespace mccp::host {
 namespace {
 
+Engine one_device(const top::MccpConfig& cfg) {
+  return Engine(EngineConfig{.num_devices = 1, .device = cfg});
+}
+
 TEST(EndToEnd, GcmEncryptDecryptThroughPlatform) {
-  Radio radio({.num_cores = 4});
+  Engine engine = one_device({.num_cores = 4});
   Rng rng(1);
   Bytes key = rng.bytes(16);
-  radio.provision_key(1, key);
-  auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
-  ASSERT_TRUE(ch.has_value());
+  engine.provision_key(1, key);
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(ch.valid());
 
   Bytes iv = rng.bytes(12), aad = rng.bytes(20), pt = rng.bytes(1024);
-  JobId enc = radio.submit_encrypt(*ch, iv, aad, pt);
-  radio.run_until_idle();
-  const JobResult& er = radio.result(enc);
+  const JobResult& er = engine.submit_encrypt(ch, iv, aad, pt).wait();
   ASSERT_TRUE(er.complete);
   auto keys = crypto::aes_expand_key(key);
   auto ref = crypto::gcm_seal(keys, iv, aad, pt);
   EXPECT_EQ(to_hex(er.payload), to_hex(ref.ciphertext));
   EXPECT_EQ(to_hex(er.tag), to_hex(ref.tag));
 
-  JobId dec = radio.submit_decrypt(*ch, iv, aad, er.payload, er.tag);
-  radio.run_until_idle();
-  const JobResult& dr = radio.result(dec);
+  const JobResult& dr = engine.submit_decrypt(ch, iv, aad, er.payload, er.tag).wait();
   ASSERT_TRUE(dr.complete);
   EXPECT_TRUE(dr.auth_ok);
   EXPECT_EQ(to_hex(dr.payload), to_hex(pt));
 }
 
 TEST(EndToEnd, CcmSingleCoreMatchesReference) {
-  Radio radio({.num_cores = 4, .ccm_mapping = top::CcmMapping::kSingleCore});
+  Engine engine = one_device({.num_cores = 4, .ccm_mapping = top::CcmMapping::kSingleCore});
   Rng rng(2);
   Bytes key = rng.bytes(16);
-  radio.provision_key(1, key);
-  auto ch = radio.open_channel(ChannelMode::kCcm, 1, 8, 13);
-  ASSERT_TRUE(ch.has_value());
+  engine.provision_key(1, key);
+  Channel ch = engine.open_channel(ChannelMode::kCcm, 1, 8, 13);
+  ASSERT_TRUE(ch.valid());
 
   Bytes nonce = rng.bytes(13), aad = rng.bytes(9), pt = rng.bytes(512);
-  JobId enc = radio.submit_encrypt(*ch, nonce, aad, pt);
-  radio.run_until_idle();
-  const JobResult& er = radio.result(enc);
+  const JobResult& er = engine.submit_encrypt(ch, nonce, aad, pt).wait();
   ASSERT_TRUE(er.complete);
   auto keys = crypto::aes_expand_key(key);
   auto ref = crypto::ccm_seal(keys, {.tag_len = 8, .nonce_len = 13}, nonce, aad, pt);
@@ -65,17 +64,15 @@ TEST(EndToEnd, CcmSingleCoreMatchesReference) {
 TEST(EndToEnd, CcmTwoCoreSplitMatchesReference) {
   // SIV.D: "Using inter-core communication port, any single CCM packet can
   // be processed with two Cryptographic Cores."
-  Radio radio({.num_cores = 4, .ccm_mapping = top::CcmMapping::kPairPreferred});
+  Engine engine = one_device({.num_cores = 4, .ccm_mapping = top::CcmMapping::kPairPreferred});
   Rng rng(3);
   Bytes key = rng.bytes(16);
-  radio.provision_key(1, key);
-  auto ch = radio.open_channel(ChannelMode::kCcm, 1, 8, 13);
-  ASSERT_TRUE(ch.has_value());
+  engine.provision_key(1, key);
+  Channel ch = engine.open_channel(ChannelMode::kCcm, 1, 8, 13);
+  ASSERT_TRUE(ch.valid());
 
   Bytes nonce = rng.bytes(13), aad = rng.bytes(11), pt = rng.bytes(768);
-  JobId enc = radio.submit_encrypt(*ch, nonce, aad, pt);
-  radio.run_until_idle();
-  const JobResult& er = radio.result(enc);
+  const JobResult& er = engine.submit_encrypt(ch, nonce, aad, pt).wait();
   ASSERT_TRUE(er.complete);
   auto keys = crypto::aes_expand_key(key);
   auto ref = crypto::ccm_seal(keys, {.tag_len = 8, .nonce_len = 13}, nonce, aad, pt);
@@ -84,20 +81,18 @@ TEST(EndToEnd, CcmTwoCoreSplitMatchesReference) {
 }
 
 TEST(EndToEnd, CcmTwoCoreDecryptRoundTripsAndVerifies) {
-  Radio radio({.num_cores = 4, .ccm_mapping = top::CcmMapping::kPairPreferred});
+  Engine engine = one_device({.num_cores = 4, .ccm_mapping = top::CcmMapping::kPairPreferred});
   Rng rng(4);
   Bytes key = rng.bytes(16);
-  radio.provision_key(1, key);
-  auto ch = radio.open_channel(ChannelMode::kCcm, 1, 8, 13);
-  ASSERT_TRUE(ch.has_value());
+  engine.provision_key(1, key);
+  Channel ch = engine.open_channel(ChannelMode::kCcm, 1, 8, 13);
+  ASSERT_TRUE(ch.valid());
 
   Bytes nonce = rng.bytes(13), aad = rng.bytes(5), pt = rng.bytes(256);
   auto keys = crypto::aes_expand_key(key);
   auto ref = crypto::ccm_seal(keys, {.tag_len = 8, .nonce_len = 13}, nonce, aad, pt);
 
-  JobId dec = radio.submit_decrypt(*ch, nonce, aad, ref.ciphertext, ref.tag);
-  radio.run_until_idle();
-  const JobResult& dr = radio.result(dec);
+  const JobResult& dr = engine.submit_decrypt(ch, nonce, aad, ref.ciphertext, ref.tag).wait();
   ASSERT_TRUE(dr.complete);
   EXPECT_TRUE(dr.auth_ok);
   EXPECT_EQ(to_hex(dr.payload), to_hex(pt));
@@ -107,12 +102,12 @@ TEST(EndToEnd, CcmTwoCoreAuthFailureWipesPartnerCoreOutput) {
   // The MAC half detects the forgery; the CTR half has already produced
   // plaintext into its output FIFO. The Task Scheduler must wipe it before
   // anything can be read (cross-core extension of the SIV.C rule).
-  Radio radio({.num_cores = 4, .ccm_mapping = top::CcmMapping::kPairPreferred});
+  Engine engine = one_device({.num_cores = 4, .ccm_mapping = top::CcmMapping::kPairPreferred});
   Rng rng(5);
   Bytes key = rng.bytes(16);
-  radio.provision_key(1, key);
-  auto ch = radio.open_channel(ChannelMode::kCcm, 1, 8, 13);
-  ASSERT_TRUE(ch.has_value());
+  engine.provision_key(1, key);
+  Channel ch = engine.open_channel(ChannelMode::kCcm, 1, 8, 13);
+  ASSERT_TRUE(ch.valid());
 
   Bytes nonce = rng.bytes(13), pt = rng.bytes(128);
   auto keys = crypto::aes_expand_key(key);
@@ -120,62 +115,60 @@ TEST(EndToEnd, CcmTwoCoreAuthFailureWipesPartnerCoreOutput) {
   Bytes bad_tag = ref.tag;
   bad_tag[0] ^= 1;
 
-  JobId dec = radio.submit_decrypt(*ch, nonce, {}, ref.ciphertext, bad_tag);
-  radio.run_until_idle();
-  const JobResult& dr = radio.result(dec);
+  const JobResult& dr = engine.submit_decrypt(ch, nonce, {}, ref.ciphertext, bad_tag).wait();
   ASSERT_TRUE(dr.complete);
   EXPECT_FALSE(dr.auth_ok);
   EXPECT_TRUE(dr.payload.empty());
-  for (std::size_t i = 0; i < radio.mccp().num_cores(); ++i)
-    EXPECT_TRUE(radio.mccp().core(i).out_fifo().empty()) << "core " << i;
+  top::Mccp& mccp = engine.sim_device(0)->mccp();
+  for (std::size_t i = 0; i < mccp.num_cores(); ++i)
+    EXPECT_TRUE(mccp.core(i).out_fifo().empty()) << "core " << i;
 }
 
 TEST(EndToEnd, CtrAndCbcMacChannels) {
-  Radio radio({.num_cores = 2});
+  Engine engine = one_device({.num_cores = 2});
   Rng rng(6);
   Bytes key = rng.bytes(16);
-  radio.provision_key(1, key);
+  engine.provision_key(1, key);
   auto keys = crypto::aes_expand_key(key);
 
-  auto ctr_ch = radio.open_channel(ChannelMode::kCtr, 1);
-  ASSERT_TRUE(ctr_ch.has_value());
+  Channel ctr_ch = engine.open_channel(ChannelMode::kCtr, 1);
+  ASSERT_TRUE(ctr_ch.valid());
   Bytes ctr0(16, 0);
   ctr0[0] = 0x42;
   Bytes data = rng.bytes(320);
-  JobId j1 = radio.submit_encrypt(*ctr_ch, ctr0, {}, data);
+  Completion j1 = engine.submit_encrypt(ctr_ch, ctr0, {}, data);
 
-  auto mac_ch = radio.open_channel(ChannelMode::kCbcMac, 1, 8);
-  ASSERT_TRUE(mac_ch.has_value());
+  Channel mac_ch = engine.open_channel(ChannelMode::kCbcMac, 1, 8);
+  ASSERT_TRUE(mac_ch.valid());
   Bytes msg = rng.bytes(160);
-  JobId j2 = radio.submit_encrypt(*mac_ch, {}, {}, msg);
+  Completion j2 = engine.submit_encrypt(mac_ch, {}, {}, msg);
 
-  radio.run_until_idle();
-  EXPECT_EQ(to_hex(radio.result(j1).payload),
+  engine.wait_all();
+  EXPECT_EQ(to_hex(j1.result().payload),
             to_hex(crypto::ctr_transform(keys, Block128::from_span(ctr0), data)));
   Bytes ref_mac = crypto::cbc_mac(keys, msg).to_bytes();
   ref_mac.resize(8);
-  EXPECT_EQ(to_hex(radio.result(j2).tag), to_hex(ref_mac));
+  EXPECT_EQ(to_hex(j2.result().tag), to_hex(ref_mac));
 
   // Verify through the platform too.
-  JobId j3 = radio.submit_decrypt(*mac_ch, {}, {}, msg, radio.result(j2).tag);
-  radio.run_until_idle();
-  EXPECT_TRUE(radio.result(j3).auth_ok);
+  const JobResult& j3 = engine.submit_decrypt(mac_ch, {}, {}, msg, j2.result().tag).wait();
+  EXPECT_TRUE(j3.auth_ok);
 }
 
 TEST(EndToEnd, FourConcurrentChannelsAllCorrect) {
   // SIV.D rules: packets from the same or different channels may be
   // processed concurrently on different cores.
-  Radio radio({.num_cores = 4});
+  Engine engine = one_device({.num_cores = 4});
   Rng rng(7);
   Bytes k16 = rng.bytes(16), k32 = rng.bytes(32);
-  radio.provision_key(1, k16);
-  radio.provision_key(2, k32);
-  auto gcm_ch = radio.open_channel(ChannelMode::kGcm, 2, 16, 12);
-  auto ccm_ch = radio.open_channel(ChannelMode::kCcm, 1, 8, 13);
-  ASSERT_TRUE(gcm_ch && ccm_ch);
+  engine.provision_key(1, k16);
+  engine.provision_key(2, k32);
+  Channel gcm_ch = engine.open_channel(ChannelMode::kGcm, 2, 16, 12);
+  Channel ccm_ch = engine.open_channel(ChannelMode::kCcm, 1, 8, 13);
+  ASSERT_TRUE(gcm_ch.valid() && ccm_ch.valid());
 
   struct Pkt {
-    JobId id;
+    Completion job;
     bool gcm;
     Bytes iv, aad, pt;
   };
@@ -186,15 +179,15 @@ TEST(EndToEnd, FourConcurrentChannelsAllCorrect) {
     p.iv = rng.bytes(p.gcm ? 12 : 13);
     p.aad = rng.bytes(8);
     p.pt = rng.bytes(256);
-    p.id = radio.submit_encrypt(p.gcm ? *gcm_ch : *ccm_ch, p.iv, p.aad, p.pt);
+    p.job = engine.submit_encrypt(p.gcm ? gcm_ch : ccm_ch, p.iv, p.aad, p.pt);
     pkts.push_back(std::move(p));
   }
-  radio.run_until_idle();
+  engine.wait_all();
 
   auto keys16 = crypto::aes_expand_key(k16);
   auto keys32 = crypto::aes_expand_key(k32);
   for (const Pkt& p : pkts) {
-    const JobResult& r = radio.result(p.id);
+    const JobResult& r = p.job.result();
     ASSERT_TRUE(r.complete);
     if (p.gcm) {
       auto ref = crypto::gcm_seal(keys32, p.iv, p.aad, p.pt);
@@ -211,47 +204,49 @@ TEST(EndToEnd, FourConcurrentChannelsAllCorrect) {
 TEST(EndToEnd, BusyRejectionsAreRetriedTransparently) {
   // More packets than cores: the pump retries rejected submissions, and
   // every packet eventually completes (paper SIII.C behaviour).
-  Radio radio({.num_cores = 2});
+  Engine engine = one_device({.num_cores = 2});
   Rng rng(8);
   Bytes key = rng.bytes(16);
-  radio.provision_key(1, key);
-  auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12);
-  ASSERT_TRUE(ch.has_value());
+  engine.provision_key(1, key);
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  ASSERT_TRUE(ch.valid());
 
-  std::vector<JobId> ids;
+  std::vector<Completion> jobs;
   for (int i = 0; i < 10; ++i)
-    ids.push_back(radio.submit_encrypt(*ch, rng.bytes(12), {}, rng.bytes(512)));
-  radio.run_until_idle();
+    jobs.push_back(engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(512)));
+  engine.wait_all();
   std::uint32_t total_rejections = 0;
-  for (JobId id : ids) {
-    EXPECT_TRUE(radio.result(id).complete);
-    total_rejections += radio.result(id).rejections;
+  for (const Completion& job : jobs) {
+    EXPECT_TRUE(job.result().complete);
+    total_rejections += job.result().rejections;
   }
   EXPECT_GT(total_rejections, 0u);  // contention actually happened
-  EXPECT_EQ(radio.mccp().idle_core_count(), 2u);  // everything released
+  EXPECT_EQ(engine.sim_device(0)->mccp().idle_core_count(), 2u);  // everything released
+  EXPECT_EQ(ch.stats().rejections, total_rejections);  // driver-side stats agree
 }
 
 TEST(EndToEnd, TrafficMixRunsToCompletion) {
-  Radio radio({.num_cores = 4, .ccm_mapping = top::CcmMapping::kSingleCore});
+  Engine engine = one_device({.num_cores = 4, .ccm_mapping = top::CcmMapping::kSingleCore});
   Rng rng(9);
-  std::vector<ChannelProfile> profiles = {wifi_ccmp_profile(), satcom_gcm_profile(),
-                                          voice_ctr_profile()};
-  std::vector<ChannelHandle> handles;
+  std::vector<radio::ChannelProfile> profiles = {
+      radio::wifi_ccmp_profile(), radio::satcom_gcm_profile(), radio::voice_ctr_profile()};
+  std::vector<Channel> channels;
   for (std::size_t i = 0; i < profiles.size(); ++i) {
-    radio.provision_key(static_cast<top::KeyId>(i + 1), rng.bytes(profiles[i].key_len));
-    auto ch = radio.open_channel(profiles[i].mode, static_cast<top::KeyId>(i + 1),
-                                 profiles[i].tag_len, profiles[i].nonce_len);
-    ASSERT_TRUE(ch.has_value()) << profiles[i].name;
-    handles.push_back(*ch);
+    engine.provision_key(static_cast<top::KeyId>(i + 1), rng.bytes(profiles[i].key_len));
+    Channel ch = engine.open_channel(profiles[i].mode, static_cast<top::KeyId>(i + 1),
+                                     profiles[i].tag_len, profiles[i].nonce_len);
+    ASSERT_TRUE(ch.valid()) << profiles[i].name;
+    channels.push_back(std::move(ch));
   }
-  auto packets = generate_mix(profiles, 12, 4242);
-  std::vector<JobId> ids;
+  auto packets = radio::generate_mix(profiles, 12, 4242);
+  std::size_t completed = 0;
   for (const auto& pkt : packets)
-    ids.push_back(radio.submit_encrypt(handles[pkt.profile_index], pkt.iv_or_nonce, pkt.aad,
-                                       pkt.payload));
-  radio.run_until_idle();
-  for (JobId id : ids) EXPECT_TRUE(radio.result(id).complete);
+    engine
+        .submit_encrypt(channels[pkt.profile_index], pkt.iv_or_nonce, pkt.aad, pkt.payload)
+        .on_done([&completed](const JobResult& r) { completed += r.complete ? 1 : 0; });
+  engine.wait_all();
+  EXPECT_EQ(completed, packets.size());
 }
 
 }  // namespace
-}  // namespace mccp::radio
+}  // namespace mccp::host

@@ -165,6 +165,44 @@ TEST(Radio, PerCoreStatisticsAccumulate) {
   EXPECT_EQ(radio.mccp().requests_completed(), 4u);
 }
 
+TEST(Radio, ResultLookupHasClearErrors) {
+  // An unknown JobId used to surface as a bare std::map::at throw; now it
+  // is a descriptive std::out_of_range, with try_result as the
+  // non-throwing variant. A known-but-pending id stays readable as a
+  // partial (complete == false), as it always was.
+  Radio radio({.num_cores = 1});
+  Rng rng(77);
+  radio.provision_key(1, rng.bytes(16));
+  auto ch = radio.open_channel(ChannelMode::kGcm, 1, 16, 12).value();
+
+  EXPECT_EQ(radio.try_result(12345), nullptr);
+  EXPECT_THROW(
+      {
+        try {
+          radio.result(12345);
+        } catch (const std::out_of_range& e) {
+          EXPECT_NE(std::string(e.what()).find("unknown JobId"), std::string::npos);
+          throw;
+        }
+      },
+      std::out_of_range);
+
+  JobId job = radio.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(64));
+  ASSERT_NE(radio.try_result(job), nullptr);
+  EXPECT_FALSE(radio.result(job).complete);  // in-flight partial
+  radio.run_until_idle();
+  EXPECT_TRUE(radio.result(job).complete);
+}
+
+TEST(Radio, ShimExposesUnderlyingEngine) {
+  // Radio is a compatibility shim over a one-device host::Engine; the
+  // engine is reachable for incremental migration.
+  Radio radio({.num_cores = 2});
+  EXPECT_EQ(radio.engine().num_devices(), 1u);
+  EXPECT_TRUE(radio.engine().idle());
+  EXPECT_EQ(&radio.mccp(), &radio.engine().sim_device(0)->mccp());
+}
+
 TEST(Radio, TraceRecordsSchedulerDecisions) {
   Radio radio({.num_cores = 1});
   radio.mccp().trace().enable(true);
