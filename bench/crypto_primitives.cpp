@@ -1,12 +1,19 @@
 // google-benchmark microbenchmarks of the from-scratch software crypto
-// layer (the golden reference). These are host wall-clock numbers — useful
-// for library users and for spotting regressions; the architecture study's
-// cycle numbers come from the table benches instead.
+// layer (the fast-path kernels double as the golden reference). These are
+// host wall-clock numbers — useful for library users and for spotting
+// regressions; the architecture study's cycle numbers come from the table
+// benches instead.
+//
+// `--json PATH` additionally records the runs as a machine-readable
+// BENCH_*.json perf-trajectory artifact (all other flags pass through to
+// google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "crypto/aes.h"
 #include "crypto/ccm.h"
+#include "crypto/ctr.h"
 #include "crypto/gcm.h"
 #include "crypto/gf128.h"
 #include "crypto/ghash.h"
@@ -54,6 +61,37 @@ void BM_Gf128MulDigitSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_Gf128MulDigitSerial);
 
+void BM_Gf128MulTable(benchmark::State& state) {
+  Rng rng(9);
+  Gf128Table table(rng.block());
+  Block128 a = rng.block();
+  for (auto _ : state) {
+    a = table.mul(a);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Gf128MulTable);
+
+void BM_Gf128TableBuild(benchmark::State& state) {
+  Rng rng(10);
+  Block128 h = rng.block();
+  for (auto _ : state) {
+    Gf128Table table(h);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_Gf128TableBuild);
+
+void BM_CtrKeystream(benchmark::State& state) {
+  Rng rng(11);
+  auto keys = aes_expand_key(rng.bytes(16));
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  Block128 ctr = rng.block();
+  for (auto _ : state) benchmark::DoNotOptimize(ctr_transform(keys, ctr, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CtrKeystream)->Arg(2048);
+
 void BM_GhashPerKilobyte(benchmark::State& state) {
   Rng rng(5);
   Block128 h = rng.block();
@@ -96,7 +134,71 @@ void BM_Whirlpool(benchmark::State& state) {
 }
 BENCHMARK(BM_Whirlpool)->Arg(64)->Arg(2048);
 
+// Collects finished runs so `--json` can record them through the shared
+// JsonWriter (our perf-trajectory format, independent of google-benchmark's
+// own --benchmark_out). Wraps the console reporter so it can act as the
+// display reporter.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      Entry e;
+      e.name = run.benchmark_name();
+      e.iterations = static_cast<std::uint64_t>(run.iterations);
+      e.real_time_ns = run.GetAdjustedRealTime();
+      auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) e.bytes_per_second = it->second;
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  void write(const std::string& path) const {
+    bench::JsonWriter json;
+    json.begin_object().field("bench", "crypto_primitives").begin_array("benchmarks");
+    for (const auto& e : entries_) {
+      json.begin_object()
+          .field("name", e.name)
+          .field("iterations", e.iterations)
+          .field("real_time_ns", e.real_time_ns);
+      if (e.bytes_per_second > 0) json.field("bytes_per_second", e.bytes_per_second);
+      json.end_object();
+    }
+    json.end_array().end_object();
+    if (json.write_file(path)) std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint64_t iterations = 0;
+    double real_time_ns = 0;
+    double bytes_per_second = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 }  // namespace mccp::crypto
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json <path>; everything else goes to google-benchmark.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int pruned_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&pruned_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) return 1;
+
+  mccp::crypto::JsonCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  if (!json_path.empty()) collector.write(json_path);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,52 +21,88 @@ constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   return p;
 }
 
-// S-box tables built from field arithmetic at static initialisation. The
-// affine transform is b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
-// applied to the multiplicative inverse (with inv(0) = 0).
-struct SboxTables {
-  std::array<std::uint8_t, 256> fwd{};
-  std::array<std::uint8_t, 256> inv{};
-  SboxTables() {
-    // Build inverses by brute force; 256^2 work at startup is negligible.
-    std::array<std::uint8_t, 256> field_inv{};
-    for (int a = 1; a < 256; ++a) {
-      for (int b = 1; b < 256; ++b) {
-        if (gmul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)) == 1) {
-          field_inv[static_cast<std::size_t>(a)] = static_cast<std::uint8_t>(b);
-          break;
-        }
-      }
+constexpr std::uint32_t rotr32(std::uint32_t w, int n) { return (w >> n) | (w << (32 - n)); }
+
+// S-box and word-oriented round tables, built from field arithmetic at
+// static initialisation (derived, never transcribed).
+//
+// The S-box is the affine transform b ^ rotl(b,1..4) ^ 0x63 applied to the
+// multiplicative inverse (inv(0) = 0); inverses come from log/antilog
+// tables over the generator 0x03 (g^(i+1) = g^i * 3 = g^i ^ xtime(g^i)),
+// so the whole build is O(256) rather than a brute-force O(256^2) search.
+//
+// The T-tables are the standard word-formulation of the round function
+// (one 4 KiB table set each for encrypt and decrypt): with the state held
+// as four big-endian column words, a middle round is four lookups + XORs
+// per output column instead of sixteen gmul() calls per block. Te0 packs
+// the MixColumns column [02 01 01 03]*S(x); Te1..Te3 are its byte
+// rotations (the contributions of rows 1..3). Td0..Td3 are the same for
+// the InvMixColumns matrix [0e 09 0d 0b] over the inverse S-box, used by
+// the equivalent inverse cipher (FIPS-197 SS5.3.5).
+struct AesTables {
+  std::array<std::uint8_t, 256> sbox{};
+  std::array<std::uint8_t, 256> inv_sbox{};
+  std::array<std::uint32_t, 256> te0{}, te1{}, te2{}, te3{};
+  std::array<std::uint32_t, 256> td0{}, td1{}, td2{}, td3{};
+
+  AesTables() {
+    std::array<std::uint8_t, 256> log{}, alog{};
+    std::uint8_t g = 1;
+    for (int i = 0; i < 255; ++i) {
+      alog[static_cast<std::size_t>(i)] = g;
+      log[g] = static_cast<std::uint8_t>(i);
+      g ^= xtime(g);  // g *= 0x03
     }
+    auto field_inv = [&](std::uint8_t a) -> std::uint8_t {
+      return a ? alog[static_cast<std::size_t>(255 - log[a]) % 255] : 0;
+    };
     auto rotl8 = [](std::uint8_t x, int r) {
       return static_cast<std::uint8_t>((x << r) | (x >> (8 - r)));
     };
     for (int x = 0; x < 256; ++x) {
-      std::uint8_t b = field_inv[static_cast<std::size_t>(x)];
+      std::uint8_t b = field_inv(static_cast<std::uint8_t>(x));
       std::uint8_t s = static_cast<std::uint8_t>(b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^
                                                  rotl8(b, 4) ^ 0x63);
-      fwd[static_cast<std::size_t>(x)] = s;
-      inv[s] = static_cast<std::uint8_t>(x);
+      sbox[static_cast<std::size_t>(x)] = s;
+      inv_sbox[s] = static_cast<std::uint8_t>(x);
     }
+    for (int x = 0; x < 256; ++x) {
+      std::uint8_t s = sbox[static_cast<std::size_t>(x)];
+      std::uint32_t e = (std::uint32_t{gmul(s, 2)} << 24) | (std::uint32_t{s} << 16) |
+                        (std::uint32_t{s} << 8) | std::uint32_t{gmul(s, 3)};
+      te0[static_cast<std::size_t>(x)] = e;
+      te1[static_cast<std::size_t>(x)] = rotr32(e, 8);
+      te2[static_cast<std::size_t>(x)] = rotr32(e, 16);
+      te3[static_cast<std::size_t>(x)] = rotr32(e, 24);
+
+      std::uint8_t si = inv_sbox[static_cast<std::size_t>(x)];
+      std::uint32_t d = (std::uint32_t{gmul(si, 14)} << 24) | (std::uint32_t{gmul(si, 9)} << 16) |
+                        (std::uint32_t{gmul(si, 13)} << 8) | std::uint32_t{gmul(si, 11)};
+      td0[static_cast<std::size_t>(x)] = d;
+      td1[static_cast<std::size_t>(x)] = rotr32(d, 8);
+      td2[static_cast<std::size_t>(x)] = rotr32(d, 16);
+      td3[static_cast<std::size_t>(x)] = rotr32(d, 24);
+    }
+  }
+
+  /// InvMixColumns of one column word via the decrypt tables:
+  /// Td_r[S[b_r]] = InvMixColumns of byte b_r in row r (the S-box and its
+  /// inverse cancel), so the four lookups sum to InvMixColumns(w).
+  std::uint32_t inv_mix_word(std::uint32_t w) const {
+    return td0[sbox[(w >> 24) & 0xFF]] ^ td1[sbox[(w >> 16) & 0xFF]] ^
+           td2[sbox[(w >> 8) & 0xFF]] ^ td3[sbox[w & 0xFF]];
   }
 };
 
-const SboxTables& tables() {
-  static const SboxTables t;
+const AesTables& tables() {
+  static const AesTables t;
   return t;
-}
-
-// State layout: we keep the AES state in a Block128 in the same byte order
-// as the input block (column-major in FIPS-197 terms: byte index 4*c + r is
-// row r of column c).
-constexpr std::size_t idx(int r, int c) {
-  return static_cast<std::size_t>(4 * c + r);
 }
 
 }  // namespace
 
-std::uint8_t aes_sbox(std::uint8_t x) { return tables().fwd[x]; }
-std::uint8_t aes_inv_sbox(std::uint8_t x) { return tables().inv[x]; }
+std::uint8_t aes_sbox(std::uint8_t x) { return tables().sbox[x]; }
+std::uint8_t aes_inv_sbox(std::uint8_t x) { return tables().inv_sbox[x]; }
 std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) { return gmul(a, b); }
 
 AesRoundKeys aes_expand_key(ByteSpan key) {
@@ -108,75 +144,86 @@ AesRoundKeys aes_expand_key(ByteSpan key) {
                                                    w[static_cast<std::size_t>(4 * r + c)]);
     }
   }
+
+  // Equivalent-inverse-cipher schedule (FIPS-197 SS5.3.5): reversed round
+  // keys with InvMixColumns applied to the middle rounds, so decryption can
+  // run the same table-lookup round structure as encryption.
+  const AesTables& t = tables();
+  out.drk[0] = out.rk[static_cast<std::size_t>(nr)];
+  for (int r = 1; r < nr; ++r) {
+    for (int c = 0; c < 4; ++c)
+      out.drk[static_cast<std::size_t>(r)].set_word(
+          static_cast<std::size_t>(c),
+          t.inv_mix_word(out.rk[static_cast<std::size_t>(nr - r)].word(static_cast<std::size_t>(c))));
+  }
+  out.drk[static_cast<std::size_t>(nr)] = out.rk[0];
   return out;
 }
 
-namespace {
-
-Block128 add_round_key(Block128 s, const Block128& rk) { return s ^ rk; }
-
-Block128 sub_bytes(Block128 s) {
-  for (auto& b : s.b) b = aes_sbox(b);
-  return s;
-}
-Block128 inv_sub_bytes(Block128 s) {
-  for (auto& b : s.b) b = aes_inv_sbox(b);
-  return s;
-}
-
-Block128 shift_rows(const Block128& s) {
-  Block128 o;
-  for (int r = 0; r < 4; ++r)
-    for (int c = 0; c < 4; ++c) o.b[idx(r, c)] = s.b[idx(r, (c + r) % 4)];
-  return o;
-}
-Block128 inv_shift_rows(const Block128& s) {
-  Block128 o;
-  for (int r = 0; r < 4; ++r)
-    for (int c = 0; c < 4; ++c) o.b[idx(r, (c + r) % 4)] = s.b[idx(r, c)];
-  return o;
-}
-
-Block128 mix_columns(const Block128& s) {
-  Block128 o;
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t a0 = s.b[idx(0, c)], a1 = s.b[idx(1, c)], a2 = s.b[idx(2, c)], a3 = s.b[idx(3, c)];
-    o.b[idx(0, c)] = static_cast<std::uint8_t>(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
-    o.b[idx(1, c)] = static_cast<std::uint8_t>(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
-    o.b[idx(2, c)] = static_cast<std::uint8_t>(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
-    o.b[idx(3, c)] = static_cast<std::uint8_t>(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
-  }
-  return o;
-}
-Block128 inv_mix_columns(const Block128& s) {
-  Block128 o;
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t a0 = s.b[idx(0, c)], a1 = s.b[idx(1, c)], a2 = s.b[idx(2, c)], a3 = s.b[idx(3, c)];
-    o.b[idx(0, c)] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9));
-    o.b[idx(1, c)] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13));
-    o.b[idx(2, c)] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11));
-    o.b[idx(3, c)] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14));
-  }
-  return o;
-}
-
-}  // namespace
-
 Block128 aes_encrypt_block(const AesRoundKeys& keys, const Block128& in) {
+  const AesTables& t = tables();
   const int nr = keys.rounds();
-  Block128 s = add_round_key(in, keys.rk[0]);
-  for (int r = 1; r < nr; ++r)
-    s = add_round_key(mix_columns(shift_rows(sub_bytes(s))), keys.rk[static_cast<std::size_t>(r)]);
-  return add_round_key(shift_rows(sub_bytes(s)), keys.rk[static_cast<std::size_t>(nr)]);
+  std::uint32_t w0 = in.word(0) ^ keys.rk[0].word(0);
+  std::uint32_t w1 = in.word(1) ^ keys.rk[0].word(1);
+  std::uint32_t w2 = in.word(2) ^ keys.rk[0].word(2);
+  std::uint32_t w3 = in.word(3) ^ keys.rk[0].word(3);
+  for (int r = 1; r < nr; ++r) {
+    const Block128& rk = keys.rk[static_cast<std::size_t>(r)];
+    std::uint32_t n0 = t.te0[w0 >> 24] ^ t.te1[(w1 >> 16) & 0xFF] ^ t.te2[(w2 >> 8) & 0xFF] ^
+                       t.te3[w3 & 0xFF] ^ rk.word(0);
+    std::uint32_t n1 = t.te0[w1 >> 24] ^ t.te1[(w2 >> 16) & 0xFF] ^ t.te2[(w3 >> 8) & 0xFF] ^
+                       t.te3[w0 & 0xFF] ^ rk.word(1);
+    std::uint32_t n2 = t.te0[w2 >> 24] ^ t.te1[(w3 >> 16) & 0xFF] ^ t.te2[(w0 >> 8) & 0xFF] ^
+                       t.te3[w1 & 0xFF] ^ rk.word(2);
+    std::uint32_t n3 = t.te0[w3 >> 24] ^ t.te1[(w0 >> 16) & 0xFF] ^ t.te2[(w1 >> 8) & 0xFF] ^
+                       t.te3[w2 & 0xFF] ^ rk.word(3);
+    w0 = n0; w1 = n1; w2 = n2; w3 = n3;
+  }
+  const Block128& rk = keys.rk[static_cast<std::size_t>(nr)];
+  Block128 out;
+  auto final_word = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d) {
+    return (std::uint32_t{t.sbox[a >> 24]} << 24) | (std::uint32_t{t.sbox[(b >> 16) & 0xFF]} << 16) |
+           (std::uint32_t{t.sbox[(c >> 8) & 0xFF]} << 8) | std::uint32_t{t.sbox[d & 0xFF]};
+  };
+  out.set_word(0, final_word(w0, w1, w2, w3) ^ rk.word(0));
+  out.set_word(1, final_word(w1, w2, w3, w0) ^ rk.word(1));
+  out.set_word(2, final_word(w2, w3, w0, w1) ^ rk.word(2));
+  out.set_word(3, final_word(w3, w0, w1, w2) ^ rk.word(3));
+  return out;
 }
 
 Block128 aes_decrypt_block(const AesRoundKeys& keys, const Block128& in) {
+  const AesTables& t = tables();
   const int nr = keys.rounds();
-  Block128 s = add_round_key(in, keys.rk[static_cast<std::size_t>(nr)]);
-  for (int r = nr - 1; r >= 1; --r)
-    s = inv_mix_columns(add_round_key(inv_sub_bytes(inv_shift_rows(s)),
-                                      keys.rk[static_cast<std::size_t>(r)]));
-  return add_round_key(inv_sub_bytes(inv_shift_rows(s)), keys.rk[0]);
+  std::uint32_t w0 = in.word(0) ^ keys.drk[0].word(0);
+  std::uint32_t w1 = in.word(1) ^ keys.drk[0].word(1);
+  std::uint32_t w2 = in.word(2) ^ keys.drk[0].word(2);
+  std::uint32_t w3 = in.word(3) ^ keys.drk[0].word(3);
+  for (int r = 1; r < nr; ++r) {
+    const Block128& rk = keys.drk[static_cast<std::size_t>(r)];
+    std::uint32_t n0 = t.td0[w0 >> 24] ^ t.td1[(w3 >> 16) & 0xFF] ^ t.td2[(w2 >> 8) & 0xFF] ^
+                       t.td3[w1 & 0xFF] ^ rk.word(0);
+    std::uint32_t n1 = t.td0[w1 >> 24] ^ t.td1[(w0 >> 16) & 0xFF] ^ t.td2[(w3 >> 8) & 0xFF] ^
+                       t.td3[w2 & 0xFF] ^ rk.word(1);
+    std::uint32_t n2 = t.td0[w2 >> 24] ^ t.td1[(w1 >> 16) & 0xFF] ^ t.td2[(w0 >> 8) & 0xFF] ^
+                       t.td3[w3 & 0xFF] ^ rk.word(2);
+    std::uint32_t n3 = t.td0[w3 >> 24] ^ t.td1[(w2 >> 16) & 0xFF] ^ t.td2[(w1 >> 8) & 0xFF] ^
+                       t.td3[w0 & 0xFF] ^ rk.word(3);
+    w0 = n0; w1 = n1; w2 = n2; w3 = n3;
+  }
+  const Block128& rk = keys.drk[static_cast<std::size_t>(nr)];
+  Block128 out;
+  auto final_word = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d) {
+    return (std::uint32_t{t.inv_sbox[a >> 24]} << 24) |
+           (std::uint32_t{t.inv_sbox[(b >> 16) & 0xFF]} << 16) |
+           (std::uint32_t{t.inv_sbox[(c >> 8) & 0xFF]} << 8) |
+           std::uint32_t{t.inv_sbox[d & 0xFF]};
+  };
+  out.set_word(0, final_word(w0, w3, w2, w1) ^ rk.word(0));
+  out.set_word(1, final_word(w1, w0, w3, w2) ^ rk.word(1));
+  out.set_word(2, final_word(w2, w1, w0, w3) ^ rk.word(2));
+  out.set_word(3, final_word(w3, w2, w1, w0) ^ rk.word(3));
+  return out;
 }
 
 Block128 aes_encrypt_block(ByteSpan key, const Block128& in) {
@@ -184,23 +231,28 @@ Block128 aes_encrypt_block(ByteSpan key, const Block128& in) {
 }
 
 std::uint32_t encrypt_round_column(const Block128& state, const Block128& rk, int col) {
-  // Column `col` of MixColumns(ShiftRows(SubBytes(state))) ^ rk.
-  std::uint8_t t[4];
-  for (int r = 0; r < 4; ++r) t[r] = aes_sbox(state.b[idx(r, (col + r) % 4)]);
-  std::uint8_t o0 = static_cast<std::uint8_t>(gmul(t[0], 2) ^ gmul(t[1], 3) ^ t[2] ^ t[3]);
-  std::uint8_t o1 = static_cast<std::uint8_t>(t[0] ^ gmul(t[1], 2) ^ gmul(t[2], 3) ^ t[3]);
-  std::uint8_t o2 = static_cast<std::uint8_t>(t[0] ^ t[1] ^ gmul(t[2], 2) ^ gmul(t[3], 3));
-  std::uint8_t o3 = static_cast<std::uint8_t>(gmul(t[0], 3) ^ t[1] ^ t[2] ^ gmul(t[3], 2));
-  std::uint32_t word = (std::uint32_t{o0} << 24) | (std::uint32_t{o1} << 16) |
-                       (std::uint32_t{o2} << 8) | std::uint32_t{o3};
-  return word ^ rk.word(static_cast<std::size_t>(col));
+  // Column `col` of MixColumns(ShiftRows(SubBytes(state))) ^ rk — one
+  // T-table column step, exactly what the 32-bit iterative core computes
+  // per clock cycle.
+  const AesTables& t = tables();
+  std::uint32_t a = state.word(static_cast<std::size_t>(col));
+  std::uint32_t b = state.word(static_cast<std::size_t>((col + 1) & 3));
+  std::uint32_t c = state.word(static_cast<std::size_t>((col + 2) & 3));
+  std::uint32_t d = state.word(static_cast<std::size_t>((col + 3) & 3));
+  return t.te0[a >> 24] ^ t.te1[(b >> 16) & 0xFF] ^ t.te2[(c >> 8) & 0xFF] ^ t.te3[d & 0xFF] ^
+         rk.word(static_cast<std::size_t>(col));
 }
 
 std::uint32_t final_round_column(const Block128& state, const Block128& rk, int col) {
-  std::uint8_t t[4];
-  for (int r = 0; r < 4; ++r) t[r] = aes_sbox(state.b[idx(r, (col + r) % 4)]);
-  std::uint32_t word = (std::uint32_t{t[0]} << 24) | (std::uint32_t{t[1]} << 16) |
-                       (std::uint32_t{t[2]} << 8) | std::uint32_t{t[3]};
+  const AesTables& t = tables();
+  std::uint32_t a = state.word(static_cast<std::size_t>(col));
+  std::uint32_t b = state.word(static_cast<std::size_t>((col + 1) & 3));
+  std::uint32_t c = state.word(static_cast<std::size_t>((col + 2) & 3));
+  std::uint32_t d = state.word(static_cast<std::size_t>((col + 3) & 3));
+  std::uint32_t word = (std::uint32_t{t.sbox[a >> 24]} << 24) |
+                       (std::uint32_t{t.sbox[(b >> 16) & 0xFF]} << 16) |
+                       (std::uint32_t{t.sbox[(c >> 8) & 0xFF]} << 8) |
+                       std::uint32_t{t.sbox[d & 0xFF]};
   return word ^ rk.word(static_cast<std::size_t>(col));
 }
 

@@ -42,10 +42,14 @@ constexpr int aes_core_cycles(AesKeySize ks) {
   return 44;
 }
 
-/// Expanded round keys: (rounds + 1) 128-bit round keys.
+/// Expanded round keys: (rounds + 1) 128-bit round keys, plus the
+/// equivalent-inverse-cipher schedule (FIPS-197 SS5.3.5) so the word-table
+/// decrypt path runs the same round structure as encryption. Both are
+/// filled by aes_expand_key.
 struct AesRoundKeys {
   AesKeySize key_size{AesKeySize::k128};
-  std::array<Block128, 15> rk{};  // up to 14 rounds + initial
+  std::array<Block128, 15> rk{};   // up to 14 rounds + initial
+  std::array<Block128, 15> drk{};  // reversed, InvMixColumns on middle rounds
   int rounds() const { return aes_rounds(key_size); }
 };
 

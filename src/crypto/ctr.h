@@ -20,7 +20,16 @@ Block128 inc32(Block128 ctr);
 Block128 inc16(Block128 ctr, unsigned step);
 
 /// CTR keystream transform: out[i] = in[i] ^ E(K, ctr + i). Encryption and
-/// decryption are the same operation.
+/// decryption are the same operation. Internally generates the keystream in
+/// multi-block batches and XORs it in word-wide.
 Bytes ctr_transform(const AesRoundKeys& keys, const Block128& initial_ctr, ByteSpan data);
+
+/// The same transform with the MCCP INC core's counter semantics: only the
+/// low 16 bits increment (inc16), so the counter wraps at 0xFFFF instead
+/// of carrying into byte 13. This is what the simulated hardware computes;
+/// host::FastDevice uses it so both backends stay bit-identical even on
+/// counter wrap. Identical to ctr_transform whenever the initial counter's
+/// low 16 bits stay at least `blocks` below 0x10000.
+Bytes ctr_transform_inc16(const AesRoundKeys& keys, const Block128& initial_ctr, ByteSpan data);
 
 }  // namespace mccp::crypto

@@ -25,42 +25,112 @@ const Block128 kR = [] {
   return r;
 }();
 
+// One bit-serial step of the multiply recurrence: absorb y-bit `i`, then
+// advance the V register one position.
+inline void mul_step(Block128& z, Block128& v, const Block128& y, int i) {
+  if (bit(y, i)) z ^= v;
+  bool lsb = v.b[15] & 1;
+  v = shr1(v);
+  if (lsb) v ^= kR;
+}
+
+// Byte-carry reduction table for Gf128Table: R8[b] is the reduction of
+// poly(b)·x^128 (the byte spilled past bit 127 by a one-byte shift),
+// packed as (byte0 << 8) | byte1 of the result block. x^128 ≡
+// 1 + x + x^2 + x^7, so degree 120+j maps to degrees {j, j+1, j+2, j+7},
+// all within the top two bytes.
+const std::array<std::uint16_t, 256>& reduction_table() {
+  static const std::array<std::uint16_t, 256> table = [] {
+    std::array<std::uint16_t, 256> t{};
+    for (int b = 0; b < 256; ++b) {
+      std::uint16_t v = 0;
+      for (int j = 0; j < 8; ++j) {
+        if (!((b >> (7 - j)) & 1)) continue;  // poly(b) has term x^(120+j)
+        for (int d : {j, j + 1, j + 2, j + 7}) {
+          if (d < 8)
+            v ^= static_cast<std::uint16_t>(1u << (8 + (7 - d)));  // byte 0, bit (7-d)
+          else
+            v ^= static_cast<std::uint16_t>(1u << (15 - d));  // byte 1, bit (15-d)
+        }
+      }
+      t[static_cast<std::size_t>(b)] = v;
+    }
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace
 
 Block128 gf128_mul(const Block128& x, const Block128& y) {
   Block128 z{};
   Block128 v = x;
-  for (int i = 0; i < 128; ++i) {
-    if (bit(y, i)) z ^= v;
-    bool lsb = v.b[15] & 1;
-    v = shr1(v);
-    if (lsb) v ^= kR;
-  }
+  for (int i = 0; i < 128; ++i) mul_step(z, v, y, i);
   return z;
 }
 
 Block128 gf128_mul_digit(const Block128& x, const Block128& y, int digit_bits) {
   // Same recurrence as the bit-serial algorithm, but advancing the V
   // register `digit_bits` positions per iteration, the way a digit-serial
-  // hardware multiplier retires D partial products per clock.
+  // hardware multiplier retires D partial products per clock. The first
+  // floor(128/D) iterations consume only real operand bits, so they run
+  // unguarded; the leftover bits and the multiplier's final reduction-stage
+  // iterations (which accumulate no partial products, hence touch no
+  // state) are handled once after the loop instead of branching per bit.
   Block128 z{};
   Block128 v = x;
-  const int iterations = gf128_digit_iterations(digit_bits);
+  const int full_iterations = 128 / digit_bits;
   int consumed = 0;
-  for (int it = 0; it < iterations; ++it) {
-    for (int d = 0; d < digit_bits; ++d) {
-      if (consumed < 128) {
-        if (bit(y, consumed)) z ^= v;
-        bool lsb = v.b[15] & 1;
-        v = shr1(v);
-        if (lsb) v ^= kR;
-      }
-      // Iterations past bit 127 model the multiplier's final reduction
-      // stage: no further partial products are accumulated.
-      ++consumed;
-    }
-  }
+  for (int it = 0; it < full_iterations; ++it)
+    for (int d = 0; d < digit_bits; ++d) mul_step(z, v, y, consumed++);
+  while (consumed < 128) mul_step(z, v, y, consumed++);
   return z;
+}
+
+void Gf128Table::load(const Block128& h) {
+  h_ = h;
+  // Single-bit entries by repeated multiply-by-x: poly(0x80) = 1, so
+  // M[0x80] = H, and each halving of the byte index raises the degree by
+  // one. Composite entries are XORs of the single-bit ones (linearity).
+  std::array<Block128, 256> m{};
+  m[0x80] = h;
+  for (int i = 0x40; i > 0; i >>= 1) {
+    const Block128& prev = m[static_cast<std::size_t>(i << 1)];
+    bool lsb = prev.b[15] & 1;
+    Block128 next = shr1(prev);
+    if (lsb) next ^= kR;
+    m[static_cast<std::size_t>(i)] = next;
+  }
+  for (int i = 2; i < 256; i <<= 1)
+    for (int j = 1; j < i; ++j)
+      m[static_cast<std::size_t>(i + j)] =
+          m[static_cast<std::size_t>(i)] ^ m[static_cast<std::size_t>(j)];
+  for (int i = 0; i < 256; ++i) {
+    m_[static_cast<std::size_t>(i)].hi = load_be64(m[static_cast<std::size_t>(i)].b.data());
+    m_[static_cast<std::size_t>(i)].lo = load_be64(m[static_cast<std::size_t>(i)].b.data() + 8);
+  }
+}
+
+Block128 Gf128Table::mul(const Block128& x) const {
+  // Horner over the 16 bytes: X·H = Σ_i M[x_i]·x^{8i}, folded from the
+  // highest byte down. Each step multiplies by x^8 — one byte-shift across
+  // the two 64-bit halves with a table-driven fold of the spilled byte
+  // (R8[b] lands in the top two bytes of the block, i.e. the top 16 bits
+  // of `hi`) — then XORs in the next byte's table entry.
+  const auto& r8 = reduction_table();
+  Half z = m_[x.b[15]];
+  for (int i = 14; i >= 0; --i) {
+    std::uint8_t spill = static_cast<std::uint8_t>(z.lo);
+    z.lo = (z.lo >> 8) | (z.hi << 56);
+    z.hi = (z.hi >> 8) ^ (static_cast<std::uint64_t>(r8[spill]) << 48);
+    const Half& m = m_[x.b[static_cast<std::size_t>(i)]];
+    z.hi ^= m.hi;
+    z.lo ^= m.lo;
+  }
+  Block128 out;
+  store_be64(out.b.data(), z.hi);
+  store_be64(out.b.data() + 8, z.lo);
+  return out;
 }
 
 }  // namespace mccp::crypto

@@ -1,17 +1,25 @@
 // GF(2^128) arithmetic as specified for GCM (NIST SP 800-38D §6.3).
 //
-// Two multiplier implementations are provided:
+// Three multiplier implementations are provided:
 //  * `gf128_mul`        — the reference bit-serial algorithm from the spec.
 //  * `gf128_mul_digit`  — a digit-serial multiplier processing D bits of the
 //    second operand per iteration. With D = 3 it performs ceil(129/3) = 43
 //    iterations, matching the 43-cycle digit-serial GHASH core the paper
 //    adopts from Lemsitzer et al. (CHES'07). Both must agree bit-for-bit;
 //    property tests enforce this.
+//  * `Gf128Table`       — Shoup's 8-bit-table method for a fixed operand H:
+//    256 precomputed multiples of H (4 KiB, built once per key) plus a
+//    shared 256-entry byte-carry reduction table, multiplying in 16 table
+//    lookups + shifts per block instead of 128 bit-serial iterations. This
+//    is the software fast path behind GHASH; it must also agree bit-for-bit
+//    with the reference.
 //
 // GCM convention: within a block, bit 0 is the most significant bit of byte
 // 0, and the field polynomial is 1 + x + x^2 + x^7 + x^128 (represented by
 // the reduction constant R = 0xE1 << 120).
 #pragma once
+
+#include <array>
 
 #include "common/bytes.h"
 
@@ -35,5 +43,34 @@ constexpr int gf128_digit_iterations(int digit_bits) {
 
 static_assert(gf128_digit_iterations(3) == 43,
               "paper Sec. V.A: digit-serial multiplication in 43 clock cycles");
+
+/// Precomputed multiplication by a fixed field element H (Shoup's 8-bit
+/// table method). Table M holds poly(b)·H for every byte value b, where
+/// poly(b) maps bit (7-j) of b to x^j; a 128-bit operand X = Σ poly(x_i)·x^{8i}
+/// is then folded by Horner's rule, one byte-shift (multiply by x^8 with a
+/// table-driven reduction of the spilled byte) per input byte.
+class Gf128Table {
+ public:
+  Gf128Table() = default;
+  explicit Gf128Table(const Block128& h) { load(h); }
+
+  /// (Re)build the table for a new fixed operand.
+  void load(const Block128& h);
+
+  /// X * H in GF(2^128); identical to gf128_mul(x, h()).
+  Block128 mul(const Block128& x) const;
+
+  const Block128& h() const { return h_; }
+
+ private:
+  /// One table entry, held as two big-endian 64-bit halves so the per-byte
+  /// Horner shift runs in the word domain instead of byte-by-byte.
+  struct Half {
+    std::uint64_t hi = 0, lo = 0;  // bytes 0..7 / 8..15 of the block
+  };
+
+  Block128 h_{};
+  std::array<Half, 256> m_{};
+};
 
 }  // namespace mccp::crypto

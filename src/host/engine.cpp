@@ -78,9 +78,14 @@ const ChannelStats& Channel::stats() const {
 Engine::Engine(const EngineConfig& config) : placement_(config.placement) {
   std::size_t n = std::max<std::size_t>(1, config.num_devices);
   for (std::size_t i = 0; i < n; ++i) {
-    auto dev = std::make_unique<SimDevice>(config.device, "mccp" + std::to_string(i));
-    sim_devices_.push_back(dev.get());
-    devices_.push_back(std::move(dev));
+    if (config.backend == Backend::kFast) {
+      devices_.push_back(std::make_unique<FastDevice>(config.device, "fast" + std::to_string(i)));
+      sim_devices_.push_back(nullptr);
+    } else {
+      auto dev = std::make_unique<SimDevice>(config.device, "mccp" + std::to_string(i));
+      sim_devices_.push_back(dev.get());
+      devices_.push_back(std::move(dev));
+    }
   }
 }
 

@@ -23,6 +23,7 @@
 #include "host/channel.h"
 #include "host/completion.h"
 #include "host/device.h"
+#include "host/fast_device.h"
 #include "host/sim_device.h"
 
 namespace mccp::host {
@@ -36,15 +37,26 @@ enum class Placement : std::uint8_t {
                  // among devices already serving that mode
 };
 
+/// Which Device implementation an EngineConfig-built fleet runs on.
+enum class Backend : std::uint8_t {
+  kSim,   // cycle-accurate simulator (SimDevice): ground truth, slow
+  kFast,  // functional fast path (FastDevice): optimized kernels +
+          // calibrated cycle model; bit-identical results, orders of
+          // magnitude faster wall-clock
+};
+
 struct EngineConfig {
   std::size_t num_devices = 1;
-  top::MccpConfig device{};  // applied to every simulated device
+  top::MccpConfig device{};  // applied to every device (shape + policies)
   Placement placement = Placement::kRoundRobin;
+  Backend backend = Backend::kSim;
 };
 
 class Engine {
  public:
-  /// Build a fleet of `num_devices` identical simulated MCCPs.
+  /// Build a fleet of `num_devices` identical MCCPs on the configured
+  /// backend. Heterogeneous (mixed sim/fast) fleets use the adopting
+  /// constructor below.
   explicit Engine(const EngineConfig& config);
   /// Adopt an existing (possibly heterogeneous) fleet.
   explicit Engine(std::vector<std::unique_ptr<Device>> devices,
@@ -101,8 +113,8 @@ class Engine {
   std::size_t num_devices() const { return devices_.size(); }
   Device& device(std::size_t i) { return *devices_[i]; }
   const Device& device(std::size_t i) const { return *devices_[i]; }
-  /// The simulated backend, when this engine was built from an
-  /// EngineConfig (nullptr for adopted non-sim devices).
+  /// The simulated backend, when device `i` is a SimDevice (nullptr for
+  /// FastDevice fleets and adopted non-sim devices).
   SimDevice* sim_device(std::size_t i) { return sim_devices_[i]; }
   /// Furthest-ahead device clock (devices advance independently).
   sim::Cycle max_cycle() const;

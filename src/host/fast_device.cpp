@@ -1,0 +1,350 @@
+#include "host/fast_device.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/cbc_mac.h"
+#include "crypto/ccm.h"
+#include "crypto/ctr.h"
+#include "crypto/gcm.h"
+#include "crypto/ghash.h"
+#include "crypto/whirlpool.h"
+#include "host/cost_model.h"
+
+namespace mccp::host {
+
+namespace {
+
+// Tag check exactly as the verify cores perform it: the submitted tag
+// reaches the core as a zero-padded 128-bit block, and the XOR byte-mask
+// covers the *channel's* tag_len bytes (core::tag_mask_for_len) — however
+// many tag bytes the host actually supplied. A truncated tag therefore
+// fails against the zero padding, just as it does on SimDevice.
+bool hw_tag_ok(const Block128& computed, ByteSpan tag, std::size_t tag_len) {
+  Block128 submitted = Block128::from_span(tag);
+  return ct_equal(ByteSpan(computed.b.data(), tag_len),
+                  ByteSpan(submitted.b.data(), tag_len));
+}
+
+// GCM with the INC core's counter semantics: the simulated GCM firmware
+// walks the data counters with 16-bit increments (cu INC core), so the
+// counter wraps at 0xFFFF instead of carrying like the spec's inc32.
+// Identical to crypto::gcm_seal/gcm_open for 96-bit IVs (the counter
+// starts at 1 and cannot wrap within a <= 255-block packet); for derived
+// J0s (non-96-bit IVs) this is what the hardware computes.
+Block128 hw_gcm_full_tag(const crypto::AesRoundKeys& keys, const Block128& j0, ByteSpan aad,
+                         ByteSpan ciphertext) {
+  crypto::Ghash g(crypto::gcm_hash_subkey(keys));
+  g.update_padded(aad);
+  g.update_padded(ciphertext);
+  g.update(crypto::gcm_length_block(aad.size(), ciphertext.size()));
+  return g.digest() ^ crypto::aes_encrypt_block(keys, j0);
+}
+
+crypto::GcmSealed hw_gcm_seal(const crypto::AesRoundKeys& keys, ByteSpan iv, ByteSpan aad,
+                              ByteSpan plaintext, std::size_t tag_len) {
+  Block128 j0 = crypto::gcm_j0(keys, iv);
+  crypto::GcmSealed out;
+  out.ciphertext = crypto::ctr_transform_inc16(keys, crypto::inc16(j0, 1), plaintext);
+  Block128 tag = hw_gcm_full_tag(keys, j0, aad, out.ciphertext);
+  out.tag.assign(tag.b.begin(), tag.b.begin() + tag_len);
+  return out;
+}
+
+std::optional<Bytes> hw_gcm_open(const crypto::AesRoundKeys& keys, ByteSpan iv, ByteSpan aad,
+                                 ByteSpan ciphertext, ByteSpan tag, std::size_t tag_len) {
+  Block128 j0 = crypto::gcm_j0(keys, iv);
+  if (!hw_tag_ok(hw_gcm_full_tag(keys, j0, aad, ciphertext), tag, tag_len))
+    return std::nullopt;
+  return crypto::ctr_transform_inc16(keys, crypto::inc16(j0, 1), ciphertext);
+}
+
+}  // namespace
+
+FastDevice::FastDevice(const top::MccpConfig& config, std::string name)
+    : name_(std::move(name)), config_(config) {
+  // Same contract as the Mccp constructor behind SimDevice.
+  if (config.num_cores == 0) throw std::invalid_argument("FastDevice: need at least one core");
+  core_free_.assign(config.num_cores, 0);
+  core_key_.resize(config.num_cores);
+}
+
+void FastDevice::provision_key(top::KeyId id, Bytes session_key) {
+  Key& k = keys_[id];
+  k.expanded = crypto::aes_expand_key(session_key);  // throws on bad length, like the red side
+  k.session_key = std::move(session_key);
+  k.generation = next_generation_++;  // rotation invalidates every key cache
+}
+
+std::optional<ChannelInfo> FastDevice::open_channel(ChannelMode mode, top::KeyId key,
+                                                    unsigned tag_len, unsigned nonce_len) {
+  // The OPEN control word carries (tag_len - 1) and nonce_len in 4-bit
+  // fields (top::encode_open), so out-of-range values wrap exactly as they
+  // would on the wire; registering the wrapped values keeps both backends'
+  // channel parameters identical and tag_len within a Block128.
+  tag_len = ((tag_len - 1) & 0xF) + 1;
+  nonce_len &= 0xF;
+  // Same validation order as Mccp::exec_open.
+  if (mode != ChannelMode::kWhirlpool && !keys_.count(key)) {
+    last_rr_ = top::make_error(top::ControlError::kNoKey);
+    return std::nullopt;
+  }
+  if (mode == ChannelMode::kCcm &&
+      !crypto::ccm_params_valid({.tag_len = static_cast<std::size_t>(tag_len),
+                                 .nonce_len = static_cast<std::size_t>(nonce_len)})) {
+    last_rr_ = top::make_error(top::ControlError::kBadParameters);
+    return std::nullopt;
+  }
+  for (std::uint8_t id = 0; id < 64; ++id) {
+    if (!channels_.count(id)) {
+      ChannelInfo info{id, mode, key, static_cast<std::uint8_t>(tag_len),
+                       static_cast<std::uint8_t>(nonce_len)};
+      channels_[id] = info;
+      last_rr_ = top::make_ok(id);
+      return info;
+    }
+  }
+  last_rr_ = top::make_error(top::ControlError::kChannelsExhausted);
+  return std::nullopt;
+}
+
+bool FastDevice::close_channel(std::uint8_t channel_id) {
+  if (!channels_.erase(channel_id)) {
+    last_rr_ = top::make_error(top::ControlError::kNoChannel);
+    return false;
+  }
+  last_rr_ = top::make_ok(channel_id);
+  return true;
+}
+
+DeviceJobId FastDevice::submit(JobSpec spec) {
+  Job job;
+  job.id = next_job_++;
+  job.spec = std::move(spec);
+  results_[job.id].submit_cycle = now_;
+  pending_[job.spec.priority].push_back(job.id);
+  DeviceJobId id = job.id;
+  jobs_[id] = std::move(job);
+  return id;
+}
+
+const JobResult* FastDevice::result(DeviceJobId id) const {
+  auto it = results_.find(id);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+void FastDevice::forget(DeviceJobId id) { results_.erase(id); }
+
+void FastDevice::fail_unrecoverable(DeviceJobId id) {
+  // Mirrors SimDevice's unrecoverable-submit path: the job completes
+  // failed, with no payload and no core time charged.
+  JobResult& res = results_[id];
+  res.complete = true;
+  res.auth_ok = false;
+  res.complete_cycle = now_ + accept_control_cycles(config_.control_latency_cycles);
+  jobs_.erase(id);
+}
+
+void FastDevice::schedule_pending() {
+  // Serve the most urgent pending packet first — lowest priority value,
+  // arrival order within a class (SIII.C / SVIII QoS), exactly like
+  // SimDevice's pump loop: the head of the lowest-priority bucket. Keep
+  // placing packets until that head cannot get a core this round.
+  while (!pending_.empty()) {
+    auto bucket = pending_.begin();
+    DeviceJobId id = bucket->second.front();
+    Job& job = jobs_.at(id);
+    auto pop_head = [&] {
+      bucket->second.pop_front();
+      if (bucket->second.empty()) pending_.erase(bucket);
+    };
+
+    if (!channels_.count(job.spec.channel.id) ||
+        channels_.at(job.spec.channel.id).mode != job.spec.channel.mode) {
+      pop_head();
+      fail_unrecoverable(id);
+      continue;
+    }
+
+    std::vector<std::size_t> free_cores;
+    for (std::size_t i = 0; i < core_free_.size(); ++i)
+      if (core_free_[i] <= now_) free_cores.push_back(i);
+    if (free_cores.empty()) {
+      if (!job.first_denied) job.first_denied = now_;  // busy: controller retries
+      return;
+    }
+
+    const bool want_pair =
+        job.spec.channel.mode == ChannelMode::kCcm &&
+        (config_.ccm_mapping == top::CcmMapping::kPairPreferred ||
+         (config_.ccm_mapping == top::CcmMapping::kAdaptive &&
+          free_cores.size() * 2 > core_free_.size()));
+    std::vector<std::size_t> cores{free_cores[0]};
+    if (want_pair && free_cores.size() >= 2) cores.push_back(free_cores[1]);
+
+    pop_head();
+    start_job(job, cores);
+  }
+}
+
+void FastDevice::start_job(Job& job, const std::vector<std::size_t>& cores) {
+  const ChannelInfo& ch = job.spec.channel;
+  const bool split = cores.size() == 2;
+
+  // Key Scheduler accounting: a core pays the word-serial round-key
+  // expansion unless its key cache already holds this key generation.
+  const Key* key = nullptr;
+  sim::Cycle key_load = 0;
+  if (ch.mode != ChannelMode::kWhirlpool) {
+    key = &keys_.at(ch.key_id);
+    for (std::size_t c : cores) {
+      if (config_.key_cache_enabled && core_key_[c] &&
+          core_key_[c]->first == ch.key_id && core_key_[c]->second == key->generation)
+        continue;
+      key_load = std::max<sim::Cycle>(
+          key_load, static_cast<sim::Cycle>(top::key_expansion_cycles(key->expanded.key_size)));
+      core_key_[c] = {ch.key_id, key->generation};
+    }
+  }
+
+  // Header blocks for the cost model: formatted the way the communication
+  // controller would stream them (GCM pads the AAD; CCM prepends B0 to the
+  // length-encoded AAD).
+  std::size_t aad_blocks = 0;
+  if (ch.mode == ChannelMode::kGcm) {
+    aad_blocks = (job.spec.aad.size() + 15) / 16;
+  } else if (ch.mode == ChannelMode::kCcm) {
+    aad_blocks = crypto::ccm_encode_aad(job.spec.aad).size() / 16;
+  }
+  std::size_t payload_blocks = (job.spec.payload.size() + 15) / 16;
+  if (ch.mode == ChannelMode::kWhirlpool)
+    payload_blocks = crypto::whirlpool_padded_len(job.spec.payload.size()) / 64;
+
+  const crypto::AesKeySize ks = key ? key->expanded.key_size : crypto::AesKeySize::k128;
+  ComputeCost cost = packet_compute_cycles(ch.mode, ks, aad_blocks, payload_blocks, split);
+
+  const sim::Cycle accept = now_ + accept_control_cycles(config_.control_latency_cycles);
+  const sim::Cycle occupancy = key_load + std::max(cost.lane0, cost.lane1);
+  const sim::Cycle done = accept + occupancy + retire_control_cycles(config_.control_latency_cycles);
+
+  JobResult& res = results_[job.id];
+  if (job.first_denied) {
+    // SimDevice counts one rejection per busy-error retry of the ENCRYPT/
+    // DECRYPT instruction, one instruction latency apart — reconstruct
+    // the same figure from the time this job spent denied a core.
+    res.rejections = static_cast<std::uint32_t>(
+        (now_ - *job.first_denied) / accept_control_cycles(config_.control_latency_cycles) + 1);
+  }
+  for (std::size_t c : cores) core_free_[c] = done;
+
+  res.accept_cycle = accept;
+  compute(job, res);
+
+  job.scheduled = true;
+  job.done_at = done;
+  running_.push_back(job.id);
+}
+
+void FastDevice::compute(const Job& job, JobResult& res) {
+  const ChannelInfo& ch = job.spec.channel;
+  const JobSpec& s = job.spec;
+  res.auth_ok = true;
+  switch (ch.mode) {
+    case ChannelMode::kGcm: {
+      const auto& keys = keys_.at(ch.key_id).expanded;
+      if (s.decrypt) {
+        auto pt = hw_gcm_open(keys, s.iv_or_nonce, s.aad, s.payload, s.tag, ch.tag_len);
+        if (pt)
+          res.payload = std::move(*pt);
+        else
+          res.auth_ok = false;
+      } else {
+        auto sealed = hw_gcm_seal(keys, s.iv_or_nonce, s.aad, s.payload, ch.tag_len);
+        res.payload = std::move(sealed.ciphertext);
+        res.tag = std::move(sealed.tag);
+      }
+      break;
+    }
+    case ChannelMode::kCcm: {
+      const auto& keys = keys_.at(ch.key_id).expanded;
+      crypto::CcmParams p{ch.tag_len, ch.nonce_len};
+      if (s.decrypt) {
+        auto pt = crypto::ccm_open(keys, p, s.iv_or_nonce, s.aad, s.payload, s.tag);
+        if (pt)
+          res.payload = std::move(*pt);
+        else
+          res.auth_ok = false;
+      } else {
+        auto sealed = crypto::ccm_seal(keys, p, s.iv_or_nonce, s.aad, s.payload);
+        res.payload = std::move(sealed.ciphertext);
+        res.tag = std::move(sealed.tag);
+      }
+      break;
+    }
+    case ChannelMode::kCtr: {
+      // The INC core's 16-bit counter walk, matching the simulated
+      // hardware on wrap (differential-tested with a 0xFFFF counter).
+      const auto& keys = keys_.at(ch.key_id).expanded;
+      res.payload =
+          crypto::ctr_transform_inc16(keys, Block128::from_span(s.iv_or_nonce), s.payload);
+      break;
+    }
+    case ChannelMode::kCbcMac: {
+      const auto& keys = keys_.at(ch.key_id).expanded;
+      crypto::CbcMac mac(keys);
+      mac.update_padded(s.payload);
+      if (s.decrypt) {
+        res.auth_ok = hw_tag_ok(mac.mac(), s.tag, ch.tag_len);
+        // The simulated verify core streams no output; SimDevice surfaces a
+        // zero placeholder of message length, so mirror that exactly.
+        if (res.auth_ok) res.payload = Bytes(s.payload.size(), 0);
+      } else {
+        res.tag.assign(mac.mac().b.begin(), mac.mac().b.begin() + ch.tag_len);
+      }
+      break;
+    }
+    case ChannelMode::kWhirlpool: {
+      auto digest = crypto::whirlpool(s.payload);
+      res.payload.assign(digest.begin(), digest.end());
+      break;
+    }
+  }
+  if (!res.auth_ok) {
+    res.payload.clear();
+    res.tag.clear();
+  }
+}
+
+void FastDevice::step() {
+  schedule_pending();
+
+  // Event-driven clock: jump to the next completion (but always advance at
+  // least one cycle, per the Device contract). Only the running set — at
+  // most one job per core — needs scanning, never the pending backlog.
+  sim::Cycle next = 0;
+  bool have_next = false;
+  for (DeviceJobId id : running_) {
+    const Job& job = jobs_.at(id);
+    if (!have_next || job.done_at < next) {
+      next = job.done_at;
+      have_next = true;
+    }
+  }
+  now_ = have_next ? std::max(now_ + 1, next) : now_ + 1;
+
+  for (auto it = running_.begin(); it != running_.end();) {
+    Job& job = jobs_.at(*it);
+    if (job.done_at <= now_) {
+      JobResult& res = results_[*it];
+      res.complete = true;
+      res.complete_cycle = job.done_at;
+      jobs_.erase(*it);
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mccp::host

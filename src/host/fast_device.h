@@ -1,0 +1,117 @@
+// FastDevice: the functional fast-path backend of `host::Device`.
+//
+// Where `SimDevice` pumps the cycle-accurate MCCP model (every control
+// instruction, FIFO beat and core clock), FastDevice computes packet
+// results directly with the optimized software kernels (T-table AES,
+// table-driven GHASH, batched CTR) and advances a modelled clock using the
+// calibrated cost model of host/cost_model.h. Results are bit-identical to
+// SimDevice — the randomized differential suite in
+// tests/host/backend_differential_test.cpp enforces this — while running
+// orders of magnitude faster, which makes million-packet soaks and large
+// fleets tractable.
+//
+// The device keeps the MCCP's externally visible semantics: 64 channel
+// slots, key provisioning with per-core key-cache accounting, per-core
+// occupancy (jobs queue when all cores are busy; CCM may split across two
+// cores per the configured mapping), priority-then-arrival service order,
+// and the control-protocol error codes of mccp/control.h in last_error().
+// Its clock is event-driven: each step() schedules work and jumps to the
+// next completion, so stepping costs O(in-flight jobs), not O(cycles).
+//
+// Not modelled yet (ROADMAP open items): partial reconfiguration — a
+// Whirlpool channel is served as if every CU slot already held the
+// Whirlpool image, where the simulator would reject until a slot is
+// reconfigured — and the crossbar's beat-level streaming interleave.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "host/device.h"
+#include "mccp/mccp.h"
+
+namespace mccp::host {
+
+class FastDevice final : public Device {
+ public:
+  explicit FastDevice(const top::MccpConfig& config, std::string name = "fast0");
+
+  std::string name() const override { return name_; }
+
+  // -- Device interface -------------------------------------------------------
+  void provision_key(top::KeyId id, Bytes session_key) override;
+  std::optional<ChannelInfo> open_channel(ChannelMode mode, top::KeyId key,
+                                          unsigned tag_len = 16,
+                                          unsigned nonce_len = 13) override;
+  bool close_channel(std::uint8_t channel_id) override;
+  std::uint8_t last_error() const override { return last_rr_; }
+
+  DeviceJobId submit(JobSpec spec) override;
+  void step() override;
+  bool idle() const override { return jobs_.empty(); }
+  const JobResult* result(DeviceJobId id) const override;
+  void forget(DeviceJobId id) override;
+
+  sim::Cycle now() const override { return now_; }
+  std::size_t num_cores() const override { return config_.num_cores; }
+  std::size_t inflight() const override { return jobs_.size(); }
+  std::size_t open_channel_count() const override { return channels_.size(); }
+
+ private:
+  struct Key {
+    Bytes session_key;
+    std::uint64_t generation = 0;
+    crypto::AesRoundKeys expanded;  // expanded once per provision
+  };
+  struct Job {
+    DeviceJobId id = 0;
+    JobSpec spec;
+    bool scheduled = false;
+    sim::Cycle done_at = 0;
+    /// First cycle a busy-error denied this job a core (unset = never
+    /// denied — cycle 0 is a legitimate denial time when jobs are queued
+    /// before the clock first advances); converted into a
+    /// SimDevice-comparable retry count on acceptance.
+    std::optional<sim::Cycle> first_denied;
+  };
+
+  /// Try to place pending jobs (priority order) onto free cores; computes
+  /// the functional result and books core occupancy on success.
+  void schedule_pending();
+  void start_job(Job& job, const std::vector<std::size_t>& cores);
+  /// Functional result via the fast kernels; mirrors SimDevice::finalize
+  /// output conventions exactly (differential-tested).
+  void compute(const Job& job, JobResult& res);
+  void fail_unrecoverable(DeviceJobId id);
+
+  std::string name_;
+  top::MccpConfig config_;
+
+  std::map<top::KeyId, Key> keys_;
+  std::uint64_t next_generation_ = 1;
+  std::map<std::uint8_t, ChannelInfo> channels_;
+
+  /// Per-core modelled state: busy horizon and cached key (id, generation)
+  /// for Key Scheduler accounting.
+  std::vector<sim::Cycle> core_free_;
+  std::vector<std::optional<std::pair<top::KeyId, std::uint64_t>>> core_key_;
+
+  /// Jobs awaiting a core, bucketed by priority class (lowest value = most
+  /// urgent), arrival order within a bucket — the same service order as the
+  /// linear scan of SimDevice's pump, but O(log #classes) per placement so
+  /// deep queues (million-packet soaks) stay linear overall.
+  std::map<unsigned, std::deque<DeviceJobId>> pending_;
+  /// Jobs placed on cores and awaiting retirement (at most one per core).
+  std::vector<DeviceJobId> running_;
+  std::map<DeviceJobId, Job> jobs_;           // pending + running
+  std::map<DeviceJobId, JobResult> results_;  // completed + in-flight partials
+  DeviceJobId next_job_ = 1;
+  std::uint8_t last_rr_ = 0;
+  sim::Cycle now_ = 0;
+};
+
+}  // namespace mccp::host

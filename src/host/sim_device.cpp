@@ -40,8 +40,12 @@ std::optional<ChannelInfo> SimDevice::open_channel(ChannelMode mode, top::KeyId 
   std::uint8_t rr = run_control(top::encode_open(mode, key, tag_len, nonce_len));
   if (top::is_error(rr)) return std::nullopt;
   ++open_channels_;
-  return ChannelInfo{top::return_id(rr), mode, key, static_cast<std::uint8_t>(tag_len),
-                     static_cast<std::uint8_t>(nonce_len)};
+  // Report the parameters the device actually registered: the OPEN word
+  // carries (tag_len - 1) and nonce_len in 4-bit fields, so out-of-range
+  // values wrap on the wire (Mccp::exec_open decodes the wrapped values).
+  return ChannelInfo{top::return_id(rr), mode, key,
+                     static_cast<std::uint8_t>(((tag_len - 1) & 0xF) + 1),
+                     static_cast<std::uint8_t>(nonce_len & 0xF)};
 }
 
 bool SimDevice::close_channel(std::uint8_t channel_id) {

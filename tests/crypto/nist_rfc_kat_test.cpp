@@ -1,0 +1,165 @@
+// External ground truth for the optimized fast-path kernels: FIPS-197
+// known-answer blocks (all three key sizes, encrypt and decrypt), the
+// SP 800-38D / McGrew-Viega GCM cases that exercise the non-96-bit-IV
+// derivation path, and the RFC 3610 CCM packet vectors. Together with the
+// vectors already in gcm_test / nist_extended_test these pin the T-table
+// AES and table-driven GHASH to published values, not merely to the old
+// byte-wise implementation they replaced.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/aes.h"
+#include "crypto/ccm.h"
+#include "crypto/gcm.h"
+
+namespace mccp::crypto {
+namespace {
+
+// --- FIPS-197 Appendix C example vectors ------------------------------------
+
+struct Fips197Case {
+  const char* key;
+  const char* plaintext;
+  const char* ciphertext;
+};
+
+const Fips197Case kFips197[] = {
+    // C.1 AES-128
+    {"000102030405060708090a0b0c0d0e0f", "00112233445566778899aabbccddeeff",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"},
+    // C.2 AES-192
+    {"000102030405060708090a0b0c0d0e0f1011121314151617", "00112233445566778899aabbccddeeff",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"},
+    // C.3 AES-256
+    {"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+     "00112233445566778899aabbccddeeff", "8ea2b7ca516745bfeafc49904b496089"},
+};
+
+TEST(Fips197Kat, AppendixCEncrypt) {
+  for (const auto& c : kFips197) {
+    auto keys = aes_expand_key(from_hex(c.key));
+    Block128 ct = aes_encrypt_block(keys, Block128::from_span(from_hex(c.plaintext)));
+    EXPECT_EQ(to_hex(ct.to_bytes()), c.ciphertext) << c.key;
+  }
+}
+
+TEST(Fips197Kat, AppendixCDecrypt) {
+  for (const auto& c : kFips197) {
+    auto keys = aes_expand_key(from_hex(c.key));
+    Block128 pt = aes_decrypt_block(keys, Block128::from_span(from_hex(c.ciphertext)));
+    EXPECT_EQ(to_hex(pt.to_bytes()), c.plaintext) << c.key;
+  }
+}
+
+TEST(Fips197Kat, AppendixBCipherExample) {
+  auto keys = aes_expand_key(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  Block128 ct =
+      aes_encrypt_block(keys, Block128::from_span(from_hex("3243f6a8885a308d313198a2e0370734")));
+  EXPECT_EQ(to_hex(ct.to_bytes()), "3925841d02dc09fbdc118597196a0b32");
+  EXPECT_EQ(to_hex(aes_decrypt_block(keys, ct).to_bytes()), "3243f6a8885a308d313198a2e0370734");
+}
+
+// --- SP 800-38D (McGrew-Viega) GCM: non-96-bit IV paths ----------------------
+
+// Test Case 5: 128-bit key, 8-byte IV (J0 = GHASH of the padded IV).
+TEST(GcmKat, TestCase5ShortIv) {
+  auto keys = aes_expand_key(from_hex("feffe9928665731c6d6a8f9467308308"));
+  Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a"
+      "86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525"
+      "b16aedf5aa0de657ba637b39");
+  Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  auto sealed = gcm_seal(keys, from_hex("cafebabefacedbad"), aad, pt);
+  EXPECT_EQ(to_hex(sealed.ciphertext),
+            "61353b4c2806934a777ff51fa22a4755"
+            "699b2a714fcdc6f83766e5f97b6c7423"
+            "73806900e49f24b22b097544d4896b42"
+            "4989b5e1ebac0f07c23f4598");
+  EXPECT_EQ(to_hex(sealed.tag), "3612d2e79e3b0785561be14aaca2fccb");
+  auto opened = gcm_open(keys, from_hex("cafebabefacedbad"), aad, sealed.ciphertext, sealed.tag);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_hex(*opened), to_hex(pt));
+}
+
+// Test Case 6: 128-bit key, 60-byte IV.
+TEST(GcmKat, TestCase6LongIv) {
+  auto keys = aes_expand_key(from_hex("feffe9928665731c6d6a8f9467308308"));
+  Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a"
+      "86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525"
+      "b16aedf5aa0de657ba637b39");
+  Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  Bytes iv = from_hex(
+      "9313225df88406e555909c5aff5269aa"
+      "6a7a9538534f7da1e4c303d2a318a728"
+      "c3c0c95156809539fcf0e2429a6b5254"
+      "16aedbf5a0de6a57a637b39b");
+  auto sealed = gcm_seal(keys, iv, aad, pt);
+  EXPECT_EQ(to_hex(sealed.ciphertext),
+            "8ce24998625615b603a033aca13fb894"
+            "be9112a5c3a211a8ba262a3cca7e2ca7"
+            "01e4a9a4fba43c90ccdcb281d48c7c6f"
+            "d62875d2aca417034c34aee5");
+  EXPECT_EQ(to_hex(sealed.tag), "619cc5aefffe0bfa462af43c1699d050");
+}
+
+// Test Case 16: 256-bit key with AAD.
+TEST(GcmKat, TestCase16Aes256Aad) {
+  auto keys = aes_expand_key(
+      from_hex("feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308"));
+  Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a"
+      "86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525"
+      "b16aedf5aa0de657ba637b39");
+  Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  auto sealed = gcm_seal(keys, from_hex("cafebabefacedbaddecaf888"), aad, pt);
+  EXPECT_EQ(to_hex(sealed.ciphertext),
+            "522dc1f099567d07f47f37a32a84427d"
+            "643a8cdcbfe5c0c97598a2bd2555d1aa"
+            "8cb08e48590dbb3da7b08b1056828838"
+            "c5f61e6393ba7a0abcc9f662");
+  EXPECT_EQ(to_hex(sealed.tag), "76fc6ece0f4e1768cddf8853bb2d551b");
+}
+
+// --- RFC 3610 CCM packet vectors ---------------------------------------------
+
+struct Rfc3610Case {
+  const char* nonce;
+  const char* aad;      // packet header
+  const char* payload;  // encrypted part
+  const char* ciphertext;
+  const char* tag;
+};
+
+// Packet Vectors #1..#3 (key c0c1...cecf, M = 8, L = 2).
+const Rfc3610Case kRfc3610[] = {
+    {"00000003020100a0a1a2a3a4a5", "0001020304050607",
+     "08090a0b0c0d0e0f101112131415161718191a1b1c1d1e",
+     "588c979a61c663d2f066d0c2c0f989806d5f6b61dac384", "17e8d12cfdf926e0"},
+    {"00000004030201a0a1a2a3a4a5", "0001020304050607",
+     "08090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+     "72c91a36e135f8cf291ca894085c87e3cc15c439c9e43a3b", "a091d56e10400916"},
+    {"00000005040302a0a1a2a3a4a5", "0001020304050607",
+     "08090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20",
+     "51b1e5f44a197d1da46b0f8e2d282ae871e838bb64da859657", "4adaa76fbd9fb0c5"},
+};
+
+TEST(Rfc3610Kat, PacketVectors) {
+  auto keys = aes_expand_key(from_hex("c0c1c2c3c4c5c6c7c8c9cacbcccdcecf"));
+  CcmParams p{.tag_len = 8, .nonce_len = 13};
+  for (const auto& c : kRfc3610) {
+    Bytes nonce = from_hex(c.nonce), aad = from_hex(c.aad), payload = from_hex(c.payload);
+    auto sealed = ccm_seal(keys, p, nonce, aad, payload);
+    EXPECT_EQ(to_hex(sealed.ciphertext), c.ciphertext) << c.nonce;
+    EXPECT_EQ(to_hex(sealed.tag), c.tag) << c.nonce;
+    auto opened = ccm_open(keys, p, nonce, aad, sealed.ciphertext, sealed.tag);
+    ASSERT_TRUE(opened.has_value()) << c.nonce;
+    EXPECT_EQ(to_hex(*opened), c.payload) << c.nonce;
+  }
+}
+
+}  // namespace
+}  // namespace mccp::crypto
