@@ -1,0 +1,111 @@
+// scenario_runner: execute a declarative workload scenario and report
+// per-class latency/throughput/rejection metrics.
+//
+// Loads a JSON scenario spec (shipped presets under scenarios/), drives
+// the fleet closed-loop through workload::ScenarioRunner on the chosen
+// backend, prints a per-class table, and optionally emits the full report
+// (log-bucketed latency percentiles, queue-depth-over-time series) as a
+// BENCH_*.json perf-trajectory artifact.
+//
+// Flags:
+//   --scenario PATH   scenario spec to run (required)
+//   --backend NAME    override the spec's backend: sim | fast
+//   --scale F         multiply every class's packet count by F (e.g. 0.05
+//                     to shrink a fleet-scale scenario for the
+//                     cycle-accurate simulator)
+//   --window N        override the spec's in-flight window
+//   --seed N          override the spec's seed
+//   --json PATH       write the report artifact (with --json and no PATH
+//                     that looks like a file, BENCH_scenario_<name>.json)
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "bench_common.h"
+#include "workload/runner.h"
+
+namespace mccp::bench {
+namespace {
+
+void print_report(const mccp::workload::ScenarioReport& r) {
+  print_header("Scenario " + r.scenario + " -- backend " + r.backend + ", " +
+               std::to_string(r.devices) + " device(s) x " + std::to_string(r.cores_per_device) +
+               " cores, window " + std::to_string(r.window));
+  std::printf("%-10s %-9s %-5s %-8s %-8s %-6s %-6s %9s %9s %10s %8s\n", "class", "mode", "prio",
+              "offered", "done", "drop", "busy", "p50(us)", "p99(us)", "p99.9(us)", "Mbps");
+  const double kUsPerCycle = 1.0 / 190.0;
+  for (const auto& c : r.classes) {
+    std::printf("%-10s %-9s %-5u %-8llu %-8llu %-6llu %-6llu %9.1f %9.1f %10.1f %8.1f\n",
+                c.name.c_str(), c.mode.c_str(), c.priority,
+                static_cast<unsigned long long>(c.offered),
+                static_cast<unsigned long long>(c.completed),
+                static_cast<unsigned long long>(c.dropped),
+                static_cast<unsigned long long>(c.busy_rejections),
+                static_cast<double>(c.latency.quantile(0.50)) * kUsPerCycle,
+                static_cast<double>(c.latency.quantile(0.99)) * kUsPerCycle,
+                static_cast<double>(c.latency.quantile(0.999)) * kUsPerCycle,
+                c.throughput_mbps());
+  }
+  std::printf("\nmakespan %llu cycles (%.2f ms @190MHz), wall %.1f ms, peak in-flight %zu\n",
+              static_cast<unsigned long long>(r.makespan_cycles),
+              static_cast<double>(r.makespan_cycles) / 190e3, r.wall_ms, r.peak_inflight);
+}
+
+int run(int argc, char** argv) {
+  const char* scenario_path = arg_value(argc, argv, "--scenario");
+  if (scenario_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: scenario_runner --scenario PATH [--backend sim|fast] [--scale F]\n"
+                 "                       [--window N] [--seed N] [--json PATH]\n");
+    return 2;
+  }
+
+  mccp::workload::ScenarioSpec spec = mccp::workload::load_scenario(scenario_path);
+  if (const char* backend = arg_value(argc, argv, "--backend"))
+    spec.backend = mccp::workload::backend_from_name(backend);
+  if (const char* scale_str = arg_value(argc, argv, "--scale")) {
+    double scale = std::strtod(scale_str, nullptr);
+    if (!(scale > 0.0)) throw std::runtime_error("scenario_runner: --scale must be > 0");
+    for (auto& cs : spec.classes)
+      if (cs.packets != 0)
+        cs.packets = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(static_cast<double>(cs.packets) * scale)));
+  }
+  spec.window = arg_size(argc, argv, "--window", spec.window);
+  if (const char* seed = arg_value(argc, argv, "--seed"))
+    spec.seed = std::strtoull(seed, nullptr, 10);
+
+  mccp::workload::ScenarioRunner runner(std::move(spec));
+  mccp::workload::ScenarioReport report = runner.run();
+  print_report(report);
+
+  // `--json` with or without a path argument (the next token may be
+  // another flag): default to BENCH_scenario_<name>.json.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+      json_path = argv[i + 1];
+    else
+      json_path = "BENCH_scenario_" + report.scenario + ".json";
+  }
+  if (!json_path.empty()) {
+    if (!JsonWriter::write_text_file(json_path, mccp::workload::report_json(report))) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mccp::bench
+
+int main(int argc, char** argv) {
+  try {
+    return mccp::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  }
+}

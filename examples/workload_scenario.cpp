@@ -1,0 +1,72 @@
+// Workload scenario demo: "what latency does a VoIP channel see while a
+// bulk channel saturates the fleet?"
+//
+// Builds a two-class scenario programmatically (the same structures the
+// scenario_runner CLI loads from scenarios/*.json): an isochronous
+// high-priority VoIP stream sharing a two-device fleet with a saturating
+// low-priority bulk transfer. The closed-loop ScenarioRunner paces
+// arrivals against the engine clock with a bounded in-flight window and
+// reports per-class log-bucketed latency percentiles — showing the QoS
+// priorities protecting the voice stream.
+//
+// Exits nonzero if any packet is lost or fails authentication, or if QoS
+// inverts (bulk beating voice on median latency), so it doubles as an
+// end-to-end check under ctest.
+//
+//   $ ./build/examples/workload_scenario
+#include <cstdio>
+
+#include "workload/runner.h"
+
+using namespace mccp;
+
+int main() {
+  workload::ScenarioSpec spec;
+  spec.name = "voip_vs_bulk_demo";
+  spec.seed = 2026;
+  spec.devices = 2;
+  spec.cores_per_device = 4;
+  spec.backend = host::Backend::kFast;
+  spec.placement = host::Placement::kLeastLoaded;
+  spec.window = 48;
+
+  workload::ClassSpec voip;
+  voip.profile = workload::voip_class();  // AES-CTR 160 B frames, priority 0
+  voip.profile.arrival = workload::ArrivalSpec::fixed(0.5);
+  voip.packets = 200;
+  voip.channels = 4;
+  spec.classes.push_back(std::move(voip));
+
+  workload::ClassSpec bulk;
+  bulk.profile = workload::bulk_class();  // AES-256-CCM 2 KB, priority 192
+  bulk.profile.arrival = workload::ArrivalSpec::poisson_at(2.0);
+  bulk.packets = 150;
+  bulk.channels = 4;
+  spec.classes.push_back(std::move(bulk));
+
+  workload::ScenarioReport report = workload::ScenarioRunner(std::move(spec)).run();
+
+  const double us = 1.0 / 190.0;  // cycles -> microseconds at 190 MHz
+  std::printf("scenario %s: %llu packets in %.2f ms of device time (wall %.1f ms)\n\n",
+              report.scenario.c_str(),
+              static_cast<unsigned long long>(report.total_completed()),
+              static_cast<double>(report.makespan_cycles) / 190e3, report.wall_ms);
+  for (const auto& c : report.classes)
+    std::printf("  %-6s prio %-3u  done %llu/%llu  p50 %6.1f us  p99 %6.1f us  %7.1f Mbps\n",
+                c.name.c_str(), c.priority, static_cast<unsigned long long>(c.completed),
+                static_cast<unsigned long long>(c.offered),
+                static_cast<double>(c.latency.quantile(0.50)) * us,
+                static_cast<double>(c.latency.quantile(0.99)) * us, c.throughput_mbps());
+
+  bool ok = true;
+  for (const auto& c : report.classes)
+    ok = ok && c.completed == c.offered && c.auth_failures == 0 && c.dropped == 0;
+  const auto& voip_rep = report.classes[0];
+  const auto& bulk_rep = report.classes[1];
+  if (voip_rep.latency.quantile(0.5) >= bulk_rep.latency.quantile(0.5)) {
+    std::printf("\nQoS inversion: voice median latency should beat bulk's\n");
+    ok = false;
+  }
+  std::printf("\n%s\n", ok ? "all packets resolved; QoS priorities held" : "FAILED");
+  return ok ? 0 : 1;
+}

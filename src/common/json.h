@@ -1,0 +1,99 @@
+// Minimal JSON reader for declarative configuration (workload scenario
+// specs, trace files). Counterpart of common/json_writer.h.
+//
+// Full JSON value model (null / bool / number / string / array / object)
+// with a small recursive-descent parser: standard escapes plus BMP \uXXXX,
+// doubles for all numbers, objects as ordered-by-key maps. Errors throw
+// `json::ParseError` carrying line/column. Deliberately no serialization —
+// writing goes through the streaming JsonWriter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace mccp::json {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() = default;  // null
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Checked accessors; throw ParseError naming the expected type so spec
+  /// loaders surface readable messages ("expected number, got string").
+  bool as_bool() const { return get<bool>("bool"); }
+  double as_number() const { return get<double>("number"); }
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const Array& as_array() const { return get<Array>("array"); }
+  const Object& as_object() const { return get<Object>("object"); }
+
+  /// Object member lookup; nullptr when absent (or when not an object).
+  const Value* find(const std::string& key) const {
+    const Object* obj = std::get_if<Object>(&v_);
+    if (obj == nullptr) return nullptr;
+    auto it = obj->find(key);
+    return it == obj->end() ? nullptr : &it->second;
+  }
+
+  // -- defaulted lookups for config-style objects ------------------------------
+  double number_or(const std::string& key, double fallback) const {
+    const Value* v = find(key);
+    return v != nullptr ? v->as_number() : fallback;
+  }
+  std::uint64_t u64_or(const std::string& key, std::uint64_t fallback) const {
+    const Value* v = find(key);
+    if (v == nullptr) return fallback;
+    double d = v->as_number();
+    if (d < 0) throw ParseError("json: \"" + key + "\" must be non-negative");
+    return static_cast<std::uint64_t>(d);
+  }
+  std::string string_or(const std::string& key, std::string fallback) const {
+    const Value* v = find(key);
+    return v != nullptr ? v->as_string() : std::move(fallback);
+  }
+  bool bool_or(const std::string& key, bool fallback) const {
+    const Value* v = find(key);
+    return v != nullptr ? v->as_bool() : fallback;
+  }
+
+ private:
+  template <typename T>
+  const T& get(const char* want) const {
+    const T* p = std::get_if<T>(&v_);
+    if (p == nullptr) throw ParseError(std::string("json: expected ") + want);
+    return *p;
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_{nullptr};
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+Value parse(std::string_view text);
+
+/// Parse a file (throws ParseError with the path on I/O failure).
+Value parse_file(const std::string& path);
+
+}  // namespace mccp::json

@@ -11,13 +11,18 @@ Block128 gcm_hash_subkey(const AesRoundKeys& keys) {
   return aes_encrypt_block(keys, Block128{});
 }
 
-Block128 gcm_j0(const AesRoundKeys& keys, ByteSpan iv) {
+GcmKey::GcmKey(const AesRoundKeys& round_keys)
+    : keys(round_keys), htable(gcm_hash_subkey(round_keys)) {}
+
+namespace {
+
+Block128 j0_from_table(const Gf128Table& htable, ByteSpan iv) {
   if (iv.size() == 12) {
     Block128 j0 = Block128::from_span(iv);
     j0.b[15] = 1;
     return j0;
   }
-  Ghash g(gcm_hash_subkey(keys));
+  Ghash g(htable);
   g.update_padded(iv);
   Block128 len{};
   store_be64(len.b.data() + 8, static_cast<std::uint64_t>(iv.size()) * 8);
@@ -25,18 +30,9 @@ Block128 gcm_j0(const AesRoundKeys& keys, ByteSpan iv) {
   return g.digest();
 }
 
-Block128 gcm_length_block(std::size_t aad_len_bytes, std::size_t ct_len_bytes) {
-  Block128 len{};
-  store_be64(len.b.data(), static_cast<std::uint64_t>(aad_len_bytes) * 8);
-  store_be64(len.b.data() + 8, static_cast<std::uint64_t>(ct_len_bytes) * 8);
-  return len;
-}
-
-namespace {
-
-Bytes gcm_tag(const AesRoundKeys& keys, const Block128& j0, ByteSpan aad, ByteSpan ciphertext,
-              std::size_t tag_len) {
-  Ghash g(gcm_hash_subkey(keys));
+Bytes tag_from_table(const Gf128Table& htable, const AesRoundKeys& keys, const Block128& j0,
+                     ByteSpan aad, ByteSpan ciphertext, std::size_t tag_len) {
+  Ghash g(htable);
   g.update_padded(aad);
   g.update_padded(ciphertext);
   g.update(gcm_length_block(aad.size(), ciphertext.size()));
@@ -47,26 +43,65 @@ Bytes gcm_tag(const AesRoundKeys& keys, const Block128& j0, ByteSpan aad, ByteSp
   return tag;
 }
 
+GcmSealed seal_from_table(const Gf128Table& htable, const AesRoundKeys& keys, ByteSpan iv,
+                          ByteSpan aad, ByteSpan plaintext, std::size_t tag_len) {
+  if (tag_len < 4 || tag_len > 16) throw std::invalid_argument("gcm: tag_len must be 4..16");
+  if (iv.empty()) throw std::invalid_argument("gcm: IV must be non-empty");
+  Block128 j0 = j0_from_table(htable, iv);
+  GcmSealed out;
+  out.ciphertext = ctr_transform(keys, inc32(j0), plaintext);
+  out.tag = tag_from_table(htable, keys, j0, aad, out.ciphertext, tag_len);
+  return out;
+}
+
+std::optional<Bytes> open_from_table(const Gf128Table& htable, const AesRoundKeys& keys,
+                                     ByteSpan iv, ByteSpan aad, ByteSpan ciphertext,
+                                     ByteSpan tag) {
+  if (tag.size() < 4 || tag.size() > 16) return std::nullopt;
+  Block128 j0 = j0_from_table(htable, iv);
+  Bytes expected = tag_from_table(htable, keys, j0, aad, ciphertext, tag.size());
+  if (!ct_equal(expected, tag)) return std::nullopt;
+  return ctr_transform(keys, inc32(j0), ciphertext);
+}
+
 }  // namespace
+
+Block128 gcm_j0(const AesRoundKeys& keys, ByteSpan iv) {
+  if (iv.size() == 12) {
+    Block128 j0 = Block128::from_span(iv);
+    j0.b[15] = 1;
+    return j0;
+  }
+  return j0_from_table(Gf128Table(gcm_hash_subkey(keys)), iv);
+}
+
+Block128 gcm_j0(const GcmKey& key, ByteSpan iv) { return j0_from_table(key.htable, iv); }
+
+Block128 gcm_length_block(std::size_t aad_len_bytes, std::size_t ct_len_bytes) {
+  Block128 len{};
+  store_be64(len.b.data(), static_cast<std::uint64_t>(aad_len_bytes) * 8);
+  store_be64(len.b.data() + 8, static_cast<std::uint64_t>(ct_len_bytes) * 8);
+  return len;
+}
 
 GcmSealed gcm_seal(const AesRoundKeys& keys, ByteSpan iv, ByteSpan aad, ByteSpan plaintext,
                    std::size_t tag_len) {
-  if (tag_len < 4 || tag_len > 16) throw std::invalid_argument("gcm: tag_len must be 4..16");
-  if (iv.empty()) throw std::invalid_argument("gcm: IV must be non-empty");
-  Block128 j0 = gcm_j0(keys, iv);
-  GcmSealed out;
-  out.ciphertext = ctr_transform(keys, inc32(j0), plaintext);
-  out.tag = gcm_tag(keys, j0, aad, out.ciphertext, tag_len);
-  return out;
+  return seal_from_table(Gf128Table(gcm_hash_subkey(keys)), keys, iv, aad, plaintext, tag_len);
 }
 
 std::optional<Bytes> gcm_open(const AesRoundKeys& keys, ByteSpan iv, ByteSpan aad,
                               ByteSpan ciphertext, ByteSpan tag) {
-  if (tag.size() < 4 || tag.size() > 16) return std::nullopt;
-  Block128 j0 = gcm_j0(keys, iv);
-  Bytes expected = gcm_tag(keys, j0, aad, ciphertext, tag.size());
-  if (!ct_equal(expected, tag)) return std::nullopt;
-  return ctr_transform(keys, inc32(j0), ciphertext);
+  return open_from_table(Gf128Table(gcm_hash_subkey(keys)), keys, iv, aad, ciphertext, tag);
+}
+
+GcmSealed gcm_seal(const GcmKey& key, ByteSpan iv, ByteSpan aad, ByteSpan plaintext,
+                   std::size_t tag_len) {
+  return seal_from_table(key.htable, key.keys, iv, aad, plaintext, tag_len);
+}
+
+std::optional<Bytes> gcm_open(const GcmKey& key, ByteSpan iv, ByteSpan aad, ByteSpan ciphertext,
+                              ByteSpan tag) {
+  return open_from_table(key.htable, key.keys, iv, aad, ciphertext, tag);
 }
 
 }  // namespace mccp::crypto

@@ -10,11 +10,29 @@
 
 #include "common/bytes.h"
 #include "crypto/aes.h"
+#include "crypto/gf128.h"
 
 namespace mccp::crypto {
 
 /// Hash subkey H = E(K, 0^128).
 Block128 gcm_hash_subkey(const AesRoundKeys& keys);
+
+/// Precomputed per-key GCM material: the expanded round keys bundled with
+/// the hash subkey H and its 4 KiB Shoup multiplication table. Building one
+/// costs a block encryption plus 256 field multiplications (~0.5 µs) — the
+/// work `gcm_seal`/`gcm_open` would otherwise redo per packet — so callers
+/// that serve many packets under one key (e.g. `host::FastDevice`, which
+/// caches one per (key id, generation)) construct a GcmKey once and reuse
+/// it.
+struct GcmKey {
+  AesRoundKeys keys{};
+  Gf128Table htable;  // table for H = E(K, 0^128)
+
+  GcmKey() = default;
+  explicit GcmKey(const AesRoundKeys& round_keys);
+
+  const Block128& h() const { return htable.h(); }
+};
 
 /// Pre-counter block J0 from an IV of any length (96-bit IVs take the fast
 /// path IV || 0^31 || 1; other lengths go through GHASH).
@@ -36,5 +54,16 @@ GcmSealed gcm_seal(const AesRoundKeys& keys, ByteSpan iv, ByteSpan aad, ByteSpan
 /// Authenticated decryption; nullopt when the tag does not verify.
 std::optional<Bytes> gcm_open(const AesRoundKeys& keys, ByteSpan iv, ByteSpan aad,
                               ByteSpan ciphertext, ByteSpan tag);
+
+// ---- cached-key fast path ---------------------------------------------------
+// Identical results to the AesRoundKeys overloads (pinned by
+// tests/crypto/gcm_test.cpp), minus the per-call H derivation and Shoup
+// table build.
+
+Block128 gcm_j0(const GcmKey& key, ByteSpan iv);
+GcmSealed gcm_seal(const GcmKey& key, ByteSpan iv, ByteSpan aad, ByteSpan plaintext,
+                   std::size_t tag_len = 16);
+std::optional<Bytes> gcm_open(const GcmKey& key, ByteSpan iv, ByteSpan aad, ByteSpan ciphertext,
+                              ByteSpan tag);
 
 }  // namespace mccp::crypto

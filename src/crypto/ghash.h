@@ -17,25 +17,43 @@ namespace mccp::crypto {
 class Ghash {
  public:
   Ghash() = default;
-  explicit Ghash(const Block128& h) : table_(h) {}
+  explicit Ghash(const Block128& h) : owned_(h), table_(&owned_) {}
+  /// Borrow a prebuilt table (e.g. a cached per-key `crypto::GcmKey`):
+  /// skips the 256-multiple table build entirely. The table must outlive
+  /// this accumulator.
+  explicit Ghash(const Gf128Table& shared) : table_(&shared) {}
 
-  /// Load a new hash subkey (resets the accumulator).
+  Ghash(const Ghash& other) { *this = other; }
+  Ghash& operator=(const Ghash& other) {
+    if (this != &other) {
+      owned_ = other.owned_;
+      y_ = other.y_;
+      // A copy keeps borrowing an external table but must not point into
+      // the source's owned storage.
+      table_ = other.table_ == &other.owned_ ? &owned_ : other.table_;
+    }
+    return *this;
+  }
+
+  /// Load a new hash subkey (resets the accumulator and owns the table).
   void load_h(const Block128& h) {
-    table_.load(h);
+    owned_.load(h);
+    table_ = &owned_;
     y_ = Block128{};
   }
 
   /// Absorb one 128-bit block: Y <- (Y ^ X) * H.
-  void update(const Block128& x) { y_ = table_.mul(y_ ^ x); }
+  void update(const Block128& x) { y_ = table_->mul(y_ ^ x); }
 
   /// Absorb a byte string, zero-padding the final partial block.
   void update_padded(ByteSpan data);
 
   const Block128& digest() const { return y_; }
-  const Block128& h() const { return table_.h(); }
+  const Block128& h() const { return table_->h(); }
 
  private:
-  Gf128Table table_;
+  Gf128Table owned_;
+  const Gf128Table* table_ = &owned_;
   Block128 y_{};
 };
 

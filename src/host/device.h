@@ -19,7 +19,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "mccp/control.h"
@@ -89,9 +92,25 @@ class Device {
   /// Queue a packet; never blocks. Errors (unknown channel, ...) surface on
   /// the job itself: it completes with `auth_ok == false`.
   virtual DeviceJobId submit(JobSpec spec) = 0;
+  /// Queue a burst of packets in one call, consuming the specs. Semantically
+  /// identical to calling submit() in order; backends override to amortize
+  /// per-job bookkeeping at high offered load.
+  virtual std::vector<DeviceJobId> submit_batch(std::span<JobSpec> specs) {
+    std::vector<DeviceJobId> ids;
+    ids.reserve(specs.size());
+    for (JobSpec& spec : specs) ids.push_back(submit(std::move(spec)));
+    return ids;
+  }
   /// Advance one scheduling round: service interrupts, drain outputs, issue
   /// the next pending instruction, tick the clock at least once.
   virtual void step() = 0;
+  /// Advance the device clock to at least `target` (no-op if already
+  /// there). The cycle-accurate backend really simulates the interval; an
+  /// idle event-driven backend may jump. Workload pacing uses this to skip
+  /// quiet gaps between arrivals without submitting early.
+  virtual void advance_to(sim::Cycle target) {
+    while (now() < target) step();
+  }
   virtual bool idle() const = 0;
   /// Live view of a job (partial until `complete`); nullptr if unknown.
   virtual const JobResult* result(DeviceJobId id) const = 0;

@@ -207,6 +207,43 @@ Completion Engine::submit_decrypt(const Channel& ch, Bytes iv_or_nonce, Bytes aa
   return submit(ch, std::move(spec));
 }
 
+std::vector<Completion> Engine::submit_batch(const Channel& ch, std::vector<JobSpec> specs) {
+  if (!ch.valid() || ch.engine_ != this)
+    throw std::invalid_argument("Engine::submit_batch: invalid or foreign channel handle");
+
+  std::vector<Completion> completions;
+  completions.reserve(specs.size());
+  if (specs.empty()) return completions;
+
+  // One channel-record lookup and one stats pass for the whole burst.
+  ChannelRecord& rec = channels_.at(ch.uid_);
+  Device& dev = *devices_[ch.device_index()];
+  if (rec.stats.submitted == 0) rec.stats.first_submit_cycle = dev.now();
+  rec.stats.submitted += specs.size();
+  for (JobSpec& spec : specs) {
+    spec.channel = ch.info();
+    rec.stats.payload_bytes += spec.payload.size();
+  }
+
+  std::vector<DeviceJobId> device_jobs = dev.submit_batch(specs);
+  inflight_.reserve(inflight_.size() + device_jobs.size());
+  for (DeviceJobId device_job : device_jobs) {
+    auto st = std::make_shared<detail::JobState>();
+    st->id = next_job_++;
+    st->device = ch.device_index();
+    st->channel_uid = ch.uid_;
+    st->device_job = device_job;
+    jobs_[st->id] = st;
+    inflight_.push_back(st);
+    completions.push_back(Completion(this, std::move(st)));
+  }
+  return completions;
+}
+
+std::vector<Completion> Engine::submit_batch(const Channel& ch, std::span<const JobSpec> specs) {
+  return submit_batch(ch, std::vector<JobSpec>(specs.begin(), specs.end()));
+}
+
 Completion Engine::submit_raw(std::size_t device_index, const ChannelInfo& channel,
                               JobSpec spec) {
   if (device_index >= devices_.size())
@@ -282,6 +319,14 @@ void Engine::step() {
 
 void Engine::run(sim::Cycle n) {
   for (sim::Cycle i = 0; i < n; ++i) step();
+}
+
+void Engine::advance_to(sim::Cycle target) {
+  // Step while anything is in flight (completions must keep firing in
+  // order), then let the now-idle devices jump the remaining quiet gap.
+  while (!idle() && max_cycle() < target) step();
+  for (auto& d : devices_) d->advance_to(target);
+  poll_completions();
 }
 
 bool Engine::idle() const {

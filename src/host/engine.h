@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,15 @@ class Engine {
                             unsigned priority = 128);
   Completion submit_decrypt(const Channel& ch, Bytes iv_or_nonce, Bytes aad, Bytes ciphertext,
                             Bytes tag, unsigned priority = 128);
+  /// Submit a burst of jobs on one channel in a single call, amortizing the
+  /// per-job bookkeeping (channel lookup, stats accounting, in-flight
+  /// registration) across the batch — the fast path for closed-loop traffic
+  /// generators on burst arrivals. `spec.channel` is overwritten with the
+  /// handle's descriptor; `decrypt`, payload fields and `priority` are
+  /// honoured per spec. Returns one Completion per spec, in order.
+  std::vector<Completion> submit_batch(const Channel& ch, std::vector<JobSpec> specs);
+  /// Copying overload for callers that keep the specs.
+  std::vector<Completion> submit_batch(const Channel& ch, std::span<const JobSpec> specs);
   /// Low-level submit against a raw channel descriptor on a specific
   /// device; no RAII handle or channel stats involved. This is the
   /// compatibility path the `radio::Radio` shim uses.
@@ -92,6 +102,10 @@ class Engine {
   void step();
   /// `n` engine steps (each >= 1 device cycle).
   void run(sim::Cycle n);
+  /// Advance every device clock to at least `target` cycles, stepping while
+  /// work is in flight and letting idle devices jump. Workload pacing uses
+  /// this to skip quiet gaps between arrivals.
+  void advance_to(sim::Cycle target);
   bool idle() const;
   /// Step until every submitted job completed (or throw after max_cycles
   /// of device time).

@@ -33,31 +33,31 @@ bool hw_tag_ok(const Block128& computed, ByteSpan tag, std::size_t tag_len) {
 // Identical to crypto::gcm_seal/gcm_open for 96-bit IVs (the counter
 // starts at 1 and cannot wrap within a <= 255-block packet); for derived
 // J0s (non-96-bit IVs) this is what the hardware computes.
-Block128 hw_gcm_full_tag(const crypto::AesRoundKeys& keys, const Block128& j0, ByteSpan aad,
+Block128 hw_gcm_full_tag(const crypto::GcmKey& key, const Block128& j0, ByteSpan aad,
                          ByteSpan ciphertext) {
-  crypto::Ghash g(crypto::gcm_hash_subkey(keys));
+  crypto::Ghash g(key.htable);  // borrows the cached per-key Shoup table
   g.update_padded(aad);
   g.update_padded(ciphertext);
   g.update(crypto::gcm_length_block(aad.size(), ciphertext.size()));
-  return g.digest() ^ crypto::aes_encrypt_block(keys, j0);
+  return g.digest() ^ crypto::aes_encrypt_block(key.keys, j0);
 }
 
-crypto::GcmSealed hw_gcm_seal(const crypto::AesRoundKeys& keys, ByteSpan iv, ByteSpan aad,
+crypto::GcmSealed hw_gcm_seal(const crypto::GcmKey& key, ByteSpan iv, ByteSpan aad,
                               ByteSpan plaintext, std::size_t tag_len) {
-  Block128 j0 = crypto::gcm_j0(keys, iv);
+  Block128 j0 = crypto::gcm_j0(key, iv);
   crypto::GcmSealed out;
-  out.ciphertext = crypto::ctr_transform_inc16(keys, crypto::inc16(j0, 1), plaintext);
-  Block128 tag = hw_gcm_full_tag(keys, j0, aad, out.ciphertext);
+  out.ciphertext = crypto::ctr_transform_inc16(key.keys, crypto::inc16(j0, 1), plaintext);
+  Block128 tag = hw_gcm_full_tag(key, j0, aad, out.ciphertext);
   out.tag.assign(tag.b.begin(), tag.b.begin() + tag_len);
   return out;
 }
 
-std::optional<Bytes> hw_gcm_open(const crypto::AesRoundKeys& keys, ByteSpan iv, ByteSpan aad,
+std::optional<Bytes> hw_gcm_open(const crypto::GcmKey& key, ByteSpan iv, ByteSpan aad,
                                  ByteSpan ciphertext, ByteSpan tag, std::size_t tag_len) {
-  Block128 j0 = crypto::gcm_j0(keys, iv);
-  if (!hw_tag_ok(hw_gcm_full_tag(keys, j0, aad, ciphertext), tag, tag_len))
+  Block128 j0 = crypto::gcm_j0(key, iv);
+  if (!hw_tag_ok(hw_gcm_full_tag(key, j0, aad, ciphertext), tag, tag_len))
     return std::nullopt;
-  return crypto::ctr_transform_inc16(keys, crypto::inc16(j0, 1), ciphertext);
+  return crypto::ctr_transform_inc16(key.keys, crypto::inc16(j0, 1), ciphertext);
 }
 
 }  // namespace
@@ -73,6 +73,7 @@ FastDevice::FastDevice(const top::MccpConfig& config, std::string name)
 void FastDevice::provision_key(top::KeyId id, Bytes session_key) {
   Key& k = keys_[id];
   k.expanded = crypto::aes_expand_key(session_key);  // throws on bad length, like the red side
+  k.gcm = crypto::GcmKey(k.expanded);
   k.session_key = std::move(session_key);
   k.generation = next_generation_++;  // rotation invalidates every key cache
 }
@@ -127,6 +128,33 @@ DeviceJobId FastDevice::submit(JobSpec spec) {
   DeviceJobId id = job.id;
   jobs_[id] = std::move(job);
   return id;
+}
+
+std::vector<DeviceJobId> FastDevice::submit_batch(std::span<JobSpec> specs) {
+  std::vector<DeviceJobId> ids;
+  ids.reserve(specs.size());
+  std::deque<DeviceJobId>* bucket = nullptr;
+  unsigned bucket_priority = 0;
+  for (JobSpec& spec : specs) {
+    Job job;
+    job.id = next_job_++;
+    job.spec = std::move(spec);
+    results_.emplace_hint(results_.end(), job.id, JobResult{})->second.submit_cycle = now_;
+    if (bucket == nullptr || job.spec.priority != bucket_priority) {
+      bucket_priority = job.spec.priority;
+      bucket = &pending_[bucket_priority];
+    }
+    bucket->push_back(job.id);
+    ids.push_back(job.id);
+    DeviceJobId id = job.id;
+    jobs_.emplace_hint(jobs_.end(), id, std::move(job));
+  }
+  return ids;
+}
+
+void FastDevice::advance_to(sim::Cycle target) {
+  while (!jobs_.empty() && now_ < target) step();
+  now_ = std::max(now_, target);
 }
 
 const JobResult* FastDevice::result(DeviceJobId id) const {
@@ -252,15 +280,15 @@ void FastDevice::compute(const Job& job, JobResult& res) {
   res.auth_ok = true;
   switch (ch.mode) {
     case ChannelMode::kGcm: {
-      const auto& keys = keys_.at(ch.key_id).expanded;
+      const crypto::GcmKey& key = keys_.at(ch.key_id).gcm;
       if (s.decrypt) {
-        auto pt = hw_gcm_open(keys, s.iv_or_nonce, s.aad, s.payload, s.tag, ch.tag_len);
+        auto pt = hw_gcm_open(key, s.iv_or_nonce, s.aad, s.payload, s.tag, ch.tag_len);
         if (pt)
           res.payload = std::move(*pt);
         else
           res.auth_ok = false;
       } else {
-        auto sealed = hw_gcm_seal(keys, s.iv_or_nonce, s.aad, s.payload, ch.tag_len);
+        auto sealed = hw_gcm_seal(key, s.iv_or_nonce, s.aad, s.payload, ch.tag_len);
         res.payload = std::move(sealed.ciphertext);
         res.tag = std::move(sealed.tag);
       }

@@ -1,5 +1,6 @@
 #include "host/sim_device.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -28,11 +29,13 @@ std::uint8_t SimDevice::run_control(std::uint32_t instruction) {
 }
 
 void SimDevice::drain_retrieved() {
-  for (auto& [id, job] : jobs_)
+  for (DeviceJobId id : active_) {
+    Job& job = jobs_.at(id);
     if (job.state == Job::State::kRetrieved) {
       drain_outputs(job);
       if (fully_drained(job)) job.state = Job::State::kDrained;
     }
+  }
 }
 
 std::optional<ChannelInfo> SimDevice::open_channel(ChannelMode mode, top::KeyId key,
@@ -89,7 +92,7 @@ DeviceJobId SimDevice::submit(JobSpec spec) {
   job.header_blocks = hb;
   job.data_blocks = db;
   results_[job.id].submit_cycle = sim_.now();
-  pending_.push_back(job.id);
+  pending_[job.spec.priority].push_back(job.id);
   DeviceJobId id = job.id;
   jobs_[id] = std::move(job);
   return id;
@@ -108,6 +111,7 @@ void SimDevice::on_accept(Job& job, std::uint8_t request_id) {
   if (info == nullptr) throw std::logic_error("SimDevice: accepted request has no info");
   job.lanes = info->lanes;
   job.state = Job::State::kAccepted;
+  active_.push_back(job.id);
   results_[job.id].accept_cycle = sim_.now();
 
   // Now that the core mapping is known, format the per-lane streams
@@ -191,6 +195,7 @@ void SimDevice::finalize(Job& job) {
       res.tag = std::move(parsed.tag);
     }
   }
+  active_.erase(std::find(active_.begin(), active_.end(), job.id));
   jobs_.erase(job.id);
 }
 
@@ -203,7 +208,8 @@ void SimDevice::pump() {
     std::uint8_t rr = run_control(top::encode_retrieve());
     if (!top::is_error(rr)) {
       std::uint8_t req = top::return_id(rr);
-      for (auto& [id, job] : jobs_) {
+      for (DeviceJobId id : active_) {
+        Job& job = jobs_.at(id);
         if (job.state == Job::State::kAccepted && job.request_id == req) {
           job.auth_ok = !top::is_auth_fail(rr);
           job.state = job.auth_ok ? Job::State::kRetrieved : Job::State::kDrained;
@@ -215,7 +221,8 @@ void SimDevice::pump() {
   }
 
   // Priority 2: close out fully drained requests.
-  for (auto& [id, job] : jobs_) {
+  for (DeviceJobId id : active_) {
+    Job& job = jobs_.at(id);
     if (job.state == Job::State::kDrained) {
       std::uint8_t rr = run_control(top::encode_transfer_done(job.request_id));
       if (top::is_ok(rr)) finalize(job);
@@ -226,26 +233,28 @@ void SimDevice::pump() {
 
   // Priority 3: submit the most urgent pending packet — lowest priority
   // value first, arrival order within a class (SIII.C default; SVIII QoS
-  // extension when priorities differ).
+  // extension when priorities differ): the head of the first bucket.
   if (!pending_.empty()) {
-    auto best = pending_.begin();
-    for (auto it = pending_.begin(); it != pending_.end(); ++it)
-      if (jobs_.at(*it).spec.priority < jobs_.at(*best).spec.priority) best = it;
-    DeviceJobId id = *best;
+    auto bucket = pending_.begin();
+    DeviceJobId id = bucket->second.front();
     Job& job = jobs_.at(id);
+    auto pop_head = [&] {
+      bucket->second.pop_front();
+      if (bucket->second.empty()) pending_.erase(bucket);
+    };
     std::uint32_t instr =
         job.spec.decrypt
             ? top::encode_decrypt(job.spec.channel.id, job.header_blocks, job.data_blocks)
             : top::encode_encrypt(job.spec.channel.id, job.header_blocks, job.data_blocks);
     std::uint8_t rr = run_control(instr);
     if (top::is_ok(rr)) {
-      pending_.erase(best);
+      pop_head();
       on_accept(job, top::return_id(rr));
     } else if (top::return_error(rr) == top::ControlError::kNoCoreAvailable) {
       ++results_[id].rejections;  // busy: retry on a later pump
     } else {
       // Unrecoverable (bad channel etc.): surface as failed job.
-      pending_.erase(best);
+      pop_head();
       results_[id].complete = true;
       results_[id].auth_ok = false;
       results_[id].complete_cycle = sim_.now();

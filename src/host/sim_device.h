@@ -38,13 +38,14 @@ class SimDevice final : public Device {
 
   DeviceJobId submit(JobSpec spec) override;
   void step() override;
-  bool idle() const override { return pending_.empty() && jobs_.empty(); }
+  bool idle() const override { return jobs_.empty(); }
   const JobResult* result(DeviceJobId id) const override;
   void forget(DeviceJobId id) override;
 
   sim::Cycle now() const override { return sim_.now(); }
   std::size_t num_cores() const override { return mccp_.num_cores(); }
-  std::size_t inflight() const override { return pending_.size() + jobs_.size(); }
+  /// Pending + accepted jobs (`jobs_` holds both states).
+  std::size_t inflight() const override { return jobs_.size(); }
   std::size_t open_channel_count() const override { return open_channels_; }
 
   // -- simulator plumbing (tests, benches, reconfiguration flows) -------------
@@ -78,8 +79,16 @@ class SimDevice final : public Device {
   top::Mccp mccp_;
   sim::Simulation sim_;
 
-  std::deque<DeviceJobId> pending_;
-  std::map<DeviceJobId, Job> jobs_;           // in flight
+  /// Jobs awaiting an ENCRYPT/DECRYPT slot, bucketed by priority class
+  /// (lowest value = most urgent), arrival order within a bucket. The pump
+  /// serves the head of the first bucket, so the old per-step O(pending)
+  /// min-scan — O(n²) across a deep backlog — becomes O(log #classes).
+  std::map<unsigned, std::deque<DeviceJobId>> pending_;
+  /// Jobs accepted by the device and not yet finalized: the only ones the
+  /// interrupt/drain/transfer-done scans need to touch (bounded by the
+  /// core count, never by the backlog depth).
+  std::vector<DeviceJobId> active_;
+  std::map<DeviceJobId, Job> jobs_;           // pending + accepted
   std::map<DeviceJobId, JobResult> results_;  // completed + in-flight partials
   DeviceJobId next_job_ = 1;
   std::uint8_t last_rr_ = 0;

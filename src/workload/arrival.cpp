@@ -1,0 +1,165 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace mccp::workload {
+
+namespace {
+
+void check_rate(double rate, const char* who) {
+  if (!(rate > 0.0)) throw std::invalid_argument(std::string(who) + ": rate must be positive");
+}
+
+/// Exponential variate with the given mean (inverse transform on (0, 1]).
+double exponential(Rng& rng, double mean) {
+  double u = rng.next_double();  // [0, 1)
+  return -mean * std::log1p(-u);
+}
+
+class FixedRate final : public ArrivalProcess {
+ public:
+  explicit FixedRate(double rate) : gap_(kCyclesPerKilocycle / rate), rate_(rate) {
+    check_rate(rate, "fixed_rate");
+  }
+  std::optional<double> next(Rng&) override { return t_ += gap_; }
+  void reset() override { t_ = 0.0; }
+  std::string describe() const override {
+    std::ostringstream s;
+    s << "fixed_rate(" << rate_ << "/kcycle)";
+    return s.str();
+  }
+
+ private:
+  double gap_;
+  double rate_;
+  double t_ = 0.0;
+};
+
+class Poisson final : public ArrivalProcess {
+ public:
+  explicit Poisson(double rate) : mean_gap_(kCyclesPerKilocycle / rate), rate_(rate) {
+    check_rate(rate, "poisson");
+  }
+  std::optional<double> next(Rng& rng) override { return t_ += exponential(rng, mean_gap_); }
+  void reset() override { t_ = 0.0; }
+  std::string describe() const override {
+    std::ostringstream s;
+    s << "poisson(" << rate_ << "/kcycle)";
+    return s.str();
+  }
+
+ private:
+  double mean_gap_;
+  double rate_;
+  double t_ = 0.0;
+};
+
+class OnOff final : public ArrivalProcess {
+ public:
+  OnOff(double on_rate, double off_rate, double mean_on, double mean_off)
+      : on_rate_(on_rate), off_rate_(off_rate), mean_on_(mean_on), mean_off_(mean_off) {
+    check_rate(on_rate, "bursty_onoff");
+    if (off_rate < 0.0) throw std::invalid_argument("bursty_onoff: off rate must be >= 0");
+    if (!(mean_on > 0.0) || !(mean_off > 0.0))
+      throw std::invalid_argument("bursty_onoff: state holding times must be positive");
+  }
+
+  std::optional<double> next(Rng& rng) override {
+    while (true) {
+      if (!state_end_) {  // entering a fresh state period
+        state_end_ = t_ + kCyclesPerKilocycle *
+                              exponential(rng, on_ ? mean_on_ : mean_off_);
+      }
+      const double rate = on_ ? on_rate_ : off_rate_;
+      const double gap = rate > 0.0 ? exponential(rng, kCyclesPerKilocycle / rate)
+                                    : std::numeric_limits<double>::infinity();
+      if (t_ + gap <= *state_end_) {
+        t_ += gap;
+        return t_;
+      }
+      t_ = *state_end_;  // no arrival before the state flips
+      state_end_.reset();
+      on_ = !on_;
+    }
+  }
+
+  void reset() override {
+    t_ = 0.0;
+    on_ = true;
+    state_end_.reset();
+  }
+
+  std::string describe() const override {
+    std::ostringstream s;
+    s << "bursty_onoff(on " << on_rate_ << "/kcycle x " << mean_on_ << "k, off " << off_rate_
+      << "/kcycle x " << mean_off_ << "k)";
+    return s.str();
+  }
+
+ private:
+  double on_rate_, off_rate_, mean_on_, mean_off_;
+  double t_ = 0.0;
+  bool on_ = true;
+  std::optional<double> state_end_;
+};
+
+class TraceReplay final : public ArrivalProcess {
+ public:
+  explicit TraceReplay(std::vector<double> times) : times_(std::move(times)) {
+    for (std::size_t i = 1; i < times_.size(); ++i)
+      if (times_[i] < times_[i - 1])
+        throw std::invalid_argument("trace_replay: arrival times must be nondecreasing");
+  }
+  std::optional<double> next(Rng&) override {
+    if (pos_ >= times_.size()) return std::nullopt;
+    return times_[pos_++];
+  }
+  void reset() override { pos_ = 0; }
+  std::string describe() const override {
+    std::ostringstream s;
+    s << "trace_replay(" << times_.size() << " arrivals)";
+    return s.str();
+  }
+
+ private:
+  std::vector<double> times_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalProcess> fixed_rate(double packets_per_kcycle) {
+  return std::make_unique<FixedRate>(packets_per_kcycle);
+}
+
+std::unique_ptr<ArrivalProcess> poisson(double packets_per_kcycle) {
+  return std::make_unique<Poisson>(packets_per_kcycle);
+}
+
+std::unique_ptr<ArrivalProcess> bursty_onoff(double on_packets_per_kcycle,
+                                             double off_packets_per_kcycle,
+                                             double mean_on_kcycles, double mean_off_kcycles) {
+  return std::make_unique<OnOff>(on_packets_per_kcycle, off_packets_per_kcycle,
+                                 mean_on_kcycles, mean_off_kcycles);
+}
+
+std::unique_ptr<ArrivalProcess> trace_replay(std::vector<double> arrival_cycles) {
+  return std::make_unique<TraceReplay>(std::move(arrival_cycles));
+}
+
+std::unique_ptr<ArrivalProcess> make_arrival(const ArrivalSpec& spec) {
+  switch (spec.kind) {
+    case ArrivalSpec::Kind::kFixedRate: return fixed_rate(spec.rate);
+    case ArrivalSpec::Kind::kPoisson: return poisson(spec.rate);
+    case ArrivalSpec::Kind::kOnOff:
+      return bursty_onoff(spec.rate, spec.off_rate, spec.mean_on, spec.mean_off);
+    case ArrivalSpec::Kind::kTrace: return trace_replay(spec.trace);
+  }
+  throw std::logic_error("make_arrival: unknown kind");
+}
+
+}  // namespace mccp::workload

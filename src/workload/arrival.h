@@ -1,0 +1,105 @@
+// Arrival processes: when packets are offered to the platform.
+//
+// The paper's MCCP serves a radio's live traffic, not a closed loop of
+// back-to-back packets; an arrival process turns "offered load" into a
+// nondecreasing stream of arrival instants on the device clock. Four
+// processes cover the usual shapes: fixed-rate (isochronous voice frames),
+// Poisson (aggregate background traffic), bursty on/off MMPP (video /
+// bulk transfers alternating between talk-spurts and silence), and trace
+// replay (measured captures via workload/trace.h).
+//
+// All randomness flows through the caller's seeded `mccp::Rng`, so a
+// scenario generates the identical arrival stream on every backend and
+// every run.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mccp::workload {
+
+/// Rates are expressed in packets per kilocycle of the 190 MHz device
+/// clock (1 kcycle ~ 5.26 us), durations in kilocycles — scenario-file
+/// friendly magnitudes for radio-scale traffic.
+inline constexpr double kCyclesPerKilocycle = 1000.0;
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Absolute cycle of the next arrival (nondecreasing across calls), or
+  /// nullopt once the process is exhausted (only trace replay exhausts).
+  virtual std::optional<double> next(Rng& rng) = 0;
+  /// Rewind to time zero (trace replay restarts; stochastic processes
+  /// simply continue — their future is the rng's).
+  virtual void reset() = 0;
+  virtual std::string describe() const = 0;
+};
+
+/// Deterministic arrivals every 1000/rate cycles.
+std::unique_ptr<ArrivalProcess> fixed_rate(double packets_per_kcycle);
+
+/// Poisson process: i.i.d. exponential gaps with mean 1000/rate cycles.
+std::unique_ptr<ArrivalProcess> poisson(double packets_per_kcycle);
+
+/// Two-state Markov-modulated Poisson process: exponentially distributed
+/// ON/OFF holding times (means in kilocycles) with a Poisson arrival rate
+/// per state (`off_packets_per_kcycle` may be 0 for pure silence).
+std::unique_ptr<ArrivalProcess> bursty_onoff(double on_packets_per_kcycle,
+                                             double off_packets_per_kcycle,
+                                             double mean_on_kcycles, double mean_off_kcycles);
+
+/// Replay explicit arrival instants (cycles, must be nondecreasing);
+/// exhausts after the last one. See workload/trace.h for the file formats.
+std::unique_ptr<ArrivalProcess> trace_replay(std::vector<double> arrival_cycles);
+
+/// Declarative description of an arrival process — what a scenario file's
+/// "arrival" object parses into (workload/spec.h) and what `make_arrival`
+/// instantiates.
+struct ArrivalSpec {
+  enum class Kind { kFixedRate, kPoisson, kOnOff, kTrace };
+  Kind kind = Kind::kPoisson;
+  double rate = 0.1;      // packets/kcycle (ON rate for kOnOff)
+  double off_rate = 0.0;  // kOnOff only
+  double mean_on = 50.0, mean_off = 50.0;  // kOnOff holding times, kcycles
+  std::vector<double> trace;               // kTrace arrival cycles
+  /// kTrace only, parallel to `trace` (or empty): explicit per-packet
+  /// sizes from the trace file; -1 falls back to the class distribution.
+  std::vector<long long> trace_payload_len;
+  std::vector<long long> trace_aad_len;
+
+  static ArrivalSpec fixed(double rate) {
+    ArrivalSpec s;
+    s.kind = Kind::kFixedRate;
+    s.rate = rate;
+    return s;
+  }
+  static ArrivalSpec poisson_at(double rate) {
+    ArrivalSpec s;
+    s.kind = Kind::kPoisson;
+    s.rate = rate;
+    return s;
+  }
+  static ArrivalSpec onoff(double on_rate, double off_rate, double mean_on, double mean_off) {
+    ArrivalSpec s;
+    s.kind = Kind::kOnOff;
+    s.rate = on_rate;
+    s.off_rate = off_rate;
+    s.mean_on = mean_on;
+    s.mean_off = mean_off;
+    return s;
+  }
+  static ArrivalSpec replay(std::vector<double> times) {
+    ArrivalSpec s;
+    s.kind = Kind::kTrace;
+    s.trace = std::move(times);
+    return s;
+  }
+};
+
+std::unique_ptr<ArrivalProcess> make_arrival(const ArrivalSpec& spec);
+
+}  // namespace mccp::workload

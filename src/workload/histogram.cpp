@@ -1,0 +1,82 @@
+#include "workload/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace mccp::workload {
+
+LogHistogram::LogHistogram(unsigned precision_bits) : precision_bits_(precision_bits) {
+  if (precision_bits < 2 || precision_bits > 14)
+    throw std::invalid_argument("LogHistogram: precision_bits must be in [2, 14]");
+  // Linear region: 2^p buckets. Each octave above (there are 64 - p of
+  // them for the full uint64 range) adds 2^(p-1) buckets.
+  const std::size_t linear = std::size_t{1} << precision_bits;
+  const std::size_t per_octave = linear / 2;
+  buckets_.assign(linear + (64 - precision_bits) * per_octave, 0);
+}
+
+std::size_t LogHistogram::index_of(std::uint64_t value) const {
+  const std::uint64_t linear = std::uint64_t{1} << precision_bits_;
+  if (value < linear) return static_cast<std::size_t>(value);
+  // value has bit_width w > p. Octave o = w - p >= 1; the top p bits of
+  // value (value >> o) run through [2^(p-1), 2^p), giving 2^(p-1)
+  // sub-buckets per octave.
+  const unsigned w = static_cast<unsigned>(std::bit_width(value));
+  const unsigned o = w - precision_bits_;
+  const std::uint64_t sub = (value >> o) - linear / 2;
+  return static_cast<std::size_t>(linear + (o - 1) * (linear / 2) + sub);
+}
+
+std::uint64_t LogHistogram::upper_bound_of(std::size_t index) const {
+  const std::uint64_t linear = std::uint64_t{1} << precision_bits_;
+  if (index < linear) return index;  // exact
+  const std::size_t per_octave = static_cast<std::size_t>(linear / 2);
+  const unsigned o = static_cast<unsigned>((index - linear) / per_octave) + 1;
+  const std::uint64_t sub = (index - linear) % per_octave;
+  const std::uint64_t top = linear / 2 + sub + 1;  // exclusive top, pre-shift
+  if (top > (~std::uint64_t{0} >> o)) return ~std::uint64_t{0};  // top octave: avoid overflow
+  return (top << o) - 1;  // last value mapping to this bucket
+}
+
+void LogHistogram::record(std::uint64_t value) { record_n(value, 1); }
+
+void LogHistogram::record_n(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  buckets_[index_of(value)] += n;
+  count_ += n;
+  sum_ += value * n;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.precision_bits_ != precision_bits_)
+    throw std::invalid_argument("LogHistogram::merge: precision mismatch");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
+  const std::uint64_t target =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(upper_bound_of(i), max_);
+  }
+  return max_;
+}
+
+double LogHistogram::relative_error() const {
+  return std::ldexp(1.0, 1 - static_cast<int>(precision_bits_));
+}
+
+}  // namespace mccp::workload

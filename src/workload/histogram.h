@@ -1,0 +1,58 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// Closed-loop scenario runs record one latency sample per packet; storing
+// and sorting millions of raw samples per class would dominate the run, so
+// the runner aggregates into fixed-size geometric buckets instead: values
+// below 2^precision_bits map linearly (exact), and every octave above adds
+// 2^(precision_bits-1) sub-buckets, bounding the relative quantile error at
+// 2^(1-precision_bits) (~1.6% at the default 7 bits) for the full 64-bit
+// range in a few tens of KiB. tests/workload/histogram_test.cpp pins the
+// quantiles against a sorted-vector oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mccp::workload {
+
+class LogHistogram {
+ public:
+  /// `precision_bits` in [2, 14]: linear below 2^precision_bits, then
+  /// 2^(precision_bits-1) sub-buckets per octave.
+  explicit LogHistogram(unsigned precision_bits = 7);
+
+  void record(std::uint64_t value);
+  /// Record `n` occurrences of `value` (trace aggregation, merging bins).
+  void record_n(std::uint64_t value, std::uint64_t n);
+  /// Add another histogram's samples; precisions must match.
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest sample (clamped to the observed max),
+  /// so the true sample is within the bucket's relative width below the
+  /// returned value. q <= 0 returns min(), q >= 1 returns max().
+  std::uint64_t quantile(double q) const;
+
+  /// Worst-case relative quantile error: 2^(1 - precision_bits).
+  double relative_error() const;
+
+  unsigned precision_bits() const { return precision_bits_; }
+
+ private:
+  std::size_t index_of(std::uint64_t value) const;
+  std::uint64_t upper_bound_of(std::size_t index) const;
+
+  unsigned precision_bits_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace mccp::workload

@@ -1,0 +1,85 @@
+// Traffic profiles: what the offered packets look like.
+//
+// A `ChannelClass` composes a crypto mode, key size, QoS priority and
+// AAD/payload size distributions into a named kind of secure radio stream
+// — the paper's mixed UMTS/WiFi/WiMax load (SI) recast as reusable,
+// parameterizable classes. Four presets model the canonical mix a secure
+// SDR terminal juggles: `voip` (small isochronous frames, most urgent),
+// `video` (bursty mid-size frames), `bulk` (large low-priority transfers
+// that saturate the fleet), and `control` (sparse authenticated-only
+// telemetry). Scenario files pick a preset by name and override any field
+// (workload/spec.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "mccp/control.h"
+#include "workload/arrival.h"
+
+namespace mccp::workload {
+
+using top::ChannelMode;
+
+/// A sample-able packet-size distribution: fixed, uniform over a closed
+/// range, or empirical (weighted draw from explicit values).
+class SizeDist {
+ public:
+  static SizeDist fixed(std::size_t n);
+  static SizeDist uniform(std::size_t lo, std::size_t hi);
+  /// Weighted draw from `values`; `weights` empty = equiprobable.
+  static SizeDist empirical(std::vector<std::size_t> values, std::vector<double> weights = {});
+
+  std::size_t sample(Rng& rng) const;
+  double mean() const;
+  std::string describe() const;
+
+ private:
+  enum class Kind { kFixed, kUniform, kEmpirical };
+  SizeDist(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::size_t lo_ = 0, hi_ = 0;               // kFixed (lo_ == hi_), kUniform
+  std::vector<std::size_t> values_;           // kEmpirical
+  std::vector<double> cumulative_;            // kEmpirical, normalized CDF
+};
+
+/// One named kind of secure traffic stream.
+struct ChannelClass {
+  std::string name = "class";
+  ChannelMode mode = ChannelMode::kGcm;
+  std::size_t key_len = 16;  // 16/24/32 (ignored for Whirlpool)
+  unsigned tag_len = 16;
+  /// CCM nonce length; for GCM, the IV length the channel registers — the
+  /// core streams exactly this many IV bytes, so the runner generates IVs
+  /// of this length (12 takes the fast IV||0^31||1 path).
+  unsigned nonce_len = 13;
+  unsigned priority = 128;  // 0 = most urgent (SVIII QoS)
+  SizeDist payload = SizeDist::fixed(256);
+  SizeDist aad = SizeDist::fixed(0);
+  ArrivalSpec arrival{};
+};
+
+/// Clamp a sampled payload size to what every backend accepts: rounded up
+/// to a whole 16-byte block, within [16, 4080] (the simulator's ENCRYPT
+/// instruction carries the block count in 8 bits).
+std::size_t normalize_payload(std::size_t sampled);
+/// AAD sizes are only bounded above (255 formatted header blocks).
+std::size_t normalize_aad(std::size_t sampled);
+
+// -- presets ------------------------------------------------------------------
+ChannelClass voip_class();     // AES-128-CTR, 160 B frames, priority 0, isochronous
+ChannelClass video_class();    // AES-128-GCM, 512..1424 B, priority 64, bursty on/off
+ChannelClass bulk_class();     // AES-256-CCM, 2 KB, priority 192, Poisson saturation
+ChannelClass control_class();  // AES-128-CBC-MAC, 64 B, priority 16, sparse Poisson
+
+/// Preset lookup by name ("voip"/"video"/"bulk"/"control"); throws
+/// std::invalid_argument listing the known names.
+ChannelClass preset_class(const std::string& name);
+
+const char* mode_name(ChannelMode mode);
+ChannelMode mode_from_name(const std::string& name);
+
+}  // namespace mccp::workload

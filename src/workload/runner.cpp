@@ -1,0 +1,330 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "common/json_writer.h"
+#include "sim/simulation.h"
+
+namespace mccp::workload {
+
+double ClassReport::throughput_mbps() const {
+  if (last_complete_cycle <= first_submit_cycle) return 0.0;
+  return sim::throughput_mbps(payload_bytes * 8, last_complete_cycle - first_submit_cycle);
+}
+
+std::uint64_t ScenarioReport::total_offered() const {
+  std::uint64_t n = 0;
+  for (const ClassReport& c : classes) n += c.offered;
+  return n;
+}
+
+std::uint64_t ScenarioReport::total_completed() const {
+  std::uint64_t n = 0;
+  for (const ClassReport& c : classes) n += c.completed;
+  return n;
+}
+
+namespace {
+
+/// Distinct, seed-derived rng stream per class (splitmix-style spread so
+/// neighbouring class indices decorrelate).
+std::uint64_t class_seed(std::uint64_t scenario_seed, std::size_t class_index) {
+  return scenario_seed * 0x9E3779B97F4A7C15ull + (class_index + 1) * 0xBF58476D1CE4E5B9ull;
+}
+
+Bytes make_iv(Rng& rng, ChannelMode mode, unsigned nonce_len) {
+  switch (mode) {
+    // The channel's registered nonce_len is the exact IV/nonce length the
+    // core streams — a mismatched IV would underfill the simulated FIFOs.
+    case ChannelMode::kGcm: return rng.bytes(nonce_len);
+    case ChannelMode::kCcm: return rng.bytes(nonce_len);
+    case ChannelMode::kCtr: {
+      Bytes iv = rng.bytes(16);
+      iv[14] = iv[15] = 0;  // leave the 16-bit counter space clear
+      return iv;
+    }
+    default: return {};
+  }
+}
+
+/// Everything the runner tracks per channel class while the loop runs.
+struct ClassState {
+  const ClassSpec* spec = nullptr;
+  std::size_t index = 0;
+  Rng rng{0};
+  std::unique_ptr<ArrivalProcess> arrival;
+  std::optional<double> next_time;  // pending (not yet admitted) arrival
+  std::uint64_t generated = 0;      // arrivals consumed from the process
+  std::vector<host::Channel> channels;
+  std::size_t next_channel = 0;  // round-robin cursor within the class
+  ClassReport report;
+};
+
+}  // namespace
+
+ScenarioReport ScenarioRunner::run() {
+  // parse_scenario enforces this for file-loaded specs, but programmatic
+  // specs and CLI overrides reach here directly — window 0 with blocking
+  // admission would never admit anything and spin forever.
+  if (spec_.window == 0)
+    throw std::invalid_argument("scenario " + spec_.name + ": window must be >= 1");
+  if (spec_.classes.empty())
+    throw std::invalid_argument("scenario " + spec_.name + ": needs at least one class");
+
+  using WallClock = std::chrono::steady_clock;
+  const auto wall_start = WallClock::now();
+
+  host::Engine engine({.num_devices = spec_.devices,
+                       .device = {.num_cores = spec_.cores_per_device},
+                       .placement = spec_.placement,
+                       .backend = spec_.backend});
+
+  // One session key per class, broadcast fleet-wide so placement is free.
+  for (std::size_t i = 0; i < spec_.classes.size(); ++i) {
+    Rng key_rng(class_seed(spec_.seed, i) ^ 0x5DEECE66Dull);
+    engine.provision_key(static_cast<top::KeyId>(i + 1),
+                         key_rng.bytes(spec_.classes[i].profile.key_len));
+  }
+
+  std::vector<ClassState> states(spec_.classes.size());
+  for (std::size_t i = 0; i < spec_.classes.size(); ++i) {
+    ClassState& st = states[i];
+    const ClassSpec& cs = spec_.classes[i];
+    st.spec = &cs;
+    st.index = i;
+    st.rng = Rng(class_seed(spec_.seed, i));
+    st.arrival = make_arrival(cs.profile.arrival);
+    st.report.name = cs.profile.name;
+    st.report.mode = mode_name(cs.profile.mode);
+    st.report.priority = cs.profile.priority;
+    st.report.channels = cs.channels;
+    for (std::size_t c = 0; c < cs.channels; ++c) {
+      host::Channel ch = engine.open_channel(cs.profile.mode, static_cast<top::KeyId>(i + 1),
+                                             cs.profile.tag_len, cs.profile.nonce_len);
+      if (!ch)
+        throw std::runtime_error("scenario " + spec_.name + ": open_channel failed for class \"" +
+                                 cs.profile.name + "\" (rr=" +
+                                 std::to_string(engine.last_error()) + ")");
+      st.channels.push_back(std::move(ch));
+    }
+  }
+
+  // Draw each class's first arrival. An arrival stays in `next_time` until
+  // admitted (blocking keeps the rng streams independent of completion
+  // timing: draws happen strictly in arrival order).
+  auto draw_next = [&](ClassState& st) {
+    const std::uint64_t cap = st.spec->packets;
+    if (cap != 0 && st.generated >= cap) {
+      st.next_time.reset();
+      return;
+    }
+    st.next_time = st.arrival->next(st.rng);
+    if (st.next_time && spec_.max_cycles != 0 &&
+        *st.next_time > static_cast<double>(spec_.max_cycles))
+      st.next_time.reset();
+  };
+  for (ClassState& st : states) draw_next(st);
+
+  std::size_t inflight = 0;
+  std::size_t peak_inflight = 0;
+
+  // Queue-depth sampling with on-the-fly compaction.
+  std::vector<QueueSample> queue_depth;
+  sim::Cycle sample_interval = spec_.queue_sample_cycles;
+  sim::Cycle next_sample = 0;
+  auto sample_up_to = [&](sim::Cycle cycle) {
+    while (next_sample <= cycle) {
+      queue_depth.push_back({next_sample, inflight});
+      next_sample += sample_interval;
+      if (queue_depth.size() >= 2048) {
+        std::vector<QueueSample> kept;
+        kept.reserve(queue_depth.size() / 2 + 1);
+        for (std::size_t i = 0; i < queue_depth.size(); i += 2) kept.push_back(queue_depth[i]);
+        queue_depth = std::move(kept);
+        sample_interval *= 2;
+      }
+    }
+  };
+
+  auto on_done = [&](ClassState& st, const host::JobResult& r) {
+    --inflight;
+    ClassReport& rep = st.report;
+    ++rep.completed;
+    rep.busy_rejections += r.rejections;
+    rep.last_complete_cycle = std::max(rep.last_complete_cycle, r.complete_cycle);
+    if (!r.auth_ok) {
+      ++rep.auth_failures;
+      return;
+    }
+    rep.latency.record(r.complete_cycle - r.submit_cycle);
+    if (r.accept_cycle > 0 && r.accept_cycle >= r.submit_cycle)
+      rep.service.record(r.complete_cycle - r.accept_cycle);
+  };
+
+  // Build the JobSpec for this class's next admitted arrival (arrival
+  // number `st.generated`, about to be consumed).
+  auto build_spec = [&](ClassState& st) {
+    const ChannelClass& p = st.spec->profile;
+    host::JobSpec job;
+    long long fixed_payload = -1, fixed_aad = -1;
+    const ArrivalSpec& as = p.arrival;
+    if (st.generated < as.trace_payload_len.size())
+      fixed_payload = as.trace_payload_len[st.generated];
+    if (st.generated < as.trace_aad_len.size()) fixed_aad = as.trace_aad_len[st.generated];
+    const std::size_t payload_len = normalize_payload(
+        fixed_payload >= 0 ? static_cast<std::size_t>(fixed_payload) : p.payload.sample(st.rng));
+    const std::size_t aad_len = normalize_aad(
+        fixed_aad >= 0 ? static_cast<std::size_t>(fixed_aad) : p.aad.sample(st.rng));
+    job.iv_or_nonce = make_iv(st.rng, p.mode, p.nonce_len);
+    job.aad = st.rng.bytes(aad_len);
+    job.payload = st.rng.bytes(payload_len);
+    job.priority = p.priority;
+    return job;
+  };
+
+  const sim::Cycle start_cycle = engine.max_cycle();
+
+  // ---- the closed loop --------------------------------------------------------
+  while (true) {
+    const sim::Cycle now = engine.max_cycle();
+
+    // Admit every due arrival the window allows, batching per channel so
+    // bursts hit the amortized submit path.
+    for (ClassState& st : states) {
+      if (!st.next_time || *st.next_time > static_cast<double>(now)) continue;
+
+      std::vector<std::vector<host::JobSpec>> batches(st.channels.size());
+      std::vector<std::size_t> batch_order;
+      while (st.next_time && *st.next_time <= static_cast<double>(now)) {
+        if (inflight >= spec_.window) {
+          if (spec_.admission == Admission::kBlock) break;  // hold the arrival
+          ++st.generated;                                    // drop it
+          ++st.report.offered;
+          ++st.report.dropped;
+          draw_next(st);
+          continue;
+        }
+        std::size_t ch = st.next_channel;
+        st.next_channel = (st.next_channel + 1) % st.channels.size();
+        if (batches[ch].empty()) batch_order.push_back(ch);
+        batches[ch].push_back(build_spec(st));  // uses st.generated as the arrival index
+        ++st.generated;
+        ++st.report.offered;
+        ++inflight;  // reserve the window slot before the device sees it
+        draw_next(st);
+      }
+      peak_inflight = std::max(peak_inflight, inflight);
+
+      for (std::size_t ch : batch_order) {
+        ClassReport& rep = st.report;
+        if (rep.submitted == 0)
+          rep.first_submit_cycle = engine.device(st.channels[ch].device_index()).now();
+        for (const host::JobSpec& job : batches[ch]) rep.payload_bytes += job.payload.size();
+        rep.submitted += batches[ch].size();
+        std::vector<host::Completion> jobs =
+            engine.submit_batch(st.channels[ch], std::move(batches[ch]));
+        for (host::Completion& job : jobs)
+          job.on_done([&st, &on_done](const host::JobResult& r) { on_done(st, r); });
+      }
+    }
+
+    if (inflight == 0) {
+      // Fleet drained: jump the quiet gap to the earliest pending arrival,
+      // or finish when every class is exhausted.
+      std::optional<double> next;
+      for (ClassState& st : states)
+        if (st.next_time && (!next || *st.next_time < *next)) next = st.next_time;
+      if (!next) break;
+      const sim::Cycle target = static_cast<sim::Cycle>(std::ceil(*next));
+      sample_up_to(target);
+      engine.advance_to(target);
+    } else {
+      engine.step();
+      sample_up_to(engine.max_cycle());
+    }
+  }
+
+  ScenarioReport report;
+  report.scenario = spec_.name;
+  report.backend = backend_name(spec_.backend);
+  report.devices = spec_.devices;
+  report.cores_per_device = spec_.cores_per_device;
+  report.window = spec_.window;
+  report.makespan_cycles = engine.max_cycle() - start_cycle;
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(WallClock::now() - wall_start).count();
+  report.peak_inflight = peak_inflight;
+  for (ClassState& st : states) report.classes.push_back(std::move(st.report));
+  report.queue_depth = std::move(queue_depth);
+  report.queue_sample_interval = sample_interval;
+  return report;
+}
+
+namespace {
+
+void histogram_json(JsonWriter& json, const std::string& key, const LogHistogram& h) {
+  json.begin_object(key)
+      .field("count", h.count())
+      .field("min", h.min())
+      .field("mean", h.mean())
+      .field("p50", h.quantile(0.50))
+      .field("p90", h.quantile(0.90))
+      .field("p99", h.quantile(0.99))
+      .field("p999", h.quantile(0.999))
+      .field("max", h.max())
+      .field("relative_error", h.relative_error())
+      .end_object();
+}
+
+}  // namespace
+
+std::string report_json(const ScenarioReport& report) {
+  JsonWriter json;
+  json.begin_object()
+      .field("bench", "scenario_runner")
+      .field("scenario", report.scenario)
+      .field("backend", report.backend)
+      .field("devices", report.devices)
+      .field("cores_per_device", report.cores_per_device)
+      .field("window", report.window)
+      .field("makespan_cycles", report.makespan_cycles)
+      .field("makespan_ms_at_190mhz",
+             static_cast<double>(report.makespan_cycles) / 190e3)
+      .field("wall_ms", report.wall_ms)
+      .field("peak_inflight", report.peak_inflight)
+      .field("total_offered", report.total_offered())
+      .field("total_completed", report.total_completed());
+  json.begin_array("classes");
+  for (const ClassReport& c : report.classes) {
+    json.begin_object()
+        .field("name", c.name)
+        .field("mode", c.mode)
+        .field("priority", c.priority)
+        .field("channels", c.channels)
+        .field("offered", c.offered)
+        .field("submitted", c.submitted)
+        .field("completed", c.completed)
+        .field("auth_failures", c.auth_failures)
+        .field("dropped", c.dropped)
+        .field("busy_rejections", c.busy_rejections)
+        .field("payload_bytes", c.payload_bytes)
+        .field("throughput_mbps", c.throughput_mbps());
+    histogram_json(json, "latency_cycles", c.latency);
+    histogram_json(json, "service_cycles", c.service);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("queue_sample_interval", report.queue_sample_interval);
+  json.begin_array("queue_depth");
+  for (const QueueSample& s : report.queue_depth)
+    json.begin_object().field("cycle", s.cycle).field("inflight", s.inflight).end_object();
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace mccp::workload

@@ -1,0 +1,101 @@
+// ScenarioRunner: closed-loop traffic generation against the host driver.
+//
+// Takes a ScenarioSpec, instantiates the fleet (`host::Engine` on either
+// backend), opens the per-class channels, and paces packet submissions
+// against the *engine clock*: each class's arrival process emits arrival
+// instants; an arrival is admitted when the clock reaches it and the
+// bounded in-flight window has room (blocking the arrival or dropping it,
+// per the spec's admission policy). Burst arrivals go through
+// `Engine::submit_batch`; quiet gaps are skipped with
+// `Engine::advance_to`. Per class, the runner aggregates completion
+// latencies into log-bucketed histograms (workload/histogram.h) and counts
+// offered/submitted/completed/dropped packets, device busy-rejections and
+// auth failures; fleet-wide it samples the in-flight depth over time.
+//
+// Determinism: all randomness (arrival gaps, packet sizes and contents,
+// IVs) derives from per-class `mccp::Rng` streams seeded from the
+// scenario seed, and every packet's rng draws happen in arrival order —
+// so the offered workload is bit-identical across backends and runs, and
+// with blocking admission the per-class completion counts are too
+// (tests/workload/scenario_test.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/clocked.h"
+#include "workload/histogram.h"
+#include "workload/spec.h"
+
+namespace mccp::workload {
+
+struct ClassReport {
+  std::string name;
+  std::string mode;
+  unsigned priority = 0;
+  std::size_t channels = 0;
+
+  std::uint64_t offered = 0;    // arrivals generated (submitted + dropped)
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t dropped = 0;           // admission rejections (window full, drop policy)
+  std::uint64_t busy_rejections = 0;   // device busy-error retries across jobs
+  std::uint64_t payload_bytes = 0;     // submitted payload
+
+  sim::Cycle first_submit_cycle = 0;
+  sim::Cycle last_complete_cycle = 0;
+
+  LogHistogram latency{};  // submit -> complete, cycles
+  LogHistogram service{};  // accept -> complete, cycles
+
+  /// Goodput over the class's active window, Mbps at 190 MHz.
+  double throughput_mbps() const;
+};
+
+struct QueueSample {
+  sim::Cycle cycle = 0;
+  std::size_t inflight = 0;
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  std::string backend;
+  std::size_t devices = 0;
+  std::size_t cores_per_device = 0;
+  std::size_t window = 0;
+
+  sim::Cycle makespan_cycles = 0;  // first submit to fleet drain (furthest clock)
+  double wall_ms = 0.0;            // host wall-clock for the run() call
+  std::size_t peak_inflight = 0;
+
+  std::vector<ClassReport> classes;
+  /// Fleet in-flight depth over time; the sampling interval doubles (and
+  /// the series compacts) whenever it outgrows ~2048 points.
+  std::vector<QueueSample> queue_depth;
+  sim::Cycle queue_sample_interval = 0;  // final interval after compaction
+
+  std::uint64_t total_offered() const;
+  std::uint64_t total_completed() const;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  /// Execute the scenario to completion (all offered packets resolved) and
+  /// return the collected metrics. Callable repeatedly; each call is an
+  /// independent, identically seeded run.
+  ScenarioReport run();
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  ScenarioSpec spec_;
+};
+
+/// The report as a `BENCH_*.json`-style artifact (common/json_writer.h).
+std::string report_json(const ScenarioReport& report);
+
+}  // namespace mccp::workload

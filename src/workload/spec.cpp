@@ -1,0 +1,209 @@
+#include "workload/spec.h"
+
+#include <stdexcept>
+
+#include "workload/trace.h"
+
+namespace mccp::workload {
+
+namespace {
+
+SizeDist parse_size_dist(const json::Value& v, const std::string& field) {
+  // {"fixed": 256} | {"uniform": [512, 1424]} | {"empirical": [64, 256, 1500]}
+  // | {"empirical": {"values": [...], "weights": [...]}} | bare number.
+  if (v.is_number()) return SizeDist::fixed(static_cast<std::size_t>(v.as_number()));
+  if (!v.is_object())
+    throw std::invalid_argument("scenario: \"" + field + "\" must be a number or an object");
+  if (const json::Value* f = v.find("fixed"))
+    return SizeDist::fixed(static_cast<std::size_t>(f->as_number()));
+  if (const json::Value* u = v.find("uniform")) {
+    const auto& arr = u->as_array();
+    if (arr.size() != 2)
+      throw std::invalid_argument("scenario: \"" + field + "\".uniform wants [lo, hi]");
+    return SizeDist::uniform(static_cast<std::size_t>(arr[0].as_number()),
+                             static_cast<std::size_t>(arr[1].as_number()));
+  }
+  if (const json::Value* e = v.find("empirical")) {
+    std::vector<std::size_t> values;
+    std::vector<double> weights;
+    const json::Value* values_node = e->is_object() ? e->find("values") : e;
+    if (values_node == nullptr || !values_node->is_array())
+      throw std::invalid_argument("scenario: \"" + field + "\".empirical wants a value array");
+    for (const json::Value& x : values_node->as_array())
+      values.push_back(static_cast<std::size_t>(x.as_number()));
+    if (e->is_object())
+      if (const json::Value* w = e->find("weights"))
+        for (const json::Value& x : w->as_array()) weights.push_back(x.as_number());
+    return SizeDist::empirical(std::move(values), std::move(weights));
+  }
+  throw std::invalid_argument("scenario: \"" + field +
+                              "\" wants one of fixed / uniform / empirical");
+}
+
+ArrivalSpec parse_arrival(const json::Value& v, const std::string& base_dir,
+                          const std::string& class_name) {
+  ArrivalSpec spec;
+  const std::string kind = v.string_or("kind", "poisson");
+  if (kind == "fixed_rate") {
+    spec.kind = ArrivalSpec::Kind::kFixedRate;
+  } else if (kind == "poisson") {
+    spec.kind = ArrivalSpec::Kind::kPoisson;
+  } else if (kind == "onoff") {
+    spec.kind = ArrivalSpec::Kind::kOnOff;
+  } else if (kind == "trace") {
+    spec.kind = ArrivalSpec::Kind::kTrace;
+  } else {
+    throw std::invalid_argument("scenario: unknown arrival kind \"" + kind +
+                                "\" (known: fixed_rate, poisson, onoff, trace)");
+  }
+  spec.rate = v.number_or("rate", spec.rate);
+  spec.off_rate = v.number_or("off_rate", spec.off_rate);
+  spec.mean_on = v.number_or("mean_on", spec.mean_on);
+  spec.mean_off = v.number_or("mean_off", spec.mean_off);
+  if (spec.kind == ArrivalSpec::Kind::kTrace) {
+    if (const json::Value* times = v.find("times")) {
+      for (const json::Value& t : times->as_array()) spec.trace.push_back(t.as_number());
+    } else if (const json::Value* file = v.find("file")) {
+      std::string path = file->as_string();
+      if (!base_dir.empty() && !path.empty() && path.front() != '/')
+        path = base_dir + "/" + path;
+      Trace trace = load_trace(path);
+      // Replay the events recorded for this class (the file may carry a
+      // whole mix); "trace_class" overrides when the names differ.
+      const std::string cls = v.string_or("trace_class", class_name);
+      for (const TraceEvent& ev : trace) {
+        if (ev.channel_class != cls) continue;
+        spec.trace.push_back(ev.cycle);
+        spec.trace_payload_len.push_back(ev.payload_len);
+        spec.trace_aad_len.push_back(ev.aad_len);
+      }
+      if (spec.trace.empty())
+        throw std::invalid_argument("scenario: trace " + path + " has no events for class \"" +
+                                    cls + "\"");
+    } else {
+      throw std::invalid_argument("scenario: trace arrival wants \"times\" or \"file\"");
+    }
+  }
+  return spec;
+}
+
+ClassSpec parse_class(const json::Value& v, const std::string& base_dir) {
+  if (!v.is_object()) throw std::invalid_argument("scenario: each class must be an object");
+  ClassSpec spec;
+  if (const json::Value* preset = v.find("class")) {
+    spec.profile = preset_class(preset->as_string());
+  }
+  spec.profile.name = v.string_or("name", spec.profile.name);
+  if (spec.profile.name.empty()) throw std::invalid_argument("scenario: class needs a name");
+  if (const json::Value* mode = v.find("mode"))
+    spec.profile.mode = mode_from_name(mode->as_string());
+  spec.profile.key_len =
+      static_cast<std::size_t>(v.u64_or("key_len", spec.profile.key_len));
+  if (spec.profile.key_len != 16 && spec.profile.key_len != 24 && spec.profile.key_len != 32)
+    throw std::invalid_argument("scenario: key_len must be 16, 24 or 32");
+  spec.profile.tag_len = static_cast<unsigned>(v.u64_or("tag_len", spec.profile.tag_len));
+  if (v.find("nonce_len") != nullptr) {
+    spec.profile.nonce_len = static_cast<unsigned>(v.u64_or("nonce_len", spec.profile.nonce_len));
+  } else if (spec.profile.mode == ChannelMode::kGcm) {
+    spec.profile.nonce_len = 12;  // GCM: registered IV length; 12 = fast path
+  }
+  if ((spec.profile.mode == ChannelMode::kGcm || spec.profile.mode == ChannelMode::kCcm) &&
+      (spec.profile.nonce_len < 1 || spec.profile.nonce_len > 15))
+    throw std::invalid_argument("scenario: nonce_len must be in [1, 15]");
+  spec.profile.priority = static_cast<unsigned>(v.u64_or("priority", spec.profile.priority));
+  if (const json::Value* payload = v.find("payload"))
+    spec.profile.payload = parse_size_dist(*payload, "payload");
+  if (const json::Value* aad = v.find("aad")) spec.profile.aad = parse_size_dist(*aad, "aad");
+  if (const json::Value* arrival = v.find("arrival"))
+    spec.profile.arrival = parse_arrival(*arrival, base_dir, spec.profile.name);
+  spec.packets = v.u64_or("packets", spec.packets);
+  spec.channels = static_cast<std::size_t>(v.u64_or("channels", spec.channels));
+  if (spec.channels == 0) throw std::invalid_argument("scenario: channels must be >= 1");
+  if (spec.packets == 0 && spec.profile.arrival.kind != ArrivalSpec::Kind::kTrace)
+    throw std::invalid_argument(
+        "scenario: packets must be >= 1 (0 is only meaningful for trace arrivals)");
+  return spec;
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(const json::Value& doc, const std::string& base_dir) {
+  if (!doc.is_object()) throw std::invalid_argument("scenario: document must be a JSON object");
+  ScenarioSpec spec;
+  spec.name = doc.string_or("name", spec.name);
+  spec.seed = doc.u64_or("seed", spec.seed);
+  spec.devices = static_cast<std::size_t>(doc.u64_or("devices", spec.devices));
+  spec.cores_per_device =
+      static_cast<std::size_t>(doc.u64_or("cores_per_device", spec.cores_per_device));
+  if (spec.devices == 0 || spec.cores_per_device == 0)
+    throw std::invalid_argument("scenario: devices and cores_per_device must be >= 1");
+  if (const json::Value* backend = doc.find("backend"))
+    spec.backend = backend_from_name(backend->as_string());
+  if (const json::Value* placement = doc.find("placement"))
+    spec.placement = placement_from_name(placement->as_string());
+  spec.window = static_cast<std::size_t>(doc.u64_or("window", spec.window));
+  if (spec.window == 0) throw std::invalid_argument("scenario: window must be >= 1");
+  const std::string admission = doc.string_or("admission", "block");
+  if (admission == "block") {
+    spec.admission = Admission::kBlock;
+  } else if (admission == "drop") {
+    spec.admission = Admission::kDrop;
+  } else {
+    throw std::invalid_argument("scenario: admission must be \"block\" or \"drop\"");
+  }
+  spec.max_cycles = doc.u64_or("max_cycles", spec.max_cycles);
+  spec.queue_sample_cycles = doc.u64_or("queue_sample_cycles", spec.queue_sample_cycles);
+  if (spec.queue_sample_cycles == 0)
+    throw std::invalid_argument("scenario: queue_sample_cycles must be >= 1");
+
+  const json::Value* classes = doc.find("classes");
+  if (classes == nullptr || !classes->is_array() || classes->as_array().empty())
+    throw std::invalid_argument("scenario: wants a non-empty \"classes\" array");
+  for (const json::Value& c : classes->as_array()) spec.classes.push_back(parse_class(c, base_dir));
+  for (std::size_t i = 0; i < spec.classes.size(); ++i)
+    for (std::size_t j = i + 1; j < spec.classes.size(); ++j)
+      if (spec.classes[i].profile.name == spec.classes[j].profile.name)
+        throw std::invalid_argument("scenario: duplicate class name \"" +
+                                    spec.classes[i].profile.name + "\"");
+  return spec;
+}
+
+ScenarioSpec parse_scenario_text(std::string_view json_text, const std::string& base_dir) {
+  return parse_scenario(json::parse(json_text), base_dir);
+}
+
+ScenarioSpec load_scenario(const std::string& path) {
+  std::string base_dir;
+  if (std::size_t slash = path.find_last_of('/'); slash != std::string::npos)
+    base_dir = path.substr(0, slash);
+  return parse_scenario(json::parse_file(path), base_dir);
+}
+
+const char* backend_name(host::Backend backend) {
+  return backend == host::Backend::kSim ? "sim" : "fast";
+}
+
+host::Backend backend_from_name(const std::string& name) {
+  if (name == "sim") return host::Backend::kSim;
+  if (name == "fast") return host::Backend::kFast;
+  throw std::invalid_argument("scenario: unknown backend \"" + name + "\" (known: sim, fast)");
+}
+
+const char* placement_name(host::Placement placement) {
+  switch (placement) {
+    case host::Placement::kRoundRobin: return "round_robin";
+    case host::Placement::kLeastLoaded: return "least_loaded";
+    case host::Placement::kModeAffinity: return "mode_affinity";
+  }
+  return "?";
+}
+
+host::Placement placement_from_name(const std::string& name) {
+  if (name == "round_robin") return host::Placement::kRoundRobin;
+  if (name == "least_loaded") return host::Placement::kLeastLoaded;
+  if (name == "mode_affinity") return host::Placement::kModeAffinity;
+  throw std::invalid_argument("scenario: unknown placement \"" + name +
+                              "\" (known: round_robin, least_loaded, mode_affinity)");
+}
+
+}  // namespace mccp::workload

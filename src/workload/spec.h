@@ -1,0 +1,74 @@
+// Declarative scenario specifications.
+//
+// A scenario file is a JSON document describing a whole experiment: the
+// fleet shape (devices x cores, backend, placement), the pacing discipline
+// (bounded in-flight window, block-or-drop admission), and a list of
+// channel classes — each either a preset from workload/profile.h picked by
+// `"class"` or built from scratch, with any field overridable. Shipped
+// presets live under scenarios/; `scenario_runner --scenario <file>` runs
+// one and the runner's report mirrors the spec's class names.
+//
+// Example:
+//   {
+//     "name": "mixed_radio", "seed": 42,
+//     "devices": 4, "cores_per_device": 4,
+//     "backend": "fast", "placement": "least_loaded", "window": 96,
+//     "classes": [
+//       {"class": "voip", "packets": 400, "channels": 4},
+//       {"class": "bulk", "packets": 300, "channels": 2,
+//        "arrival": {"kind": "poisson", "rate": 1.5},
+//        "payload": {"uniform": [1024, 4080]}}
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "host/engine.h"
+#include "workload/profile.h"
+
+namespace mccp::workload {
+
+/// What to do with an arrival when the in-flight window is full.
+enum class Admission : std::uint8_t {
+  kBlock,  // hold the arrival until a completion frees a slot (closed loop)
+  kDrop,   // reject it (counted per class as `dropped`)
+};
+
+struct ClassSpec {
+  ChannelClass profile{};
+  std::uint64_t packets = 100;  // arrivals to offer (0 = until the trace exhausts)
+  std::size_t channels = 1;     // channels of this class (placement shards them)
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::uint64_t seed = 1;
+  std::size_t devices = 1;
+  std::size_t cores_per_device = 4;
+  host::Backend backend = host::Backend::kFast;
+  host::Placement placement = host::Placement::kLeastLoaded;
+  std::size_t window = 64;  // max jobs in flight across the fleet
+  Admission admission = Admission::kBlock;
+  sim::Cycle max_cycles = 0;  // stop offering new arrivals after this (0 = off)
+  sim::Cycle queue_sample_cycles = 2048;  // queue-depth sampling period
+  std::vector<ClassSpec> classes;
+};
+
+/// Parse a scenario from a JSON document. `base_dir` resolves relative
+/// trace-file references ("" = current directory). Throws
+/// json::ParseError / std::invalid_argument with field-level messages.
+ScenarioSpec parse_scenario(const json::Value& doc, const std::string& base_dir = "");
+ScenarioSpec parse_scenario_text(std::string_view json_text, const std::string& base_dir = "");
+/// Load from a file; trace references resolve relative to its directory.
+ScenarioSpec load_scenario(const std::string& path);
+
+const char* backend_name(host::Backend backend);
+host::Backend backend_from_name(const std::string& name);
+const char* placement_name(host::Placement placement);
+host::Placement placement_from_name(const std::string& name);
+
+}  // namespace mccp::workload

@@ -1,0 +1,165 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.h"
+#include "common/json_writer.h"
+
+namespace mccp::workload {
+
+namespace {
+
+[[noreturn]] void fail(const char* format, std::size_t line_no, const std::string& detail) {
+  std::ostringstream msg;
+  msg << "trace: " << format << " error at line " << line_no << ": " << detail;
+  throw std::runtime_error(msg.str());
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Trace parse_trace_csv(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string body = trim(line.substr(0, line.find('#')));
+    if (body.empty()) continue;
+
+    std::vector<std::string> fields;
+    std::istringstream ls(body);
+    std::string field;
+    while (std::getline(ls, field, ',')) fields.push_back(trim(field));
+    if (fields.size() < 2 || fields.size() > 4)
+      fail("csv", line_no, "expected cycle,class[,payload_len[,aad_len]]");
+
+    TraceEvent ev;
+    char* end = nullptr;
+    ev.cycle = std::strtod(fields[0].c_str(), &end);
+    if (end == fields[0].c_str() || *end != '\0' || ev.cycle < 0)
+      fail("csv", line_no, "bad cycle '" + fields[0] + "'");
+    if (fields[1].empty()) fail("csv", line_no, "empty class name");
+    ev.channel_class = fields[1];
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      // -1 is legal and means "draw from the class distribution", so a
+      // trace with explicit AAD but defaulted payload still round-trips.
+      long long v = std::strtoll(fields[i].c_str(), &end, 10);
+      if (end == fields[i].c_str() || *end != '\0' || v < -1)
+        fail("csv", line_no, "bad size '" + fields[i] + "'");
+      (i == 2 ? ev.payload_len : ev.aad_len) = v;
+    }
+    if (!trace.empty() && ev.cycle < trace.back().cycle)
+      fail("csv", line_no, "arrival cycles must be nondecreasing");
+    trace.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+Trace parse_trace_jsonl(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string body = trim(line);
+    if (body.empty()) continue;
+    json::Value v;
+    try {
+      v = json::parse(body);
+    } catch (const json::ParseError& e) {
+      fail("jsonl", line_no, e.what());
+    }
+    if (!v.is_object()) fail("jsonl", line_no, "each line must be a JSON object");
+    TraceEvent ev;
+    const json::Value* cycle = v.find("cycle");
+    const json::Value* cls = v.find("class");
+    if (cycle == nullptr || cls == nullptr)
+      fail("jsonl", line_no, "\"cycle\" and \"class\" are required");
+    ev.cycle = cycle->as_number();
+    if (ev.cycle < 0) fail("jsonl", line_no, "\"cycle\" must be >= 0");
+    ev.channel_class = cls->as_string();
+    if (ev.channel_class.empty()) fail("jsonl", line_no, "empty class name");
+    ev.payload_len = static_cast<long long>(v.number_or("payload_len", -1));
+    ev.aad_len = static_cast<long long>(v.number_or("aad_len", -1));
+    if (!trace.empty() && ev.cycle < trace.back().cycle)
+      fail("jsonl", line_no, "arrival cycles must be nondecreasing");
+    trace.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+namespace {
+
+/// Shortest decimal that round-trips the cycle value through strtod.
+std::string format_cycle(double cycle) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", cycle);
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[48];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, cycle);
+    if (std::strtod(probe, nullptr) == cycle) return probe;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void write_trace_csv(const Trace& trace, std::ostream& out) {
+  out << "# cycle,class[,payload_len[,aad_len]]\n";
+  for (const TraceEvent& ev : trace) {
+    // The line format cannot express these characters (',' splits fields,
+    // '#' starts a comment, and the parser trims whitespace), so refuse to
+    // write a trace its own parser would mangle.
+    if (ev.channel_class.empty() ||
+        ev.channel_class.find_first_of(",#\n\r") != std::string::npos ||
+        ev.channel_class != trim(ev.channel_class))
+      throw std::invalid_argument("trace: class name \"" + ev.channel_class +
+                                  "\" cannot round-trip through CSV");
+    out << format_cycle(ev.cycle) << ',' << ev.channel_class;
+    if (ev.payload_len >= 0 || ev.aad_len >= 0) out << ',' << std::max(ev.payload_len, -1LL);
+    if (ev.aad_len >= 0) out << ',' << ev.aad_len;
+    out << '\n';
+  }
+}
+
+void write_trace_jsonl(const Trace& trace, std::ostream& out) {
+  for (const TraceEvent& ev : trace) {
+    out << "{\"cycle\":" << format_cycle(ev.cycle)
+        << ",\"class\":" << JsonWriter::quote(ev.channel_class);
+    if (ev.payload_len >= 0) out << ",\"payload_len\":" << ev.payload_len;
+    if (ev.aad_len >= 0) out << ",\"aad_len\":" << ev.aad_len;
+    out << "}\n";
+  }
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0)
+    return parse_trace_jsonl(in);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+    return parse_trace_csv(in);
+  throw std::runtime_error("trace: unknown extension (want .csv or .jsonl): " + path);
+}
+
+std::vector<double> class_times(const Trace& trace, const std::string& channel_class) {
+  std::vector<double> times;
+  for (const TraceEvent& ev : trace)
+    if (ev.channel_class == channel_class) times.push_back(ev.cycle);
+  return times;
+}
+
+}  // namespace mccp::workload

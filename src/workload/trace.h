@@ -1,0 +1,44 @@
+// Trace files: recorded packet arrivals for replay.
+//
+// A trace is a time-ordered list of (arrival cycle, channel class) events,
+// optionally carrying explicit payload/AAD sizes; the scenario engine
+// replays the events of one class through `workload::trace_replay`. Two
+// interchangeable formats are supported, chosen by file extension:
+//
+//   *.csv    cycle,class[,payload_len[,aad_len]]   ('#' starts a comment)
+//   *.jsonl  {"cycle": 1000, "class": "voip", "payload_len": 160}
+//
+// Missing sizes (-1) mean "draw from the class's configured distribution".
+// write_* / parse_* round-trip exactly (tests/workload/trace_test.cpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mccp::workload {
+
+struct TraceEvent {
+  double cycle = 0.0;
+  std::string channel_class;
+  long long payload_len = -1;  // -1: use the class's payload distribution
+  long long aad_len = -1;      // -1: use the class's AAD distribution
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+using Trace = std::vector<TraceEvent>;
+
+Trace parse_trace_csv(std::istream& in);
+Trace parse_trace_jsonl(std::istream& in);
+void write_trace_csv(const Trace& trace, std::ostream& out);
+void write_trace_jsonl(const Trace& trace, std::ostream& out);
+
+/// Load by extension (.csv / .jsonl); throws std::runtime_error on I/O or
+/// parse failure, naming the path and line.
+Trace load_trace(const std::string& path);
+
+/// Arrival instants of one class, in trace order.
+std::vector<double> class_times(const Trace& trace, const std::string& channel_class);
+
+}  // namespace mccp::workload

@@ -1,0 +1,99 @@
+// common/json.h — the minimal JSON reader behind scenario specs and JSONL
+// traces: value model, escapes, numbers, error positions, and the
+// defaulted config lookups.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace mccp::json {
+namespace {
+
+TEST(Json, ScalarValues) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.25").as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(parse("1.5e3").as_number(), 1500.0);
+  EXPECT_DOUBLE_EQ(parse("2E-2").as_number(), 0.02);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse(R"("\u0041\u00e9\u20ac")").as_string(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Json, NestedStructures) {
+  Value v = parse(R"({
+    "name": "mixed",
+    "devices": 4,
+    "flags": [true, false, null],
+    "inner": {"rate": 0.5, "list": [1, 2, 3]}
+  })");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->as_string(), "mixed");
+  EXPECT_DOUBLE_EQ(v.find("devices")->as_number(), 4.0);
+  const auto& flags = v.find("flags")->as_array();
+  ASSERT_EQ(flags.size(), 3u);
+  EXPECT_TRUE(flags[0].as_bool());
+  EXPECT_TRUE(flags[2].is_null());
+  const Value* inner = v.find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_DOUBLE_EQ(inner->number_or("rate", 0.0), 0.5);
+  EXPECT_EQ(inner->find("list")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(parse("{}").as_object().empty());
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("  [ ]  ").as_array().empty());
+}
+
+TEST(Json, DefaultedLookups) {
+  Value v = parse(R"({"a": 7, "s": "x", "b": true})");
+  EXPECT_EQ(v.u64_or("a", 0), 7u);
+  EXPECT_EQ(v.u64_or("z", 9), 9u);
+  EXPECT_DOUBLE_EQ(v.number_or("a", 0.0), 7.0);
+  EXPECT_EQ(v.string_or("s", "d"), "x");
+  EXPECT_EQ(v.string_or("z", "d"), "d");
+  EXPECT_EQ(v.bool_or("b", false), true);
+  EXPECT_EQ(v.bool_or("z", true), true);
+  EXPECT_THROW(v.u64_or("s", 0), ParseError);   // wrong type is an error
+  EXPECT_THROW((void)parse(R"({"a": -1})").u64_or("a", 0), ParseError);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  EXPECT_THROW(parse("42").as_string(), ParseError);
+  EXPECT_THROW(parse("\"x\"").as_number(), ParseError);
+  EXPECT_THROW(parse("[]").as_object(), ParseError);
+}
+
+TEST(Json, ParseErrorsCarryPosition) {
+  try {
+    parse("{\"a\": 1,\n  oops}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, MalformedDocumentsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "{\"a\":}", "tru", "1.", "1e", "\"unterminated",
+        "\"bad\\q\"", "\"\\u12g4\"", "{} extra", "[1] 2", "nan", "'single'"}) {
+    EXPECT_THROW(parse(bad), ParseError) << "input: " << bad;
+  }
+}
+
+TEST(Json, SurrogateEscapesRejected) {
+  EXPECT_THROW(parse(R"("\ud800")"), ParseError);
+}
+
+TEST(Json, ParseFileErrors) {
+  EXPECT_THROW(parse_file("/nonexistent/nope.json"), ParseError);
+}
+
+}  // namespace
+}  // namespace mccp::json

@@ -152,5 +152,50 @@ TEST(Gcm, RejectsBadParameters) {
   EXPECT_THROW(gcm_seal(keys, Bytes(12), {}, Bytes(16), 17), std::invalid_argument);
 }
 
+// ---- GcmKey: the cached-key fast path must be indistinguishable from the
+// per-call overloads across key sizes, IV lengths (96-bit fast path and
+// GHASH-derived J0s) and tag lengths.
+
+TEST(GcmKey, BundlesHashSubkeyAndTable) {
+  Rng rng(21);
+  auto keys = aes_expand_key(rng.bytes(16));
+  GcmKey cached(keys);
+  EXPECT_EQ(cached.h(), gcm_hash_subkey(keys));
+  EXPECT_EQ(cached.keys.key_size, keys.key_size);
+}
+
+TEST(GcmKey, SealAndOpenMatchUncachedOverloads) {
+  Rng rng(22);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    auto keys = aes_expand_key(rng.bytes(key_len));
+    GcmKey cached(keys);
+    for (std::size_t iv_len : {12u, 8u, 13u, 60u}) {
+      Bytes iv = rng.bytes(iv_len), aad = rng.bytes(23), pt = rng.bytes(100);
+      EXPECT_EQ(gcm_j0(cached, iv), gcm_j0(keys, iv));
+      auto a = gcm_seal(keys, iv, aad, pt, 12);
+      auto b = gcm_seal(cached, iv, aad, pt, 12);
+      EXPECT_EQ(a.ciphertext, b.ciphertext) << key_len << "/" << iv_len;
+      EXPECT_EQ(a.tag, b.tag) << key_len << "/" << iv_len;
+      auto opened = gcm_open(cached, iv, aad, b.ciphertext, b.tag);
+      ASSERT_TRUE(opened.has_value());
+      EXPECT_EQ(*opened, pt);
+      b.tag[0] ^= 1;
+      EXPECT_FALSE(gcm_open(cached, iv, aad, b.ciphertext, b.tag).has_value());
+    }
+  }
+}
+
+TEST(GcmKey, ReusableAcrossManyPackets) {
+  Rng rng(23);
+  auto keys = aes_expand_key(rng.bytes(16));
+  GcmKey cached(keys);
+  for (int i = 0; i < 32; ++i) {
+    Bytes iv = rng.bytes(12), pt = rng.bytes(16 + static_cast<std::size_t>(i) * 7);
+    auto a = gcm_seal(keys, iv, {}, pt);
+    auto b = gcm_seal(cached, iv, {}, pt);
+    EXPECT_EQ(a.tag, b.tag) << i;
+  }
+}
+
 }  // namespace
 }  // namespace mccp::crypto

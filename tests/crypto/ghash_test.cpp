@@ -68,5 +68,31 @@ TEST(Ghash, LinearInData) {
   EXPECT_EQ(ghash(h, c), ghash(h, a) ^ ghash(h, b));
 }
 
+TEST(Ghash, BorrowedTableMatchesOwned) {
+  // The shared-table constructor (used by the per-key GcmKey cache) must
+  // accumulate identically to one that built its own table, and survive
+  // copying in either direction.
+  Rng rng(7);
+  Block128 h = rng.block();
+  Bytes data = rng.bytes(80);
+
+  Gf128Table table(h);
+  Ghash owned(h);
+  Ghash borrowed(table);
+  owned.update_padded(data);
+  borrowed.update_padded(data);
+  EXPECT_EQ(borrowed.digest(), owned.digest());
+  EXPECT_EQ(borrowed.h(), h);
+
+  Ghash copy = borrowed;  // copy keeps borrowing the external table
+  Ghash copy2 = owned;    // copy of an owner must not alias the source
+  copy.update(rng.block());
+  Block128 x = rng.block();
+  copy2 = owned;
+  copy2.update(x);
+  owned.update(x);
+  EXPECT_EQ(copy2.digest(), owned.digest());
+}
+
 }  // namespace
 }  // namespace mccp::crypto

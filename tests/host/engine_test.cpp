@@ -383,5 +383,80 @@ TEST(Engine, WaitAllThrowsOnImpossibleDeadline) {
   engine.wait_all();  // generous deadline drains fine afterwards
 }
 
+TEST(Engine, SubmitBatchMatchesIndividualSubmits) {
+  // The batched path must produce the same results, stats and completion
+  // semantics as a loop of submit_encrypt on both backends.
+  for (Backend backend : {Backend::kSim, Backend::kFast}) {
+    Engine batched({.num_devices = 1, .device = {.num_cores = 2}, .backend = backend});
+    Engine solo({.num_devices = 1, .device = {.num_cores = 2}, .backend = backend});
+    Rng key_rng(71);
+    Bytes key = key_rng.bytes(16);
+    batched.provision_key(1, key);
+    solo.provision_key(1, key);
+    Channel bch = batched.open_channel(ChannelMode::kGcm, 1, 16, 12);
+    Channel sch = solo.open_channel(ChannelMode::kGcm, 1, 16, 12);
+
+    std::vector<JobSpec> specs;
+    Rng rng(72);
+    std::vector<Completion> solo_jobs;
+    for (int i = 0; i < 6; ++i) {
+      JobSpec spec;
+      spec.iv_or_nonce = rng.bytes(12);
+      spec.aad = rng.bytes(8);
+      spec.payload = rng.bytes(64 + static_cast<std::size_t>(i) * 16);
+      spec.priority = i % 2 == 0 ? 10 : 200;
+      specs.push_back(spec);
+      solo_jobs.push_back(
+          solo.submit_encrypt(sch, spec.iv_or_nonce, spec.aad, spec.payload, spec.priority));
+    }
+    std::vector<Completion> batch_jobs = batched.submit_batch(bch, std::span<const JobSpec>(specs));
+    ASSERT_EQ(batch_jobs.size(), specs.size());
+    batched.wait_all();
+    solo.wait_all();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const JobResult& a = batch_jobs[i].result();
+      const JobResult& b = solo_jobs[i].result();
+      EXPECT_TRUE(a.auth_ok);
+      EXPECT_EQ(a.payload, b.payload) << i;
+      EXPECT_EQ(a.tag, b.tag) << i;
+    }
+    EXPECT_EQ(bch.stats().submitted, 6u);
+    EXPECT_EQ(bch.stats().completed, 6u);
+    EXPECT_EQ(bch.stats().payload_bytes, sch.stats().payload_bytes);
+  }
+}
+
+TEST(Engine, SubmitBatchValidatesChannelAndHandlesEmpty) {
+  Engine engine({.num_devices = 1, .device = {.num_cores = 1}});
+  engine.provision_key(1, Bytes(16, 3));
+  Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  EXPECT_TRUE(engine.submit_batch(ch, std::vector<JobSpec>{}).empty());
+  ch.close();
+  EXPECT_THROW(engine.submit_batch(ch, std::vector<JobSpec>{JobSpec{}}), std::invalid_argument);
+}
+
+TEST(Engine, AdvanceToSkipsQuietGapsOnBothBackends) {
+  for (Backend backend : {Backend::kSim, Backend::kFast}) {
+    Engine engine({.num_devices = 2, .device = {.num_cores = 1}, .backend = backend});
+    Rng rng(81);
+    engine.provision_key(1, rng.bytes(16));
+    engine.advance_to(5000);
+    EXPECT_GE(engine.max_cycle(), 5000u);
+    for (std::size_t d = 0; d < engine.num_devices(); ++d)
+      EXPECT_GE(engine.device(d).now(), 5000u) << d;
+
+    // With work in flight, advance_to still completes it before jumping.
+    Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+    Completion job = engine.submit_encrypt(ch, rng.bytes(12), {}, rng.bytes(256));
+    engine.advance_to(engine.max_cycle() + 100'000);
+    EXPECT_TRUE(job.done());
+    EXPECT_TRUE(engine.idle());
+    // advance_to to the past is a no-op.
+    sim::Cycle now = engine.max_cycle();
+    engine.advance_to(now / 2);
+    EXPECT_EQ(engine.max_cycle(), now);
+  }
+}
+
 }  // namespace
 }  // namespace mccp::host

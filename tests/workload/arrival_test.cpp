@@ -1,0 +1,146 @@
+// workload arrival processes — deterministic-seed statistics (mean /
+// variance of inter-arrival gaps within tolerance of the configured
+// process), monotonicity, trace-replay exhaustion/reset, and the
+// ArrivalSpec factory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/arrival.h"
+
+namespace mccp::workload {
+namespace {
+
+struct GapStats {
+  double mean = 0;
+  double variance = 0;
+  double last_time = 0;
+};
+
+GapStats gap_stats(ArrivalProcess& p, Rng& rng, std::size_t n) {
+  GapStats s;
+  std::vector<double> gaps;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto t = p.next(rng);
+    if (!t.has_value()) break;
+    EXPECT_GE(*t, prev) << "arrivals must be nondecreasing";
+    gaps.push_back(*t - prev);
+    prev = *t;
+  }
+  s.last_time = prev;
+  for (double g : gaps) s.mean += g;
+  s.mean /= static_cast<double>(gaps.size());
+  for (double g : gaps) s.variance += (g - s.mean) * (g - s.mean);
+  s.variance /= static_cast<double>(gaps.size());
+  return s;
+}
+
+TEST(Arrival, FixedRateIsExactlyPeriodic) {
+  Rng rng(1);
+  auto p = fixed_rate(0.5);  // every 2000 cycles
+  GapStats s = gap_stats(*p, rng, 1000);
+  EXPECT_DOUBLE_EQ(s.mean, 2000.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.last_time, 2000.0 * 1000);
+}
+
+TEST(Arrival, PoissonGapsAreExponential) {
+  // Exponential gaps: mean 1000/rate, coefficient of variation 1.
+  Rng rng(42);
+  auto p = poisson(0.25);  // mean gap 4000 cycles
+  GapStats s = gap_stats(*p, rng, 20000);
+  EXPECT_NEAR(s.mean, 4000.0, 4000.0 * 0.03);
+  const double cv2 = s.variance / (s.mean * s.mean);
+  EXPECT_NEAR(cv2, 1.0, 0.08);
+}
+
+TEST(Arrival, PoissonIsSeedDeterministic) {
+  auto sample = [](std::uint64_t seed) {
+    Rng rng(seed);
+    auto p = poisson(1.0);
+    std::vector<double> times;
+    for (int i = 0; i < 50; ++i) times.push_back(*p->next(rng));
+    return times;
+  };
+  EXPECT_EQ(sample(7), sample(7));
+  EXPECT_NE(sample(7), sample(8));
+}
+
+TEST(Arrival, OnOffLongRunRateIsTheDutyCycleMix) {
+  // ON at 1.0/kcycle for a mean of 50 kcycles, OFF at 0 for 50 kcycles:
+  // long-run rate = 0.5/kcycle.
+  Rng rng(2024);
+  auto p = bursty_onoff(1.0, 0.0, 50.0, 50.0);
+  std::size_t n = 20000;
+  GapStats s = gap_stats(*p, rng, n);
+  const double long_run_rate = 1000.0 * static_cast<double>(n) / s.last_time;
+  EXPECT_NEAR(long_run_rate, 0.5, 0.05);
+  // Burstiness: gap variance far exceeds a Poisson process of the same
+  // long-run rate (CV^2 >> 1 is the MMPP signature).
+  const double cv2 = s.variance / (s.mean * s.mean);
+  EXPECT_GT(cv2, 2.0);
+}
+
+TEST(Arrival, OnOffOffRateFillsTheSilence) {
+  Rng rng(5);
+  auto p = bursty_onoff(2.0, 0.5, 30.0, 30.0);
+  std::size_t n = 20000;
+  GapStats s = gap_stats(*p, rng, n);
+  // Long-run rate = (2.0 * 30 + 0.5 * 30) / 60 = 1.25 packets/kcycle.
+  const double long_run_rate = 1000.0 * static_cast<double>(n) / s.last_time;
+  EXPECT_NEAR(long_run_rate, 1.25, 0.12);
+}
+
+TEST(Arrival, TraceReplayReturnsTimesThenExhausts) {
+  Rng rng(1);
+  auto p = trace_replay({10.0, 20.0, 20.0, 35.5});
+  EXPECT_EQ(p->next(rng), 10.0);
+  EXPECT_EQ(p->next(rng), 20.0);
+  EXPECT_EQ(p->next(rng), 20.0);
+  EXPECT_EQ(p->next(rng), 35.5);
+  EXPECT_EQ(p->next(rng), std::nullopt);
+  EXPECT_EQ(p->next(rng), std::nullopt);
+  p->reset();
+  EXPECT_EQ(p->next(rng), 10.0);
+}
+
+TEST(Arrival, TraceReplayRejectsDecreasingTimes) {
+  EXPECT_THROW(trace_replay({10.0, 5.0}), std::invalid_argument);
+}
+
+TEST(Arrival, RejectsNonPositiveParameters) {
+  EXPECT_THROW(fixed_rate(0.0), std::invalid_argument);
+  EXPECT_THROW(poisson(-1.0), std::invalid_argument);
+  EXPECT_THROW(bursty_onoff(0.0, 0.0, 10, 10), std::invalid_argument);
+  EXPECT_THROW(bursty_onoff(1.0, -0.1, 10, 10), std::invalid_argument);
+  EXPECT_THROW(bursty_onoff(1.0, 0.0, 0.0, 10), std::invalid_argument);
+}
+
+TEST(Arrival, MakeArrivalDispatchesOnKind) {
+  Rng rng(3);
+  ArrivalSpec spec;
+  spec.kind = ArrivalSpec::Kind::kFixedRate;
+  spec.rate = 1.0;
+  EXPECT_DOUBLE_EQ(*make_arrival(spec)->next(rng), 1000.0);
+
+  spec.kind = ArrivalSpec::Kind::kTrace;
+  spec.trace = {42.0};
+  auto p = make_arrival(spec);
+  EXPECT_DOUBLE_EQ(*p->next(rng), 42.0);
+  EXPECT_EQ(p->next(rng), std::nullopt);
+
+  spec.kind = ArrivalSpec::Kind::kPoisson;
+  spec.rate = 0.5;
+  EXPECT_TRUE(make_arrival(spec)->next(rng).has_value());
+
+  spec.kind = ArrivalSpec::Kind::kOnOff;
+  spec.off_rate = 0.0;
+  EXPECT_TRUE(make_arrival(spec)->next(rng).has_value());
+}
+
+}  // namespace
+}  // namespace mccp::workload

@@ -1,0 +1,157 @@
+// workload::LogHistogram — log-bucketed percentile correctness against a
+// sorted-vector oracle, bucket-boundary exactness in the linear region,
+// merge semantics, and the bounded relative error across magnitudes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/histogram.h"
+
+namespace mccp::workload {
+namespace {
+
+/// Oracle: exact quantile on the sorted sample vector, matching the
+/// histogram's convention (smallest value covering a q fraction).
+std::uint64_t oracle_quantile(std::vector<std::uint64_t> sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+TEST(LogHistogram, EmptyIsAllZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LogHistogram, SingleValue) {
+  LogHistogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.max(), 12345u);
+  EXPECT_EQ(h.mean(), 12345.0);
+  // Every quantile of a single sample is that sample (max-clamped bucket).
+  for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(h.quantile(q), 12345u) << q;
+}
+
+TEST(LogHistogram, LinearRegionIsExact) {
+  // Values below 2^precision_bits get one bucket each: quantiles exact.
+  LogHistogram h(7);
+  std::vector<std::uint64_t> values;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.next_below(128));
+  for (auto v : values) h.record(v);
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999})
+    EXPECT_EQ(h.quantile(q), oracle_quantile(values, q)) << "q=" << q;
+}
+
+TEST(LogHistogram, QuantilesTrackSortedOracleWithinRelativeError) {
+  // Log-uniform samples across six orders of magnitude — the shape of
+  // latency distributions under mixed load.
+  LogHistogram h;
+  std::vector<std::uint64_t> values;
+  Rng rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    int magnitude = static_cast<int>(rng.next_below(6));
+    std::uint64_t base = 1;
+    for (int m = 0; m < magnitude; ++m) base *= 10;
+    values.push_back(base + rng.next_below(base * 9));
+  }
+  for (auto v : values) h.record(v);
+  std::sort(values.begin(), values.end());
+
+  for (double q : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 0.9999}) {
+    const double exact = static_cast<double>(oracle_quantile(values, q));
+    const double approx = static_cast<double>(h.quantile(q));
+    // The histogram returns its bucket's upper bound, so it can only
+    // overshoot, and by at most the bucket width.
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, exact * (1.0 + h.relative_error()) + 1.0) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, ExtremeQuantilesAreMinAndMax) {
+  LogHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.record(100 + rng.next_below(1000000));
+  EXPECT_EQ(h.quantile(0.0), h.min());
+  EXPECT_EQ(h.quantile(1.0), h.max());
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+  EXPECT_LE(h.quantile(0.99), h.quantile(1.0));
+}
+
+TEST(LogHistogram, MeanAndCountAreExact) {
+  LogHistogram h;
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : {5u, 100u, 100000u, 7u, 0u}) {
+    h.record(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 5.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100000u);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedRecording) {
+  LogHistogram a, b, combined;
+  Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    std::uint64_t v = rng.next_below(1 << 20);
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+}
+
+TEST(LogHistogram, MergeRejectsPrecisionMismatch) {
+  LogHistogram a(7), b(8);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LogHistogram, RecordNWeightsSamples) {
+  LogHistogram h;
+  h.record_n(50, 99);
+  h.record_n(1000000, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.quantile(0.5), 50u);
+  EXPECT_EQ(h.quantile(0.99), 50u);
+  EXPECT_EQ(h.quantile(1.0), 1000000u);
+}
+
+TEST(LogHistogram, HugeValuesDoNotOverflowBucketBounds) {
+  LogHistogram h;
+  const std::uint64_t huge = ~std::uint64_t{0} - 5;
+  h.record(huge);
+  h.record(1);
+  EXPECT_EQ(h.quantile(1.0), huge);
+  EXPECT_GE(h.quantile(0.99), 1u);
+  EXPECT_LE(h.quantile(0.99), huge);
+}
+
+TEST(LogHistogram, RejectsBadPrecision) {
+  EXPECT_THROW(LogHistogram(1), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(15), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mccp::workload

@@ -1,0 +1,169 @@
+// workload scenario specs — preset resolution, field overrides, size
+// distributions, arrival parsing (including trace files resolved relative
+// to the spec), defaults, and field-level error messages.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/rng.h"
+#include "workload/spec.h"
+#include "workload/trace.h"
+
+namespace mccp::workload {
+namespace {
+
+TEST(Spec, MinimalScenarioGetsDefaults) {
+  ScenarioSpec spec = parse_scenario_text(R"({
+    "classes": [{"class": "voip"}]
+  })");
+  EXPECT_EQ(spec.name, "scenario");
+  EXPECT_EQ(spec.devices, 1u);
+  EXPECT_EQ(spec.cores_per_device, 4u);
+  EXPECT_EQ(spec.backend, host::Backend::kFast);
+  EXPECT_EQ(spec.placement, host::Placement::kLeastLoaded);
+  EXPECT_EQ(spec.window, 64u);
+  EXPECT_EQ(spec.admission, Admission::kBlock);
+  ASSERT_EQ(spec.classes.size(), 1u);
+  const ChannelClass& c = spec.classes[0].profile;
+  EXPECT_EQ(c.name, "voip");
+  EXPECT_EQ(c.mode, ChannelMode::kCtr);
+  EXPECT_EQ(c.priority, 0u);
+}
+
+TEST(Spec, PresetFieldsAreOverridable) {
+  ScenarioSpec spec = parse_scenario_text(R"({
+    "devices": 3, "cores_per_device": 2, "backend": "sim",
+    "placement": "mode_affinity", "window": 8, "admission": "drop",
+    "seed": 77, "max_cycles": 500000, "queue_sample_cycles": 128,
+    "classes": [
+      {"class": "bulk", "name": "bulk_hi", "priority": 5, "packets": 42,
+       "channels": 3, "key_len": 16, "tag_len": 12,
+       "payload": {"uniform": [256, 512]},
+       "arrival": {"kind": "fixed_rate", "rate": 2.5}}
+    ]
+  })");
+  EXPECT_EQ(spec.devices, 3u);
+  EXPECT_EQ(spec.backend, host::Backend::kSim);
+  EXPECT_EQ(spec.placement, host::Placement::kModeAffinity);
+  EXPECT_EQ(spec.admission, Admission::kDrop);
+  EXPECT_EQ(spec.seed, 77u);
+  EXPECT_EQ(spec.max_cycles, 500000u);
+  const ClassSpec& cs = spec.classes[0];
+  EXPECT_EQ(cs.profile.name, "bulk_hi");
+  EXPECT_EQ(cs.profile.mode, ChannelMode::kCcm);  // inherited from the preset
+  EXPECT_EQ(cs.profile.priority, 5u);
+  EXPECT_EQ(cs.profile.key_len, 16u);
+  EXPECT_EQ(cs.profile.tag_len, 12u);
+  EXPECT_EQ(cs.packets, 42u);
+  EXPECT_EQ(cs.channels, 3u);
+  EXPECT_EQ(cs.profile.arrival.kind, ArrivalSpec::Kind::kFixedRate);
+  EXPECT_DOUBLE_EQ(cs.profile.arrival.rate, 2.5);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    std::size_t s = cs.profile.payload.sample(rng);
+    EXPECT_GE(s, 256u);
+    EXPECT_LE(s, 512u);
+  }
+}
+
+TEST(Spec, GcmClassesDefaultToTwelveByteIvs) {
+  // A GCM channel streams exactly nonce_len IV bytes; unless the spec says
+  // otherwise, classes register the 96-bit fast path.
+  ScenarioSpec spec = parse_scenario_text(R"({
+    "classes": [
+      {"name": "a", "mode": "gcm"},
+      {"name": "b", "mode": "gcm", "nonce_len": 13},
+      {"name": "c", "class": "video"}
+    ]
+  })");
+  EXPECT_EQ(spec.classes[0].profile.nonce_len, 12u);
+  EXPECT_EQ(spec.classes[1].profile.nonce_len, 13u);
+  EXPECT_EQ(spec.classes[2].profile.nonce_len, 12u);
+}
+
+TEST(Spec, SizeDistributionForms) {
+  ScenarioSpec spec = parse_scenario_text(R"({
+    "classes": [
+      {"name": "a", "mode": "gcm", "payload": 777},
+      {"name": "b", "mode": "gcm", "payload": {"fixed": 128}},
+      {"name": "c", "mode": "gcm",
+       "payload": {"empirical": {"values": [64, 1500], "weights": [3, 1]}}},
+      {"name": "d", "mode": "gcm", "payload": {"empirical": [100, 200]}}
+    ]
+  })");
+  Rng rng(5);
+  EXPECT_EQ(spec.classes[0].profile.payload.sample(rng), 777u);
+  EXPECT_EQ(spec.classes[1].profile.payload.sample(rng), 128u);
+  int small = 0;
+  for (int i = 0; i < 4000; ++i)
+    if (spec.classes[2].profile.payload.sample(rng) == 64) ++small;
+  EXPECT_NEAR(small, 3000, 150);  // 3:1 weighting
+  std::size_t v = spec.classes[3].profile.payload.sample(rng);
+  EXPECT_TRUE(v == 100 || v == 200);
+}
+
+TEST(Spec, TraceArrivalFromFileFiltersByClassName) {
+  const std::string dir = ::testing::TempDir();
+  {
+    std::ofstream out(dir + "spec_trace.csv");
+    write_trace_csv({{100.0, "fast_class", 512, -1},
+                     {200.0, "other", -1, -1},
+                     {300.0, "fast_class", -1, 16}},
+                    out);
+  }
+  ScenarioSpec spec = parse_scenario(
+      json::parse(R"({
+        "classes": [{"name": "fast_class", "mode": "gcm", "packets": 0,
+                     "arrival": {"kind": "trace", "file": "spec_trace.csv"}}]
+      })"),
+      dir.substr(0, dir.size() - 1));  // TempDir has a trailing slash
+  const ArrivalSpec& a = spec.classes[0].profile.arrival;
+  EXPECT_EQ(a.kind, ArrivalSpec::Kind::kTrace);
+  EXPECT_EQ(a.trace, (std::vector<double>{100.0, 300.0}));
+  EXPECT_EQ(a.trace_payload_len, (std::vector<long long>{512, -1}));
+  EXPECT_EQ(a.trace_aad_len, (std::vector<long long>{-1, 16}));
+}
+
+TEST(Spec, InlineTraceTimes) {
+  ScenarioSpec spec = parse_scenario_text(R"({
+    "classes": [{"name": "t", "mode": "ctr", "packets": 0,
+                 "arrival": {"kind": "trace", "times": [10, 20, 30]}}]
+  })");
+  EXPECT_EQ(spec.classes[0].profile.arrival.trace, (std::vector<double>{10, 20, 30}));
+}
+
+TEST(Spec, FieldLevelErrors) {
+  auto expect_invalid = [](const char* text) {
+    EXPECT_THROW(parse_scenario_text(text), std::invalid_argument) << text;
+  };
+  expect_invalid(R"({"classes": []})");
+  expect_invalid(R"({"classes": [{"class": "nope"}]})");
+  expect_invalid(R"({"classes": [{"name": "x", "mode": "rot13"}]})");
+  expect_invalid(R"({"classes": [{"class": "voip", "key_len": 17}]})");
+  expect_invalid(R"({"classes": [{"class": "voip", "channels": 0}]})");
+  expect_invalid(R"({"classes": [{"class": "voip", "packets": 0}]})");  // non-trace
+  expect_invalid(R"({"classes": [{"class": "voip"}, {"class": "voip"}]})");  // dup name
+  expect_invalid(R"({"window": 0, "classes": [{"class": "voip"}]})");
+  expect_invalid(R"({"devices": 0, "classes": [{"class": "voip"}]})");
+  expect_invalid(R"({"backend": "quantum", "classes": [{"class": "voip"}]})");
+  expect_invalid(R"({"admission": "maybe", "classes": [{"class": "voip"}]})");
+  expect_invalid(
+      R"({"classes": [{"name": "g", "mode": "gcm", "nonce_len": 0}]})");
+  expect_invalid(
+      R"({"classes": [{"name": "t", "mode": "ctr", "arrival": {"kind": "trace"}}]})");
+  EXPECT_THROW(parse_scenario_text("[1,2,3]"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario_text("{nope"), json::ParseError);
+}
+
+TEST(Spec, NameRoundTrips) {
+  for (auto b : {host::Backend::kSim, host::Backend::kFast})
+    EXPECT_EQ(backend_from_name(backend_name(b)), b);
+  for (auto p : {host::Placement::kRoundRobin, host::Placement::kLeastLoaded,
+                 host::Placement::kModeAffinity})
+    EXPECT_EQ(placement_from_name(placement_name(p)), p);
+  for (const char* m : {"gcm", "ccm", "ctr", "cbc_mac", "whirlpool"})
+    EXPECT_STREQ(mode_name(mode_from_name(m)), m);
+}
+
+}  // namespace
+}  // namespace mccp::workload

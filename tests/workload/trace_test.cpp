@@ -1,0 +1,117 @@
+// workload trace I/O — CSV and JSONL round-trips (including defaulted
+// sizes), class filtering, extension dispatch, and malformed-input errors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "workload/trace.h"
+
+namespace mccp::workload {
+namespace {
+
+Trace sample_trace() {
+  return {
+      {100.0, "voip", -1, -1},
+      {250.5, "bulk", 2048, -1},
+      {250.5, "voip", 160, 16},
+      {900.0, "bulk", -1, 32},  // defaulted payload, explicit aad
+  };
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace original = sample_trace();
+  std::stringstream buf;
+  write_trace_csv(original, buf);
+  EXPECT_EQ(parse_trace_csv(buf), original);
+}
+
+TEST(Trace, JsonlRoundTrip) {
+  Trace original = sample_trace();
+  std::stringstream buf;
+  write_trace_jsonl(original, buf);
+  EXPECT_EQ(parse_trace_jsonl(buf), original);
+}
+
+TEST(Trace, CsvParsesCommentsAndBlankLinesAndShortRows) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "100,voip\n"
+      "200,bulk,512   # trailing comment\n"
+      "300,bulk,512,16\n");
+  Trace t = parse_trace_csv(in);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], (TraceEvent{100.0, "voip", -1, -1}));
+  EXPECT_EQ(t[1], (TraceEvent{200.0, "bulk", 512, -1}));
+  EXPECT_EQ(t[2], (TraceEvent{300.0, "bulk", 512, 16}));
+}
+
+TEST(Trace, CsvRejectsMalformedRows) {
+  auto expect_throws = [](const char* text) {
+    std::stringstream in(text);
+    EXPECT_THROW(parse_trace_csv(in), std::runtime_error) << text;
+  };
+  expect_throws("justonefield\n");
+  expect_throws("abc,voip\n");          // bad cycle
+  expect_throws("100,voip,xyz\n");      // bad size
+  expect_throws("100,voip,1,2,3\n");    // too many fields
+  expect_throws("100,\n");              // empty class
+  expect_throws("200,voip\n100,voip\n");  // decreasing cycles
+}
+
+TEST(Trace, JsonlRejectsMalformedLines) {
+  auto expect_throws = [](const char* text) {
+    std::stringstream in(text);
+    EXPECT_THROW(parse_trace_jsonl(in), std::runtime_error) << text;
+  };
+  expect_throws("not json\n");
+  expect_throws("[1,2]\n");                          // not an object
+  expect_throws("{\"cycle\": 5}\n");                 // missing class
+  expect_throws("{\"class\": \"voip\"}\n");          // missing cycle
+  expect_throws("{\"cycle\": -1, \"class\": \"v\"}\n");
+}
+
+TEST(Trace, JsonlEscapesAwkwardClassNames) {
+  Trace original = {{1.0, "a\"b\\c\td", 64, -1}};
+  std::stringstream buf;
+  write_trace_jsonl(original, buf);
+  EXPECT_EQ(parse_trace_jsonl(buf), original);
+}
+
+TEST(Trace, CsvRefusesNamesItsParserWouldMangle) {
+  std::stringstream out;
+  for (const char* bad : {"a,b", "a#b", " padded", "tail ", ""})
+    EXPECT_THROW(write_trace_csv({{1.0, bad, -1, -1}}, out), std::invalid_argument) << bad;
+}
+
+TEST(Trace, ClassTimesFiltersAndPreservesOrder) {
+  Trace t = sample_trace();
+  EXPECT_EQ(class_times(t, "voip"), (std::vector<double>{100.0, 250.5}));
+  EXPECT_EQ(class_times(t, "bulk"), (std::vector<double>{250.5, 900.0}));
+  EXPECT_TRUE(class_times(t, "nope").empty());
+}
+
+TEST(Trace, LoadTraceDispatchesOnExtension) {
+  Trace original = sample_trace();
+  const std::string dir = ::testing::TempDir();
+
+  {
+    std::ofstream out(dir + "trace_rt.csv");
+    write_trace_csv(original, out);
+  }
+  EXPECT_EQ(load_trace(dir + "trace_rt.csv"), original);
+
+  {
+    std::ofstream out(dir + "trace_rt.jsonl");
+    write_trace_jsonl(original, out);
+  }
+  EXPECT_EQ(load_trace(dir + "trace_rt.jsonl"), original);
+
+  EXPECT_THROW(load_trace(dir + "missing.csv"), std::runtime_error);
+  EXPECT_THROW(load_trace(dir + "trace_rt.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mccp::workload
