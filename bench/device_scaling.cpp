@@ -9,19 +9,28 @@
 // the fleet size at fixed per-device shape (the paper's 4-core MCCP) and
 // offered load per device, for GCM and for split-CCM traffic, and compares
 // the placement policies under a skewed channel mix.
+//
+// `--threads N` steps each swept fleet with N engine worker threads
+// (default 0 = serial): device clocks and results are bit-identical either
+// way, so the table's cycle-accounted Mbps figures do not move — the flag
+// smokes the threaded engine across fleet shapes and buys host wall-clock
+// on multi-core machines.
 #include "bench_common.h"
 
 namespace mccp::bench {
 namespace {
 
-void sweep(host::ChannelMode mode, top::CcmMapping mapping, const char* label) {
+void sweep(host::ChannelMode mode, top::CcmMapping mapping, const char* label,
+           std::size_t threads) {
   print_header(std::string("Fleet scaling -- ") + label +
-               ", 4-core devices, 8 x 2 KB packets per device");
+               ", 4-core devices, 8 x 2 KB packets per device" +
+               (threads > 0 ? ", " + std::to_string(threads) + " worker thread(s)" : ""));
   std::printf("%-9s %-16s %-18s %-14s\n", "devices", "aggregate Mbps", "mean latency (us)",
               "scaling");
   double base = 0;
   for (std::size_t n : {1u, 2u, 4u, 8u}) {
-    auto m = measure_engine({.num_devices = n, .device = {.num_cores = 4, .ccm_mapping = mapping}},
+    auto m = measure_engine({.num_devices = n, .device = {.num_cores = 4, .ccm_mapping = mapping},
+                             .num_workers = threads},
                             mode, 16, 2048, 8 * n, 16, mode == host::ChannelMode::kCcm ? 13u : 12u);
     if (n == 1) base = m.aggregate_mbps;
     std::printf("%-9zu %-16.1f %-18.1f %.2fx\n", n, m.aggregate_mbps,
@@ -80,9 +89,9 @@ void placement_comparison() {
   }
 }
 
-void run() {
-  sweep(host::ChannelMode::kGcm, top::CcmMapping::kSingleCore, "AES-128-GCM");
-  sweep(host::ChannelMode::kCcm, top::CcmMapping::kPairPreferred, "AES-128-CCM 2x2");
+void run(std::size_t threads) {
+  sweep(host::ChannelMode::kGcm, top::CcmMapping::kSingleCore, "AES-128-GCM", threads);
+  sweep(host::ChannelMode::kCcm, top::CcmMapping::kPairPreferred, "AES-128-CCM 2x2", threads);
   placement_comparison();
   std::printf("\nEach device is an independent clock domain with its own control port;\n"
               "the host driver multiplexes completions, so fleet throughput scales with\n"
@@ -92,7 +101,7 @@ void run() {
 }  // namespace
 }  // namespace mccp::bench
 
-int main() {
-  mccp::bench::run();
+int main(int argc, char** argv) {
+  mccp::bench::run(mccp::bench::arg_size(argc, argv, "--threads", 0));
   return 0;
 }

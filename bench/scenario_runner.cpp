@@ -15,6 +15,8 @@
 //                     cycle-accurate simulator)
 //   --window N        override the spec's in-flight window
 //   --seed N          override the spec's seed
+//   --threads N       override the spec's engine worker threads (0 = step
+//                     the fleet serially on this thread)
 //   --json PATH       write the report artifact (with --json and no PATH
 //                     that looks like a file, BENCH_scenario_<name>.json)
 #include <cmath>
@@ -32,7 +34,9 @@ namespace {
 void print_report(const mccp::workload::ScenarioReport& r) {
   print_header("Scenario " + r.scenario + " -- backend " + r.backend + ", " +
                std::to_string(r.devices) + " device(s) x " + std::to_string(r.cores_per_device) +
-               " cores, window " + std::to_string(r.window));
+               " cores, window " + std::to_string(r.window) +
+               (r.threads > 0 ? ", " + std::to_string(r.threads) + " worker thread(s)"
+                              : ", serial stepping"));
   std::printf("%-10s %-9s %-5s %-8s %-8s %-6s %-6s %9s %9s %10s %8s\n", "class", "mode", "prio",
               "offered", "done", "drop", "busy", "p50(us)", "p99(us)", "p99.9(us)", "Mbps");
   const double kUsPerCycle = 1.0 / 190.0;
@@ -58,7 +62,7 @@ int run(int argc, char** argv) {
   if (scenario_path == nullptr) {
     std::fprintf(stderr,
                  "usage: scenario_runner --scenario PATH [--backend sim|fast] [--scale F]\n"
-                 "                       [--window N] [--seed N] [--json PATH]\n");
+                 "                       [--window N] [--seed N] [--threads N] [--json PATH]\n");
     return 2;
   }
 
@@ -76,6 +80,7 @@ int run(int argc, char** argv) {
   spec.window = arg_size(argc, argv, "--window", spec.window);
   if (const char* seed = arg_value(argc, argv, "--seed"))
     spec.seed = std::strtoull(seed, nullptr, 10);
+  spec.threads = arg_size(argc, argv, "--threads", spec.threads);
 
   mccp::workload::ScenarioRunner runner(std::move(spec));
   mccp::workload::ScenarioReport report = runner.run();

@@ -1,0 +1,109 @@
+// BoundedMpscQueue: a bounded multi-producer / single-consumer queue.
+//
+// The host engine's worker pool funnels per-device completions through one
+// of these: any number of worker threads `push()` concurrently while the
+// caller's thread drains, so callback and stats side effects stay on the
+// thread that owns the engine. The bound applies backpressure — a full
+// queue blocks producers until the consumer drains — which keeps a stalled
+// consumer from buffering unbounded completion state. Producers that must
+// not block can use `try_push()`.
+//
+// The implementation is a mutex + condition variable around a deque: the
+// producer side is contended only for the duration of one push, and every
+// pop/drain runs on the single consumer thread. This is deliberately the
+// simplest correct structure — it is ThreadSanitizer-clean by construction
+// and completions are rare (one per packet) relative to the work that
+// produces them, so lock-free cleverness would buy nothing measurable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mccp {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Enqueue, blocking while the queue is at capacity. Safe to call from
+  /// any number of producer threads.
+  void push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+    items_.push_back(std::move(value));
+  }
+
+  /// Enqueue without blocking; returns false when the queue is at
+  /// capacity. Pass-by-value: the argument is consumed (moved from)
+  /// whether or not the push succeeds — on failure the item is dropped,
+  /// not returned.
+  bool try_push(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  /// Dequeue one item if available (consumer thread only).
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Append everything currently queued to `out` (consumer thread only);
+  /// returns how many items were drained.
+  std::size_t drain(std::vector<T>& out) {
+    std::deque<T> taken;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      taken.swap(items_);
+    }
+    not_full_.notify_all();
+    for (T& item : taken) out.push_back(std::move(item));
+    return taken.size();
+  }
+
+  /// Grow the bound to at least `min_capacity`. The engine sizes the queue
+  /// to its in-flight job count before each round, so a round's producers
+  /// can never outrun the bound and deadlock against a consumer that only
+  /// drains after the round barrier.
+  void reserve(std::size_t min_capacity) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (min_capacity <= capacity_) return;
+      capacity_ = min_capacity;
+    }
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+};
+
+}  // namespace mccp

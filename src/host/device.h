@@ -15,6 +15,16 @@
 // synchronously; the data plane is asynchronous: `submit()` queues a job and
 // returns immediately, `step()` advances the device one scheduling round,
 // and `result()` exposes the job's live state.
+//
+// Threading contract: a Device is a single-threaded clock domain and
+// implementations need NO internal synchronization. The driver guarantees
+// that at most one thread touches a given device at any time — in the
+// Engine's worker-pool mode, each device is pinned to one worker for
+// `step()`/`advance_to()`/`result()` during a round, and every round is
+// separated from the caller's submit/control/forget accesses by a barrier
+// (a happens-before edge on both entry and exit). Distinct devices may be
+// driven concurrently; nothing behind this interface may share mutable
+// state across devices.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +81,19 @@ struct JobSpec {
   /// (SIII.C); distinct priorities implement the SVIII QoS extension.
   unsigned priority = 128;
 };
+
+/// A GCM submit whose IV length differs from the channel's registered
+/// nonce_len is unservable, and the two backends used to diverge on it: the
+/// simulated core waits forever for IV stream words that never arrive,
+/// while the fast path happily computes a tag the hardware never would.
+/// Backends call this at the submit seam and fail the job immediately
+/// (complete, !auth_ok) instead. Other modes don't need the check: CTR/CBC
+/// formatting is length-agnostic at this seam and CCM nonce lengths are
+/// validated at OPEN.
+inline bool gcm_iv_length_mismatch(const JobSpec& spec) {
+  return spec.channel.mode == ChannelMode::kGcm &&
+         spec.iv_or_nonce.size() != spec.channel.nonce_len;
+}
 
 class Device {
  public:

@@ -87,12 +87,19 @@ Engine::Engine(const EngineConfig& config) : placement_(config.placement) {
       devices_.push_back(std::move(dev));
     }
   }
+  inflight_.resize(devices_.size());
+  if (config.num_workers > 0)
+    pool_ = std::make_unique<WorkerPool>(std::min(config.num_workers, devices_.size()));
 }
 
-Engine::Engine(std::vector<std::unique_ptr<Device>> devices, Placement placement)
+Engine::Engine(std::vector<std::unique_ptr<Device>> devices, Placement placement,
+               std::size_t num_workers)
     : devices_(std::move(devices)), placement_(placement) {
   if (devices_.empty()) throw std::invalid_argument("Engine: need at least one device");
   for (auto& d : devices_) sim_devices_.push_back(dynamic_cast<SimDevice*>(d.get()));
+  inflight_.resize(devices_.size());
+  if (num_workers > 0)
+    pool_ = std::make_unique<WorkerPool>(std::min(num_workers, devices_.size()));
 }
 
 Engine::~Engine() = default;
@@ -180,8 +187,13 @@ Completion Engine::submit(const Channel& ch, JobSpec spec) {
 
   st->device_job = devices_[st->device]->submit(std::move(spec));
   jobs_[st->id] = st;
-  inflight_.push_back(st);
+  track(st);
   return Completion(this, st);
+}
+
+void Engine::track(std::shared_ptr<detail::JobState> st) {
+  inflight_[st->device].push_back(std::move(st));
+  ++inflight_count_;
 }
 
 Completion Engine::submit_encrypt(const Channel& ch, Bytes iv_or_nonce, Bytes aad,
@@ -226,7 +238,7 @@ std::vector<Completion> Engine::submit_batch(const Channel& ch, std::vector<JobS
   }
 
   std::vector<DeviceJobId> device_jobs = dev.submit_batch(specs);
-  inflight_.reserve(inflight_.size() + device_jobs.size());
+  inflight_[ch.device_index()].reserve(inflight_[ch.device_index()].size() + device_jobs.size());
   for (DeviceJobId device_job : device_jobs) {
     auto st = std::make_shared<detail::JobState>();
     st->id = next_job_++;
@@ -234,7 +246,7 @@ std::vector<Completion> Engine::submit_batch(const Channel& ch, std::vector<JobS
     st->channel_uid = ch.uid_;
     st->device_job = device_job;
     jobs_[st->id] = st;
-    inflight_.push_back(st);
+    track(st);
     completions.push_back(Completion(this, std::move(st)));
   }
   return completions;
@@ -254,7 +266,7 @@ Completion Engine::submit_raw(std::size_t device_index, const ChannelInfo& chann
   st->device = device_index;
   st->device_job = devices_[device_index]->submit(std::move(spec));
   jobs_[st->id] = st;
-  inflight_.push_back(st);
+  track(st);
   return Completion(this, st);
 }
 
@@ -292,27 +304,103 @@ void Engine::finish_job(detail::JobState& st, const JobResult& result) {
 
 void Engine::poll_completions() {
   // An on_done callback may legally re-enter the engine (Completion::wait
-  // on another job calls step() -> poll_completions()), mutating inflight_
-  // under us. Detach each completed entry from inflight_ *before* running
-  // its callbacks, and restart the scan afterwards — indices are stale once
-  // a callback has run.
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (std::size_t i = 0; i < inflight_.size(); ++i) {
-      std::shared_ptr<detail::JobState> st = inflight_[i];
-      const JobResult* r = devices_[st->device]->result(st->device_job);
-      if (r != nullptr && r->complete) {
-        inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(i));
-        finish_job(*st, *r);
-        progress = true;
-        break;
+  // on another job calls step() -> poll_completions()), mutating the
+  // in-flight lists under us. Detach each completed entry from its list
+  // *before* running its callbacks, and rescan afterwards — indices are
+  // stale once a callback has run. Delivery order is the engine-wide
+  // submission order (ascending JobId) among the jobs that are complete,
+  // the same order the threaded drain enforces by sorting its batch.
+  for (;;) {
+    std::size_t best_dev = devices_.size();
+    std::size_t best_idx = 0;
+    JobId best_id = 0;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      auto& list = inflight_[d];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const JobResult* r = devices_[d]->result(list[i]->device_job);
+        if (r != nullptr && r->complete &&
+            (best_dev == devices_.size() || list[i]->id < best_id)) {
+          best_dev = d;
+          best_idx = i;
+          best_id = list[i]->id;
+        }
       }
     }
+    if (best_dev == devices_.size()) return;
+    auto& list = inflight_[best_dev];
+    std::shared_ptr<detail::JobState> st = std::move(list[best_idx]);
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    --inflight_count_;
+    const JobResult* r = devices_[st->device]->result(st->device_job);
+    finish_job(*st, *r);
   }
 }
 
+void Engine::collect_completed(std::size_t device_index) {
+  // Runs on the worker that owns `device_index` this round: scan only this
+  // device's in-flight list, funnel finished jobs into the MPSC queue, and
+  // compact the survivors in one pass (no re-entrancy can happen on a
+  // worker, so no erase-and-rescan is needed). Side effects (stats,
+  // callbacks, forget) wait for drain_completed() on the caller's thread.
+  auto& list = inflight_[device_index];
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const JobResult* r = devices_[device_index]->result(list[i]->device_job);
+    if (r != nullptr && r->complete) {
+      completed_.push(std::move(list[i]));
+    } else {
+      if (kept != i) list[kept] = std::move(list[i]);
+      ++kept;
+    }
+  }
+  list.resize(kept);
+}
+
+void Engine::drain_completed() {
+  // Everything queued came from the round that just retired, so the pool
+  // is parked and the device state is safely readable. The batch arrives
+  // in worker-race order; sort it into engine-wide submission order so
+  // delivery matches the serial poll exactly, run to run. Completions
+  // then move into finish_queue_ (a member, not a local): a callback may
+  // re-enter the engine (submit, step, Completion::wait on a job that
+  // finished in this very round) and the nested call must be able to
+  // finish the rest of the batch — just as the serial poll leaves
+  // undetached jobs findable. Each job is popped (and leaves the
+  // in-flight count) before its callbacks run, so it fires exactly once
+  // and a callback observing idle()/inflight() sees its still-unfired
+  // siblings counted, as it would serially.
+  std::vector<std::shared_ptr<detail::JobState>> done;
+  completed_.drain(done);
+  std::sort(done.begin(), done.end(),
+            [](const std::shared_ptr<detail::JobState>& a,
+               const std::shared_ptr<detail::JobState>& b) { return a->id < b->id; });
+  for (std::shared_ptr<detail::JobState>& st : done) finish_queue_.push_back(std::move(st));
+  while (!finish_queue_.empty()) {
+    std::shared_ptr<detail::JobState> st = std::move(finish_queue_.front());
+    finish_queue_.pop_front();
+    --inflight_count_;
+    const JobResult* r = devices_[st->device]->result(st->device_job);
+    finish_job(*st, *r);  // never null: the owning worker saw it complete
+  }
+}
+
+void Engine::run_round(const std::function<void(Device&)>& op) {
+  // A round can complete at most every job currently in flight; sizing the
+  // queue up front means no producer ever blocks against a consumer that
+  // only drains after the barrier.
+  completed_.reserve(inflight_count_);
+  pool_->run(devices_.size(), [this, &op](std::size_t d) {
+    op(*devices_[d]);
+    collect_completed(d);
+  });
+  drain_completed();
+}
+
 void Engine::step() {
+  if (pool_) {
+    run_round([](Device& d) { d.step(); });
+    return;
+  }
   for (auto& d : devices_) d->step();
   poll_completions();
 }
@@ -325,12 +413,16 @@ void Engine::advance_to(sim::Cycle target) {
   // Step while anything is in flight (completions must keep firing in
   // order), then let the now-idle devices jump the remaining quiet gap.
   while (!idle() && max_cycle() < target) step();
+  if (pool_) {
+    run_round([target](Device& d) { d.advance_to(target); });
+    return;
+  }
   for (auto& d : devices_) d->advance_to(target);
   poll_completions();
 }
 
 bool Engine::idle() const {
-  if (!inflight_.empty()) return false;
+  if (inflight_count_ != 0) return false;
   for (const auto& d : devices_)
     if (!d->idle()) return false;
   return true;

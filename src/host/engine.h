@@ -10,22 +10,40 @@
 // handles auto-CLOSE their device channel slot and carry per-channel
 // statistics.
 //
-// Later scaling work (job batching, work stealing across devices, non-sim
-// backends) plugs into this seam without touching clients.
+// Stepping is optionally multithreaded (`EngineConfig::num_workers`):
+// devices shard across a worker pool (each device remains a single-threaded
+// clock domain, pinned to one worker), and completions funnel through a
+// bounded MPSC queue drained on the caller's thread — so `Completion`
+// callbacks, `on_done` ordering guarantees and per-channel stats behave
+// exactly as they do serially: completions that fire in the same step are
+// delivered in engine-wide submission order (ascending JobId), whichever
+// worker detected them first. The Engine API itself is NOT thread-safe:
+// all public calls (submit, open_channel, step, ...) must come from one
+// thread; `num_workers` parallelizes the inside of `step()`/`advance_to()`
+// only. Threaded and serial runs are deterministic twins — devices never
+// interact, so per-device state, results and clocks are bit-identical
+// (tests/host/engine_threading_test.cpp pins this).
+//
+// Later scaling work (work stealing across devices, non-sim backends)
+// plugs into this seam without touching clients.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mpsc_queue.h"
 #include "host/channel.h"
 #include "host/completion.h"
 #include "host/device.h"
 #include "host/fast_device.h"
 #include "host/sim_device.h"
+#include "host/worker_pool.h"
 
 namespace mccp::host {
 
@@ -51,6 +69,11 @@ struct EngineConfig {
   top::MccpConfig device{};  // applied to every device (shape + policies)
   Placement placement = Placement::kRoundRobin;
   Backend backend = Backend::kSim;
+  /// Worker threads stepping the fleet: 0 = serial (step every device on
+  /// the caller's thread, today's behavior), N >= 1 = shard devices across
+  /// min(N, num_devices) pool threads. Completions still fire on the
+  /// caller's thread, in both modes.
+  std::size_t num_workers = 0;
 };
 
 class Engine {
@@ -61,7 +84,8 @@ class Engine {
   explicit Engine(const EngineConfig& config);
   /// Adopt an existing (possibly heterogeneous) fleet.
   explicit Engine(std::vector<std::unique_ptr<Device>> devices,
-                  Placement placement = Placement::kRoundRobin);
+                  Placement placement = Placement::kRoundRobin,
+                  std::size_t num_workers = 0);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
@@ -99,6 +123,8 @@ class Engine {
   Completion submit_raw(std::size_t device_index, const ChannelInfo& channel, JobSpec spec);
 
   /// Advance every device one scheduling round and fire completions.
+  /// With `num_workers` > 0 the devices advance in parallel on the pool;
+  /// completions still fire here, on the calling thread, exactly once.
   void step();
   /// `n` engine steps (each >= 1 device cycle).
   void run(sim::Cycle n);
@@ -134,6 +160,8 @@ class Engine {
   sim::Cycle max_cycle() const;
   std::size_t inflight() const;
   Placement placement() const { return placement_; }
+  /// Pool threads stepping the fleet (0 = serial mode).
+  std::size_t num_workers() const { return pool_ ? pool_->size() : 0; }
 
  private:
   friend class Channel;
@@ -150,9 +178,17 @@ class Engine {
   std::size_t device_load(std::size_t i) const;
   Completion submit(const Channel& ch, JobSpec spec);
   void release_channel(std::uint64_t uid);
+  void track(std::shared_ptr<detail::JobState> st);
   void poll_completions();
   void finish_job(detail::JobState& st, const JobResult& result);
   const ChannelStats* channel_stats(std::uint64_t uid) const;
+  /// Threaded mode: run `op` on every device via the worker pool (device i
+  /// pinned to worker i % size), each worker collecting its devices'
+  /// completions into the MPSC queue; then drain and fire them on the
+  /// calling thread.
+  void run_round(const std::function<void(Device&)>& op);
+  void collect_completed(std::size_t device_index);
+  void drain_completed();
 
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<SimDevice*> sim_devices_;  // parallel to devices_; null if foreign
@@ -163,9 +199,21 @@ class Engine {
   std::size_t rr_next_ = 0;  // round-robin cursor
 
   std::map<JobId, std::shared_ptr<detail::JobState>> jobs_;
-  std::vector<std::shared_ptr<detail::JobState>> inflight_;
+  /// In-flight jobs sharded by device, so each worker scans and trims only
+  /// its own devices' lists during a round (no cross-thread sharing; the
+  /// caller's thread owns every list between rounds).
+  std::vector<std::vector<std::shared_ptr<detail::JobState>>> inflight_;
+  std::size_t inflight_count_ = 0;
   JobId next_job_ = 1;
   std::uint8_t last_rr_ = 0;
+
+  std::unique_ptr<WorkerPool> pool_;  // null = serial stepping
+  BoundedMpscQueue<std::shared_ptr<detail::JobState>> completed_{256};
+  /// Drained completions awaiting finish_job. A member so a callback that
+  /// re-enters the engine can finish jobs from the same round's batch
+  /// (matching serial semantics, where undetached complete jobs stay
+  /// findable by nested polls).
+  std::deque<std::shared_ptr<detail::JobState>> finish_queue_;
 };
 
 }  // namespace mccp::host

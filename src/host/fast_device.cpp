@@ -120,6 +120,17 @@ bool FastDevice::close_channel(std::uint8_t channel_id) {
 }
 
 DeviceJobId FastDevice::submit(JobSpec spec) {
+  if (gcm_iv_length_mismatch(spec)) {
+    // Same seam contract as SimDevice: the simulated core would deadlock
+    // on this packet, so the fast path must not silently compute it.
+    DeviceJobId id = next_job_++;
+    JobResult& res = results_[id];
+    res.submit_cycle = now_;
+    res.complete = true;
+    res.auth_ok = false;
+    res.complete_cycle = now_;
+    return id;
+  }
   Job job;
   job.id = next_job_++;
   job.spec = std::move(spec);
@@ -136,6 +147,10 @@ std::vector<DeviceJobId> FastDevice::submit_batch(std::span<JobSpec> specs) {
   std::deque<DeviceJobId>* bucket = nullptr;
   unsigned bucket_priority = 0;
   for (JobSpec& spec : specs) {
+    if (gcm_iv_length_mismatch(spec)) {
+      ids.push_back(submit(std::move(spec)));  // immediate seam failure
+      continue;
+    }
     Job job;
     job.id = next_job_++;
     job.spec = std::move(spec);

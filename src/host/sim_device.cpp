@@ -85,6 +85,17 @@ std::pair<std::uint8_t, std::uint8_t> block_fields(const ChannelInfo& ch, std::s
 }  // namespace
 
 DeviceJobId SimDevice::submit(JobSpec spec) {
+  if (gcm_iv_length_mismatch(spec)) {
+    // Fail fast at the seam: accepted, this packet would deadlock the
+    // core (it waits for registered-nonce_len IV words that never come).
+    DeviceJobId id = next_job_++;
+    JobResult& res = results_[id];
+    res.submit_cycle = sim_.now();
+    res.complete = true;
+    res.auth_ok = false;
+    res.complete_cycle = sim_.now();
+    return id;
+  }
   Job job;
   job.id = next_job_++;
   job.spec = std::move(spec);

@@ -44,7 +44,11 @@ class SimDevice final : public Device {
 
   sim::Cycle now() const override { return sim_.now(); }
   std::size_t num_cores() const override { return mccp_.num_cores(); }
-  /// Pending + accepted jobs (`jobs_` holds both states).
+  /// Jobs submitted but not yet finalized: pending ones still queued for an
+  /// ENCRYPT/DECRYPT slot plus accepted ones in any on-device state
+  /// (running, retrieved, draining) until TRANSFER_DONE retires them.
+  /// Completed jobs leave this count immediately, even while their results
+  /// are still held for `result()`; unrecoverable submits never enter it.
   std::size_t inflight() const override { return jobs_.size(); }
   std::size_t open_channel_count() const override { return open_channels_; }
 

@@ -81,7 +81,8 @@ ScenarioReport ScenarioRunner::run() {
   host::Engine engine({.num_devices = spec_.devices,
                        .device = {.num_cores = spec_.cores_per_device},
                        .placement = spec_.placement,
-                       .backend = spec_.backend});
+                       .backend = spec_.backend,
+                       .num_workers = spec_.threads});
 
   // One session key per class, broadcast fleet-wide so placement is free.
   for (std::size_t i = 0; i < spec_.classes.size(); ++i) {
@@ -253,6 +254,7 @@ ScenarioReport ScenarioRunner::run() {
   report.backend = backend_name(spec_.backend);
   report.devices = spec_.devices;
   report.cores_per_device = spec_.cores_per_device;
+  report.threads = engine.num_workers();
   report.window = spec_.window;
   report.makespan_cycles = engine.max_cycle() - start_cycle;
   report.wall_ms =
@@ -290,6 +292,7 @@ std::string report_json(const ScenarioReport& report) {
       .field("backend", report.backend)
       .field("devices", report.devices)
       .field("cores_per_device", report.cores_per_device)
+      .field("threads", report.threads)
       .field("window", report.window)
       .field("makespan_cycles", report.makespan_cycles)
       .field("makespan_ms_at_190mhz",

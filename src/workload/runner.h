@@ -10,7 +10,14 @@
 // `Engine::advance_to`. Per class, the runner aggregates completion
 // latencies into log-bucketed histograms (workload/histogram.h) and counts
 // offered/submitted/completed/dropped packets, device busy-rejections and
-// auth failures; fleet-wide it samples the in-flight depth over time.
+// auth failures; fleet-wide it samples its own admission-window occupancy
+// (submitted-not-yet-completed packets) over time.
+//
+// Threading: `spec.threads` forwards to `EngineConfig::num_workers`. The
+// pacing loop itself is unchanged — arrivals are admitted against the
+// engine clock and completions fire on this thread between steps — so a
+// threaded run resolves the bit-identical workload to a serial one; only
+// wall_ms differs.
 //
 // Determinism: all randomness (arrival gaps, packet sizes and contents,
 // IVs) derives from per-class `mccp::Rng` streams seeded from the
@@ -54,6 +61,12 @@ struct ClassReport {
   double throughput_mbps() const;
 };
 
+/// One point of the runner's admission-window occupancy over time: how
+/// many submitted packets had not yet completed when the *engine clock*
+/// passed `cycle`. This is the closed loop's own in-flight counter (the
+/// thing the `window` bound applies to) sampled at loop granularity — not
+/// the devices' internal queue depth, which `Device::inflight()` exposes
+/// per device.
 struct QueueSample {
   sim::Cycle cycle = 0;
   std::size_t inflight = 0;
@@ -64,6 +77,7 @@ struct ScenarioReport {
   std::string backend;
   std::size_t devices = 0;
   std::size_t cores_per_device = 0;
+  std::size_t threads = 0;  // engine worker threads (0 = serial stepping)
   std::size_t window = 0;
 
   sim::Cycle makespan_cycles = 0;  // first submit to fleet drain (furthest clock)
@@ -71,8 +85,9 @@ struct ScenarioReport {
   std::size_t peak_inflight = 0;
 
   std::vector<ClassReport> classes;
-  /// Fleet in-flight depth over time; the sampling interval doubles (and
-  /// the series compacts) whenever it outgrows ~2048 points.
+  /// Admission-window occupancy over time (see QueueSample); the sampling
+  /// interval doubles (and the series compacts) whenever it outgrows
+  /// ~2048 points.
   std::vector<QueueSample> queue_depth;
   sim::Cycle queue_sample_interval = 0;  // final interval after compaction
 

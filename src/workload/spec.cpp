@@ -141,6 +141,7 @@ ScenarioSpec parse_scenario(const json::Value& doc, const std::string& base_dir)
     spec.backend = backend_from_name(backend->as_string());
   if (const json::Value* placement = doc.find("placement"))
     spec.placement = placement_from_name(placement->as_string());
+  spec.threads = static_cast<std::size_t>(doc.u64_or("threads", spec.threads));
   spec.window = static_cast<std::size_t>(doc.u64_or("window", spec.window));
   if (spec.window == 0) throw std::invalid_argument("scenario: window must be >= 1");
   const std::string admission = doc.string_or("admission", "block");

@@ -51,6 +51,10 @@ struct ScenarioSpec {
   std::size_t cores_per_device = 4;
   host::Backend backend = host::Backend::kFast;
   host::Placement placement = host::Placement::kLeastLoaded;
+  /// Engine worker threads stepping the fleet (EngineConfig::num_workers):
+  /// 0 = serial. Threaded and serial runs of the same spec resolve the
+  /// identical workload (tests/workload/scenario_test.cpp pins this).
+  std::size_t threads = 0;
   std::size_t window = 64;  // max jobs in flight across the fleet
   Admission admission = Admission::kBlock;
   sim::Cycle max_cycles = 0;  // stop offering new arrivals after this (0 = off)

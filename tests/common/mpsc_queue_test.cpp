@@ -1,0 +1,104 @@
+// common::BoundedMpscQueue — FIFO order, capacity backpressure (try_push
+// refusal and blocking push), drain semantics, reserve growth, and
+// multi-producer totals under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+
+namespace mccp {
+namespace {
+
+TEST(BoundedMpscQueue, FifoOrderSingleThread) {
+  BoundedMpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  EXPECT_EQ(q.size(), 5u);
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedMpscQueue, TryPushRefusesWhenFull) {
+  BoundedMpscQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // at capacity
+  int v = 0;
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_TRUE(q.try_push(3));  // slot freed
+}
+
+TEST(BoundedMpscQueue, DrainTakesEverythingInOrder) {
+  BoundedMpscQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) q.push(i);
+  std::vector<int> out{-1};  // drain appends, preserving prior content
+  EXPECT_EQ(q.drain(out), 10u);
+  ASSERT_EQ(out.size(), 11u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i) + 1], i);
+  EXPECT_EQ(q.drain(out), 0u);  // empty drain is a no-op
+}
+
+TEST(BoundedMpscQueue, ReserveGrowsTheBound) {
+  BoundedMpscQueue<int> q(1);
+  EXPECT_EQ(q.capacity(), 1u);
+  q.reserve(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  q.reserve(2);  // never shrinks
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(4));
+}
+
+TEST(BoundedMpscQueue, BlockingPushResumesWhenConsumerDrains) {
+  // Capacity 1: the producer must stall on its second push until the
+  // consumer pops — the backpressure edge the engine's bound exists for.
+  BoundedMpscQueue<int> q(1);
+  q.push(0);
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.push(1);  // blocks until the consumer frees the slot
+    second_pushed.store(true);
+  });
+  int v = -1;
+  while (!q.try_pop(v)) std::this_thread::yield();
+  EXPECT_EQ(v, 0);
+  while (!q.try_pop(v)) std::this_thread::yield();
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedMpscQueue, MultiProducerDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedMpscQueue<std::uint32_t> q(32);  // small bound: forces backpressure
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        q.push(static_cast<std::uint32_t>(p * kPerProducer + i));
+    });
+
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::size_t received = 0;
+  std::vector<std::uint32_t> batch;
+  while (received < seen.size()) {
+    batch.clear();
+    if (q.drain(batch) == 0) std::this_thread::yield();
+    for (std::uint32_t v : batch) ++seen[v];
+    received += batch.size();
+  }
+  for (std::thread& t : producers) t.join();
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 1) << i;
+}
+
+}  // namespace
+}  // namespace mccp

@@ -435,6 +435,47 @@ TEST(Engine, SubmitBatchValidatesChannelAndHandlesEmpty) {
   EXPECT_THROW(engine.submit_batch(ch, std::vector<JobSpec>{JobSpec{}}), std::invalid_argument);
 }
 
+TEST(Engine, GcmIvLengthMismatchFailsFastOnBothBackends) {
+  // A GCM submit whose IV length differs from the channel's registered
+  // nonce_len used to hang SimDevice (the core waits for IV stream words
+  // that never arrive) and silently compute on FastDevice. The seam now
+  // fails such jobs immediately on both backends, through both the single
+  // and the batched submit path, and a correct job afterwards still works.
+  for (Backend backend : {Backend::kSim, Backend::kFast}) {
+    Engine engine({.num_devices = 1, .device = {.num_cores = 2}, .backend = backend});
+    Rng rng(77);
+    Bytes key = rng.bytes(16);
+    engine.provision_key(1, key);
+    Channel ch = engine.open_channel(ChannelMode::kGcm, 1, 16, /*nonce_len=*/12);
+    ASSERT_TRUE(ch.valid());
+
+    Completion wrong = engine.submit_encrypt(ch, rng.bytes(13), {}, rng.bytes(64));
+    const JobResult& r = wrong.wait(/*max_cycles=*/10'000);  // must not hang
+    EXPECT_TRUE(r.complete);
+    EXPECT_FALSE(r.auth_ok);
+    EXPECT_TRUE(r.payload.empty());
+    EXPECT_EQ(r.accept_cycle, 0u);  // rejected at the seam, never accepted
+
+    std::vector<JobSpec> batch(2);
+    batch[0].iv_or_nonce = rng.bytes(8);  // wrong again, batched path
+    batch[0].payload = rng.bytes(32);
+    batch[1].iv_or_nonce = rng.bytes(12);  // correct
+    batch[1].payload = rng.bytes(32);
+    Bytes good_iv = batch[1].iv_or_nonce, good_pt = batch[1].payload;
+    std::vector<Completion> jobs = engine.submit_batch(ch, std::move(batch));
+    ASSERT_EQ(jobs.size(), 2u);
+    engine.wait_all();
+    EXPECT_FALSE(jobs[0].result().auth_ok);
+    ASSERT_TRUE(jobs[1].result().auth_ok);
+    auto ref = crypto::gcm_seal(crypto::aes_expand_key(key), good_iv, {}, good_pt);
+    EXPECT_EQ(to_hex(jobs[1].result().payload), to_hex(ref.ciphertext));
+
+    // The failures land in the channel's stats as failed completions.
+    EXPECT_EQ(ch.stats().completed, 3u);
+    EXPECT_EQ(ch.stats().failed, 2u);
+  }
+}
+
 TEST(Engine, AdvanceToSkipsQuietGapsOnBothBackends) {
   for (Backend backend : {Backend::kSim, Backend::kFast}) {
     Engine engine({.num_devices = 2, .device = {.num_cores = 1}, .backend = backend});

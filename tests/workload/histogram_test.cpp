@@ -148,6 +148,69 @@ TEST(LogHistogram, HugeValuesDoNotOverflowBucketBounds) {
   EXPECT_LE(h.quantile(0.99), huge);
 }
 
+TEST(LogHistogram, ZeroSampleHistogramIsInertUnderMergeAndQuantiles) {
+  // Zero samples: every accessor is defined (no division, no underflow),
+  // and merging an empty histogram in either direction changes nothing.
+  LogHistogram empty, other_empty;
+  for (double q : {0.0, 0.001, 0.5, 0.999, 1.0}) EXPECT_EQ(empty.quantile(q), 0u) << q;
+  empty.merge(other_empty);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.min(), 0u);  // min_ sentinel must not leak out as ~0
+
+  LogHistogram filled;
+  filled.record(42);
+  filled.merge(empty);  // empty into filled: a no-op
+  EXPECT_EQ(filled.count(), 1u);
+  EXPECT_EQ(filled.min(), 42u);
+  EXPECT_EQ(filled.max(), 42u);
+  empty.merge(filled);  // filled into empty: adopts everything
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 42u);
+  EXPECT_EQ(empty.quantile(0.5), 42u);
+}
+
+TEST(LogHistogram, SingleSampleAtDomainEdges) {
+  // One sample at 0 (smallest linear bucket) and one at 2^64 - 1 (the last
+  // bucket of the top octave): quantiles collapse to the sample exactly.
+  LogHistogram zero;
+  zero.record(0);
+  EXPECT_EQ(zero.count(), 1u);
+  for (double q : {0.0, 0.5, 1.0}) EXPECT_EQ(zero.quantile(q), 0u) << q;
+  EXPECT_EQ(zero.mean(), 0.0);
+
+  LogHistogram top;
+  const std::uint64_t huge = ~std::uint64_t{0};
+  top.record(huge);
+  EXPECT_EQ(top.min(), huge);
+  EXPECT_EQ(top.max(), huge);
+  for (double q : {0.0, 0.5, 1.0}) EXPECT_EQ(top.quantile(q), huge) << q;
+}
+
+TEST(LogHistogram, MaxBucketOverflowIsClampedAcrossTheTopOctave) {
+  // Values whose bucket upper bound would overflow 64 bits: the bound must
+  // clamp to uint64 max, quantiles stay monotone, and the max-clamp keeps
+  // every returned quantile <= the observed max.
+  LogHistogram h;
+  const std::uint64_t max64 = ~std::uint64_t{0};
+  h.record(max64);
+  h.record(max64 - 1);
+  h.record(max64 / 2 + 1);  // top octave, different sub-bucket
+  h.record(1);
+  EXPECT_EQ(h.quantile(1.0), max64);
+  std::uint64_t prev = 0;
+  for (double q : {0.1, 0.3, 0.6, 0.9, 1.0}) {
+    std::uint64_t v = h.quantile(q);
+    EXPECT_GE(v, prev) << q;
+    EXPECT_LE(v, max64) << q;
+    prev = v;
+  }
+  // record_n with a weight big enough to dwarf the rest still sums counts
+  // exactly (count_ is 64-bit, not bucket-local).
+  h.record_n(7, 1'000'000);
+  EXPECT_EQ(h.count(), 1'000'004u);
+  EXPECT_EQ(h.quantile(0.5), 7u);
+}
+
 TEST(LogHistogram, RejectsBadPrecision) {
   EXPECT_THROW(LogHistogram(1), std::invalid_argument);
   EXPECT_THROW(LogHistogram(15), std::invalid_argument);

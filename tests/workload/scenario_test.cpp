@@ -1,13 +1,19 @@
 // workload::ScenarioRunner end to end — a small mixed scenario executed on
 // BOTH backends must offer the identical per-class workload and resolve
-// every packet (identical completion/rejection counts); plus window
+// every packet (identical completion/rejection counts); serial and
+// worker-pool stepping of the same spec (including the shipped
+// scenarios/mixed_radio.json preset) must be deterministic twins; plus
+// decrypt/verify round-trips with pinned auth-failure accounting, window
 // enforcement, drop-mode admission, trace-driven sizing, determinism
 // across repeated runs, and the JSON report shape.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
+#include "common/hex.h"
 #include "common/json.h"
+#include "common/rng.h"
 #include "workload/runner.h"
 
 namespace mccp::workload {
@@ -66,6 +72,81 @@ TEST(Scenario, BothBackendsResolveTheIdenticalWorkload) {
   EXPECT_EQ(fast.total_offered(), 12u + 8 + 8 + 6);
   EXPECT_EQ(fast.total_completed(), fast.total_offered());
   EXPECT_EQ(sim.total_completed(), fast.total_completed());
+}
+
+/// Everything in a report that must be invariant across serial vs threaded
+/// stepping (wall_ms is the only field allowed to differ).
+void expect_reports_identical(const ScenarioReport& serial, const ScenarioReport& threaded) {
+  EXPECT_EQ(serial.makespan_cycles, threaded.makespan_cycles);
+  EXPECT_EQ(serial.peak_inflight, threaded.peak_inflight);
+  ASSERT_EQ(serial.classes.size(), threaded.classes.size());
+  for (std::size_t i = 0; i < serial.classes.size(); ++i) {
+    const ClassReport& s = serial.classes[i];
+    const ClassReport& t = threaded.classes[i];
+    EXPECT_EQ(s.name, t.name);
+    EXPECT_EQ(s.offered, t.offered) << s.name;
+    EXPECT_EQ(s.submitted, t.submitted) << s.name;
+    EXPECT_EQ(s.completed, t.completed) << s.name;
+    EXPECT_EQ(s.auth_failures, t.auth_failures) << s.name;
+    EXPECT_EQ(s.dropped, t.dropped) << s.name;
+    EXPECT_EQ(s.busy_rejections, t.busy_rejections) << s.name;
+    EXPECT_EQ(s.payload_bytes, t.payload_bytes) << s.name;
+    EXPECT_EQ(s.first_submit_cycle, t.first_submit_cycle) << s.name;
+    EXPECT_EQ(s.last_complete_cycle, t.last_complete_cycle) << s.name;
+    EXPECT_EQ(s.latency.count(), t.latency.count()) << s.name;
+    for (double q : {0.5, 0.99, 1.0})
+      EXPECT_EQ(s.latency.quantile(q), t.latency.quantile(q)) << s.name << " q=" << q;
+  }
+  ASSERT_EQ(serial.queue_depth.size(), threaded.queue_depth.size());
+  for (std::size_t i = 0; i < serial.queue_depth.size(); ++i) {
+    EXPECT_EQ(serial.queue_depth[i].cycle, threaded.queue_depth[i].cycle) << i;
+    EXPECT_EQ(serial.queue_depth[i].inflight, threaded.queue_depth[i].inflight) << i;
+  }
+}
+
+TEST(Scenario, SerialAndThreadedRunsAreDeterministicTwins) {
+  for (host::Backend backend : {host::Backend::kFast, host::Backend::kSim}) {
+    ScenarioSpec serial_spec = small_mixed(backend);
+    ScenarioReport serial = ScenarioRunner(std::move(serial_spec)).run();
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      ScenarioSpec spec = small_mixed(backend);
+      spec.threads = threads;
+      ScenarioReport threaded = ScenarioRunner(std::move(spec)).run();
+      EXPECT_EQ(threaded.threads, std::min<std::size_t>(threads, serial.devices));
+      expect_reports_identical(serial, threaded);
+    }
+  }
+}
+
+TEST(Scenario, MixedRadioPresetSerialVsThreadedOnBothBackends) {
+  // The acceptance pin: serial (num_workers = 0) and threaded runs of the
+  // shipped scenarios/mixed_radio.json must yield identical per-class
+  // completion counts and auth-failure totals on both backends. The
+  // cycle-accurate side runs the preset at reduced packet counts (the same
+  // scaling the CI smoke uses); the fast side runs it at full scale.
+  const std::string path = std::string(MCCP_SOURCE_DIR) + "/scenarios/mixed_radio.json";
+  for (host::Backend backend : {host::Backend::kFast, host::Backend::kSim}) {
+    ScenarioSpec base = load_scenario(path);
+    base.backend = backend;
+    if (backend == host::Backend::kSim)
+      for (ClassSpec& cs : base.classes)
+        cs.packets = std::max<std::uint64_t>(1, cs.packets / 20);  // --scale 0.05
+
+    ScenarioSpec serial_spec = base;
+    serial_spec.threads = 0;
+    ScenarioReport serial = ScenarioRunner(std::move(serial_spec)).run();
+
+    ScenarioSpec threaded_spec = base;
+    threaded_spec.threads = 4;
+    ScenarioReport threaded = ScenarioRunner(std::move(threaded_spec)).run();
+
+    EXPECT_EQ(threaded.threads, 4u);
+    expect_reports_identical(serial, threaded);
+    for (const ClassReport& c : serial.classes) {
+      EXPECT_EQ(c.completed, c.offered) << c.name;  // closed loop resolves everything
+      EXPECT_EQ(c.auth_failures, 0u) << c.name;
+    }
+  }
 }
 
 TEST(Scenario, RunRejectsDegenerateSpecs) {
@@ -171,6 +252,75 @@ TEST(Scenario, ReportJsonIsParseableAndComplete) {
   const json::Value* queue = doc.find("queue_depth");
   ASSERT_NE(queue, nullptr);
   EXPECT_FALSE(queue->as_array().empty());
+}
+
+TEST(Scenario, DecryptRoundTripPinsAuthFailureAccounting) {
+  // Seal packets through the fleet, resubmit every ciphertext as an open
+  // (decrypt/verify) job with a fixed fraction of tags corrupted, and pin
+  // the auth-failure accounting on both backends: exactly the corrupted
+  // quarter fails, every clean packet round-trips to its original
+  // plaintext, and the per-channel stats agree across backends.
+  constexpr std::size_t kPackets = 24;  // div. by 8: 2 of every 8 corrupted
+                                        // (one GCM, one CCM — a quarter total)
+  for (host::Backend backend : {host::Backend::kFast, host::Backend::kSim}) {
+    host::Engine engine({.num_devices = 2,
+                         .device = {.num_cores = 2},
+                         .backend = backend,
+                         .num_workers = 2});  // round-trip through the threaded path too
+    Rng rng(515151);
+    engine.provision_key(1, rng.bytes(16));
+    host::Channel gcm = engine.open_channel(host::ChannelMode::kGcm, 1, 16, 12);
+    host::Channel ccm = engine.open_channel(host::ChannelMode::kCcm, 1, 8, 13);
+    ASSERT_TRUE(gcm.valid() && ccm.valid());
+
+    struct Pkt {
+      const host::Channel* ch;
+      Bytes iv, aad, pt;
+      host::Completion sealed;
+    };
+    std::vector<Pkt> pkts;
+    for (std::size_t i = 0; i < kPackets; ++i) {
+      const host::Channel& ch = i % 2 ? ccm : gcm;
+      Pkt p{&ch, rng.bytes(ch.mode() == host::ChannelMode::kGcm ? 12 : 13), rng.bytes(12),
+            rng.bytes(64 + i * 16), {}};
+      p.sealed = engine.submit_encrypt(ch, p.iv, p.aad, p.pt);
+      pkts.push_back(std::move(p));
+    }
+    engine.wait_all();
+
+    std::uint64_t open_failures = 0, open_ok = 0;
+    std::vector<host::Completion> opens;
+    for (std::size_t i = 0; i < kPackets; ++i) {
+      const Pkt& p = pkts[i];
+      const host::JobResult& sealed = p.sealed.result();
+      ASSERT_TRUE(sealed.auth_ok) << i;
+      Bytes tag = sealed.tag;
+      if (i % 8 < 2) tag[0] ^= 0x80;  // corrupt a fixed quarter, both modes
+      opens.push_back(engine.submit_decrypt(*p.ch, p.iv, p.aad, sealed.payload, tag));
+      opens.back().on_done([&open_failures, &open_ok](const host::JobResult& r) {
+        r.auth_ok ? ++open_ok : ++open_failures;
+      });
+    }
+    engine.wait_all();
+
+    EXPECT_EQ(open_failures, kPackets / 4) << backend_name(backend);
+    EXPECT_EQ(open_ok, kPackets - kPackets / 4) << backend_name(backend);
+    for (std::size_t i = 0; i < kPackets; ++i) {
+      const host::JobResult& r = opens[i].result();
+      if (i % 8 < 2) {
+        EXPECT_FALSE(r.auth_ok) << i;
+        EXPECT_TRUE(r.payload.empty()) << i;  // no plaintext leaks on failure
+      } else {
+        ASSERT_TRUE(r.auth_ok) << i;
+        EXPECT_EQ(to_hex(r.payload), to_hex(pkts[i].pt)) << i;
+      }
+    }
+    // Stats: each channel saw its packets twice (seal + open), and exactly
+    // its share of the corrupted quarter as failures.
+    EXPECT_EQ(gcm.stats().completed + ccm.stats().completed, 2 * kPackets);
+    EXPECT_EQ(gcm.stats().failed, kPackets / 8);  // the even-index corruptions
+    EXPECT_EQ(ccm.stats().failed, kPackets / 8);  // the odd-index ones
+  }
 }
 
 TEST(Scenario, QueueDepthSamplesAreMonotoneAndBounded) {
