@@ -55,6 +55,11 @@ void print_report(const mccp::workload::ScenarioReport& r) {
   std::printf("\nmakespan %llu cycles (%.2f ms @190MHz), wall %.1f ms, peak in-flight %zu\n",
               static_cast<unsigned long long>(r.makespan_cycles),
               static_cast<double>(r.makespan_cycles) / 190e3, r.wall_ms, r.peak_inflight);
+  if (r.reconfigurations > 0)
+    std::printf("partial reconfigurations: %llu (%llu slot-cycles stalled, bitstreams from %s)\n",
+                static_cast<unsigned long long>(r.reconfigurations),
+                static_cast<unsigned long long>(r.reconfig_stall_cycles),
+                r.bitstream_store.c_str());
 }
 
 int run(int argc, char** argv) {

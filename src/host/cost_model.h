@@ -27,6 +27,7 @@
 #include "cu/timing.h"
 #include "mccp/control.h"
 #include "mccp/timing.h"
+#include "reconfig/reconfig.h"
 #include "sim/clocked.h"
 
 namespace mccp::host {
@@ -153,6 +154,18 @@ constexpr sim::Cycle accept_control_cycles(int control_latency_cycles) {
   const int per_instruction =
       control_latency_cycles >= 0 ? control_latency_cycles : top::kControlLatencyCycles;
   return static_cast<sim::Cycle>(per_instruction + 1);
+}
+
+/// Slot occupancy of a partial reconfiguration (paper SVII.B): the
+/// bitstream-transfer time of reconfig/'s Table IV model, compressed by
+/// the configured divisor. Identical to what the simulated scheduler
+/// charges (Mccp::begin_core_reconfiguration goes through the same
+/// function), so the two backends' swap timelines agree cycle for cycle.
+inline sim::Cycle reconfiguration_occupancy_cycles(reconfig::CoreImage image,
+                                                   reconfig::BitstreamStore store,
+                                                   std::uint32_t time_divisor) {
+  return static_cast<sim::Cycle>(
+      reconfig::scaled_reconfiguration_cycles(image, store, time_divisor));
 }
 
 /// Control-protocol overhead after the cores finish: the done-poll delay,

@@ -37,6 +37,7 @@
 #include "common/bytes.h"
 #include "mccp/control.h"
 #include "mccp/key_store.h"
+#include "reconfig/reconfig.h"
 #include "sim/clocked.h"
 
 namespace mccp::host {
@@ -95,6 +96,14 @@ inline bool gcm_iv_length_mismatch(const JobSpec& spec) {
          spec.iv_or_nonce.size() != spec.channel.nonce_len;
 }
 
+/// Which CU slot personality a channel mode executes on (paper SVII.B):
+/// Whirlpool hashing needs the Whirlpool image; every block-cipher mode
+/// runs on the AES-encryption(+key-schedule) image.
+inline reconfig::CoreImage image_for_mode(ChannelMode mode) {
+  return mode == ChannelMode::kWhirlpool ? reconfig::CoreImage::kWhirlpool
+                                         : reconfig::CoreImage::kAesEncryptWithKs;
+}
+
 class Device {
  public:
   virtual ~Device() = default;
@@ -139,6 +148,44 @@ class Device {
   virtual const JobResult* result(DeviceJobId id) const = 0;
   /// Drop a completed job's bookkeeping (the Engine copies results out).
   virtual void forget(DeviceJobId id) = 0;
+
+  // -- slot personalities & partial reconfiguration (paper SVII.B) ------------
+  /// The core image slot `slot` currently hosts. While a swap is in flight
+  /// the OLD image is reported (the region only commits on completion).
+  virtual reconfig::CoreImage slot_image(std::size_t /*slot*/) const {
+    return reconfig::CoreImage::kAesEncryptWithKs;
+  }
+  /// True while slot `slot`'s bitstream transfer is running (the slot is
+  /// unschedulable; sibling slots keep working).
+  virtual bool slot_reconfiguring(std::size_t /*slot*/) const { return false; }
+  /// Slots whose committed personality is `img` right now (in-flight swaps
+  /// count for neither image).
+  virtual std::size_t slots_with_image(reconfig::CoreImage img) const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < num_cores(); ++i)
+      if (!slot_reconfiguring(i) && slot_image(i) == img) ++n;
+    return n;
+  }
+  /// Begin swapping slot `slot` to `image` from `store`. The slot must be
+  /// idle and not already reconfiguring; it is unavailable for the
+  /// returned number of cycles and comes back with the new personality.
+  /// nullopt = busy / already swapping / unsupported backend. A submit
+  /// whose mode needs an image no slot holds triggers this automatically
+  /// when the device's auto_reconfig policy is on, and fails fast when it
+  /// is off — it is never silently computed.
+  virtual std::optional<std::uint64_t> begin_reconfiguration(std::size_t /*slot*/,
+                                                             reconfig::CoreImage /*image*/,
+                                                             reconfig::BitstreamStore /*store*/) {
+    return std::nullopt;
+  }
+  /// Swaps started on this device + the slot-cycles they spent (will
+  /// spend) unavailable — the fleet-level reconfiguration accounting the
+  /// workload reports aggregate.
+  virtual std::uint64_t reconfigurations() const { return 0; }
+  virtual std::uint64_t reconfig_stall_cycles() const { return 0; }
+  /// Of those, swaps that landed `img` specifically (per-class workload
+  /// accounting attributes swaps to the image a class's mode needs).
+  virtual std::uint64_t reconfigurations_to(reconfig::CoreImage /*img*/) const { return 0; }
 
   // -- introspection ----------------------------------------------------------
   virtual sim::Cycle now() const = 0;

@@ -78,11 +78,14 @@ const ChannelStats& Channel::stats() const {
 Engine::Engine(const EngineConfig& config) : placement_(config.placement) {
   std::size_t n = std::max<std::size_t>(1, config.num_devices);
   for (std::size_t i = 0; i < n; ++i) {
+    top::MccpConfig device_cfg = config.device;
+    if (i < config.slot_layouts.size() && !config.slot_layouts[i].empty())
+      device_cfg.slot_images = config.slot_layouts[i];
     if (config.backend == Backend::kFast) {
-      devices_.push_back(std::make_unique<FastDevice>(config.device, "fast" + std::to_string(i)));
+      devices_.push_back(std::make_unique<FastDevice>(device_cfg, "fast" + std::to_string(i)));
       sim_devices_.push_back(nullptr);
     } else {
-      auto dev = std::make_unique<SimDevice>(config.device, "mccp" + std::to_string(i));
+      auto dev = std::make_unique<SimDevice>(device_cfg, "mccp" + std::to_string(i));
       sim_devices_.push_back(dev.get());
       devices_.push_back(std::move(dev));
     }
@@ -113,26 +116,44 @@ std::size_t Engine::device_load(std::size_t i) const {
 }
 
 std::size_t Engine::pick_device(ChannelMode mode) const {
+  // Personality-aware sharding (paper SVII.B): candidates are the devices
+  // with a slot already hosting this mode's core image — placing there
+  // costs no bitstream transfer. When no device in the fleet hosts it,
+  // every device is an equal candidate; whichever the policy picks will
+  // acquire the image (or reject) per its reconfiguration policy.
+  const reconfig::CoreImage img = image_for_mode(mode);
+  std::vector<std::size_t> cands;
+  for (std::size_t i = 0; i < devices_.size(); ++i)
+    if (devices_[i]->slots_with_image(img) > 0) cands.push_back(i);
+  if (cands.empty())
+    for (std::size_t i = 0; i < devices_.size(); ++i) cands.push_back(i);
+
   switch (placement_) {
-    case Placement::kRoundRobin:
-      return rr_next_ % devices_.size();
+    case Placement::kRoundRobin: {
+      // First candidate at or after this image's cursor, wrapping.
+      const std::size_t start = rr_next_[static_cast<std::size_t>(img)] % devices_.size();
+      for (std::size_t i : cands)
+        if (i >= start) return i;
+      return cands.front();
+    }
     case Placement::kLeastLoaded: {
-      std::size_t best = 0;
-      for (std::size_t i = 1; i < devices_.size(); ++i)
+      std::size_t best = cands.front();
+      for (std::size_t i : cands)
         if (device_load(i) < device_load(best)) best = i;
       return best;
     }
     case Placement::kModeAffinity: {
       // Prefer the least-loaded device already hosting this mode, so one
       // mode's channels cluster (warm key caches, mode-specific images);
-      // first channel of a mode lands on its static home slot.
+      // first channel of a mode lands on its static home slot among the
+      // image-holding candidates.
       std::size_t best = devices_.size();
       for (const auto& [uid, rec] : channels_)
         if (rec.open && rec.info.mode == mode)
           if (best == devices_.size() || device_load(rec.device) < device_load(best))
             best = rec.device;
       if (best < devices_.size()) return best;
-      return static_cast<std::size_t>(mode) % devices_.size();
+      return cands[static_cast<std::size_t>(mode) % cands.size()];
     }
   }
   return 0;
@@ -146,7 +167,8 @@ Channel Engine::open_channel(ChannelMode mode, top::KeyId key, unsigned tag_len,
     auto info = devices_[idx]->open_channel(mode, key, tag_len, nonce_len);
     last_rr_ = devices_[idx]->last_error();
     if (info) {
-      if (placement_ == Placement::kRoundRobin) rr_next_ = idx + 1;
+      if (placement_ == Placement::kRoundRobin)
+        rr_next_[static_cast<std::size_t>(image_for_mode(mode))] = idx + 1;
       std::uint64_t uid = next_channel_uid_++;
       channels_[uid] = ChannelRecord{idx, *info, {}, true};
       return Channel(this, uid, idx, *info);
@@ -475,6 +497,24 @@ sim::Cycle Engine::max_cycle() const {
 std::size_t Engine::inflight() const {
   std::size_t n = 0;
   for (const auto& d : devices_) n += d->inflight();
+  return n;
+}
+
+std::uint64_t Engine::reconfigurations() const {
+  std::uint64_t n = 0;
+  for (const auto& d : devices_) n += d->reconfigurations();
+  return n;
+}
+
+std::uint64_t Engine::reconfig_stall_cycles() const {
+  std::uint64_t n = 0;
+  for (const auto& d : devices_) n += d->reconfig_stall_cycles();
+  return n;
+}
+
+std::uint64_t Engine::reconfigurations_to(reconfig::CoreImage img) const {
+  std::uint64_t n = 0;
+  for (const auto& d : devices_) n += d->reconfigurations_to(img);
   return n;
 }
 

@@ -67,6 +67,11 @@ enum class Backend : std::uint8_t {
 struct EngineConfig {
   std::size_t num_devices = 1;
   top::MccpConfig device{};  // applied to every device (shape + policies)
+  /// Per-device boot slot layouts: entry i overrides `device.slot_images`
+  /// for device i (an empty entry inherits it; devices beyond the list
+  /// inherit too). Lets a fleet boot heterogeneous — e.g. one device with
+  /// a Whirlpool slot serving all hash channels while the rest stay AES.
+  std::vector<std::vector<reconfig::CoreImage>> slot_layouts{};
   Placement placement = Placement::kRoundRobin;
   Backend backend = Backend::kSim;
   /// Worker threads stepping the fleet: 0 = serial (step every device on
@@ -159,6 +164,11 @@ class Engine {
   /// Furthest-ahead device clock (devices advance independently).
   sim::Cycle max_cycle() const;
   std::size_t inflight() const;
+  /// Fleet-wide partial-reconfiguration accounting: swaps started and the
+  /// slot-cycles they spent unavailable, summed over devices.
+  std::uint64_t reconfigurations() const;
+  std::uint64_t reconfig_stall_cycles() const;
+  std::uint64_t reconfigurations_to(reconfig::CoreImage img) const;
   Placement placement() const { return placement_; }
   /// Pool threads stepping the fleet (0 = serial mode).
   std::size_t num_workers() const { return pool_ ? pool_->size() : 0; }
@@ -196,7 +206,10 @@ class Engine {
 
   std::map<std::uint64_t, ChannelRecord> channels_;
   std::uint64_t next_channel_uid_ = 1;
-  std::size_t rr_next_ = 0;  // round-robin cursor
+  /// Round-robin cursors, one per core image: a Whirlpool channel landing
+  /// on the fleet's one image-holding device must not warp the rotation
+  /// the AES-mode channels are following (and vice versa).
+  std::size_t rr_next_[2] = {0, 0};  // indexed by reconfig::CoreImage
 
   std::map<JobId, std::shared_ptr<detail::JobState>> jobs_;
   /// In-flight jobs sharded by device, so each worker scans and trims only

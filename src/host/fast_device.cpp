@@ -66,8 +66,36 @@ FastDevice::FastDevice(const top::MccpConfig& config, std::string name)
     : name_(std::move(name)), config_(config) {
   // Same contract as the Mccp constructor behind SimDevice.
   if (config.num_cores == 0) throw std::invalid_argument("FastDevice: need at least one core");
+  if (config.slot_images.size() > config.num_cores)
+    throw std::invalid_argument("FastDevice: slot_images lists more slots than num_cores");
+  if (config.reconfig_time_divisor == 0)
+    throw std::invalid_argument("FastDevice: reconfig_time_divisor must be >= 1");
   core_free_.assign(config.num_cores, 0);
   core_key_.resize(config.num_cores);
+  // Boot-time slot layout (static bitstream, no transfer charged).
+  core_image_.assign(config.num_cores, reconfig::CoreImage::kAesEncryptWithKs);
+  for (std::size_t i = 0; i < config.slot_images.size(); ++i)
+    core_image_[i] = config.slot_images[i];
+  core_target_ = core_image_;
+  core_swap_until_.assign(config.num_cores, 0);
+}
+
+std::optional<std::uint64_t> FastDevice::begin_reconfiguration(std::size_t slot,
+                                                               reconfig::CoreImage image,
+                                                               reconfig::BitstreamStore store) {
+  if (slot >= core_free_.size()) return std::nullopt;
+  if (core_free_[slot] > now_ || core_swap_until_[slot] > now_) return std::nullopt;
+  const sim::Cycle cycles =
+      reconfiguration_occupancy_cycles(image, store, config_.reconfig_time_divisor);
+  core_image_[slot] = image_at(slot, now_);  // commit any settled prior swap
+  core_target_[slot] = image;
+  core_swap_until_[slot] = now_ + cycles;
+  core_free_[slot] = now_ + cycles;  // reserved for the bitstream transfer
+  core_key_[slot].reset();           // the swapped-in region boots key-less
+  ++reconfigurations_;
+  reconfig_stall_cycles_ += cycles;
+  ++reconfig_to_[static_cast<std::size_t>(image)];
+  return cycles;
 }
 
 void FastDevice::provision_key(top::KeyId id, Bytes session_key) {
@@ -210,21 +238,75 @@ void FastDevice::schedule_pending() {
       continue;
     }
 
+    // Personality gate (paper SVII.B): only slots hosting this mode's
+    // image are schedulable. If NO slot hosts it (nor a running swap will
+    // land it), the packet is never silently computed: schedule a partial
+    // reconfiguration of the highest-index idle slot (auto_reconfig; low
+    // indices stay AES so CCM pairs keep finding cores) or fail it fast.
+    const reconfig::CoreImage need = image_for_mode(job.spec.channel.mode);
     std::vector<std::size_t> free_cores;
-    for (std::size_t i = 0; i < core_free_.size(); ++i)
-      if (core_free_[i] <= now_) free_cores.push_back(i);
+    std::size_t total_free = 0;  // idle cores of ANY personality (adaptive CCM)
+    // Acquirable = some slot's committed-or-landing image is `need`
+    // (core_target_ is exactly that, matching Mccp::image_acquirable —
+    // a slot mid-swap AWAY from `need` does not count).
+    bool acquirable = false;
+    for (std::size_t i = 0; i < core_free_.size(); ++i) {
+      if (core_target_[i] == need) acquirable = true;
+      if (core_free_[i] <= now_) {
+        ++total_free;
+        if (image_at(i, now_) == need) free_cores.push_back(i);
+      }
+    }
     if (free_cores.empty()) {
+      if (!acquirable) {
+        if (!config_.auto_reconfig) {
+          // Seam-style failure: SimDevice's personality gate rejects
+          // before any control instruction is exchanged, so no
+          // accept-latency is charged (unlike fail_unrecoverable, which
+          // models a failed ENCRYPT/DECRYPT round trip) — and, like the
+          // pump, at most one head is rejected per scheduling round.
+          pop_head();
+          JobResult& res = results_[id];
+          res.complete = true;
+          res.auth_ok = false;
+          res.complete_cycle = now_;
+          jobs_.erase(id);
+          return;
+        }
+        for (std::size_t i = core_free_.size(); i-- > 0;)
+          if (begin_reconfiguration(i, need, config_.bitstream_store)) break;
+        // Every slot busy: retry once a completion frees one.
+      }
       if (!job.first_denied) job.first_denied = now_;  // busy: controller retries
       return;
     }
 
+    // Adaptive CCM looks at total idle capacity, matching the simulated
+    // scheduler's idle_core_count() — which counts idle cores of every
+    // personality, not just the AES ones this packet can run on.
     const bool want_pair =
         job.spec.channel.mode == ChannelMode::kCcm &&
         (config_.ccm_mapping == top::CcmMapping::kPairPreferred ||
          (config_.ccm_mapping == top::CcmMapping::kAdaptive &&
-          free_cores.size() * 2 > core_free_.size()));
+          total_free * 2 > core_free_.size()));
+    // Pair selection mirrors Mccp::find_idle_pair: the first RING-ADJACENT
+    // pair of idle AES-image cores, in index order (split CCM streams
+    // through the inter-core shift registers, so only neighbours qualify);
+    // no adjacent pair -> single-core fallback, like the simulator.
     std::vector<std::size_t> cores{free_cores[0]};
-    if (want_pair && free_cores.size() >= 2) cores.push_back(free_cores[1]);
+    if (want_pair && core_free_.size() >= 2) {
+      auto aes_idle = [&](std::size_t i) {
+        return core_free_[i] <= now_ &&
+               image_at(i, now_) == reconfig::CoreImage::kAesEncryptWithKs;
+      };
+      for (std::size_t i = 0; i < core_free_.size(); ++i) {
+        std::size_t j = (i + 1) % core_free_.size();
+        if (aes_idle(i) && aes_idle(j)) {
+          cores = {i, j};
+          break;
+        }
+      }
+    }
 
     pop_head();
     start_job(job, cores);
@@ -365,6 +447,8 @@ void FastDevice::step() {
   // Event-driven clock: jump to the next completion (but always advance at
   // least one cycle, per the Device contract). Only the running set — at
   // most one job per core — needs scanning, never the pending backlog.
+  // With packets queued behind a reconfiguring slot, the swap's end cycle
+  // is an event too (nothing else would wake the scheduler).
   sim::Cycle next = 0;
   bool have_next = false;
   for (DeviceJobId id : running_) {
@@ -372,6 +456,14 @@ void FastDevice::step() {
     if (!have_next || job.done_at < next) {
       next = job.done_at;
       have_next = true;
+    }
+  }
+  if (!pending_.empty()) {
+    for (sim::Cycle until : core_swap_until_) {
+      if (until > now_ && (!have_next || until < next)) {
+        next = until;
+        have_next = true;
+      }
     }
   }
   now_ = have_next ? std::max(now_ + 1, next) : now_ + 1;

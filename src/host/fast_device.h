@@ -18,10 +18,17 @@
 // Its clock is event-driven: each step() schedules work and jumps to the
 // next completion, so stepping costs O(in-flight jobs), not O(cycles).
 //
-// Not modelled yet (ROADMAP open items): partial reconfiguration — a
-// Whirlpool channel is served as if every CU slot already held the
-// Whirlpool image, where the simulator would reject until a slot is
-// reconfigured — and the crossbar's beat-level streaming interleave.
+// Partial reconfiguration (paper SVII.B) is modelled: each core slot
+// carries a `reconfig::CoreImage` personality (boot layout from
+// MccpConfig::slot_images), a packet only schedules onto a slot hosting
+// its mode's image, and a packet whose image no slot holds either fails
+// fast or triggers a modelled bitstream transfer (MccpConfig::auto_reconfig
+// + bitstream_store) whose duration comes from the same Table IV transfer-
+// rate model the simulator charges — the slot is unavailable for the swap
+// while its siblings keep serving.
+//
+// Not modelled yet (ROADMAP open item): the crossbar's beat-level
+// streaming interleave.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +72,23 @@ class FastDevice final : public Device {
   const JobResult* result(DeviceJobId id) const override;
   void forget(DeviceJobId id) override;
 
+  // -- slot personalities & partial reconfiguration ---------------------------
+  /// Old image until the swap's end cycle passes (same commit semantics as
+  /// the simulated region).
+  reconfig::CoreImage slot_image(std::size_t slot) const override {
+    return image_at(slot, now_);
+  }
+  bool slot_reconfiguring(std::size_t slot) const override {
+    return core_swap_until_[slot] > now_;
+  }
+  std::optional<std::uint64_t> begin_reconfiguration(std::size_t slot, reconfig::CoreImage image,
+                                                     reconfig::BitstreamStore store) override;
+  std::uint64_t reconfigurations() const override { return reconfigurations_; }
+  std::uint64_t reconfig_stall_cycles() const override { return reconfig_stall_cycles_; }
+  std::uint64_t reconfigurations_to(reconfig::CoreImage img) const override {
+    return reconfig_to_[static_cast<std::size_t>(img)];
+  }
+
   sim::Cycle now() const override { return now_; }
   std::size_t num_cores() const override { return config_.num_cores; }
   std::size_t inflight() const override { return jobs_.size(); }
@@ -96,6 +120,11 @@ class FastDevice final : public Device {
   /// Try to place pending jobs (priority order) onto free cores; computes
   /// the functional result and books core occupancy on success.
   void schedule_pending();
+  /// The image slot `c` hosts at cycle `t`: the swap target once an
+  /// in-flight transfer's end cycle has passed, the old image before.
+  reconfig::CoreImage image_at(std::size_t c, sim::Cycle t) const {
+    return core_swap_until_[c] > t ? core_image_[c] : core_target_[c];
+  }
   void start_job(Job& job, const std::vector<std::size_t>& cores);
   /// Functional result via the fast kernels; mirrors SimDevice::finalize
   /// output conventions exactly (differential-tested).
@@ -113,6 +142,15 @@ class FastDevice final : public Device {
   /// for Key Scheduler accounting.
   std::vector<sim::Cycle> core_free_;
   std::vector<std::optional<std::pair<top::KeyId, std::uint64_t>>> core_key_;
+  /// Per-slot personality model: the image before an in-flight swap, the
+  /// image the swap lands (== core_image_ when no swap), and the cycle the
+  /// slot becomes schedulable again (<= now_: settled).
+  std::vector<reconfig::CoreImage> core_image_;
+  std::vector<reconfig::CoreImage> core_target_;
+  std::vector<sim::Cycle> core_swap_until_;
+  std::uint64_t reconfigurations_ = 0;
+  std::uint64_t reconfig_stall_cycles_ = 0;
+  std::uint64_t reconfig_to_[2] = {0, 0};  // indexed by CoreImage
 
   /// Jobs awaiting a core, bucketed by priority class (lowest value = most
   /// urgent), arrival order within a bucket — the same service order as the

@@ -253,6 +253,27 @@ void SimDevice::pump() {
       bucket->second.pop_front();
       if (bucket->second.empty()) pending_.erase(bucket);
     };
+    // Personality gate (paper SVII.B): a packet whose mode needs a core
+    // image that no slot hosts — and that no running swap will land — is
+    // never silently computed. Either schedule a partial reconfiguration
+    // of the highest-index idle slot (auto_reconfig; low ring indices stay
+    // AES so CCM pairs keep finding adjacent cores) or fail the job fast.
+    const reconfig::CoreImage need = image_for_mode(job.spec.channel.mode);
+    if (!mccp_.image_acquirable(need)) {
+      if (!mccp_.auto_reconfig()) {
+        pop_head();
+        results_[id].complete = true;
+        results_[id].auth_ok = false;
+        results_[id].complete_cycle = sim_.now();
+        jobs_.erase(id);
+        return;
+      }
+      for (std::size_t i = mccp_.num_cores(); i-- > 0;)
+        if (mccp_.begin_core_reconfiguration(i, need, mccp_.bitstream_store())) break;
+      // Every slot busy: retry on a later pump. Swap scheduled: the head
+      // waits for the bitstream transfer like any busy-core retry.
+      return;
+    }
     std::uint32_t instr =
         job.spec.decrypt
             ? top::encode_decrypt(job.spec.channel.id, job.header_blocks, job.data_blocks)

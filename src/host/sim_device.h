@@ -42,6 +42,26 @@ class SimDevice final : public Device {
   const JobResult* result(DeviceJobId id) const override;
   void forget(DeviceJobId id) override;
 
+  // -- slot personalities (forwarded to the simulated scheduler) --------------
+  reconfig::CoreImage slot_image(std::size_t slot) const override {
+    return mccp_.core_image(slot);
+  }
+  bool slot_reconfiguring(std::size_t slot) const override {
+    return mccp_.core_reconfiguring(slot);
+  }
+  std::size_t slots_with_image(reconfig::CoreImage img) const override {
+    return mccp_.cores_hosting(img);
+  }
+  std::optional<std::uint64_t> begin_reconfiguration(std::size_t slot, reconfig::CoreImage image,
+                                                     reconfig::BitstreamStore store) override {
+    return mccp_.begin_core_reconfiguration(slot, image, store);
+  }
+  std::uint64_t reconfigurations() const override { return mccp_.reconfigurations_done(); }
+  std::uint64_t reconfig_stall_cycles() const override { return mccp_.reconfig_stall_cycles(); }
+  std::uint64_t reconfigurations_to(reconfig::CoreImage img) const override {
+    return mccp_.reconfigurations_to(img);
+  }
+
   sim::Cycle now() const override { return sim_.now(); }
   std::size_t num_cores() const override { return mccp_.num_cores(); }
   /// Jobs submitted but not yet finalized: pending ones still queued for an

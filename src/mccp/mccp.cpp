@@ -7,12 +7,28 @@
 
 namespace mccp::top {
 
+namespace {
+
+/// Which CU personality a slot exposes once it hosts `img`.
+cu::CuPersonality personality_for(reconfig::CoreImage img) {
+  return img == reconfig::CoreImage::kWhirlpool ? cu::CuPersonality::kWhirlpool
+                                                : cu::CuPersonality::kAes;
+}
+
+}  // namespace
+
 Mccp::Mccp(const MccpConfig& config, const KeyMemory& keys)
     : key_memory_(&keys), key_scheduler_(keys), ccm_mapping_(config.ccm_mapping),
       control_latency_(config.control_latency_cycles >= 0 ? config.control_latency_cycles
-                                                          : kControlLatencyCycles) {
+                                                          : kControlLatencyCycles),
+      bitstream_store_(config.bitstream_store), auto_reconfig_(config.auto_reconfig),
+      reconfig_time_divisor_(config.reconfig_time_divisor) {
   key_scheduler_.set_cache_enabled(config.key_cache_enabled);
   if (config.num_cores == 0) throw std::invalid_argument("Mccp: need at least one core");
+  if (config.slot_images.size() > config.num_cores)
+    throw std::invalid_argument("Mccp: slot_images lists more slots than num_cores");
+  if (config.reconfig_time_divisor == 0)
+    throw std::invalid_argument("Mccp: reconfig_time_divisor must be >= 1");
   for (std::size_t i = 0; i < config.num_cores; ++i)
     cores_.push_back(std::make_unique<core::CryptoCore>("core" + std::to_string(i)));
   // Ring topology: core i's outbound shift register feeds core i+1 (SIV.A).
@@ -20,6 +36,12 @@ Mccp::Mccp(const MccpConfig& config, const KeyMemory& keys)
     cores_[(i + 1) % config.num_cores]->connect_shift_in(&cores_[i]->shift_out());
   core_allocated_.assign(config.num_cores, false);
   reconfig_.resize(config.num_cores);
+  // Boot-time slot layout: the static bitstream already carries these
+  // personalities, so no transfer time is charged.
+  for (std::size_t i = 0; i < config.slot_images.size(); ++i) {
+    reconfig_[i].image = reconfig_[i].target = config.slot_images[i];
+    cores_[i]->set_personality(personality_for(config.slot_images[i]));
+  }
   std::vector<core::CryptoCore*> raw;
   raw.reserve(cores_.size());
   for (auto& c : cores_) raw.push_back(c.get());
@@ -64,6 +86,19 @@ std::optional<std::pair<std::size_t, std::size_t>> Mccp::find_idle_pair() const 
   return std::nullopt;
 }
 
+std::size_t Mccp::cores_hosting(reconfig::CoreImage img) const {
+  std::size_t n = 0;
+  for (const CoreReconfigState& r : reconfig_)
+    if (r.remaining == 0 && r.image == img) ++n;
+  return n;
+}
+
+bool Mccp::image_acquirable(reconfig::CoreImage img) const {
+  for (const CoreReconfigState& r : reconfig_)
+    if (r.remaining > 0 ? r.target == img : r.image == img) return true;
+  return false;
+}
+
 std::optional<std::uint64_t> Mccp::begin_core_reconfiguration(std::size_t core_idx,
                                                               reconfig::CoreImage image,
                                                               reconfig::BitstreamStore store) {
@@ -71,7 +106,11 @@ std::optional<std::uint64_t> Mccp::begin_core_reconfiguration(std::size_t core_i
   if (core_allocated_[core_idx] || reconfig_[core_idx].remaining > 0) return std::nullopt;
   core_allocated_[core_idx] = true;  // reserved during the bitstream transfer
   reconfig_[core_idx].target = image;
-  reconfig_[core_idx].remaining = reconfig::reconfiguration_cycles(image, store);
+  reconfig_[core_idx].remaining =
+      reconfig::scaled_reconfiguration_cycles(image, store, reconfig_time_divisor_);
+  ++reconfigurations_done_;
+  reconfig_stall_cycles_ += reconfig_[core_idx].remaining;
+  ++reconfig_to_[static_cast<std::size_t>(image)];
   trace_.record(cycle_, "scheduler",
                 "reconfiguring core " + std::to_string(core_idx) + " -> " +
                     reconfig::image_name(image));
@@ -84,9 +123,7 @@ void Mccp::tick_reconfiguration() {
     if (r.remaining == 0) continue;
     if (--r.remaining == 0) {
       r.image = r.target;
-      cores_[i]->set_personality(r.image == reconfig::CoreImage::kWhirlpool
-                                     ? cu::CuPersonality::kWhirlpool
-                                     : cu::CuPersonality::kAes);
+      cores_[i]->set_personality(personality_for(r.image));
       core_allocated_[i] = false;
       trace_.record(cycle_, "scheduler",
                     "core " + std::to_string(i) + " now hosts " +

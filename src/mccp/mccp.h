@@ -53,6 +53,22 @@ struct MccpConfig {
   /// (disabling it forces a full round-key expansion on every request).
   int control_latency_cycles = -1;  // -1: use timing.h default
   bool key_cache_enabled = true;
+
+  // -- partial reconfiguration (paper SVII.B) ---------------------------------
+  /// Initial per-slot core personalities: slot i boots hosting
+  /// slot_images[i]. Shorter than num_cores (or empty) = remaining slots
+  /// host the AES image, the platform's power-on default.
+  std::vector<reconfig::CoreImage> slot_images{};
+  /// Where bitstreams are fetched from when the platform reconfigures a
+  /// slot on its own (Table IV: RAM cache ~6x faster than CompactFlash).
+  reconfig::BitstreamStore bitstream_store = reconfig::BitstreamStore::kRam;
+  /// Policy for a request whose mode needs a core image no slot hosts:
+  /// true = schedule a partial reconfiguration and serve the request once
+  /// the swap lands; false = fail the request fast (no silent compute).
+  bool auto_reconfig = true;
+  /// Timescale compression for swap durations (see
+  /// reconfig::scaled_reconfiguration_cycles); 1 = faithful Table IV.
+  std::uint32_t reconfig_time_divisor = 1;
 };
 
 class Mccp final : public sim::Clocked {
@@ -97,6 +113,22 @@ class Mccp final : public sim::Clocked {
   reconfig::CoreImage core_image(std::size_t core_idx) const {
     return reconfig_[core_idx].image;
   }
+  /// Slots currently hosting `img` (swaps still in flight don't count).
+  std::size_t cores_hosting(reconfig::CoreImage img) const;
+  /// True when some slot hosts `img` or a running swap will land it — i.e.
+  /// a request needing that personality will eventually be servable
+  /// without scheduling anything new.
+  bool image_acquirable(reconfig::CoreImage img) const;
+  /// Swaps begun (each runs to completion; there is no cancel) + the
+  /// slot-cycles they spend unavailable.
+  std::uint64_t reconfigurations_done() const { return reconfigurations_done_; }
+  std::uint64_t reconfig_stall_cycles() const { return reconfig_stall_cycles_; }
+  /// Swaps that landed (or are landing) `img` specifically.
+  std::uint64_t reconfigurations_to(reconfig::CoreImage img) const {
+    return reconfig_to_[static_cast<std::size_t>(img)];
+  }
+  reconfig::BitstreamStore bitstream_store() const { return bitstream_store_; }
+  bool auto_reconfig() const { return auto_reconfig_; }
 
   // -- introspection / statistics ----------------------------------------------
   std::size_t num_cores() const { return cores_.size(); }
@@ -169,6 +201,12 @@ class Mccp final : public sim::Clocked {
     std::uint64_t remaining = 0;
   };
   std::vector<CoreReconfigState> reconfig_;
+  reconfig::BitstreamStore bitstream_store_;
+  bool auto_reconfig_;
+  std::uint32_t reconfig_time_divisor_;
+  std::uint64_t reconfigurations_done_ = 0;
+  std::uint64_t reconfig_stall_cycles_ = 0;
+  std::uint64_t reconfig_to_[2] = {0, 0};  // indexed by CoreImage
 
   std::uint64_t cycle_ = 0;
   std::uint64_t requests_completed_ = 0;

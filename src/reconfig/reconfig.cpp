@@ -47,6 +47,13 @@ std::uint64_t reconfiguration_cycles(CoreImage img, BitstreamStore s, double fre
   return static_cast<std::uint64_t>(reconfiguration_seconds(img, s) * frequency_hz);
 }
 
+std::uint64_t scaled_reconfiguration_cycles(CoreImage img, BitstreamStore s,
+                                            std::uint32_t time_divisor, double frequency_hz) {
+  std::uint64_t cycles = reconfiguration_cycles(img, s, frequency_hz);
+  if (time_divisor > 1) cycles /= time_divisor;
+  return cycles < 1 ? 1 : cycles;
+}
+
 std::uint64_t ReconfigurableSlot::begin_reconfiguration(CoreImage next, BitstreamStore store,
                                                         double frequency_hz) {
   if (reconfiguring())

@@ -70,6 +70,18 @@ double reconfiguration_seconds(CoreImage img, BitstreamStore s);
 std::uint64_t reconfiguration_cycles(CoreImage img, BitstreamStore s,
                                      double frequency_hz = 190e6);
 
+/// Reconfiguration cycles compressed by `time_divisor` (>= 1; never below
+/// one cycle). Both device backends charge swaps through this one function
+/// so their modelled durations agree cycle for cycle. The divisor is a
+/// modelling knob (MccpConfig::reconfig_time_divisor / a scenario's
+/// "reconfig_scale"): real Table-IV swaps run tens of millions of cycles,
+/// which is faithful but makes cycle-accurate churn experiments slow;
+/// dividing compresses the timescale while preserving the
+/// CompactFlash-vs-RAM ratio the paper's caching conclusion rests on.
+std::uint64_t scaled_reconfiguration_cycles(CoreImage img, BitstreamStore s,
+                                            std::uint32_t time_divisor,
+                                            double frequency_hz = 190e6);
+
 /// A CU algorithm slot with reconfiguration state. Cycle-driven: call
 /// tick() from the owning simulation.
 class ReconfigurableSlot {

@@ -147,13 +147,27 @@ ChannelClass control_class() {
   return c;
 }
 
+ChannelClass whirlpool_class() {
+  ChannelClass c;
+  c.name = "whirlpool";
+  c.mode = ChannelMode::kWhirlpool;
+  c.key_len = 16;  // unused: hash channels are unkeyed
+  c.tag_len = 16;  // registered value only
+  c.priority = 96;
+  c.payload = SizeDist::uniform(256, 1024);  // firmware / attestation blobs
+  c.aad = SizeDist::fixed(0);
+  c.arrival = ArrivalSpec::poisson_at(0.2);
+  return c;
+}
+
 ChannelClass preset_class(const std::string& name) {
   if (name == "voip") return voip_class();
   if (name == "video") return video_class();
   if (name == "bulk") return bulk_class();
   if (name == "control") return control_class();
+  if (name == "whirlpool") return whirlpool_class();
   throw std::invalid_argument("preset_class: unknown preset \"" + name +
-                              "\" (known: voip, video, bulk, control)");
+                              "\" (known: voip, video, bulk, control, whirlpool)");
 }
 
 const char* mode_name(ChannelMode mode) {

@@ -70,13 +70,16 @@ std::size_t normalize_payload(std::size_t sampled);
 std::size_t normalize_aad(std::size_t sampled);
 
 // -- presets ------------------------------------------------------------------
-ChannelClass voip_class();     // AES-128-CTR, 160 B frames, priority 0, isochronous
-ChannelClass video_class();    // AES-128-GCM, 512..1424 B, priority 64, bursty on/off
-ChannelClass bulk_class();     // AES-256-CCM, 2 KB, priority 192, Poisson saturation
-ChannelClass control_class();  // AES-128-CBC-MAC, 64 B, priority 16, sparse Poisson
+ChannelClass voip_class();      // AES-128-CTR, 160 B frames, priority 0, isochronous
+ChannelClass video_class();     // AES-128-GCM, 512..1424 B, priority 64, bursty on/off
+ChannelClass bulk_class();      // AES-256-CCM, 2 KB, priority 192, Poisson saturation
+ChannelClass control_class();   // AES-128-CBC-MAC, 64 B, priority 16, sparse Poisson
+ChannelClass whirlpool_class(); // Whirlpool hashing, 256..1024 B blobs, priority 96
+                                // (firmware/attestation digests; needs a CU slot
+                                // reconfigured to the Whirlpool image, SVII.B)
 
-/// Preset lookup by name ("voip"/"video"/"bulk"/"control"); throws
-/// std::invalid_argument listing the known names.
+/// Preset lookup by name ("voip"/"video"/"bulk"/"control"/"whirlpool");
+/// throws std::invalid_argument listing the known names.
 ChannelClass preset_class(const std::string& name);
 
 const char* mode_name(ChannelMode mode);

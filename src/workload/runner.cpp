@@ -78,11 +78,18 @@ ScenarioReport ScenarioRunner::run() {
   using WallClock = std::chrono::steady_clock;
   const auto wall_start = WallClock::now();
 
-  host::Engine engine({.num_devices = spec_.devices,
-                       .device = {.num_cores = spec_.cores_per_device},
-                       .placement = spec_.placement,
-                       .backend = spec_.backend,
-                       .num_workers = spec_.threads});
+  host::EngineConfig engine_cfg;
+  engine_cfg.num_devices = spec_.devices;
+  engine_cfg.device.num_cores = spec_.cores_per_device;
+  engine_cfg.device.slot_images = spec_.slot_images;
+  engine_cfg.device.bitstream_store = spec_.bitstream_store;
+  engine_cfg.device.auto_reconfig = spec_.auto_reconfig;
+  engine_cfg.device.reconfig_time_divisor = spec_.reconfig_time_divisor;
+  engine_cfg.slot_layouts = spec_.slot_layouts;
+  engine_cfg.placement = spec_.placement;
+  engine_cfg.backend = spec_.backend;
+  engine_cfg.num_workers = spec_.threads;
+  host::Engine engine(engine_cfg);
 
   // One session key per class, broadcast fleet-wide so placement is free.
   for (std::size_t i = 0; i < spec_.classes.size(); ++i) {
@@ -166,6 +173,30 @@ ScenarioReport ScenarioRunner::run() {
       rep.service.record(r.complete_cycle - r.accept_cycle);
   };
 
+  // Completion accounting for a decrypt/verify round-trip job. Round-trips
+  // live outside offered/completed (those count arrivals); a clean one
+  // never fails auth, so failures land in the class's auth_failures.
+  auto on_verify_done = [&](ClassState& st, const host::JobResult& r) {
+    --inflight;
+    ClassReport& rep = st.report;
+    ++rep.decrypt_completed;
+    rep.busy_rejections += r.rejections;
+    rep.last_complete_cycle = std::max(rep.last_complete_cycle, r.complete_cycle);
+    if (!r.auth_ok) ++rep.auth_failures;
+  };
+
+  /// One admitted arrival: the encrypt-side JobSpec plus, when this
+  /// arrival was picked for a decrypt/verify round-trip
+  /// (ClassSpec::decrypt_fraction), the context the resubmit needs. The
+  /// pick is drawn from the class rng in arrival order, so the verify mix
+  /// is deterministic across backends and thread counts.
+  struct BuiltJob {
+    host::JobSpec job;
+    bool verify = false;
+    Bytes verify_iv, verify_aad;
+    Bytes verify_msg;  // CBC-MAC re-MACs the message itself (no ciphertext)
+  };
+
   // Build the JobSpec for this class's next admitted arrival (arrival
   // number `st.generated`, about to be consumed).
   auto build_spec = [&](ClassState& st) {
@@ -184,7 +215,17 @@ ScenarioReport ScenarioRunner::run() {
     job.aad = st.rng.bytes(aad_len);
     job.payload = st.rng.bytes(payload_len);
     job.priority = p.priority;
-    return job;
+
+    BuiltJob built;
+    built.job = std::move(job);
+    if (st.spec->decrypt_fraction > 0.0 && p.mode != ChannelMode::kWhirlpool &&
+        st.rng.next_double() < st.spec->decrypt_fraction) {
+      built.verify = true;
+      built.verify_iv = built.job.iv_or_nonce;
+      built.verify_aad = built.job.aad;
+      if (p.mode == ChannelMode::kCbcMac) built.verify_msg = built.job.payload;
+    }
+    return built;
   };
 
   const sim::Cycle start_cycle = engine.max_cycle();
@@ -198,7 +239,7 @@ ScenarioReport ScenarioRunner::run() {
     for (ClassState& st : states) {
       if (!st.next_time || *st.next_time > static_cast<double>(now)) continue;
 
-      std::vector<std::vector<host::JobSpec>> batches(st.channels.size());
+      std::vector<std::vector<BuiltJob>> batches(st.channels.size());
       std::vector<std::size_t> batch_order;
       while (st.next_time && *st.next_time <= static_cast<double>(now)) {
         if (inflight >= spec_.window) {
@@ -224,12 +265,44 @@ ScenarioReport ScenarioRunner::run() {
         ClassReport& rep = st.report;
         if (rep.submitted == 0)
           rep.first_submit_cycle = engine.device(st.channels[ch].device_index()).now();
-        for (const host::JobSpec& job : batches[ch]) rep.payload_bytes += job.payload.size();
-        rep.submitted += batches[ch].size();
+        std::vector<host::JobSpec> specs;
+        specs.reserve(batches[ch].size());
+        for (BuiltJob& b : batches[ch]) {
+          rep.payload_bytes += b.job.payload.size();
+          specs.push_back(std::move(b.job));
+        }
+        rep.submitted += specs.size();
         std::vector<host::Completion> jobs =
-            engine.submit_batch(st.channels[ch], std::move(batches[ch]));
-        for (host::Completion& job : jobs)
-          job.on_done([&st, &on_done](const host::JobResult& r) { on_done(st, r); });
+            engine.submit_batch(st.channels[ch], std::move(specs));
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+          BuiltJob& b = batches[ch][i];
+          if (!b.verify) {
+            jobs[i].on_done([&st, &on_done](const host::JobResult& r) { on_done(st, r); });
+            continue;
+          }
+          // Round-trip: once the sealed packet lands, feed it straight
+          // back through the fleet as a decrypt/verify job on the same
+          // channel. The resubmit happens inside the completion callback
+          // (a documented re-entrant use of the engine), shares the
+          // closed loop's in-flight budget, and must authenticate — any
+          // failure is a real bug surfacing in auth_failures.
+          jobs[i].on_done([&st, &on_done, &on_verify_done, &engine, &inflight, &peak_inflight,
+                           ch, remac = st.spec->profile.mode == ChannelMode::kCbcMac,
+                           priority = st.spec->profile.priority, iv = std::move(b.verify_iv),
+                           aad = std::move(b.verify_aad), msg = std::move(b.verify_msg)](
+                              const host::JobResult& r) {
+            on_done(st, r);
+            if (!r.auth_ok) return;  // nothing sealed to round-trip
+            ++inflight;
+            peak_inflight = std::max(peak_inflight, inflight);
+            ++st.report.decrypt_submitted;
+            engine
+                .submit_decrypt(st.channels[ch], iv, aad, remac ? msg : r.payload, r.tag,
+                                priority)
+                .on_done(
+                    [&st, &on_verify_done](const host::JobResult& r2) { on_verify_done(st, r2); });
+          });
+        }
       }
     }
 
@@ -260,7 +333,14 @@ ScenarioReport ScenarioRunner::run() {
   report.wall_ms =
       std::chrono::duration<double, std::milli>(WallClock::now() - wall_start).count();
   report.peak_inflight = peak_inflight;
-  for (ClassState& st : states) report.classes.push_back(std::move(st.report));
+  report.reconfigurations = engine.reconfigurations();
+  report.reconfig_stall_cycles = engine.reconfig_stall_cycles();
+  report.bitstream_store = store_spec_name(spec_.bitstream_store);
+  for (ClassState& st : states) {
+    st.report.image_reconfigurations =
+        engine.reconfigurations_to(host::image_for_mode(st.spec->profile.mode));
+    report.classes.push_back(std::move(st.report));
+  }
   report.queue_depth = std::move(queue_depth);
   report.queue_sample_interval = sample_interval;
   return report;
@@ -299,6 +379,9 @@ std::string report_json(const ScenarioReport& report) {
              static_cast<double>(report.makespan_cycles) / 190e3)
       .field("wall_ms", report.wall_ms)
       .field("peak_inflight", report.peak_inflight)
+      .field("reconfigurations", report.reconfigurations)
+      .field("reconfig_stall_cycles", report.reconfig_stall_cycles)
+      .field("bitstream_store", report.bitstream_store)
       .field("total_offered", report.total_offered())
       .field("total_completed", report.total_completed());
   json.begin_array("classes");
@@ -315,6 +398,9 @@ std::string report_json(const ScenarioReport& report) {
         .field("dropped", c.dropped)
         .field("busy_rejections", c.busy_rejections)
         .field("payload_bytes", c.payload_bytes)
+        .field("decrypt_submitted", c.decrypt_submitted)
+        .field("decrypt_completed", c.decrypt_completed)
+        .field("image_reconfigurations", c.image_reconfigurations)
         .field("throughput_mbps", c.throughput_mbps());
     histogram_json(json, "latency_cycles", c.latency);
     histogram_json(json, "service_cycles", c.service);

@@ -13,6 +13,17 @@
 // auth failures; fleet-wide it samples its own admission-window occupancy
 // (submitted-not-yet-completed packets) over time.
 //
+// Decrypt/verify traffic: a class with `decrypt_fraction` > 0 has that
+// fraction of its sealed packets (picked from the class rng in arrival
+// order) resubmitted through the fleet as open jobs from inside the seal's
+// completion callback — exercising the verify cores and auth-failure
+// accounting under load. Round-trips share the closed loop's in-flight
+// budget and are reported per class (decrypt_submitted/_completed).
+//
+// Partial reconfiguration: the spec's slot layout / bitstream-store /
+// auto-reconfig knobs flow to the fleet, and the report carries the swap
+// count + stall cycles the run incurred (fleet-wide and per class image).
+//
 // Threading: `spec.threads` forwards to `EngineConfig::num_workers`. The
 // pacing loop itself is unchanged — arrivals are admitted against the
 // engine clock and completions fire on this thread between steps — so a
@@ -51,6 +62,16 @@ struct ClassReport {
   std::uint64_t busy_rejections = 0;   // device busy-error retries across jobs
   std::uint64_t payload_bytes = 0;     // submitted payload
 
+  /// Decrypt/verify round-trips (ClassSpec::decrypt_fraction): sealed
+  /// packets resubmitted through the fleet as open jobs and how many
+  /// resolved. A clean round-trip never fails auth; failures land in
+  /// auth_failures above.
+  std::uint64_t decrypt_submitted = 0;
+  std::uint64_t decrypt_completed = 0;
+  /// Fleet swaps that landed this class's core image (paper SVII.B) —
+  /// classes sharing an image (all AES modes) report the same figure.
+  std::uint64_t image_reconfigurations = 0;
+
   sim::Cycle first_submit_cycle = 0;
   sim::Cycle last_complete_cycle = 0;
 
@@ -83,6 +104,12 @@ struct ScenarioReport {
   sim::Cycle makespan_cycles = 0;  // first submit to fleet drain (furthest clock)
   double wall_ms = 0.0;            // host wall-clock for the run() call
   std::size_t peak_inflight = 0;
+
+  /// Fleet-wide partial-reconfiguration accounting (paper SVII.B): swaps
+  /// begun across all devices and the slot-cycles they spent unavailable.
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t reconfig_stall_cycles = 0;
+  std::string bitstream_store;  // where on-demand swaps fetched from
 
   std::vector<ClassReport> classes;
   /// Admission-window occupancy over time (see QueueSample); the sampling

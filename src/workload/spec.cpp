@@ -119,6 +119,13 @@ ClassSpec parse_class(const json::Value& v, const std::string& base_dir) {
   spec.packets = v.u64_or("packets", spec.packets);
   spec.channels = static_cast<std::size_t>(v.u64_or("channels", spec.channels));
   if (spec.channels == 0) throw std::invalid_argument("scenario: channels must be >= 1");
+  spec.decrypt_fraction = v.number_or("decrypt_fraction", spec.decrypt_fraction);
+  if (spec.decrypt_fraction < 0.0 || spec.decrypt_fraction > 1.0)
+    throw std::invalid_argument("scenario: decrypt_fraction must be in [0, 1]");
+  if (spec.decrypt_fraction > 0.0 && spec.profile.mode == ChannelMode::kWhirlpool)
+    throw std::invalid_argument("scenario: class \"" + spec.profile.name +
+                                "\": decrypt_fraction is meaningless for whirlpool "
+                                "(hashing has no open side)");
   if (spec.packets == 0 && spec.profile.arrival.kind != ArrivalSpec::Kind::kTrace)
     throw std::invalid_argument(
         "scenario: packets must be >= 1 (0 is only meaningful for trace arrivals)");
@@ -156,6 +163,37 @@ ScenarioSpec parse_scenario(const json::Value& doc, const std::string& base_dir)
   spec.queue_sample_cycles = doc.u64_or("queue_sample_cycles", spec.queue_sample_cycles);
   if (spec.queue_sample_cycles == 0)
     throw std::invalid_argument("scenario: queue_sample_cycles must be >= 1");
+
+  // Slot personalities: "slots": ["aes", "whirlpool", ...] applies one
+  // boot layout to every device; an array of arrays gives device i its own
+  // layout (missing / empty entries fall back to the uniform layout).
+  if (const json::Value* slots = doc.find("slots")) {
+    if (!slots->is_array() || slots->as_array().empty())
+      throw std::invalid_argument("scenario: \"slots\" wants a non-empty array");
+    auto parse_layout = [&](const json::Value& arr) {
+      std::vector<reconfig::CoreImage> layout;
+      for (const json::Value& s : arr.as_array()) layout.push_back(image_from_name(s.as_string()));
+      if (layout.size() > spec.cores_per_device)
+        throw std::invalid_argument("scenario: a \"slots\" layout lists more slots than "
+                                    "cores_per_device");
+      return layout;
+    };
+    if (slots->as_array().front().is_array()) {
+      if (slots->as_array().size() > spec.devices)
+        throw std::invalid_argument("scenario: \"slots\" lists more layouts than devices");
+      for (const json::Value& layout : slots->as_array())
+        spec.slot_layouts.push_back(parse_layout(layout));
+    } else {
+      spec.slot_images = parse_layout(*slots);
+    }
+  }
+  if (const json::Value* store = doc.find("bitstream_store"))
+    spec.bitstream_store = store_from_name(store->as_string());
+  spec.auto_reconfig = doc.bool_or("auto_reconfig", spec.auto_reconfig);
+  spec.reconfig_time_divisor =
+      static_cast<std::uint32_t>(doc.u64_or("reconfig_scale", spec.reconfig_time_divisor));
+  if (spec.reconfig_time_divisor == 0)
+    throw std::invalid_argument("scenario: reconfig_scale must be >= 1");
 
   const json::Value* classes = doc.find("classes");
   if (classes == nullptr || !classes->is_array() || classes->as_array().empty())
@@ -205,6 +243,28 @@ host::Placement placement_from_name(const std::string& name) {
   if (name == "mode_affinity") return host::Placement::kModeAffinity;
   throw std::invalid_argument("scenario: unknown placement \"" + name +
                               "\" (known: round_robin, least_loaded, mode_affinity)");
+}
+
+const char* image_spec_name(reconfig::CoreImage image) {
+  return image == reconfig::CoreImage::kWhirlpool ? "whirlpool" : "aes";
+}
+
+reconfig::CoreImage image_from_name(const std::string& name) {
+  if (name == "aes") return reconfig::CoreImage::kAesEncryptWithKs;
+  if (name == "whirlpool") return reconfig::CoreImage::kWhirlpool;
+  throw std::invalid_argument("scenario: unknown core image \"" + name +
+                              "\" (known: aes, whirlpool)");
+}
+
+const char* store_spec_name(reconfig::BitstreamStore store) {
+  return store == reconfig::BitstreamStore::kCompactFlash ? "compact_flash" : "ram";
+}
+
+reconfig::BitstreamStore store_from_name(const std::string& name) {
+  if (name == "ram") return reconfig::BitstreamStore::kRam;
+  if (name == "compact_flash") return reconfig::BitstreamStore::kCompactFlash;
+  throw std::invalid_argument("scenario: unknown bitstream store \"" + name +
+                              "\" (known: ram, compact_flash)");
 }
 
 }  // namespace mccp::workload

@@ -42,6 +42,12 @@ struct ClassSpec {
   ChannelClass profile{};
   std::uint64_t packets = 100;  // arrivals to offer (0 = until the trace exhausts)
   std::size_t channels = 1;     // channels of this class (placement shards them)
+  /// Fraction of this class's sealed packets the runner round-trips back
+  /// through the fleet as decrypt/verify jobs (0 = encrypt-side only).
+  /// Whether a given arrival round-trips is decided from the class rng in
+  /// arrival order, so the verify mix is deterministic across backends
+  /// and thread counts. Ignored for Whirlpool (hashing has no open side).
+  double decrypt_fraction = 0.0;
 };
 
 struct ScenarioSpec {
@@ -59,6 +65,23 @@ struct ScenarioSpec {
   Admission admission = Admission::kBlock;
   sim::Cycle max_cycles = 0;  // stop offering new arrivals after this (0 = off)
   sim::Cycle queue_sample_cycles = 2048;  // queue-depth sampling period
+
+  // -- slot personalities & partial reconfiguration (paper SVII.B) ------------
+  /// Boot slot layout applied to every device ("slots": ["aes", ...]);
+  /// empty = all slots host the AES image.
+  std::vector<reconfig::CoreImage> slot_images{};
+  /// Per-device boot layouts ("slots": [["aes"], ["whirlpool"]]); entry i
+  /// overrides `slot_images` for device i. Empty = uniform layout.
+  std::vector<std::vector<reconfig::CoreImage>> slot_layouts{};
+  /// "bitstream_store": where on-demand swaps fetch bitstreams from.
+  reconfig::BitstreamStore bitstream_store = reconfig::BitstreamStore::kRam;
+  /// "auto_reconfig": swap a slot on demand (true) or fail the packet
+  /// fast (false) when a mode's image is missing device-wide.
+  bool auto_reconfig = true;
+  /// "reconfig_scale": swap-duration timescale compression (>= 1; see
+  /// reconfig::scaled_reconfiguration_cycles). 1 = faithful Table IV.
+  std::uint32_t reconfig_time_divisor = 1;
+
   std::vector<ClassSpec> classes;
 };
 
@@ -74,5 +97,11 @@ const char* backend_name(host::Backend backend);
 host::Backend backend_from_name(const std::string& name);
 const char* placement_name(host::Placement placement);
 host::Placement placement_from_name(const std::string& name);
+/// Spec-file spellings of the reconfiguration enums: "aes" / "whirlpool",
+/// "ram" / "compact_flash".
+const char* image_spec_name(reconfig::CoreImage image);
+reconfig::CoreImage image_from_name(const std::string& name);
+const char* store_spec_name(reconfig::BitstreamStore store);
+reconfig::BitstreamStore store_from_name(const std::string& name);
 
 }  // namespace mccp::workload

@@ -144,22 +144,84 @@ TEST(BackendDifferential, CtrCounterWrapMatchesHardware) {
             to_hex(crypto::ctr_transform_inc16(keys, Block128::from_span(iv), payload)));
 }
 
-TEST(BackendDifferential, WhirlpoolDigestMatchesReference) {
-  // A simulated Whirlpool channel needs a core whose CU slot has been
-  // partially reconfigured with the Whirlpool image (paper SVII.B), which
-  // the functional backend does not model yet (ROADMAP open item) — it
-  // behaves as a fleet whose slots are already loaded. Pin it to the
-  // golden software hash instead of the simulator.
+TEST(BackendDifferential, WhirlpoolDigestsBitIdenticalAcrossBackends) {
+  // A Whirlpool channel needs a CU slot hosting the Whirlpool image (paper
+  // SVII.B); both fleets boot one via the slot layout, so the simulated
+  // core and the fast path can be run head to head: randomized payloads,
+  // bit-identical 512-bit digests, and both pinned to the golden software
+  // hash.
   Rng rng(5000);
-  Engine engine({.num_devices = 1, .device = {.num_cores = 2}, .backend = Backend::kFast});
-  engine.provision_key(1, rng.bytes(16));
-  Channel ch = engine.open_channel(ChannelMode::kWhirlpool, 1);
-  ASSERT_TRUE(ch.valid());
-  for (std::size_t payload_len : {0u, 16u, 64u, 512u, 1000u}) {
+  auto config = [](Backend backend) {
+    EngineConfig cfg{.num_devices = 1, .device = {.num_cores = 2}, .backend = backend};
+    cfg.device.slot_images = {reconfig::CoreImage::kAesEncryptWithKs,
+                              reconfig::CoreImage::kWhirlpool};
+    return cfg;
+  };
+  Engine sim(config(Backend::kSim)), fast(config(Backend::kFast));
+  Channel sim_ch = sim.open_channel(ChannelMode::kWhirlpool, 0);
+  Channel fast_ch = fast.open_channel(ChannelMode::kWhirlpool, 0);
+  ASSERT_TRUE(sim_ch.valid() && fast_ch.valid());
+  for (std::size_t payload_len : {0u, 1u, 16u, 31u, 64u, 512u, 1000u}) {
     Bytes msg = rng.bytes(payload_len);
-    JobResult r = engine.submit_encrypt(ch, {}, {}, msg).wait();
+    JobResult s = sim.submit_encrypt(sim_ch, {}, {}, msg).wait();
+    JobResult f = fast.submit_encrypt(fast_ch, {}, {}, msg).wait();
+    ASSERT_TRUE(s.complete && f.complete) << payload_len;
+    EXPECT_TRUE(s.auth_ok && f.auth_ok) << payload_len;
+    EXPECT_EQ(to_hex(s.payload), to_hex(f.payload)) << payload_len;
     auto digest = crypto::whirlpool(msg);
-    EXPECT_EQ(to_hex(r.payload), to_hex(Bytes(digest.begin(), digest.end()))) << payload_len;
+    EXPECT_EQ(to_hex(f.payload), to_hex(Bytes(digest.begin(), digest.end()))) << payload_len;
+  }
+  // Randomized sweep: sizes drawn from the rng, still bit-identical.
+  for (int i = 0; i < 10; ++i) {
+    Bytes msg = rng.bytes(rng.next_below(1500));
+    JobResult s = sim.submit_encrypt(sim_ch, {}, {}, msg).wait();
+    JobResult f = fast.submit_encrypt(fast_ch, {}, {}, msg).wait();
+    EXPECT_EQ(to_hex(s.payload), to_hex(f.payload)) << "iteration " << i;
+    EXPECT_EQ(s.payload.size(), 64u);
+  }
+}
+
+TEST(BackendDifferential, MixedAesWhirlpoolFleetParity) {
+  // GCM and Whirlpool channels interleaved on one two-personality device:
+  // every packet's result must match across backends while both images
+  // serve concurrently.
+  auto config = [](Backend backend) {
+    EngineConfig cfg{.num_devices = 1, .device = {.num_cores = 2}, .backend = backend};
+    cfg.device.slot_images = {reconfig::CoreImage::kAesEncryptWithKs,
+                              reconfig::CoreImage::kWhirlpool};
+    return cfg;
+  };
+  Engine sim(config(Backend::kSim)), fast(config(Backend::kFast));
+  Rng rng(5600);
+  Bytes key = rng.bytes(16);
+  sim.provision_key(1, key);
+  fast.provision_key(1, key);
+  Channel sim_gcm = sim.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  Channel fast_gcm = fast.open_channel(ChannelMode::kGcm, 1, 16, 12);
+  Channel sim_wp = sim.open_channel(ChannelMode::kWhirlpool, 0);
+  Channel fast_wp = fast.open_channel(ChannelMode::kWhirlpool, 0);
+  ASSERT_TRUE(sim_gcm.valid() && fast_gcm.valid() && sim_wp.valid() && fast_wp.valid());
+
+  std::vector<Completion> sim_jobs, fast_jobs;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 2 == 0) {
+      Bytes iv = rng.bytes(12), pt = rng.bytes(16 * (1 + rng.next_below(16)));
+      sim_jobs.push_back(sim.submit_encrypt(sim_gcm, iv, {}, pt));
+      fast_jobs.push_back(fast.submit_encrypt(fast_gcm, iv, {}, pt));
+    } else {
+      Bytes msg = rng.bytes(rng.next_below(800));
+      sim_jobs.push_back(sim.submit_encrypt(sim_wp, {}, {}, msg));
+      fast_jobs.push_back(fast.submit_encrypt(fast_wp, {}, {}, msg));
+    }
+  }
+  sim.wait_all();
+  fast.wait_all();
+  for (std::size_t i = 0; i < sim_jobs.size(); ++i) {
+    const JobResult& a = sim_jobs[i].result();
+    const JobResult& b = fast_jobs[i].result();
+    EXPECT_EQ(to_hex(a.payload), to_hex(b.payload)) << i;
+    EXPECT_EQ(to_hex(a.tag), to_hex(b.tag)) << i;
+    EXPECT_EQ(a.auth_ok, b.auth_ok) << i;
   }
 }
 

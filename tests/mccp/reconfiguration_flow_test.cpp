@@ -16,13 +16,31 @@ using reconfig::BitstreamStore;
 using reconfig::CoreImage;
 
 TEST(ReconfigFlow, WhirlpoolChannelNeedsAReconfiguredCore) {
-  Radio radio({.num_cores = 4});
-  auto ch = radio.open_channel(ChannelMode::kWhirlpool, /*key (ignored)=*/0);
-  ASSERT_TRUE(ch.has_value());
-  // All cores still host the AES image -> no resource for hash requests.
-  JobId job = radio.submit_encrypt(*ch, {}, {}, Bytes(100, 0xAB));
-  EXPECT_THROW(radio.run_until_idle(2'000'000), std::runtime_error);
-  (void)job;
+  // All cores host the AES image. With auto_reconfig off, a hash request
+  // fails fast (no silent compute, no eternal retry); with it on (the
+  // default), the scheduler begins a bitstream transfer instead — at the
+  // faithful Table IV timescale the request is still pending millions of
+  // cycles later.
+  {
+    Radio radio({.num_cores = 4, .auto_reconfig = false});
+    auto ch = radio.open_channel(ChannelMode::kWhirlpool, /*key (ignored)=*/0);
+    ASSERT_TRUE(ch.has_value());
+    JobId job = radio.submit_encrypt(*ch, {}, {}, Bytes(100, 0xAB));
+    radio.run_until_idle();
+    EXPECT_TRUE(radio.result(job).complete);
+    EXPECT_FALSE(radio.result(job).auth_ok);
+    EXPECT_EQ(radio.mccp().reconfigurations_done(), 0u);
+  }
+  {
+    Radio radio({.num_cores = 4});
+    auto ch = radio.open_channel(ChannelMode::kWhirlpool, 0);
+    ASSERT_TRUE(ch.has_value());
+    JobId job = radio.submit_encrypt(*ch, {}, {}, Bytes(100, 0xAB));
+    EXPECT_THROW(radio.run_until_idle(500'000), std::runtime_error);
+    EXPECT_FALSE(radio.result(job).complete);
+    EXPECT_EQ(radio.mccp().reconfigurations_done(), 1u);  // swap scheduled, in flight
+    EXPECT_TRUE(radio.mccp().core_reconfiguring(3));
+  }
 }
 
 TEST(ReconfigFlow, HashAfterReconfigurationMatchesReference) {
@@ -86,11 +104,14 @@ TEST(ReconfigFlow, ReconfiguringCoreIsNotSchedulable) {
   ASSERT_TRUE(radio.mccp()
                   .begin_core_reconfiguration(0, CoreImage::kWhirlpool, BitstreamStore::kRam)
                   .has_value());
-  // The only core is reserved by the bitstream transfer: requests bounce.
+  // The only core is reserved by the bitstream transfer (and its AES image
+  // is going away): the request waits, and the scheduler cannot start a
+  // counter-swap while the slot is mid-transfer.
   JobId job = radio.submit_encrypt(*gcm, rng.bytes(12), {}, rng.bytes(64));
   radio.run(50'000);
   EXPECT_FALSE(radio.result(job).complete);
-  EXPECT_GT(radio.result(job).rejections, 0u);
+  EXPECT_EQ(radio.mccp().reconfigurations_done(), 1u);
+  EXPECT_TRUE(radio.mccp().core_reconfiguring(0));
 }
 
 TEST(ReconfigFlow, BusyCoreCannotBeReconfigured) {

@@ -93,10 +93,15 @@ void expect_reports_identical(const ScenarioReport& serial, const ScenarioReport
     EXPECT_EQ(s.payload_bytes, t.payload_bytes) << s.name;
     EXPECT_EQ(s.first_submit_cycle, t.first_submit_cycle) << s.name;
     EXPECT_EQ(s.last_complete_cycle, t.last_complete_cycle) << s.name;
+    EXPECT_EQ(s.decrypt_submitted, t.decrypt_submitted) << s.name;
+    EXPECT_EQ(s.decrypt_completed, t.decrypt_completed) << s.name;
+    EXPECT_EQ(s.image_reconfigurations, t.image_reconfigurations) << s.name;
     EXPECT_EQ(s.latency.count(), t.latency.count()) << s.name;
     for (double q : {0.5, 0.99, 1.0})
       EXPECT_EQ(s.latency.quantile(q), t.latency.quantile(q)) << s.name << " q=" << q;
   }
+  EXPECT_EQ(serial.reconfigurations, threaded.reconfigurations);
+  EXPECT_EQ(serial.reconfig_stall_cycles, threaded.reconfig_stall_cycles);
   ASSERT_EQ(serial.queue_depth.size(), threaded.queue_depth.size());
   for (std::size_t i = 0; i < serial.queue_depth.size(); ++i) {
     EXPECT_EQ(serial.queue_depth[i].cycle, threaded.queue_depth[i].cycle) << i;
@@ -252,6 +257,15 @@ TEST(Scenario, ReportJsonIsParseableAndComplete) {
   const json::Value* queue = doc.find("queue_depth");
   ASSERT_NE(queue, nullptr);
   EXPECT_FALSE(queue->as_array().empty());
+  // Reconfiguration + verify-traffic accounting is always present (zero
+  // for a pure-AES encrypt-only scenario).
+  EXPECT_NE(doc.find("reconfigurations"), nullptr);
+  EXPECT_NE(doc.find("reconfig_stall_cycles"), nullptr);
+  EXPECT_EQ(doc.string_or("bitstream_store", ""), "ram");
+  for (const json::Value& c : classes) {
+    EXPECT_NE(c.find("decrypt_submitted"), nullptr);
+    EXPECT_NE(c.find("image_reconfigurations"), nullptr);
+  }
 }
 
 TEST(Scenario, DecryptRoundTripPinsAuthFailureAccounting) {
@@ -320,6 +334,131 @@ TEST(Scenario, DecryptRoundTripPinsAuthFailureAccounting) {
     EXPECT_EQ(gcm.stats().completed + ccm.stats().completed, 2 * kPackets);
     EXPECT_EQ(gcm.stats().failed, kPackets / 8);  // the even-index corruptions
     EXPECT_EQ(ccm.stats().failed, kPackets / 8);  // the odd-index ones
+  }
+}
+
+TEST(Scenario, DecryptFractionRoundTripsThroughTheFleet) {
+  // A class with decrypt_fraction re-submits that share of its sealed
+  // packets as open jobs: the verify mix is drawn from the class rng in
+  // arrival order, so both backends round-trip the identical packets, and
+  // every round-trip must authenticate.
+  auto make = [](host::Backend backend) {
+    ScenarioSpec spec = parse_scenario_text(R"({
+      "name": "verify_mix", "seed": 991, "devices": 2, "cores_per_device": 2,
+      "window": 10,
+      "classes": [
+        {"class": "video",   "name": "v", "packets": 30, "channels": 2,
+         "decrypt_fraction": 0.5,
+         "arrival": {"kind": "poisson", "rate": 0.8}},
+        {"class": "bulk",    "name": "b", "packets": 20, "channels": 1,
+         "decrypt_fraction": 1.0, "payload": {"fixed": 512},
+         "arrival": {"kind": "poisson", "rate": 0.5}},
+        {"class": "voip",    "name": "c", "packets": 16, "channels": 1,
+         "decrypt_fraction": 0.25,
+         "arrival": {"kind": "fixed_rate", "rate": 1.0}},
+        {"class": "control", "name": "m", "packets": 12, "channels": 1,
+         "decrypt_fraction": 0.5,
+         "arrival": {"kind": "poisson", "rate": 0.5}}
+      ]
+    })");
+    spec.backend = backend;
+    return spec;
+  };
+  ScenarioReport fast = ScenarioRunner(make(host::Backend::kFast)).run();
+  ScenarioReport sim = ScenarioRunner(make(host::Backend::kSim)).run();
+  for (std::size_t i = 0; i < fast.classes.size(); ++i) {
+    const ClassReport& f = fast.classes[i];
+    const ClassReport& s = sim.classes[i];
+    EXPECT_EQ(f.completed, f.offered) << f.name;
+    EXPECT_EQ(f.auth_failures, 0u) << f.name;
+    EXPECT_EQ(s.auth_failures, 0u) << f.name;
+    EXPECT_EQ(f.decrypt_completed, f.decrypt_submitted) << f.name;
+    EXPECT_GT(f.decrypt_submitted, 0u) << f.name;
+    EXPECT_LE(f.decrypt_submitted, f.completed) << f.name;
+    // The verify pick is arrival-indexed, so the mix matches across backends.
+    EXPECT_EQ(f.decrypt_submitted, s.decrypt_submitted) << f.name;
+    EXPECT_EQ(f.decrypt_completed, s.decrypt_completed) << f.name;
+  }
+  // decrypt_fraction = 1.0 round-trips every sealed packet.
+  EXPECT_EQ(fast.classes[1].decrypt_submitted, fast.classes[1].completed);
+
+  // And the threaded run is a deterministic twin of the serial one.
+  ScenarioSpec threaded_spec = make(host::Backend::kFast);
+  threaded_spec.threads = 2;
+  ScenarioReport threaded = ScenarioRunner(std::move(threaded_spec)).run();
+  expect_reports_identical(fast, threaded);
+}
+
+TEST(Scenario, ReconfigChurnMixSwapsUnderLoadOnBothBackends) {
+  // Alternating AES and Whirlpool demand on single-core devices forces the
+  // fleet to swap images under load (paper SVII.B). Both backends must
+  // resolve every packet with nonzero swap accounting, and serial vs
+  // threaded stepping must be bit-identical — including the swap timeline.
+  auto make = [](host::Backend backend, std::size_t threads) {
+    ScenarioSpec spec = parse_scenario_text(R"({
+      "name": "mini_churn", "seed": 23, "devices": 2, "cores_per_device": 1,
+      "window": 6, "bitstream_store": "ram", "reconfig_scale": 4096,
+      "classes": [
+        {"class": "video",     "name": "aes",  "packets": 40, "channels": 2,
+         "payload": {"fixed": 512}, "decrypt_fraction": 0.25,
+         "arrival": {"kind": "poisson", "rate": 0.4}},
+        {"class": "whirlpool", "name": "hash", "packets": 40, "channels": 2,
+         "payload": {"fixed": 512},
+         "arrival": {"kind": "poisson", "rate": 0.4}}
+      ]
+    })");
+    spec.backend = backend;
+    spec.threads = threads;
+    return spec;
+  };
+  for (host::Backend backend : {host::Backend::kFast, host::Backend::kSim}) {
+    ScenarioReport serial = ScenarioRunner(make(backend, 0)).run();
+    EXPECT_GT(serial.reconfigurations, 1u) << backend_name(backend);
+    EXPECT_GT(serial.reconfig_stall_cycles, 0u) << backend_name(backend);
+    EXPECT_EQ(serial.bitstream_store, "ram");
+    for (const ClassReport& c : serial.classes) {
+      EXPECT_EQ(c.completed, c.offered) << c.name;
+      EXPECT_EQ(c.auth_failures, 0u) << c.name;
+      EXPECT_GT(c.image_reconfigurations, 0u) << c.name;
+    }
+    ScenarioReport threaded = ScenarioRunner(make(backend, 2)).run();
+    expect_reports_identical(serial, threaded);
+  }
+}
+
+TEST(Scenario, ShippedReconfigChurnPresetParses) {
+  const std::string path = std::string(MCCP_SOURCE_DIR) + "/scenarios/reconfig_churn.json";
+  ScenarioSpec spec = load_scenario(path);
+  EXPECT_EQ(spec.name, "reconfig_churn");
+  EXPECT_EQ(spec.cores_per_device, 1u);
+  EXPECT_EQ(spec.bitstream_store, reconfig::BitstreamStore::kRam);
+  EXPECT_TRUE(spec.auto_reconfig);
+  EXPECT_EQ(spec.reconfig_time_divisor, 1024u);
+  ASSERT_EQ(spec.classes.size(), 2u);
+  EXPECT_EQ(spec.classes[0].decrypt_fraction, 0.25);
+  EXPECT_EQ(spec.classes[1].profile.mode, ChannelMode::kWhirlpool);
+}
+
+TEST(Scenario, SlotLayoutAvoidsSwapsEntirely) {
+  // Booting a Whirlpool slot per device serves the same churn mix with
+  // zero reconfigurations — the scenario-level knob for the paper's
+  // "cache the bitstream / provision ahead of time" takeaway.
+  ScenarioSpec spec = parse_scenario_text(R"({
+    "name": "pre_provisioned", "seed": 23, "devices": 2, "cores_per_device": 2,
+    "window": 6, "slots": ["aes", "whirlpool"],
+    "classes": [
+      {"class": "video",     "name": "aes",  "packets": 20, "channels": 2,
+       "payload": {"fixed": 512}, "arrival": {"kind": "poisson", "rate": 0.4}},
+      {"class": "whirlpool", "name": "hash", "packets": 20, "channels": 2,
+       "payload": {"fixed": 512}, "arrival": {"kind": "poisson", "rate": 0.4}}
+    ]
+  })");
+  ScenarioReport report = ScenarioRunner(std::move(spec)).run();
+  EXPECT_EQ(report.reconfigurations, 0u);
+  EXPECT_EQ(report.reconfig_stall_cycles, 0u);
+  for (const ClassReport& c : report.classes) {
+    EXPECT_EQ(c.completed, c.offered) << c.name;
+    EXPECT_EQ(c.auth_failures, 0u) << c.name;
   }
 }
 

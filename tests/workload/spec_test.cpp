@@ -153,6 +153,45 @@ TEST(Spec, FieldLevelErrors) {
       R"({"classes": [{"name": "t", "mode": "ctr", "arrival": {"kind": "trace"}}]})");
   EXPECT_THROW(parse_scenario_text("[1,2,3]"), std::invalid_argument);
   EXPECT_THROW(parse_scenario_text("{nope"), json::ParseError);
+  // Reconfiguration / verify-traffic fields.
+  expect_invalid(R"({"slots": [], "classes": [{"class": "voip"}]})");
+  expect_invalid(R"({"slots": ["rot13"], "classes": [{"class": "voip"}]})");
+  expect_invalid(  // more slots than cores_per_device
+      R"({"cores_per_device": 1, "slots": ["aes", "whirlpool"],
+          "classes": [{"class": "voip"}]})");
+  expect_invalid(  // more per-device layouts than devices
+      R"({"devices": 1, "slots": [["aes"], ["whirlpool"]],
+          "classes": [{"class": "voip"}]})");
+  expect_invalid(R"({"bitstream_store": "tape", "classes": [{"class": "voip"}]})");
+  expect_invalid(R"({"reconfig_scale": 0, "classes": [{"class": "voip"}]})");
+  expect_invalid(R"({"classes": [{"class": "voip", "decrypt_fraction": 1.5}]})");
+  expect_invalid(R"({"classes": [{"class": "voip", "decrypt_fraction": -0.1}]})");
+  expect_invalid(  // hashing has no open side
+      R"({"classes": [{"class": "whirlpool", "decrypt_fraction": 0.5}]})");
+}
+
+TEST(Spec, SlotLayoutForms) {
+  // Flat array: one layout for every device.
+  ScenarioSpec uniform = parse_scenario_text(R"({
+    "cores_per_device": 2, "slots": ["aes", "whirlpool"],
+    "bitstream_store": "compact_flash", "auto_reconfig": false, "reconfig_scale": 64,
+    "classes": [{"class": "voip"}]
+  })");
+  ASSERT_EQ(uniform.slot_images.size(), 2u);
+  EXPECT_EQ(uniform.slot_images[1], reconfig::CoreImage::kWhirlpool);
+  EXPECT_TRUE(uniform.slot_layouts.empty());
+  EXPECT_EQ(uniform.bitstream_store, reconfig::BitstreamStore::kCompactFlash);
+  EXPECT_FALSE(uniform.auto_reconfig);
+  EXPECT_EQ(uniform.reconfig_time_divisor, 64u);
+
+  // Array of arrays: per-device layouts.
+  ScenarioSpec per_device = parse_scenario_text(R"({
+    "devices": 2, "cores_per_device": 1, "slots": [["aes"], ["whirlpool"]],
+    "classes": [{"class": "voip"}]
+  })");
+  ASSERT_EQ(per_device.slot_layouts.size(), 2u);
+  EXPECT_EQ(per_device.slot_layouts[1][0], reconfig::CoreImage::kWhirlpool);
+  EXPECT_TRUE(per_device.slot_images.empty());
 }
 
 TEST(Spec, NameRoundTrips) {
@@ -163,6 +202,10 @@ TEST(Spec, NameRoundTrips) {
     EXPECT_EQ(placement_from_name(placement_name(p)), p);
   for (const char* m : {"gcm", "ccm", "ctr", "cbc_mac", "whirlpool"})
     EXPECT_STREQ(mode_name(mode_from_name(m)), m);
+  for (auto img : {reconfig::CoreImage::kAesEncryptWithKs, reconfig::CoreImage::kWhirlpool})
+    EXPECT_EQ(image_from_name(image_spec_name(img)), img);
+  for (auto s : {reconfig::BitstreamStore::kRam, reconfig::BitstreamStore::kCompactFlash})
+    EXPECT_EQ(store_from_name(store_spec_name(s)), s);
 }
 
 }  // namespace
