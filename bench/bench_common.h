@@ -27,6 +27,7 @@
 #include "host/engine.h"
 #include "radio/traffic.h"
 #include "sim/simulation.h"
+#include "workload/runner.h"
 
 namespace mccp::bench {
 
@@ -180,6 +181,41 @@ inline std::size_t arg_size(int argc, char** argv, const char* flag, std::size_t
 inline void print_header(const std::string& title) {
   std::printf("\n%s\n", title.c_str());
   std::printf("%s\n", std::string(title.size(), '-').c_str());
+}
+
+/// The scenario report table shared by scenario_runner and net_swarm.
+/// `transport_note` is appended to the header ("" for in-process runs).
+inline void print_scenario_report(const mccp::workload::ScenarioReport& r,
+                                  const std::string& transport_note = "") {
+  print_header("Scenario " + r.scenario + " -- backend " + r.backend + ", " +
+               std::to_string(r.devices) + " device(s) x " + std::to_string(r.cores_per_device) +
+               " cores, window " + std::to_string(r.window) +
+               (r.threads > 0 ? ", " + std::to_string(r.threads) + " worker thread(s)"
+                              : ", serial stepping") +
+               transport_note);
+  std::printf("%-10s %-9s %-5s %-8s %-8s %-6s %-6s %9s %9s %10s %8s\n", "class", "mode", "prio",
+              "offered", "done", "drop", "busy", "p50(us)", "p99(us)", "p99.9(us)", "Mbps");
+  const double kUsPerCycle = 1.0 / kMHz;
+  for (const auto& c : r.classes) {
+    std::printf("%-10s %-9s %-5u %-8llu %-8llu %-6llu %-6llu %9.1f %9.1f %10.1f %8.1f\n",
+                c.name.c_str(), c.mode.c_str(), c.priority,
+                static_cast<unsigned long long>(c.offered),
+                static_cast<unsigned long long>(c.completed),
+                static_cast<unsigned long long>(c.dropped),
+                static_cast<unsigned long long>(c.busy_rejections),
+                static_cast<double>(c.latency.quantile(0.50)) * kUsPerCycle,
+                static_cast<double>(c.latency.quantile(0.99)) * kUsPerCycle,
+                static_cast<double>(c.latency.quantile(0.999)) * kUsPerCycle,
+                c.throughput_mbps());
+  }
+  std::printf("\nmakespan %llu cycles (%.2f ms @190MHz), wall %.1f ms, peak in-flight %zu\n",
+              static_cast<unsigned long long>(r.makespan_cycles),
+              static_cast<double>(r.makespan_cycles) / 190e3, r.wall_ms, r.peak_inflight);
+  if (r.reconfigurations > 0)
+    std::printf("partial reconfigurations: %llu (%llu slot-cycles stalled, bitstreams from %s)\n",
+                static_cast<unsigned long long>(r.reconfigurations),
+                static_cast<unsigned long long>(r.reconfig_stall_cycles),
+                r.bitstream_store.c_str());
 }
 
 /// "ours [paper]" cell, e.g. "496.3 [496]".

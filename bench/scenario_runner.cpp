@@ -2,13 +2,21 @@
 // per-class latency/throughput/rejection metrics.
 //
 // Loads a JSON scenario spec (shipped presets under scenarios/), drives
-// the fleet closed-loop through workload::ScenarioRunner on the chosen
-// backend, prints a per-class table, and optionally emits the full report
-// (log-bucketed latency percentiles, queue-depth-over-time series) as a
-// BENCH_*.json perf-trajectory artifact.
+// the fleet closed-loop on the chosen backend, prints a per-class table,
+// and optionally emits the full report (log-bucketed latency percentiles,
+// queue-depth-over-time series) as a BENCH_*.json perf-trajectory
+// artifact. Two transports run the same spec: the in-process
+// workload::ScenarioRunner, or a client swarm replaying the scenario
+// against the networked crypto-offload service (net::SwarmRunner) — with
+// blocking admission the per-class completion counts come out identical.
 //
 // Flags:
 //   --scenario PATH   scenario spec to run (required)
+//   --transport NAME  inproc (default) | net: replay through a client
+//                     swarm against the offload service
+//   --connect H:P     net transport: an already-running net_server to use
+//                     (default: self-host a loopback server for the run)
+//   --clients N       net transport: concurrent client connections (8)
 //   --backend NAME    override the spec's backend: sim | fast
 //   --scale F         multiply every class's packet count by F (e.g. 0.05
 //                     to shrink a fleet-scale scenario for the
@@ -19,6 +27,10 @@
 //                     the fleet serially on this thread)
 //   --json PATH       write the report artifact (with --json and no PATH
 //                     that looks like a file, BENCH_scenario_<name>.json)
+//   --append-trajectory FILE
+//                     append one compact JSONL record (UTC stamp, wall
+//                     clock, modeled throughput, p99) to FILE — the
+//                     across-PRs perf trajectory (BENCH_trajectory.jsonl)
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -26,48 +38,23 @@
 #include <string>
 
 #include "bench_common.h"
+#include "net_common.h"
+#include "net/swarm.h"
+#include "workload/jobgen.h"
 #include "workload/runner.h"
 
 namespace mccp::bench {
 namespace {
 
-void print_report(const mccp::workload::ScenarioReport& r) {
-  print_header("Scenario " + r.scenario + " -- backend " + r.backend + ", " +
-               std::to_string(r.devices) + " device(s) x " + std::to_string(r.cores_per_device) +
-               " cores, window " + std::to_string(r.window) +
-               (r.threads > 0 ? ", " + std::to_string(r.threads) + " worker thread(s)"
-                              : ", serial stepping"));
-  std::printf("%-10s %-9s %-5s %-8s %-8s %-6s %-6s %9s %9s %10s %8s\n", "class", "mode", "prio",
-              "offered", "done", "drop", "busy", "p50(us)", "p99(us)", "p99.9(us)", "Mbps");
-  const double kUsPerCycle = 1.0 / 190.0;
-  for (const auto& c : r.classes) {
-    std::printf("%-10s %-9s %-5u %-8llu %-8llu %-6llu %-6llu %9.1f %9.1f %10.1f %8.1f\n",
-                c.name.c_str(), c.mode.c_str(), c.priority,
-                static_cast<unsigned long long>(c.offered),
-                static_cast<unsigned long long>(c.completed),
-                static_cast<unsigned long long>(c.dropped),
-                static_cast<unsigned long long>(c.busy_rejections),
-                static_cast<double>(c.latency.quantile(0.50)) * kUsPerCycle,
-                static_cast<double>(c.latency.quantile(0.99)) * kUsPerCycle,
-                static_cast<double>(c.latency.quantile(0.999)) * kUsPerCycle,
-                c.throughput_mbps());
-  }
-  std::printf("\nmakespan %llu cycles (%.2f ms @190MHz), wall %.1f ms, peak in-flight %zu\n",
-              static_cast<unsigned long long>(r.makespan_cycles),
-              static_cast<double>(r.makespan_cycles) / 190e3, r.wall_ms, r.peak_inflight);
-  if (r.reconfigurations > 0)
-    std::printf("partial reconfigurations: %llu (%llu slot-cycles stalled, bitstreams from %s)\n",
-                static_cast<unsigned long long>(r.reconfigurations),
-                static_cast<unsigned long long>(r.reconfig_stall_cycles),
-                r.bitstream_store.c_str());
-}
-
 int run(int argc, char** argv) {
   const char* scenario_path = arg_value(argc, argv, "--scenario");
   if (scenario_path == nullptr) {
     std::fprintf(stderr,
-                 "usage: scenario_runner --scenario PATH [--backend sim|fast] [--scale F]\n"
-                 "                       [--window N] [--seed N] [--threads N] [--json PATH]\n");
+                 "usage: scenario_runner --scenario PATH [--transport inproc|net]\n"
+                 "                       [--connect HOST:PORT] [--clients N]\n"
+                 "                       [--backend sim|fast] [--scale F] [--window N]\n"
+                 "                       [--seed N] [--threads N] [--json PATH]\n"
+                 "                       [--append-trajectory FILE]\n");
     return 2;
   }
 
@@ -87,9 +74,39 @@ int run(int argc, char** argv) {
     spec.seed = std::strtoull(seed, nullptr, 10);
   spec.threads = arg_size(argc, argv, "--threads", spec.threads);
 
-  mccp::workload::ScenarioRunner runner(std::move(spec));
-  mccp::workload::ScenarioReport report = runner.run();
-  print_report(report);
+  const std::string transport = [&] {
+    const char* t = arg_value(argc, argv, "--transport");
+    return std::string(t != nullptr ? t : "inproc");
+  }();
+
+  mccp::workload::ScenarioReport report;
+  std::string transport_note;
+  if (transport == "inproc") {
+    mccp::workload::ScenarioRunner runner(std::move(spec));
+    report = runner.run();
+  } else if (transport == "net") {
+    mccp::net::SwarmConfig net;
+    net.connections = arg_size(argc, argv, "--clients", net.connections);
+    std::unique_ptr<SelfHostedServer> self_hosted;
+    if (const char* connect = arg_value(argc, argv, "--connect")) {
+      auto [host, port] = parse_hostport(connect);
+      net.host = host;
+      net.port = port;
+    } else {
+      mccp::net::ServerConfig server_cfg;
+      server_cfg.engine = mccp::workload::engine_config_from(spec);
+      self_hosted = std::make_unique<SelfHostedServer>(std::move(server_cfg));
+      net.port = self_hosted->port();
+    }
+    transport_note = ", net swarm x" + std::to_string(net.connections);
+    mccp::net::SwarmRunner runner(std::move(spec), std::move(net));
+    report = runner.run();
+  } else {
+    std::fprintf(stderr, "scenario_runner: unknown --transport \"%s\" (inproc | net)\n",
+                 transport.c_str());
+    return 2;
+  }
+  print_scenario_report(report, transport_note);
 
   // `--json` with or without a path argument (the next token may be
   // another flag): default to BENCH_scenario_<name>.json.
@@ -104,6 +121,15 @@ int run(int argc, char** argv) {
   if (!json_path.empty()) {
     if (!JsonWriter::write_text_file(json_path, mccp::workload::report_json(report))) return 1;
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (const char* traj = arg_value(argc, argv, "--append-trajectory")) {
+    if (!mccp::workload::append_trajectory(traj,
+                                           mccp::workload::trajectory_line(report, transport))) {
+      std::fprintf(stderr, "scenario_runner: cannot append to %s\n", traj);
+      return 1;
+    }
+    std::printf("appended trajectory record to %s\n", traj);
   }
   return 0;
 }

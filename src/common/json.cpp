@@ -91,6 +91,9 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
+      // Duplicate keys silently shadowing each other is how a typo'd
+      // scenario override gets ignored; fail fast with the position.
+      if (obj.count(key)) fail("duplicate object key \"" + key + "\"");
       obj[std::move(key)] = parse_value();
       skip_ws();
       if (peek() == ',') {

@@ -297,6 +297,7 @@ void Engine::finish_job(detail::JobState& st, const JobResult& result) {
   // only forget() once nothing reads through the reference anymore.
   st.result = result;
   st.done = true;
+  ++completed_jobs_;
 
   if (st.channel_uid != 0) {
     auto it = channels_.find(st.channel_uid);
@@ -441,6 +442,12 @@ void Engine::advance_to(sim::Cycle target) {
   }
   for (auto& d : devices_) d->advance_to(target);
   poll_completions();
+}
+
+std::size_t Engine::pump(std::size_t max_rounds) {
+  const std::uint64_t before = completed_jobs_;
+  for (std::size_t i = 0; i < max_rounds && !idle(); ++i) step();
+  return static_cast<std::size_t>(completed_jobs_ - before);
 }
 
 bool Engine::idle() const {

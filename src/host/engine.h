@@ -137,6 +137,12 @@ class Engine {
   /// work is in flight and letting idle devices jump. Workload pacing uses
   /// this to skip quiet gaps between arrivals.
   void advance_to(sim::Cycle target);
+  /// Server-driven stepping: advance up to `max_rounds` rounds while work
+  /// is in flight and return how many jobs completed. The narrow seam a
+  /// network event loop needs — it interleaves bounded slices of device
+  /// time with socket servicing, and an idle fleet costs nothing (the
+  /// loop can block on I/O instead of busy-stepping a frozen clock).
+  std::size_t pump(std::size_t max_rounds);
   bool idle() const;
   /// Step until every submitted job completed (or throw after max_cycles
   /// of device time).
@@ -164,6 +170,9 @@ class Engine {
   /// Furthest-ahead device clock (devices advance independently).
   sim::Cycle max_cycle() const;
   std::size_t inflight() const;
+  /// Jobs finished over the engine's lifetime (the STATS counter the
+  /// networked service pushes to subscribed clients).
+  std::uint64_t completed_jobs() const { return completed_jobs_; }
   /// Fleet-wide partial-reconfiguration accounting: swaps started and the
   /// slot-cycles they spent unavailable, summed over devices.
   std::uint64_t reconfigurations() const;
@@ -217,6 +226,7 @@ class Engine {
   /// caller's thread owns every list between rounds).
   std::vector<std::vector<std::shared_ptr<detail::JobState>>> inflight_;
   std::size_t inflight_count_ = 0;
+  std::uint64_t completed_jobs_ = 0;
   JobId next_job_ = 1;
   std::uint8_t last_rr_ = 0;
 

@@ -1,0 +1,341 @@
+#include "net/swarm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/client.h"
+#include "workload/jobgen.h"
+
+namespace mccp::net {
+
+using workload::ClassJobStream;
+using workload::ClassReport;
+using workload::GeneratedJob;
+using workload::ScenarioReport;
+
+namespace {
+
+/// Fleet-wide admission window shared by every worker thread: the remote
+/// twin of the runner's `inflight` counter.
+struct Window {
+  explicit Window(std::size_t cap) : cap_(cap) {}
+
+  bool try_acquire() {
+    std::size_t cur = inflight_.load();
+    while (cur < cap_) {
+      if (inflight_.compare_exchange_weak(cur, cur + 1)) {
+        bump_peak(cur + 1);
+        return true;
+      }
+    }
+    return false;
+  }
+  /// Verify round-trips share the budget but never block (the runner
+  /// resubmits from a completion callback unconditionally).
+  void acquire_over() { bump_peak(inflight_.fetch_add(1) + 1); }
+  void release() { inflight_.fetch_sub(1); }
+  std::size_t peak() const { return peak_.load(); }
+
+ private:
+  void bump_peak(std::size_t v) {
+    std::size_t p = peak_.load();
+    while (v > p && !peak_.compare_exchange_weak(p, v)) {
+    }
+  }
+  const std::size_t cap_;
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+/// One pre-generated arrival, routed to its connection.
+struct SwarmJob {
+  double time = 0.0;
+  std::size_t class_index = 0;
+  std::uint64_t arrival = 0;  // per-class arrival index
+  std::size_t class_channel = 0;
+  GeneratedJob gen;
+};
+
+/// Per-thread, per-class report shard; merged after the join so workers
+/// never share accounting state.
+struct ClassShard {
+  std::uint64_t offered = 0, submitted = 0, completed = 0;
+  std::uint64_t auth_failures = 0, busy_rejections = 0, payload_bytes = 0;
+  std::uint64_t decrypt_submitted = 0, decrypt_completed = 0;
+  std::uint64_t first_submit_cycle = ~std::uint64_t{0};
+  std::uint64_t last_complete_cycle = 0;
+  workload::LogHistogram latency, service;
+};
+
+struct Worker {
+  std::unique_ptr<Client> client;
+  std::vector<SwarmJob> jobs;
+  /// Wire channel ids for the class-channels this connection owns,
+  /// indexed [class][class_channel] (0 = not ours).
+  std::vector<std::vector<std::uint32_t>> wire_channel;
+  std::vector<ClassShard> shards;
+  /// Wire job ids, connection-unique; starts above the u32 request-id
+  /// space (see client.h). Lives here, not on run_worker's stack, because
+  /// verify callbacks draw from it as late as the final drain.
+  std::uint64_t next_job_id = std::uint64_t{1} << 32;
+  std::exception_ptr error;
+};
+
+void run_worker(Worker& w, const workload::ScenarioSpec& spec, Window& window, int drain_ms) {
+  Client& client = *w.client;
+  std::uint64_t& next_job_id = w.next_job_id;
+
+  for (SwarmJob& sj : w.jobs) {
+    while (!window.try_acquire()) client.poll(1);
+
+    ClassShard& shard = w.shards[sj.class_index];
+    ++shard.offered;
+    ++shard.submitted;
+    shard.payload_bytes += sj.gen.job.payload.size();
+
+    const std::uint32_t channel = w.wire_channel[sj.class_index][sj.class_channel];
+    const bool remac = spec.classes[sj.class_index].profile.mode == top::ChannelMode::kCbcMac;
+    const std::uint8_t priority = static_cast<std::uint8_t>(sj.gen.job.priority);
+
+    SubmitJob job;
+    job.job_id = next_job_id++;
+    job.decrypt = false;
+    job.priority = priority;
+    job.iv = std::move(sj.gen.job.iv_or_nonce);
+    job.aad = std::move(sj.gen.job.aad);
+    job.payload = std::move(sj.gen.job.payload);
+
+    if (!sj.gen.verify) {
+      client.submit(channel, std::move(job), [&shard, &window](const CompletionFrame& c) {
+        window.release();
+        ++shard.completed;
+        shard.busy_rejections += c.rejections;
+        shard.first_submit_cycle = std::min(shard.first_submit_cycle, c.submit_cycle);
+        shard.last_complete_cycle = std::max(shard.last_complete_cycle, c.complete_cycle);
+        if (!c.auth_ok) {
+          ++shard.auth_failures;
+          return;
+        }
+        shard.latency.record(c.complete_cycle - c.submit_cycle);
+        if (c.accept_cycle > 0 && c.accept_cycle >= c.submit_cycle)
+          shard.service.record(c.complete_cycle - c.accept_cycle);
+      });
+      client.poll(0);
+      continue;
+    }
+
+    // Verify round-trip: once the sealed packet lands, feed it straight
+    // back as a decrypt job on the same channel — the remote mirror of the
+    // runner's re-entrant resubmit. The decrypt's job id comes off a
+    // captured counter reference so ids stay connection-unique.
+    auto verify_ctx = std::make_shared<GeneratedJob>(std::move(sj.gen));
+    client.submit(
+        channel, std::move(job),
+        [&client, &shard, &window, &next_job_id, verify_ctx, channel, priority,
+         remac](const CompletionFrame& c) {
+          window.release();
+          ++shard.completed;
+          shard.busy_rejections += c.rejections;
+          shard.first_submit_cycle = std::min(shard.first_submit_cycle, c.submit_cycle);
+          shard.last_complete_cycle = std::max(shard.last_complete_cycle, c.complete_cycle);
+          if (!c.auth_ok) {
+            ++shard.auth_failures;
+            return;  // nothing sealed to round-trip
+          }
+          shard.latency.record(c.complete_cycle - c.submit_cycle);
+          if (c.accept_cycle > 0 && c.accept_cycle >= c.submit_cycle)
+            shard.service.record(c.complete_cycle - c.accept_cycle);
+
+          window.acquire_over();
+          ++shard.decrypt_submitted;
+          SubmitJob open_job;
+          open_job.job_id = next_job_id++;
+          open_job.decrypt = true;
+          open_job.priority = priority;
+          open_job.iv = verify_ctx->verify_iv;
+          open_job.aad = verify_ctx->verify_aad;
+          open_job.payload = remac ? verify_ctx->verify_msg : c.payload;
+          open_job.tag = c.tag;
+          client.submit(channel, std::move(open_job),
+                        [&shard, &window](const CompletionFrame& c2) {
+                          window.release();
+                          ++shard.decrypt_completed;
+                          shard.busy_rejections += c2.rejections;
+                          shard.last_complete_cycle =
+                              std::max(shard.last_complete_cycle, c2.complete_cycle);
+                          if (!c2.auth_ok) ++shard.auth_failures;
+                        });
+        });
+    client.poll(0);
+  }
+  // Drain inside the worker (not after it returns) so late verify
+  // resubmits still find every captured reference alive.
+  client.drain(drain_ms);
+}
+
+}  // namespace
+
+SwarmRunner::SwarmRunner(workload::ScenarioSpec spec, SwarmConfig net)
+    : spec_(std::move(spec)), net_(std::move(net)) {
+  if (spec_.admission != workload::Admission::kDrop && spec_.window == 0)
+    throw std::invalid_argument("swarm: window must be >= 1");
+  if (spec_.admission == workload::Admission::kDrop)
+    throw std::invalid_argument(
+        "swarm: drop admission is timing-dependent and cannot be replayed "
+        "deterministically over the network; use \"admission\": \"block\"");
+  if (spec_.classes.empty())
+    throw std::invalid_argument("swarm: scenario needs at least one class");
+  if (net_.connections == 0) throw std::invalid_argument("swarm: needs >= 1 connection");
+}
+
+ScenarioReport SwarmRunner::run() {
+  using WallClock = std::chrono::steady_clock;
+  const auto wall_start = WallClock::now();
+  const std::size_t num_classes = spec_.classes.size();
+
+  // Global channel order (class-major, matching the in-process runner) and
+  // the connection each channel shards to.
+  std::size_t total_channels = 0;
+  for (const workload::ClassSpec& cs : spec_.classes) total_channels += cs.channels;
+  const std::size_t num_conns = std::min(net_.connections, std::max<std::size_t>(total_channels, 1));
+
+  std::vector<Worker> workers(num_conns);
+  for (Worker& w : workers) {
+    w.wire_channel.assign(num_classes, {});
+    w.shards = std::vector<ClassShard>(num_classes);
+    for (std::size_t i = 0; i < num_classes; ++i)
+      w.wire_channel[i].assign(spec_.classes[i].channels, 0);
+  }
+  // conn_of[class][class_channel]
+  std::vector<std::vector<std::size_t>> conn_of(num_classes);
+  {
+    std::size_t global = 0;
+    for (std::size_t i = 0; i < num_classes; ++i) {
+      conn_of[i].resize(spec_.classes[i].channels);
+      for (std::size_t c = 0; c < spec_.classes[i].channels; ++c)
+        conn_of[i][c] = (global++) % num_conns;
+    }
+  }
+
+  // Connect the swarm; provision keys once (fleet-global); open every
+  // channel sequentially in global order so placement matches in-process.
+  ClientConfig ccfg;
+  ccfg.host = net_.host;
+  ccfg.port = net_.port;
+  ccfg.io_timeout_ms = net_.io_timeout_ms;
+  for (std::size_t k = 0; k < num_conns; ++k) {
+    ccfg.name = net_.client_name + "#" + std::to_string(k);
+    workers[k].client = std::make_unique<Client>(ccfg);
+  }
+  for (std::size_t i = 0; i < num_classes; ++i)
+    workers[0].client->provision_key(
+        static_cast<top::KeyId>(i + 1),
+        workload::class_key(spec_.seed, i, spec_.classes[i].profile.key_len));
+  for (std::size_t i = 0; i < num_classes; ++i) {
+    const workload::ClassSpec& cs = spec_.classes[i];
+    for (std::size_t c = 0; c < cs.channels; ++c) {
+      Worker& w = workers[conn_of[i][c]];
+      OpenOkFrame ok = w.client->open_channel(
+          static_cast<std::uint8_t>(cs.profile.mode), static_cast<std::uint8_t>(i + 1),
+          static_cast<std::uint8_t>(cs.profile.tag_len),
+          static_cast<std::uint8_t>(cs.profile.nonce_len));
+      w.wire_channel[i][c] = ok.channel;
+    }
+  }
+
+  // Pre-generate the whole workload per class — identical draws to the
+  // in-process runner — and route each arrival to its connection.
+  for (std::size_t i = 0; i < num_classes; ++i) {
+    ClassJobStream stream(spec_.classes[i], spec_.seed, i, spec_.max_cycles);
+    while (!stream.exhausted()) {
+      SwarmJob sj;
+      sj.time = *stream.next_time();
+      sj.class_index = i;
+      sj.arrival = stream.generated();
+      // Blocking admission admits every arrival, so the runner's per-class
+      // round-robin resolves to arrival_index % channels.
+      sj.class_channel = static_cast<std::size_t>(sj.arrival % spec_.classes[i].channels);
+      sj.gen = stream.take();
+      workers[conn_of[i][sj.class_channel]].jobs.push_back(std::move(sj));
+    }
+  }
+  for (Worker& w : workers)
+    std::stable_sort(w.jobs.begin(), w.jobs.end(), [](const SwarmJob& a, const SwarmJob& b) {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.class_index != b.class_index) return a.class_index < b.class_index;
+      return a.arrival < b.arrival;
+    });
+
+  const StatsFrame stats_start = workers[0].client->stats_snapshot();
+
+  Window window(spec_.window);
+  std::vector<std::thread> threads;
+  threads.reserve(num_conns);
+  for (Worker& w : workers)
+    threads.emplace_back([&w, this, &window] {
+      try {
+        run_worker(w, spec_, window, net_.io_timeout_ms);
+      } catch (...) {
+        w.error = std::current_exception();
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  for (Worker& w : workers)
+    if (w.error) std::rethrow_exception(w.error);
+
+  const StatsFrame stats_end = workers[0].client->stats_snapshot();
+
+  // Merge shards into the in-process report shape.
+  ScenarioReport report;
+  report.scenario = spec_.name;
+  report.backend = workload::backend_name(spec_.backend);
+  report.devices = spec_.devices;
+  report.cores_per_device = spec_.cores_per_device;
+  report.threads = spec_.threads;
+  report.window = spec_.window;
+  report.makespan_cycles = stats_end.engine_cycle - stats_start.engine_cycle;
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(WallClock::now() - wall_start).count();
+  report.peak_inflight = window.peak();
+  report.reconfigurations = stats_end.reconfigurations - stats_start.reconfigurations;
+  report.reconfig_stall_cycles =
+      stats_end.reconfig_stall_cycles - stats_start.reconfig_stall_cycles;
+  report.bitstream_store = workload::store_spec_name(spec_.bitstream_store);
+  for (std::size_t i = 0; i < num_classes; ++i) {
+    const workload::ClassSpec& cs = spec_.classes[i];
+    ClassReport rep;
+    rep.name = cs.profile.name;
+    rep.mode = workload::mode_name(cs.profile.mode);
+    rep.priority = cs.profile.priority;
+    rep.channels = cs.channels;
+    std::uint64_t first_submit = ~std::uint64_t{0};
+    for (const Worker& w : workers) {
+      const ClassShard& s = w.shards[i];
+      rep.offered += s.offered;
+      rep.submitted += s.submitted;
+      rep.completed += s.completed;
+      rep.auth_failures += s.auth_failures;
+      rep.busy_rejections += s.busy_rejections;
+      rep.payload_bytes += s.payload_bytes;
+      rep.decrypt_submitted += s.decrypt_submitted;
+      rep.decrypt_completed += s.decrypt_completed;
+      first_submit = std::min(first_submit, s.first_submit_cycle);
+      rep.last_complete_cycle = std::max(rep.last_complete_cycle, s.last_complete_cycle);
+      rep.latency.merge(s.latency);
+      rep.service.merge(s.service);
+    }
+    rep.first_submit_cycle = first_submit == ~std::uint64_t{0} ? 0 : first_submit;
+    report.classes.push_back(std::move(rep));
+  }
+  report.queue_sample_interval = 0;  // swarm replay doesn't sample queue depth
+  return report;
+}
+
+}  // namespace mccp::net

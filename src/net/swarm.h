@@ -1,0 +1,74 @@
+// net::SwarmRunner — scenario replay through a swarm of network clients.
+//
+// Takes the same ScenarioSpec the in-process ScenarioRunner executes and
+// replays it against a running net::Server as N concurrent client
+// connections, producing the same ScenarioReport shape. The scenario's
+// per-class workload is pre-generated from workload/jobgen.h — the single
+// source of truth both transports share — so the swarm offers the
+// bit-identical packets the in-process runner would, and with blocking
+// admission the per-class completion and auth-failure counts come out
+// identical on both transports and both backends
+// (tests/net/swarm_scenario_test.cpp pins this).
+//
+// What is and isn't pinned: counts are deterministic because every
+// admitted packet completes and the crypto is bit-exact; cycle stamps,
+// latency histograms and throughput are NOT — they depend on how network
+// timing interleaves submissions, which is the point of measuring a
+// networked service. Drop admission is timing-dependent by construction,
+// so the swarm refuses it.
+//
+// Structure of a run:
+//  1. Connect `connections` clients; provision the per-class session keys
+//     through the first one (fleet-global, once).
+//  2. Open every class's channels in the in-process runner's global order
+//     (class-major), sequentially, through the connection that owns each
+//     channel — so server-side placement matches the in-process run.
+//  3. Per class, arrival k maps to class-channel k % channels (what the
+//     runner's round-robin resolves to under blocking admission), and each
+//     class-channel lives on connection global_index % connections.
+//  4. One worker thread per connection submits its jobs in arrival order
+//     against a fleet-wide admission window (shared atomic), pumping its
+//     own completions while the window is full; decrypt/verify round-trips
+//     resubmit from the completion callback, mirroring the runner.
+//  5. STATS snapshots (engine cycle, reconfiguration totals) bracket the
+//     run for the report's fleet-wide aggregates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/runner.h"
+#include "workload/spec.h"
+
+namespace mccp::net {
+
+struct SwarmConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Concurrent client connections (each gets a worker thread). Channels
+  /// shard across connections round-robin; extra connections beyond the
+  /// scenario's channel count would idle, so the effective swarm size is
+  /// min(connections, total channels).
+  std::size_t connections = 8;
+  std::string client_name = "mccp-swarm";
+  int io_timeout_ms = 120'000;
+};
+
+class SwarmRunner {
+ public:
+  /// Throws std::invalid_argument for drop-admission scenarios (their
+  /// drops depend on timing, so remote replay can't pin counts).
+  SwarmRunner(workload::ScenarioSpec spec, SwarmConfig net);
+
+  /// Replay the scenario through the swarm and collect the merged report.
+  /// Throws std::runtime_error on connection loss / timeout.
+  workload::ScenarioReport run();
+
+  const workload::ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  workload::ScenarioSpec spec_;
+  SwarmConfig net_;
+};
+
+}  // namespace mccp::net

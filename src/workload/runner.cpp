@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <ctime>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 
 #include "common/json_writer.h"
 #include "sim/simulation.h"
+#include "workload/jobgen.h"
 
 namespace mccp::workload {
 
@@ -30,35 +33,14 @@ std::uint64_t ScenarioReport::total_completed() const {
 
 namespace {
 
-/// Distinct, seed-derived rng stream per class (splitmix-style spread so
-/// neighbouring class indices decorrelate).
-std::uint64_t class_seed(std::uint64_t scenario_seed, std::size_t class_index) {
-  return scenario_seed * 0x9E3779B97F4A7C15ull + (class_index + 1) * 0xBF58476D1CE4E5B9ull;
-}
-
-Bytes make_iv(Rng& rng, ChannelMode mode, unsigned nonce_len) {
-  switch (mode) {
-    // The channel's registered nonce_len is the exact IV/nonce length the
-    // core streams — a mismatched IV would underfill the simulated FIFOs.
-    case ChannelMode::kGcm: return rng.bytes(nonce_len);
-    case ChannelMode::kCcm: return rng.bytes(nonce_len);
-    case ChannelMode::kCtr: {
-      Bytes iv = rng.bytes(16);
-      iv[14] = iv[15] = 0;  // leave the 16-bit counter space clear
-      return iv;
-    }
-    default: return {};
-  }
-}
-
 /// Everything the runner tracks per channel class while the loop runs.
+/// The generation half (rng, arrival process, pending instant) lives in
+/// the shared ClassJobStream so the networked swarm offers the
+/// bit-identical workload (workload/jobgen.h).
 struct ClassState {
   const ClassSpec* spec = nullptr;
   std::size_t index = 0;
-  Rng rng{0};
-  std::unique_ptr<ArrivalProcess> arrival;
-  std::optional<double> next_time;  // pending (not yet admitted) arrival
-  std::uint64_t generated = 0;      // arrivals consumed from the process
+  std::unique_ptr<ClassJobStream> stream;
   std::vector<host::Channel> channels;
   std::size_t next_channel = 0;  // round-robin cursor within the class
   ClassReport report;
@@ -78,25 +60,12 @@ ScenarioReport ScenarioRunner::run() {
   using WallClock = std::chrono::steady_clock;
   const auto wall_start = WallClock::now();
 
-  host::EngineConfig engine_cfg;
-  engine_cfg.num_devices = spec_.devices;
-  engine_cfg.device.num_cores = spec_.cores_per_device;
-  engine_cfg.device.slot_images = spec_.slot_images;
-  engine_cfg.device.bitstream_store = spec_.bitstream_store;
-  engine_cfg.device.auto_reconfig = spec_.auto_reconfig;
-  engine_cfg.device.reconfig_time_divisor = spec_.reconfig_time_divisor;
-  engine_cfg.slot_layouts = spec_.slot_layouts;
-  engine_cfg.placement = spec_.placement;
-  engine_cfg.backend = spec_.backend;
-  engine_cfg.num_workers = spec_.threads;
-  host::Engine engine(engine_cfg);
+  host::Engine engine(engine_config_from(spec_));
 
   // One session key per class, broadcast fleet-wide so placement is free.
-  for (std::size_t i = 0; i < spec_.classes.size(); ++i) {
-    Rng key_rng(class_seed(spec_.seed, i) ^ 0x5DEECE66Dull);
+  for (std::size_t i = 0; i < spec_.classes.size(); ++i)
     engine.provision_key(static_cast<top::KeyId>(i + 1),
-                         key_rng.bytes(spec_.classes[i].profile.key_len));
-  }
+                         class_key(spec_.seed, i, spec_.classes[i].profile.key_len));
 
   std::vector<ClassState> states(spec_.classes.size());
   for (std::size_t i = 0; i < spec_.classes.size(); ++i) {
@@ -104,8 +73,7 @@ ScenarioReport ScenarioRunner::run() {
     const ClassSpec& cs = spec_.classes[i];
     st.spec = &cs;
     st.index = i;
-    st.rng = Rng(class_seed(spec_.seed, i));
-    st.arrival = make_arrival(cs.profile.arrival);
+    st.stream = std::make_unique<ClassJobStream>(cs, spec_.seed, i, spec_.max_cycles);
     st.report.name = cs.profile.name;
     st.report.mode = mode_name(cs.profile.mode);
     st.report.priority = cs.profile.priority;
@@ -120,22 +88,6 @@ ScenarioReport ScenarioRunner::run() {
       st.channels.push_back(std::move(ch));
     }
   }
-
-  // Draw each class's first arrival. An arrival stays in `next_time` until
-  // admitted (blocking keeps the rng streams independent of completion
-  // timing: draws happen strictly in arrival order).
-  auto draw_next = [&](ClassState& st) {
-    const std::uint64_t cap = st.spec->packets;
-    if (cap != 0 && st.generated >= cap) {
-      st.next_time.reset();
-      return;
-    }
-    st.next_time = st.arrival->next(st.rng);
-    if (st.next_time && spec_.max_cycles != 0 &&
-        *st.next_time > static_cast<double>(spec_.max_cycles))
-      st.next_time.reset();
-  };
-  for (ClassState& st : states) draw_next(st);
 
   std::size_t inflight = 0;
   std::size_t peak_inflight = 0;
@@ -185,49 +137,6 @@ ScenarioReport ScenarioRunner::run() {
     if (!r.auth_ok) ++rep.auth_failures;
   };
 
-  /// One admitted arrival: the encrypt-side JobSpec plus, when this
-  /// arrival was picked for a decrypt/verify round-trip
-  /// (ClassSpec::decrypt_fraction), the context the resubmit needs. The
-  /// pick is drawn from the class rng in arrival order, so the verify mix
-  /// is deterministic across backends and thread counts.
-  struct BuiltJob {
-    host::JobSpec job;
-    bool verify = false;
-    Bytes verify_iv, verify_aad;
-    Bytes verify_msg;  // CBC-MAC re-MACs the message itself (no ciphertext)
-  };
-
-  // Build the JobSpec for this class's next admitted arrival (arrival
-  // number `st.generated`, about to be consumed).
-  auto build_spec = [&](ClassState& st) {
-    const ChannelClass& p = st.spec->profile;
-    host::JobSpec job;
-    long long fixed_payload = -1, fixed_aad = -1;
-    const ArrivalSpec& as = p.arrival;
-    if (st.generated < as.trace_payload_len.size())
-      fixed_payload = as.trace_payload_len[st.generated];
-    if (st.generated < as.trace_aad_len.size()) fixed_aad = as.trace_aad_len[st.generated];
-    const std::size_t payload_len = normalize_payload(
-        fixed_payload >= 0 ? static_cast<std::size_t>(fixed_payload) : p.payload.sample(st.rng));
-    const std::size_t aad_len = normalize_aad(
-        fixed_aad >= 0 ? static_cast<std::size_t>(fixed_aad) : p.aad.sample(st.rng));
-    job.iv_or_nonce = make_iv(st.rng, p.mode, p.nonce_len);
-    job.aad = st.rng.bytes(aad_len);
-    job.payload = st.rng.bytes(payload_len);
-    job.priority = p.priority;
-
-    BuiltJob built;
-    built.job = std::move(job);
-    if (st.spec->decrypt_fraction > 0.0 && p.mode != ChannelMode::kWhirlpool &&
-        st.rng.next_double() < st.spec->decrypt_fraction) {
-      built.verify = true;
-      built.verify_iv = built.job.iv_or_nonce;
-      built.verify_aad = built.job.aad;
-      if (p.mode == ChannelMode::kCbcMac) built.verify_msg = built.job.payload;
-    }
-    return built;
-  };
-
   const sim::Cycle start_cycle = engine.max_cycle();
 
   // ---- the closed loop --------------------------------------------------------
@@ -237,27 +146,25 @@ ScenarioReport ScenarioRunner::run() {
     // Admit every due arrival the window allows, batching per channel so
     // bursts hit the amortized submit path.
     for (ClassState& st : states) {
-      if (!st.next_time || *st.next_time > static_cast<double>(now)) continue;
+      ClassJobStream& stream = *st.stream;
+      if (!stream.next_time() || *stream.next_time() > static_cast<double>(now)) continue;
 
-      std::vector<std::vector<BuiltJob>> batches(st.channels.size());
+      std::vector<std::vector<GeneratedJob>> batches(st.channels.size());
       std::vector<std::size_t> batch_order;
-      while (st.next_time && *st.next_time <= static_cast<double>(now)) {
+      while (stream.next_time() && *stream.next_time() <= static_cast<double>(now)) {
         if (inflight >= spec_.window) {
           if (spec_.admission == Admission::kBlock) break;  // hold the arrival
-          ++st.generated;                                    // drop it
+          stream.skip();                                     // drop it
           ++st.report.offered;
           ++st.report.dropped;
-          draw_next(st);
           continue;
         }
         std::size_t ch = st.next_channel;
         st.next_channel = (st.next_channel + 1) % st.channels.size();
         if (batches[ch].empty()) batch_order.push_back(ch);
-        batches[ch].push_back(build_spec(st));  // uses st.generated as the arrival index
-        ++st.generated;
+        batches[ch].push_back(stream.take());
         ++st.report.offered;
         ++inflight;  // reserve the window slot before the device sees it
-        draw_next(st);
       }
       peak_inflight = std::max(peak_inflight, inflight);
 
@@ -267,7 +174,7 @@ ScenarioReport ScenarioRunner::run() {
           rep.first_submit_cycle = engine.device(st.channels[ch].device_index()).now();
         std::vector<host::JobSpec> specs;
         specs.reserve(batches[ch].size());
-        for (BuiltJob& b : batches[ch]) {
+        for (GeneratedJob& b : batches[ch]) {
           rep.payload_bytes += b.job.payload.size();
           specs.push_back(std::move(b.job));
         }
@@ -275,7 +182,7 @@ ScenarioReport ScenarioRunner::run() {
         std::vector<host::Completion> jobs =
             engine.submit_batch(st.channels[ch], std::move(specs));
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-          BuiltJob& b = batches[ch][i];
+          GeneratedJob& b = batches[ch][i];
           if (!b.verify) {
             jobs[i].on_done([&st, &on_done](const host::JobResult& r) { on_done(st, r); });
             continue;
@@ -310,8 +217,10 @@ ScenarioReport ScenarioRunner::run() {
       // Fleet drained: jump the quiet gap to the earliest pending arrival,
       // or finish when every class is exhausted.
       std::optional<double> next;
-      for (ClassState& st : states)
-        if (st.next_time && (!next || *st.next_time < *next)) next = st.next_time;
+      for (ClassState& st : states) {
+        const std::optional<double>& t = st.stream->next_time();
+        if (t && (!next || *t < *next)) next = t;
+      }
       if (!next) break;
       const sim::Cycle target = static_cast<sim::Cycle>(std::ceil(*next));
       sample_up_to(target);
@@ -414,6 +323,51 @@ std::string report_json(const ScenarioReport& report) {
   json.end_array();
   json.end_object();
   return json.str();
+}
+
+std::string trajectory_line(const ScenarioReport& report, const std::string& transport) {
+  // All-classes latency for the headline p99.
+  LogHistogram latency;
+  std::uint64_t payload_bytes = 0;
+  for (const ClassReport& c : report.classes) {
+    latency.merge(c.latency);
+    payload_bytes += c.payload_bytes;
+  }
+  const double modeled_mbps =
+      report.makespan_cycles > 0 ? sim::throughput_mbps(payload_bytes * 8, report.makespan_cycles)
+                                 : 0.0;
+
+  const std::time_t now = std::time(nullptr);
+  char stamp[32] = "";
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr)
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+
+  JsonWriter json;
+  json.begin_object()
+      .field("utc", stamp)
+      .field("scenario", report.scenario)
+      .field("transport", transport)
+      .field("backend", report.backend)
+      .field("devices", report.devices)
+      .field("cores_per_device", report.cores_per_device)
+      .field("threads", report.threads)
+      .field("window", report.window)
+      .field("offered", report.total_offered())
+      .field("completed", report.total_completed())
+      .field("makespan_cycles", report.makespan_cycles)
+      .field("modeled_throughput_mbps", modeled_mbps)
+      .field("p99_latency_cycles", latency.quantile(0.99))
+      .field("wall_ms", report.wall_ms)
+      .end_object();
+  return json.str();
+}
+
+bool append_trajectory(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << line << '\n';
+  return static_cast<bool>(out);
 }
 
 }  // namespace mccp::workload

@@ -140,4 +140,12 @@ class ScenarioRunner {
 /// The report as a `BENCH_*.json`-style artifact (common/json_writer.h).
 std::string report_json(const ScenarioReport& report);
 
+/// One compact perf-trajectory record (a BENCH_trajectory.jsonl line): UTC
+/// stamp, scenario/transport/backend identity, wall clock, modeled
+/// aggregate throughput at 190 MHz, and the all-classes p99 latency.
+/// `transport` names how the scenario was driven ("inproc" / "net").
+std::string trajectory_line(const ScenarioReport& report, const std::string& transport);
+/// Append `line` + '\n' to `path` (creating the file); false on I/O error.
+bool append_trajectory(const std::string& path, const std::string& line);
+
 }  // namespace mccp::workload

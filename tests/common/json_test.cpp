@@ -87,6 +87,38 @@ TEST(Json, MalformedDocumentsThrow) {
   }
 }
 
+TEST(Json, TrailingGarbageRejected) {
+  // Anything after the top-level value is an error, not silently ignored
+  // — a concatenated or truncated-then-patched scenario file must fail.
+  for (const char* bad : {"{} {}", "[1][2]", "42 43", "null,", "true false", "{\"a\":1}]"}) {
+    EXPECT_THROW(parse(bad), ParseError) << "input: " << bad;
+  }
+  // Trailing whitespace (including newlines) is fine.
+  EXPECT_TRUE(parse("{}  \n\t ").is_object());
+}
+
+TEST(Json, DuplicateObjectKeysRejected) {
+  EXPECT_THROW(parse(R"({"a": 1, "a": 2})"), ParseError);
+  // Nested objects are checked independently: shadowing inside an inner
+  // object is an error; the same key reused across siblings is fine.
+  EXPECT_THROW(parse(R"({"outer": {"x": 1, "x": 2}})"), ParseError);
+  EXPECT_NO_THROW(parse(R"({"a": {"x": 1}, "b": {"x": 2}})"));
+  // Array elements get their own namespaces too.
+  EXPECT_NO_THROW(parse(R"([{"k": 1}, {"k": 2}])"));
+  EXPECT_THROW(parse(R"([{"k": 1, "k": 2}])"), ParseError);
+}
+
+TEST(Json, DuplicateKeyErrorNamesKeyAndPosition) {
+  try {
+    parse("{\"mode\": \"gcm\",\n \"mode\": \"ccm\"}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mode"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
 TEST(Json, SurrogateEscapesRejected) {
   EXPECT_THROW(parse(R"("\ud800")"), ParseError);
 }

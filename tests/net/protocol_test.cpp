@@ -1,0 +1,328 @@
+// net/protocol.h — wire-format round-trips plus the negative paths that
+// matter on a network: truncated frames, hostile length prefixes, unknown
+// opcodes, trailing body bytes, and a deterministic mutation fuzz sweep.
+// The decoder must reject cleanly (kBad/kNeedMore) and never over-read.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/protocol.h"
+
+namespace mccp::net {
+namespace {
+
+// Every frame type with every field off its default, so a round-trip
+// failure in any field is caught.
+std::vector<Frame> sample_frames() {
+  std::vector<Frame> frames;
+
+  HelloFrame hello;
+  hello.ver_min = 1;
+  hello.ver_max = 7;
+  hello.client_name = "fuzz-client";
+  frames.push_back(hello);
+
+  WelcomeFrame welcome;
+  welcome.version = 3;
+  welcome.backend = 1;
+  welcome.devices = 12;
+  welcome.cores_per_device = 8;
+  welcome.server_name = "fleet-a";
+  frames.push_back(welcome);
+
+  ErrorFrame error;
+  error.code = ErrorCode::kUnknownChannel;
+  error.ref = 0xDEADBEEFCAFEull;
+  error.message = "no such channel";
+  frames.push_back(error);
+
+  AckFrame ack;
+  ack.request_id = 0x01020304u;
+  frames.push_back(ack);
+
+  ProvisionKeyFrame key;
+  key.request_id = 9;
+  key.key_id = 3;
+  key.key = Bytes(32, 0xAB);
+  frames.push_back(key);
+
+  OpenChannelFrame open;
+  open.request_id = 10;
+  open.mode = 4;
+  open.key_id = 3;
+  open.tag_len = 12;
+  open.nonce_len = 11;
+  frames.push_back(open);
+
+  OpenOkFrame open_ok;
+  open_ok.request_id = 10;
+  open_ok.channel = 77;
+  open_ok.mode = 4;
+  open_ok.tag_len = 12;
+  open_ok.nonce_len = 11;
+  open_ok.device_index = 2;
+  frames.push_back(open_ok);
+
+  CloseChannelFrame close;
+  close.request_id = 11;
+  close.channel = 77;
+  frames.push_back(close);
+
+  SubmitFrame submit;
+  submit.channel = 77;
+  submit.job.job_id = (1ull << 32) + 5;
+  submit.job.decrypt = true;
+  submit.job.priority = 200;
+  submit.job.iv = Bytes(12, 0x11);
+  submit.job.aad = Bytes(20, 0x22);
+  submit.job.payload = Bytes(300, 0x33);
+  submit.job.tag = Bytes(16, 0x44);
+  frames.push_back(submit);
+
+  SubmitBatchFrame batch;
+  batch.channel = 78;
+  for (int i = 0; i < 3; ++i) {
+    SubmitJob j;
+    j.job_id = (1ull << 32) + 100 + static_cast<std::uint64_t>(i);
+    j.priority = static_cast<std::uint8_t>(i);
+    j.iv = Bytes(13, static_cast<std::uint8_t>(i));
+    j.payload = Bytes(64 + static_cast<std::size_t>(i), 0x55);
+    batch.jobs.push_back(std::move(j));
+  }
+  frames.push_back(batch);
+
+  CompletionFrame completion;
+  completion.job_id = (1ull << 32) + 5;
+  completion.auth_ok = true;
+  completion.rejections = 4;
+  completion.submit_cycle = 1000;
+  completion.accept_cycle = 1010;
+  completion.complete_cycle = 2000;
+  completion.payload = Bytes(300, 0x66);
+  completion.tag = Bytes(16, 0x77);
+  frames.push_back(completion);
+
+  StatsSubscribeFrame sub;
+  sub.request_id = 12;
+  sub.interval_cycles = 50'000;
+  frames.push_back(sub);
+
+  StatsFrame stats;
+  stats.engine_cycle = 123456;
+  stats.completed_jobs = 999;
+  stats.inflight = 42;
+  stats.reconfigurations = 7;
+  stats.reconfig_stall_cycles = 7000;
+  stats.sessions = 3;
+  stats.devices = 4;
+  frames.push_back(stats);
+
+  frames.push_back(GoodbyeFrame{});
+  return frames;
+}
+
+bool frames_equal(const Frame& a, const Frame& b) {
+  // Compare via re-encoding: the encoding is canonical (no padding, no
+  // optional layouts), so byte equality is frame equality.
+  return encode_frame(a) == encode_frame(b);
+}
+
+TEST(Protocol, RoundTripsEveryFrameType) {
+  const std::vector<Frame> frames = sample_frames();
+  ASSERT_EQ(frames.size(), std::variant_size_v<Frame>);
+  for (const Frame& f : frames) {
+    std::vector<std::uint8_t> wire = encode_frame(f);
+    Decoded d = decode_frame(wire);
+    ASSERT_EQ(d.status, DecodeStatus::kFrame) << op_name(frame_op(f)) << ": " << d.error;
+    EXPECT_EQ(d.consumed, wire.size()) << op_name(frame_op(f));
+    EXPECT_EQ(d.frame.index(), f.index());
+    EXPECT_TRUE(frames_equal(d.frame, f)) << op_name(frame_op(f));
+  }
+}
+
+TEST(Protocol, DecodesBackToBackFramesFromOneBuffer) {
+  const std::vector<Frame> frames = sample_frames();
+  std::vector<std::uint8_t> wire;
+  for (const Frame& f : frames) encode_frame(f, wire);
+
+  std::size_t offset = 0;
+  for (const Frame& f : frames) {
+    Decoded d = decode_frame(std::span<const std::uint8_t>(wire).subspan(offset));
+    ASSERT_EQ(d.status, DecodeStatus::kFrame) << op_name(frame_op(f));
+    EXPECT_TRUE(frames_equal(d.frame, f));
+    offset += d.consumed;
+  }
+  EXPECT_EQ(offset, wire.size());
+}
+
+TEST(Protocol, EveryTruncationAsksForMoreOrRejects) {
+  // A frame cut at any byte boundary must never decode; a prefix is
+  // kNeedMore (mid-frame disconnect looks like this) — never a bogus
+  // frame, never a read past the buffer.
+  for (const Frame& f : sample_frames()) {
+    std::vector<std::uint8_t> wire = encode_frame(f);
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      Decoded d = decode_frame(std::span<const std::uint8_t>(wire.data(), cut));
+      EXPECT_EQ(d.status, DecodeStatus::kNeedMore)
+          << op_name(frame_op(f)) << " truncated to " << cut << " bytes";
+    }
+  }
+}
+
+TEST(Protocol, OversizedLengthPrefixRejectedImmediately) {
+  // A hostile length prefix must be refused from the 4 prefix bytes alone
+  // — the decoder must not ask the session to buffer a gigabyte first.
+  std::vector<std::uint8_t> wire(4);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(wire.data(), &huge, sizeof(huge));
+  Decoded d = decode_frame(wire);
+  EXPECT_EQ(d.status, DecodeStatus::kBad);
+  EXPECT_EQ(d.error_code, ErrorCode::kMalformedFrame);
+
+  const std::uint32_t max_u32 = 0xFFFFFFFFu;
+  std::memcpy(wire.data(), &max_u32, sizeof(max_u32));
+  EXPECT_EQ(decode_frame(wire).status, DecodeStatus::kBad);
+}
+
+TEST(Protocol, ZeroLengthFrameRejected) {
+  // length must cover at least the opcode byte.
+  const std::vector<std::uint8_t> wire(4, 0);
+  Decoded d = decode_frame(wire);
+  EXPECT_EQ(d.status, DecodeStatus::kBad);
+  EXPECT_EQ(d.error_code, ErrorCode::kMalformedFrame);
+}
+
+TEST(Protocol, UnknownOpcodeRejected) {
+  for (std::uint8_t op : {std::uint8_t{0x00}, std::uint8_t{0x0F}, std::uint8_t{0x7F},
+                          std::uint8_t{0xFF}}) {
+    std::vector<std::uint8_t> wire = {1, 0, 0, 0, op};
+    Decoded d = decode_frame(wire);
+    EXPECT_EQ(d.status, DecodeStatus::kBad) << "opcode " << int(op);
+    EXPECT_EQ(d.error_code, ErrorCode::kUnknownOpcode) << "opcode " << int(op);
+  }
+}
+
+TEST(Protocol, TrailingBytesInBodyRejected) {
+  // A correct body followed by extra bytes inside the declared length is a
+  // framing bug (or smuggling attempt); the decoder requires exhaustion.
+  for (const Frame& f : sample_frames()) {
+    std::vector<std::uint8_t> wire = encode_frame(f);
+    wire.push_back(0xAA);  // extra body byte...
+    std::uint32_t len;
+    std::memcpy(&len, wire.data(), sizeof(len));
+    ++len;  // ...covered by the length prefix
+    std::memcpy(wire.data(), &len, sizeof(len));
+    Decoded d = decode_frame(wire);
+    EXPECT_EQ(d.status, DecodeStatus::kBad) << op_name(frame_op(f));
+    EXPECT_EQ(d.error_code, ErrorCode::kMalformedFrame) << op_name(frame_op(f));
+  }
+}
+
+TEST(Protocol, TruncatedBodyWithinDeclaredLengthRejected) {
+  // Shrink the body but keep the original length prefix pointing past it:
+  // the reader underflows and must latch a clean kBad once the declared
+  // bytes are present.
+  for (const Frame& f : sample_frames()) {
+    std::vector<std::uint8_t> wire = encode_frame(f);
+    if (wire.size() <= 6) continue;  // nothing to cut beyond the opcode
+    std::vector<std::uint8_t> cut(wire.begin(), wire.end() - 1);
+    std::uint32_t len = static_cast<std::uint32_t>(cut.size() - 4);
+    std::memcpy(cut.data(), &len, sizeof(len));
+    Decoded d = decode_frame(cut);
+    EXPECT_EQ(d.status, DecodeStatus::kBad) << op_name(frame_op(f));
+  }
+}
+
+TEST(Protocol, HelloMagicChecked) {
+  HelloFrame hello;
+  hello.client_name = "x";
+  std::vector<std::uint8_t> wire = encode_frame(Frame{hello});
+  // The magic is the first body field after the opcode.
+  wire[5] ^= 0xFF;
+  Decoded d = decode_frame(wire);
+  EXPECT_EQ(d.status, DecodeStatus::kBad);
+  EXPECT_EQ(d.error_code, ErrorCode::kMalformedFrame);
+}
+
+TEST(Protocol, EncodeRejectsOversizedFields) {
+  HelloFrame hello;
+  hello.client_name.assign(256, 'x');  // str8 limit is 255
+  EXPECT_THROW(encode_frame(Frame{hello}), std::length_error);
+
+  SubmitFrame submit;
+  submit.job.iv = Bytes(256, 0);  // bytes8 limit is 255
+  EXPECT_THROW(encode_frame(Frame{submit}), std::length_error);
+
+  SubmitFrame big;
+  big.job.payload = Bytes(kMaxFrameBytes, 0);  // frame total over the cap
+  EXPECT_THROW(encode_frame(Frame{big}), std::length_error);
+}
+
+TEST(Protocol, ReaderLatchesOnUnderflow) {
+  const std::uint8_t raw[] = {1, 2, 3};
+  Reader r{std::span<const std::uint8_t>(raw, sizeof(raw))};
+  EXPECT_EQ(r.u16(), 0x0201u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // underflow: zero value, latch !ok
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // stays latched
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(Protocol, MutationFuzzNeverCrashesOrOverReads) {
+  // Deterministic fuzz: take valid encodings, flip bytes / truncate /
+  // splice with seeded randomness, and require the decoder to return one
+  // of its three statuses without throwing. consumed must never exceed
+  // the buffer.
+  Rng rng(0xF022BA11u);
+  const std::vector<Frame> frames = sample_frames();
+  for (int iter = 0; iter < 20'000; ++iter) {
+    std::vector<std::uint8_t> wire =
+        encode_frame(frames[rng.next_u64() % frames.size()]);
+    const int mutations = 1 + static_cast<int>(rng.next_u64() % 8);
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.next_u64() % 4) {
+        case 0:  // flip a byte
+          if (!wire.empty()) wire[rng.next_u64() % wire.size()] ^= 1u << (rng.next_u64() % 8);
+          break;
+        case 1:  // truncate
+          if (!wire.empty()) wire.resize(rng.next_u64() % wire.size());
+          break;
+        case 2:  // append noise
+          wire.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+          break;
+        case 3: {  // splice a chunk of another frame
+          std::vector<std::uint8_t> other =
+              encode_frame(frames[rng.next_u64() % frames.size()]);
+          std::size_t n = rng.next_u64() % (other.size() + 1);
+          wire.insert(wire.end(), other.begin(), other.begin() + static_cast<std::ptrdiff_t>(n));
+          break;
+        }
+      }
+    }
+    Decoded d = decode_frame(wire);
+    switch (d.status) {
+      case DecodeStatus::kFrame:
+        ASSERT_LE(d.consumed, wire.size());
+        ASSERT_GE(d.consumed, 5u);  // prefix + opcode at minimum
+        break;
+      case DecodeStatus::kNeedMore:
+        // Only believable while under the max frame size.
+        if (wire.size() >= 4) {
+          std::uint32_t len;
+          std::memcpy(&len, wire.data(), sizeof(len));
+          ASSERT_LE(len, kMaxFrameBytes);
+        }
+        break;
+      case DecodeStatus::kBad:
+        ASSERT_FALSE(d.error.empty());
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mccp::net
