@@ -47,6 +47,11 @@ int run(int argc, char** argv) {
   }
 
   mccp::workload::ScenarioSpec spec = mccp::workload::load_scenario(scenario_path);
+  if (!spec.faults.empty() || spec.autoscale.enabled)
+    throw std::runtime_error(
+        "scenario \"" + spec.name +
+        "\" scripts fleet membership events (faults/autoscale), which only "
+        "scenario_runner's inproc transport can execute");
   if (const char* backend = arg_value(argc, argv, "--backend"))
     spec.backend = mccp::workload::backend_from_name(backend);
   if (const char* scale_str = arg_value(argc, argv, "--scale")) {

@@ -85,6 +85,11 @@ int run(int argc, char** argv) {
     mccp::workload::ScenarioRunner runner(std::move(spec));
     report = runner.run();
   } else if (transport == "net") {
+    if (!spec.faults.empty() || spec.autoscale.enabled)
+      throw std::runtime_error(
+          "scenario \"" + spec.name +
+          "\" scripts fleet membership events (faults/autoscale), which only the "
+          "inproc transport can execute — drop --transport net or the events");
     mccp::net::SwarmConfig net;
     net.connections = arg_size(argc, argv, "--clients", net.connections);
     std::unique_ptr<SelfHostedServer> self_hosted;

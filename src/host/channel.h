@@ -51,11 +51,16 @@ class Channel {
   bool valid() const { return engine_ != nullptr; }
   explicit operator bool() const { return valid(); }
 
-  const ChannelInfo& info() const { return info_; }
-  std::uint8_t id() const { return info_.id; }
-  ChannelMode mode() const { return info_.mode; }
-  /// Which engine device this channel was placed on.
-  std::size_t device_index() const { return device_; }
+  /// Live descriptor: queried from the engine while the handle is attached,
+  /// so it tracks drain/migrate — after `Engine::remove_device()` moves the
+  /// channel to a survivor, the handle reports the new placement. Falls
+  /// back to the open-time snapshot once detached.
+  const ChannelInfo& info() const;
+  std::uint8_t id() const { return info().id; }
+  ChannelMode mode() const { return info().mode; }
+  /// Which engine device this channel currently lives on (live, like
+  /// info(): migration moves it).
+  std::size_t device_index() const;
 
   const ChannelStats& stats() const;
 

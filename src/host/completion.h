@@ -30,6 +30,11 @@ struct JobState {
   std::uint64_t channel_uid = 0;  // 0 = raw submit (no stats channel)
   bool done = false;
   JobResult result;  // final copy once done
+  /// Retained copy of the submitted spec (only when the engine runs with
+  /// fault injection / spec retention): lets `Engine::remove_device()`
+  /// resubmit jobs stranded on a failed device. Dropped on completion.
+  std::unique_ptr<JobSpec> spec;
+  std::uint32_t resubmissions = 0;  // times this job was migrated to a new device
   std::vector<std::function<void(const JobResult&)>> callbacks;
 };
 

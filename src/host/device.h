@@ -192,6 +192,13 @@ class Device {
   virtual std::size_t num_cores() const = 0;
   virtual std::size_t inflight() const = 0;
   virtual std::size_t open_channel_count() const = 0;
+  /// True once the device has died (hardware fault, hot-unplug). A failed
+  /// device freezes: its clock stops, in-flight jobs never complete, and
+  /// control calls are rejected. Backends themselves never fail — the
+  /// FaultyDevice decorator injects this for fleet-recovery testing — but
+  /// the Engine checks it at the seam so real transports can report real
+  /// faults the same way.
+  virtual bool failed() const { return false; }
 };
 
 }  // namespace mccp::host

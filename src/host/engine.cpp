@@ -73,6 +73,18 @@ const ChannelStats& Channel::stats() const {
   return s != nullptr ? *s : kEmpty;
 }
 
+const ChannelInfo& Channel::info() const {
+  if (engine_ != nullptr)
+    if (const auto* rec = engine_->channel_record(uid_)) return rec->info;
+  return info_;
+}
+
+std::size_t Channel::device_index() const {
+  if (engine_ != nullptr)
+    if (const auto* rec = engine_->channel_record(uid_)) return rec->device;
+  return device_;
+}
+
 // ---- Engine -----------------------------------------------------------------
 
 Engine::Engine(const EngineConfig& config) : placement_(config.placement) {
@@ -91,6 +103,12 @@ Engine::Engine(const EngineConfig& config) : placement_(config.placement) {
     }
   }
   inflight_.resize(devices_.size());
+  draining_.resize(devices_.size(), 0);
+  devices_created_ = devices_.size();
+  build_config_ = config;
+  config_built_ = true;
+  retain_specs_ = config.retain_specs || !config.faults.empty();
+  for (const DeviceFault& f : config.faults) inject_fault(f.device, f.kill_at_cycle);
   if (config.num_workers > 0)
     pool_ = std::make_unique<WorkerPool>(std::min(config.num_workers, devices_.size()));
 }
@@ -101,6 +119,8 @@ Engine::Engine(std::vector<std::unique_ptr<Device>> devices, Placement placement
   if (devices_.empty()) throw std::invalid_argument("Engine: need at least one device");
   for (auto& d : devices_) sim_devices_.push_back(dynamic_cast<SimDevice*>(d.get()));
   inflight_.resize(devices_.size());
+  draining_.resize(devices_.size(), 0);
+  devices_created_ = devices_.size();
   if (num_workers > 0)
     pool_ = std::make_unique<WorkerPool>(std::min(num_workers, devices_.size()));
 }
@@ -108,7 +128,9 @@ Engine::Engine(std::vector<std::unique_ptr<Device>> devices, Placement placement
 Engine::~Engine() = default;
 
 void Engine::provision_key(top::KeyId id, const Bytes& session_key) {
-  for (auto& d : devices_) d->provision_key(id, session_key);
+  key_table_[id] = session_key;
+  for (auto& d : devices_)
+    if (d) d->provision_key(id, session_key);
 }
 
 std::size_t Engine::device_load(std::size_t i) const {
@@ -121,12 +143,15 @@ std::size_t Engine::pick_device(ChannelMode mode) const {
   // costs no bitstream transfer. When no device in the fleet hosts it,
   // every device is an equal candidate; whichever the policy picks will
   // acquire the image (or reject) per its reconfiguration policy.
+  // Tombstoned, draining and failed devices are never candidates.
   const reconfig::CoreImage img = image_for_mode(mode);
   std::vector<std::size_t> cands;
   for (std::size_t i = 0; i < devices_.size(); ++i)
-    if (devices_[i]->slots_with_image(img) > 0) cands.push_back(i);
+    if (placeable(i) && devices_[i]->slots_with_image(img) > 0) cands.push_back(i);
   if (cands.empty())
-    for (std::size_t i = 0; i < devices_.size(); ++i) cands.push_back(i);
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+      if (placeable(i)) cands.push_back(i);
+  if (cands.empty()) return devices_.size();  // nowhere to place
 
   switch (placement_) {
     case Placement::kRoundRobin: {
@@ -149,7 +174,7 @@ std::size_t Engine::pick_device(ChannelMode mode) const {
       // image-holding candidates.
       std::size_t best = devices_.size();
       for (const auto& [uid, rec] : channels_)
-        if (rec.open && rec.info.mode == mode)
+        if (rec.open && rec.info.mode == mode && placeable(rec.device))
           if (best == devices_.size() || device_load(rec.device) < device_load(best))
             best = rec.device;
       if (best < devices_.size()) return best;
@@ -159,31 +184,46 @@ std::size_t Engine::pick_device(ChannelMode mode) const {
   return 0;
 }
 
-Channel Engine::open_channel(ChannelMode mode, top::KeyId key, unsigned tag_len,
-                             unsigned nonce_len) {
+std::optional<std::pair<std::size_t, ChannelInfo>> Engine::place_channel(ChannelMode mode,
+                                                                         top::KeyId key,
+                                                                         unsigned tag_len,
+                                                                         unsigned nonce_len) {
   std::size_t first = pick_device(mode);
+  if (first >= devices_.size()) {
+    // No placeable device in the fleet (all tombstoned/draining/failed).
+    last_rr_ = top::make_error(top::ControlError::kNoCoreAvailable);
+    return std::nullopt;
+  }
   for (std::size_t k = 0; k < devices_.size(); ++k) {
     std::size_t idx = (first + k) % devices_.size();
+    if (!placeable(idx)) continue;
     auto info = devices_[idx]->open_channel(mode, key, tag_len, nonce_len);
     last_rr_ = devices_[idx]->last_error();
     if (info) {
       if (placement_ == Placement::kRoundRobin)
         rr_next_[static_cast<std::size_t>(image_for_mode(mode))] = idx + 1;
-      std::uint64_t uid = next_channel_uid_++;
-      channels_[uid] = ChannelRecord{idx, *info, {}, true};
-      return Channel(this, uid, idx, *info);
+      return std::make_pair(idx, *info);
     }
     // Key errors are global (keys are broadcast): trying another device
     // cannot help, so fail fast with the real error code.
     if (top::return_error(last_rr_) == top::ControlError::kNoKey) break;
   }
-  return Channel{};
+  return std::nullopt;
+}
+
+Channel Engine::open_channel(ChannelMode mode, top::KeyId key, unsigned tag_len,
+                             unsigned nonce_len) {
+  auto placed = place_channel(mode, key, tag_len, nonce_len);
+  if (!placed) return Channel{};
+  std::uint64_t uid = next_channel_uid_++;
+  channels_[uid] = ChannelRecord{placed->first, placed->second, {}, true, false};
+  return Channel(this, uid, placed->first, placed->second);
 }
 
 void Engine::release_channel(std::uint64_t uid) {
   auto it = channels_.find(uid);
   if (it == channels_.end() || !it->second.open) return;
-  devices_[it->second.device]->close_channel(it->second.info.id);
+  if (devices_[it->second.device]) devices_[it->second.device]->close_channel(it->second.info.id);
   it->second.open = false;
 }
 
@@ -192,21 +232,41 @@ const ChannelStats* Engine::channel_stats(std::uint64_t uid) const {
   return it == channels_.end() ? nullptr : &it->second.stats;
 }
 
+const Engine::ChannelRecord* Engine::channel_record(std::uint64_t uid) const {
+  auto it = channels_.find(uid);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+void Engine::ensure_submittable(const ChannelRecord& rec) const {
+  if (rec.orphaned || !rec.open)
+    throw DeviceRemovedError(
+        "Engine::submit: channel's device was removed from the fleet and the channel could "
+        "not be migrated (no surviving device had a free slot)");
+  if (draining_[rec.device] && !removal_in_progress_)
+    throw DeviceDrainingError("Engine::submit: device " + devices_[rec.device]->name() +
+                              " (slot " + std::to_string(rec.device) +
+                              ") is draining and accepts no new work");
+}
+
 Completion Engine::submit(const Channel& ch, JobSpec spec) {
   if (!ch.valid() || ch.engine_ != this)
     throw std::invalid_argument("Engine::submit: invalid or foreign channel handle");
-  spec.channel = ch.info();
+  // Route through the engine's record, not the handle's open-time
+  // snapshot: migration may have moved the channel since.
+  ChannelRecord& rec = channels_.at(ch.uid_);
+  ensure_submittable(rec);
+  spec.channel = rec.info;
 
   auto st = std::make_shared<detail::JobState>();
   st->id = next_job_++;
-  st->device = ch.device_index();
+  st->device = rec.device;
   st->channel_uid = ch.uid_;
 
-  ChannelRecord& rec = channels_.at(ch.uid_);
   if (rec.stats.submitted == 0) rec.stats.first_submit_cycle = devices_[st->device]->now();
   ++rec.stats.submitted;
   rec.stats.payload_bytes += spec.payload.size();
 
+  if (retain_specs_) st->spec = std::make_unique<JobSpec>(spec);
   st->device_job = devices_[st->device]->submit(std::move(spec));
   jobs_[st->id] = st;
   track(st);
@@ -251,22 +311,29 @@ std::vector<Completion> Engine::submit_batch(const Channel& ch, std::vector<JobS
 
   // One channel-record lookup and one stats pass for the whole burst.
   ChannelRecord& rec = channels_.at(ch.uid_);
-  Device& dev = *devices_[ch.device_index()];
+  ensure_submittable(rec);
+  const std::size_t device_index = rec.device;
+  Device& dev = *devices_[device_index];
   if (rec.stats.submitted == 0) rec.stats.first_submit_cycle = dev.now();
   rec.stats.submitted += specs.size();
   for (JobSpec& spec : specs) {
-    spec.channel = ch.info();
+    spec.channel = rec.info;
     rec.stats.payload_bytes += spec.payload.size();
   }
 
+  // Spec retention copies the burst before the device consumes it.
+  std::vector<JobSpec> retained;
+  if (retain_specs_) retained = specs;
+
   std::vector<DeviceJobId> device_jobs = dev.submit_batch(specs);
-  inflight_[ch.device_index()].reserve(inflight_[ch.device_index()].size() + device_jobs.size());
-  for (DeviceJobId device_job : device_jobs) {
+  inflight_[device_index].reserve(inflight_[device_index].size() + device_jobs.size());
+  for (std::size_t i = 0; i < device_jobs.size(); ++i) {
     auto st = std::make_shared<detail::JobState>();
     st->id = next_job_++;
-    st->device = ch.device_index();
+    st->device = device_index;
     st->channel_uid = ch.uid_;
-    st->device_job = device_job;
+    st->device_job = device_jobs[i];
+    if (retain_specs_) st->spec = std::make_unique<JobSpec>(std::move(retained[i]));
     jobs_[st->id] = st;
     track(st);
     completions.push_back(Completion(this, std::move(st)));
@@ -280,12 +347,17 @@ std::vector<Completion> Engine::submit_batch(const Channel& ch, std::span<const 
 
 Completion Engine::submit_raw(std::size_t device_index, const ChannelInfo& channel,
                               JobSpec spec) {
-  if (device_index >= devices_.size())
+  if (!device_alive(device_index))
     throw std::out_of_range("Engine::submit_raw: no device " + std::to_string(device_index));
+  if (draining_[device_index] && !removal_in_progress_)
+    throw DeviceDrainingError("Engine::submit_raw: device " + devices_[device_index]->name() +
+                              " (slot " + std::to_string(device_index) +
+                              ") is draining and accepts no new work");
   spec.channel = channel;
   auto st = std::make_shared<detail::JobState>();
   st->id = next_job_++;
   st->device = device_index;
+  if (retain_specs_) st->spec = std::make_unique<JobSpec>(spec);
   st->device_job = devices_[device_index]->submit(std::move(spec));
   jobs_[st->id] = st;
   track(st);
@@ -316,7 +388,8 @@ void Engine::finish_job(detail::JobState& st, const JobResult& result) {
       s.last_complete_cycle = std::max(s.last_complete_cycle, result.complete_cycle);
     }
   }
-  devices_[st.device]->forget(st.device_job);
+  st.spec.reset();  // retained only while recovery might need it
+  if (devices_[st.device]) devices_[st.device]->forget(st.device_job);
 
   // Fire callbacks exactly once: detach the list before invoking so a
   // callback registering further work cannot re-trigger this batch.
@@ -338,6 +411,7 @@ void Engine::poll_completions() {
     std::size_t best_idx = 0;
     JobId best_id = 0;
     for (std::size_t d = 0; d < devices_.size(); ++d) {
+      if (!devices_[d]) continue;
       auto& list = inflight_[d];
       for (std::size_t i = 0; i < list.size(); ++i) {
         const JobResult* r = devices_[d]->result(list[i]->device_job);
@@ -413,10 +487,22 @@ void Engine::run_round(const std::function<void(Device&)>& op) {
   // only drains after the barrier.
   completed_.reserve(inflight_count_);
   pool_->run(devices_.size(), [this, &op](std::size_t d) {
+    if (!devices_[d]) return;  // tombstoned slot
     op(*devices_[d]);
     collect_completed(d);
   });
   drain_completed();
+}
+
+void Engine::collect_now() {
+  // Deliver whatever is already complete without advancing any clock —
+  // recovery uses this to flush the completions a dying device produced
+  // before its kill cycle.
+  if (pool_) {
+    run_round([](Device&) {});
+    return;
+  }
+  poll_completions();
 }
 
 void Engine::step() {
@@ -424,7 +510,8 @@ void Engine::step() {
     run_round([](Device& d) { d.step(); });
     return;
   }
-  for (auto& d : devices_) d->step();
+  for (auto& d : devices_)
+    if (d) d->step();
   poll_completions();
 }
 
@@ -435,12 +522,21 @@ void Engine::run(sim::Cycle n) {
 void Engine::advance_to(sim::Cycle target) {
   // Step while anything is in flight (completions must keep firing in
   // order), then let the now-idle devices jump the remaining quiet gap.
-  while (!idle() && max_cycle() < target) step();
+  // A step that moves neither the clock nor a completion means the only
+  // remaining work is stranded on failed (frozen) devices — stop stepping
+  // rather than spinning; the caller recovers via remove_device().
+  while (!idle() && max_cycle() < target) {
+    const sim::Cycle cycle_before = max_cycle();
+    const std::uint64_t done_before = completed_jobs_;
+    step();
+    if (max_cycle() == cycle_before && completed_jobs_ == done_before) break;
+  }
   if (pool_) {
     run_round([target](Device& d) { d.advance_to(target); });
     return;
   }
-  for (auto& d : devices_) d->advance_to(target);
+  for (auto& d : devices_)
+    if (d) d->advance_to(target);
   poll_completions();
 }
 
@@ -453,7 +549,7 @@ std::size_t Engine::pump(std::size_t max_rounds) {
 bool Engine::idle() const {
   if (inflight_count_ != 0) return false;
   for (const auto& d : devices_)
-    if (!d->idle()) return false;
+    if (d && !d->idle()) return false;
   return true;
 }
 
@@ -462,7 +558,15 @@ void Engine::wait_all(sim::Cycle max_cycles) {
   while (!idle()) {
     if (max_cycle() - start > max_cycles)
       throw std::runtime_error("Engine::wait_all: jobs did not complete within max_cycles");
+    const sim::Cycle cycle_before = max_cycle();
+    const std::uint64_t done_before = completed_jobs_;
     step();
+    if (max_cycle() == cycle_before && completed_jobs_ == done_before)
+      // Nothing moved: the remaining in-flight work is stranded on failed
+      // (frozen) devices and stepping will never finish it.
+      throw EngineError("Engine::wait_all: " + std::to_string(inflight_count_) +
+                        " job(s) stranded on failed device(s); call remove_device() to "
+                        "migrate and resubmit them");
   }
 }
 
@@ -481,6 +585,7 @@ const JobResult* Engine::peek(JobId id) const {
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return nullptr;
   if (it->second->done) return &it->second->result;
+  if (!devices_[it->second->device]) return nullptr;
   return devices_[it->second->device]->result(it->second->device_job);
 }
 
@@ -497,32 +602,226 @@ const JobResult& Engine::result(JobId id) const {
 
 sim::Cycle Engine::max_cycle() const {
   sim::Cycle m = 0;
-  for (const auto& d : devices_) m = std::max(m, d->now());
+  for (const auto& d : devices_)
+    if (d) m = std::max(m, d->now());
   return m;
 }
 
 std::size_t Engine::inflight() const {
   std::size_t n = 0;
-  for (const auto& d : devices_) n += d->inflight();
+  for (const auto& d : devices_)
+    if (d) n += d->inflight();
   return n;
 }
 
 std::uint64_t Engine::reconfigurations() const {
   std::uint64_t n = 0;
-  for (const auto& d : devices_) n += d->reconfigurations();
+  for (const auto& d : devices_)
+    if (d) n += d->reconfigurations();
   return n;
 }
 
 std::uint64_t Engine::reconfig_stall_cycles() const {
   std::uint64_t n = 0;
-  for (const auto& d : devices_) n += d->reconfig_stall_cycles();
+  for (const auto& d : devices_)
+    if (d) n += d->reconfig_stall_cycles();
   return n;
 }
 
 std::uint64_t Engine::reconfigurations_to(reconfig::CoreImage img) const {
   std::uint64_t n = 0;
-  for (const auto& d : devices_) n += d->reconfigurations_to(img);
+  for (const auto& d : devices_)
+    if (d) n += d->reconfigurations_to(img);
   return n;
+}
+
+// ---- dynamic membership -----------------------------------------------------
+
+std::size_t Engine::alive_devices() const {
+  std::size_t n = 0;
+  for (const auto& d : devices_)
+    if (d) ++n;
+  return n;
+}
+
+std::vector<std::size_t> Engine::failed_devices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < devices_.size(); ++i)
+    if (devices_[i] && devices_[i]->failed()) out.push_back(i);
+  return out;
+}
+
+void Engine::begin_drain(std::size_t index) {
+  if (!device_alive(index))
+    throw std::out_of_range("Engine::begin_drain: no device at slot " + std::to_string(index));
+  draining_[index] = 1;
+}
+
+void Engine::cancel_drain(std::size_t index) {
+  if (!device_alive(index))
+    throw std::out_of_range("Engine::cancel_drain: no device at slot " + std::to_string(index));
+  draining_[index] = 0;
+}
+
+bool Engine::draining(std::size_t index) const {
+  return index < draining_.size() && draining_[index] != 0;
+}
+
+void Engine::inject_fault(std::size_t index, sim::Cycle kill_at_cycle) {
+  if (!device_alive(index))
+    throw std::out_of_range("Engine::inject_fault: no device at slot " + std::to_string(index));
+  retain_specs_ = true;  // stranded jobs must be recoverable
+  if (auto* already = dynamic_cast<FaultyDevice*>(devices_[index].get())) {
+    already->schedule_kill(kill_at_cycle);
+    return;
+  }
+  auto wrapped = std::make_unique<FaultyDevice>(std::move(devices_[index]), kill_at_cycle);
+  // sim introspection keeps seeing through the wrapper
+  sim_devices_[index] = dynamic_cast<SimDevice*>(wrapped->inner());
+  devices_[index] = std::move(wrapped);
+}
+
+std::size_t Engine::adopt_device(std::unique_ptr<Device> dev) {
+  // Replay engine-provisioned keys (the key table is the provisioning
+  // path migrated channels rely on) and join the fleet time base before
+  // the device becomes placeable.
+  for (const auto& [id, key] : key_table_) dev->provision_key(id, key);
+  dev->advance_to(max_cycle());
+
+  SimDevice* sim = dynamic_cast<SimDevice*>(dev.get());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i]) continue;
+    devices_[i] = std::move(dev);
+    sim_devices_[i] = sim;
+    draining_[i] = 0;
+    return i;
+  }
+  devices_.push_back(std::move(dev));
+  sim_devices_.push_back(sim);
+  inflight_.emplace_back();
+  draining_.push_back(0);
+  return devices_.size() - 1;
+}
+
+std::size_t Engine::add_device(std::vector<reconfig::CoreImage> slot_layout) {
+  if (!config_built_)
+    throw std::logic_error(
+        "Engine::add_device: fleet was adopted, not config-built; pass a Device to the "
+        "adopting overload instead");
+  top::MccpConfig device_cfg = build_config_.device;
+  if (!slot_layout.empty()) device_cfg.slot_images = std::move(slot_layout);
+  const std::string name = (build_config_.backend == Backend::kFast ? "fast" : "mccp") +
+                           std::to_string(devices_created_++);
+  std::unique_ptr<Device> dev;
+  if (build_config_.backend == Backend::kFast)
+    dev = std::make_unique<FastDevice>(device_cfg, name);
+  else
+    dev = std::make_unique<SimDevice>(device_cfg, name);
+  return adopt_device(std::move(dev));
+}
+
+std::size_t Engine::add_device(std::unique_ptr<Device> device) {
+  if (!device) throw std::invalid_argument("Engine::add_device: null device");
+  return adopt_device(std::move(device));
+}
+
+DrainReport Engine::remove_device(std::size_t index, sim::Cycle max_drain_cycles) {
+  if (!device_alive(index))
+    throw std::out_of_range("Engine::remove_device: no device at slot " + std::to_string(index));
+  if (alive_devices() <= 1)
+    throw std::logic_error("Engine::remove_device: cannot remove the last device in the fleet");
+
+  DrainReport rep;
+  rep.device_index = index;
+  draining_[index] = 1;
+  removal_in_progress_ = true;
+  struct ClearFlag {
+    bool& flag;
+    ~ClearFlag() { flag = false; }
+  } clear_removal{removal_in_progress_};
+
+  rep.was_failed = devices_[index]->failed();
+  const sim::Cycle drain_start = max_cycle();
+  const std::uint64_t completed_before = completed_jobs_;
+
+  if (!rep.was_failed) {
+    // Healthy drain: no new placements land on the device (draining), so
+    // stepping the fleet retires its in-flight list. Completion callbacks
+    // may legally resubmit onto it meanwhile (decrypt round-trips); those
+    // drain too.
+    while (!inflight_[index].empty() && !devices_[index]->failed()) {
+      if (max_cycle() - drain_start > max_drain_cycles)
+        throw EngineError("Engine::remove_device: drain of device " + devices_[index]->name() +
+                          " exceeded " + std::to_string(max_drain_cycles) +
+                          " cycles; still draining — retry or raise max_drain_cycles");
+      step();
+    }
+    rep.was_failed = devices_[index]->failed();  // died mid-drain
+  }
+  if (rep.was_failed)
+    // Flush completions the device produced before its kill cycle, so only
+    // genuinely stranded jobs remain on its list.
+    collect_now();
+  rep.drain_cycles = max_cycle() - drain_start;
+  rep.completed_during_drain = completed_jobs_ - completed_before;
+
+  // Migrate the device's channels to survivors (uid order: deterministic).
+  // Keys were broadcast at provision time and are replayed onto added
+  // devices, so the survivor already holds each channel's key.
+  for (auto& [uid, rec] : channels_) {
+    if (!rec.open || rec.device != index) continue;
+    auto placed =
+        place_channel(rec.info.mode, rec.info.key_id, rec.info.tag_len, rec.info.nonce_len);
+    if (!placed) {
+      rec.open = false;
+      rec.orphaned = true;
+      ++rep.orphaned_channels;
+      continue;
+    }
+    if (!rep.was_failed) devices_[index]->close_channel(rec.info.id);
+    rec.device = placed->first;
+    rec.info = placed->second;
+    ++rep.migrated_channels;
+  }
+
+  // Resubmit stranded jobs in submission order (the in-flight list is
+  // append-ordered), onto each channel's post-migration device — per
+  // channel the device sees them in the original order, and delivery
+  // stays ascending-JobId, so the in-order contract holds. Jobs without a
+  // retained spec or a surviving channel are lost: they complete failed,
+  // after the loop so their callbacks observe the fully-migrated fleet.
+  std::vector<std::shared_ptr<detail::JobState>> stranded = std::move(inflight_[index]);
+  inflight_[index].clear();
+  std::vector<std::shared_ptr<detail::JobState>> lost;
+  for (std::shared_ptr<detail::JobState>& st : stranded) {
+    auto cit = st->channel_uid != 0 ? channels_.find(st->channel_uid) : channels_.end();
+    ChannelRecord* rec = cit != channels_.end() ? &cit->second : nullptr;
+    if (st->spec && rec != nullptr && rec->open && !rec->orphaned) {
+      JobSpec spec = *st->spec;  // keep the retained copy: devices can fail twice
+      spec.channel = rec->info;
+      st->device = rec->device;
+      ++st->resubmissions;
+      st->device_job = devices_[rec->device]->submit(std::move(spec));
+      inflight_[rec->device].push_back(std::move(st));
+      ++rep.resubmitted_jobs;
+    } else {
+      lost.push_back(std::move(st));
+    }
+  }
+  rep.lost_jobs = lost.size();
+  for (std::shared_ptr<detail::JobState>& st : lost) {
+    --inflight_count_;
+    JobResult r;
+    r.complete = true;
+    r.auth_ok = false;
+    finish_job(*st, r);
+  }
+
+  // Tombstone the slot; indices of the survivors are untouched.
+  draining_[index] = 0;
+  sim_devices_[index] = nullptr;
+  devices_[index].reset();
+  return rep;
 }
 
 }  // namespace mccp::host

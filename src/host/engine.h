@@ -33,8 +33,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/mpsc_queue.h"
@@ -42,10 +45,31 @@
 #include "host/completion.h"
 #include "host/device.h"
 #include "host/fast_device.h"
+#include "host/faulty_device.h"
 #include "host/sim_device.h"
 #include "host/worker_pool.h"
 
 namespace mccp::host {
+
+/// Base of the Engine's typed error hierarchy (membership / drain faults;
+/// argument errors still throw the std:: exceptions they always did).
+class EngineError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Submitting on a channel whose device is draining (begin_drain()): the
+/// device is on its way out of the fleet and accepts no new work. Typed —
+/// callers race membership changes legitimately and must be able to catch
+/// this and re-place.
+class DeviceDrainingError : public EngineError {
+  using EngineError::EngineError;
+};
+
+/// Submitting on a channel stranded by a removal: its device left the
+/// fleet and the channel could not be migrated to any survivor.
+class DeviceRemovedError : public EngineError {
+  using EngineError::EngineError;
+};
 
 /// How open_channel() places channels onto devices.
 enum class Placement : std::uint8_t {
@@ -64,6 +88,14 @@ enum class Backend : std::uint8_t {
           // magnitude faster wall-clock
 };
 
+/// Scripted device death for fault-injection runs: device `device` is
+/// wrapped in a FaultyDevice and dies once its clock reaches
+/// `kill_at_cycle` (see host/faulty_device.h for the freeze semantics).
+struct DeviceFault {
+  std::size_t device = 0;
+  sim::Cycle kill_at_cycle = 0;  // 0 = dead on arrival
+};
+
 struct EngineConfig {
   std::size_t num_devices = 1;
   top::MccpConfig device{};  // applied to every device (shape + policies)
@@ -79,6 +111,38 @@ struct EngineConfig {
   /// min(N, num_devices) pool threads. Completions still fire on the
   /// caller's thread, in both modes.
   std::size_t num_workers = 0;
+  /// Scripted device deaths (fault injection): each listed device is
+  /// wrapped in a FaultyDevice at construction. A non-empty list implies
+  /// `retain_specs`, so stranded jobs can be resubmitted on recovery.
+  std::vector<DeviceFault> faults{};
+  /// Keep a copy of every submitted JobSpec until its job completes, so
+  /// `remove_device()` can resubmit work stranded on a failed device.
+  /// Costs one spec copy per submit; implied by `faults` and by
+  /// `inject_fault()`.
+  bool retain_specs = false;
+};
+
+/// What `Engine::remove_device()` did: how long the drain took, where the
+/// device's channels went, and what happened to its in-flight jobs. The
+/// workload layer surfaces these as the report's recovery-time metrics.
+struct DrainReport {
+  std::size_t device_index = 0;
+  /// The device was already dead (or died mid-drain): the drain was cut
+  /// short and in-flight jobs were resubmitted rather than completed.
+  bool was_failed = false;
+  sim::Cycle drain_cycles = 0;  // engine-clock time spent draining
+  std::uint64_t completed_during_drain = 0;
+  std::size_t migrated_channels = 0;
+  /// Channels no survivor could host (fleet out of slots): their records
+  /// stay, but submits throw DeviceRemovedError.
+  std::size_t orphaned_channels = 0;
+  /// Stranded jobs resubmitted onto survivors (their Completions stay
+  /// valid and fire when the resubmitted copy lands).
+  std::uint64_t resubmitted_jobs = 0;
+  /// Stranded jobs that could not be recovered (no retained spec, or an
+  /// orphaned channel): completed with auth_ok == false. Zero whenever
+  /// spec retention is on and migration succeeds.
+  std::uint64_t lost_jobs = 0;
 };
 
 class Engine {
@@ -160,13 +224,69 @@ class Engine {
   /// message for unknown vs still-pending ids (never a bare map::at).
   const JobResult& result(JobId id) const;
 
+  // -- dynamic membership -------------------------------------------------------
+  // Device slots are stable for the engine's lifetime: removing a device
+  // tombstones its slot (channels, jobs, worker sharding and round-robin
+  // cursors all key on slot indices), and add_device() refills the first
+  // tombstone before growing the fleet.
+
+  /// Add a device built from the construction-time EngineConfig (same
+  /// backend/shape as the original fleet; `slot_layout` overrides the boot
+  /// slot images when non-empty). Keys already provisioned through the
+  /// engine are replayed onto it and its clock is advanced to the fleet's,
+  /// so placement can use it immediately. Returns its slot index. Throws
+  /// std::logic_error on an adopted (non-config-built) fleet — use the
+  /// adopting overload there.
+  std::size_t add_device(std::vector<reconfig::CoreImage> slot_layout = {});
+  /// Adopt an externally built device into the fleet (keys replayed, clock
+  /// synced, slot reused or appended). Returns its slot index.
+  std::size_t add_device(std::unique_ptr<Device> device);
+
+  /// Remove device `index` from the fleet: drain (stop placing on it, step
+  /// the fleet until its in-flight jobs complete — or until it turns out
+  /// to be dead), migrate its channels to survivors (handles stay valid;
+  /// per-channel in-order delivery is preserved), resubmit any stranded
+  /// jobs from their retained specs in submission order, then tombstone
+  /// the slot. Throws std::out_of_range for an empty slot,
+  /// std::logic_error when it is the last live device, and EngineError if
+  /// a healthy drain exceeds `max_drain_cycles` of engine-clock time (the
+  /// device is left draining; the call can be retried).
+  DrainReport remove_device(std::size_t index, sim::Cycle max_drain_cycles = 10'000'000);
+
+  /// Stop placing channels on device `index` and reject new submits to its
+  /// channels with DeviceDrainingError. remove_device() implies it;
+  /// cancel_drain() re-admits the device.
+  void begin_drain(std::size_t index);
+  void cancel_drain(std::size_t index);
+  bool draining(std::size_t index) const;
+
+  /// Wrap live device `index` in a FaultyDevice dying at `kill_at_cycle`
+  /// (see host/faulty_device.h). Turns on spec retention for subsequent
+  /// submits; inject before offering the traffic whose recovery matters.
+  void inject_fault(std::size_t index, sim::Cycle kill_at_cycle);
+
+  bool device_alive(std::size_t index) const {
+    return index < devices_.size() && devices_[index] != nullptr;
+  }
+  bool device_failed(std::size_t index) const {
+    return device_alive(index) && devices_[index]->failed();
+  }
+  /// Slots currently holding a live device.
+  std::size_t alive_devices() const;
+  /// Live devices reporting failed() — each wants a remove_device() to
+  /// recover its channels and stranded jobs.
+  std::vector<std::size_t> failed_devices() const;
+
   // -- fleet introspection ------------------------------------------------------
+  /// Device *slots* (tombstones included); see alive_devices() for the
+  /// live count and device_alive() before indexing a possibly-elastic
+  /// fleet.
   std::size_t num_devices() const { return devices_.size(); }
-  Device& device(std::size_t i) { return *devices_[i]; }
-  const Device& device(std::size_t i) const { return *devices_[i]; }
+  Device& device(std::size_t i) { return checked_device(i); }
+  const Device& device(std::size_t i) const { return checked_device(i); }
   /// The simulated backend, when device `i` is a SimDevice (nullptr for
-  /// FastDevice fleets and adopted non-sim devices).
-  SimDevice* sim_device(std::size_t i) { return sim_devices_[i]; }
+  /// FastDevice fleets, adopted non-sim devices and tombstoned slots).
+  SimDevice* sim_device(std::size_t i) { return i < sim_devices_.size() ? sim_devices_[i] : nullptr; }
   /// Furthest-ahead device clock (devices advance independently).
   sim::Cycle max_cycle() const;
   std::size_t inflight() const;
@@ -191,11 +311,35 @@ class Engine {
     ChannelInfo info{};
     ChannelStats stats{};
     bool open = true;
+    /// Its device was removed and no survivor could host it: submits
+    /// throw DeviceRemovedError.
+    bool orphaned = false;
   };
 
+  Device& checked_device(std::size_t i) const {
+    if (!device_alive(i))
+      throw std::out_of_range("Engine::device: no device at slot " + std::to_string(i));
+    return *devices_[i];
+  }
+  /// A device placement may target: alive, not draining, not failed.
+  bool placeable(std::size_t i) const {
+    return device_alive(i) && !draining_[i] && !devices_[i]->failed();
+  }
   std::size_t pick_device(ChannelMode mode) const;
   std::size_t device_load(std::size_t i) const;
+  /// Placement + device-side OPEN with fallback across placeable devices;
+  /// sets last_rr_. Shared by open_channel() and channel migration.
+  std::optional<std::pair<std::size_t, ChannelInfo>> place_channel(ChannelMode mode,
+                                                                   top::KeyId key,
+                                                                   unsigned tag_len,
+                                                                   unsigned nonce_len);
+  std::size_t adopt_device(std::unique_ptr<Device> dev);
   Completion submit(const Channel& ch, JobSpec spec);
+  /// Throws the typed drain/removal error when `rec` cannot take work.
+  void ensure_submittable(const ChannelRecord& rec) const;
+  /// Deliver already-complete jobs without advancing any clock.
+  void collect_now();
+  const ChannelRecord* channel_record(std::uint64_t uid) const;
   void release_channel(std::uint64_t uid);
   void track(std::shared_ptr<detail::JobState> st);
   void poll_completions();
@@ -209,9 +353,26 @@ class Engine {
   void collect_completed(std::size_t device_index);
   void drain_completed();
 
-  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<Device>> devices_;  // null = tombstoned slot
   std::vector<SimDevice*> sim_devices_;  // parallel to devices_; null if foreign
   Placement placement_;
+
+  // -- dynamic membership state -------------------------------------------------
+  std::vector<std::uint8_t> draining_;  // parallel to devices_
+  /// Keys provisioned through the engine, replayed onto added devices (the
+  /// existing key-provisioning path is how migrated channels find their
+  /// keys on survivors).
+  std::map<top::KeyId, Bytes> key_table_;
+  /// Construction config, kept so add_device() can build fleet-identical
+  /// devices. Only meaningful when config_built_.
+  EngineConfig build_config_{};
+  bool config_built_ = false;
+  std::size_t devices_created_ = 0;  // monotonic, for unique device names
+  bool retain_specs_ = false;
+  /// Inside remove_device(): its own drain must keep accepting the
+  /// re-entrant submits completion callbacks issue (decrypt round-trips),
+  /// so the draining-device typed error is suspended for the scope.
+  bool removal_in_progress_ = false;
 
   std::map<std::uint64_t, ChannelRecord> channels_;
   std::uint64_t next_channel_uid_ = 1;

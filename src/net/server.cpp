@@ -37,6 +37,11 @@ struct Server::Session {
   bool ready = false;    // HELLO/WELCOME handshake completed
   bool closing = false;  // flush remaining egress, then close
   bool dead = false;     // remove at the end of the loop iteration
+  /// Client half-closed its write side (recv saw EOF) but may still be
+  /// reading: no more requests will arrive, yet in-flight jobs and queued
+  /// egress (a large completion mid-write) must still be delivered. The
+  /// session is reaped once both drain.
+  bool rx_closed = false;
 
   std::vector<std::uint8_t> rx;
   /// Egress as a flat buffer with a consumed-head offset (compacted when
@@ -117,7 +122,7 @@ void Server::run() {
     fds.push_back({wake_fds_[0], POLLIN, 0});
     for (auto& [fd, s] : sessions_) {
       short events = 0;
-      if (!s->reads_paused && !s->closing) events |= POLLIN;
+      if (!s->reads_paused && !s->closing && !s->rx_closed) events |= POLLIN;
       if (s->egress_bytes() > 0) events |= POLLOUT;
       fds.push_back({fd, events, 0});
       fd_sessions.push_back(s.get());
@@ -159,8 +164,13 @@ void Server::run() {
     for (auto& [fd, s] : sessions_)
       if (!s->dead && s->egress_bytes() > 0) flush_session(*s);
 
-    for (auto& [fd, s] : sessions_)
+    for (auto& [fd, s] : sessions_) {
       if (!s->dead && s->closing && s->egress_bytes() == 0) s->dead = true;
+      // Half-closed client: linger until its in-flight jobs complete and
+      // their frames are flushed, then close our side too.
+      if (!s->dead && s->rx_closed && s->inflight == 0 && s->egress_bytes() == 0)
+        s->dead = true;
+    }
 
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       if (it->second->dead) {
@@ -206,7 +216,13 @@ void Server::read_session(Session& s) {
   std::uint8_t buf[65536];
   ssize_t n = ::recv(s.fd, buf, sizeof(buf), 0);
   if (n == 0) {
-    s.dead = true;  // orderly remote close mid-anything: tear the session down
+    // Orderly shutdown of the client's write side (shutdown(SHUT_WR), or a
+    // closing client draining responses). NOT a teardown: completions for
+    // in-flight jobs and any partially written egress still go out; the
+    // reap happens in run() once both have drained. A client that vanished
+    // entirely surfaces as EPIPE on the next send instead.
+    s.rx_closed = true;
+    s.rx.clear();  // a partial frame can never complete now
     return;
   }
   if (n < 0) {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <ctime>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <stdexcept>
 
@@ -60,7 +61,14 @@ ScenarioReport ScenarioRunner::run() {
   using WallClock = std::chrono::steady_clock;
   const auto wall_start = WallClock::now();
 
-  host::Engine engine(engine_config_from(spec_));
+  // Scripted kills are wired into the engine itself (FaultyDevice wraps
+  // the target at construction and fires on the device clock); remove/add
+  // events and autoscaling are executed by this loop.
+  host::EngineConfig engine_cfg = engine_config_from(spec_);
+  for (const FaultEvent& ev : spec_.faults)
+    if (ev.kind == FaultEvent::Kind::kKill)
+      engine_cfg.faults.push_back({ev.device, ev.at_cycle});
+  host::Engine engine(engine_cfg);
 
   // One session key per class, broadcast fleet-wide so placement is free.
   for (std::size_t i = 0; i < spec_.classes.size(); ++i)
@@ -139,9 +147,104 @@ ScenarioReport ScenarioRunner::run() {
 
   const sim::Cycle start_cycle = engine.max_cycle();
 
+  // ---- fleet elasticity & recovery machinery ----------------------------------
+  std::vector<RecoveryEvent> recovery;
+  std::size_t devices_failed = 0, devices_removed = 0, devices_added = 0;
+  // Scripted kill cycle per device, for attributing detections.
+  std::map<std::size_t, sim::Cycle> kill_cycle;
+  for (const FaultEvent& ev : spec_.faults)
+    if (ev.kind == FaultEvent::Kind::kKill) kill_cycle[ev.device] = ev.at_cycle;
+  std::size_t next_fault = 0;  // cursor into the at_cycle-sorted remove/add events
+
+  auto record_removal = [&](RecoveryEvent ev, const host::DrainReport& dr) {
+    ev.detected_cycle = engine.max_cycle() - dr.drain_cycles;
+    ev.drain_cycles = dr.drain_cycles;
+    ev.completed_during_drain = dr.completed_during_drain;
+    ev.migrated_channels = dr.migrated_channels;
+    ev.resubmitted_jobs = dr.resubmitted_jobs;
+    ev.lost_jobs = dr.lost_jobs;
+    ++devices_removed;
+    recovery.push_back(std::move(ev));
+  };
+
+  // A device reporting failed() is recovered immediately: remove it (the
+  // drain short-circuits on a dead device), migrating its channels and
+  // resubmitting its stranded jobs from their retained specs.
+  auto recover_failures = [&] {
+    for (std::size_t idx : engine.failed_devices()) {
+      ++devices_failed;
+      RecoveryEvent ev;
+      ev.kind = "kill";
+      ev.device = idx;
+      if (auto it = kill_cycle.find(idx); it != kill_cycle.end()) ev.at_cycle = it->second;
+      record_removal(std::move(ev), engine.remove_device(idx));
+    }
+  };
+
+  auto run_scripted_events = [&](sim::Cycle now) {
+    for (; next_fault < spec_.faults.size() && spec_.faults[next_fault].at_cycle <= now;
+         ++next_fault) {
+      const FaultEvent& f = spec_.faults[next_fault];
+      if (f.kind == FaultEvent::Kind::kAdd) {
+        RecoveryEvent ev;
+        ev.kind = "add";
+        ev.at_cycle = f.at_cycle;
+        ev.detected_cycle = now;
+        ev.device = engine.add_device(f.slots);
+        ++devices_added;
+        recovery.push_back(std::move(ev));
+      } else if (f.kind == FaultEvent::Kind::kRemove) {
+        // Already dead (a kill raced it) or already gone: nothing to do —
+        // recover_failures() owns dead devices.
+        if (!engine.device_alive(f.device) || engine.device_failed(f.device)) continue;
+        RecoveryEvent ev;
+        ev.kind = "remove";
+        ev.device = f.device;
+        ev.at_cycle = f.at_cycle;
+        record_removal(std::move(ev), engine.remove_device(f.device));
+      }
+      // kKill: handled by the engine's FaultyDevice wrapper.
+    }
+  };
+
+  // Queue-depth autoscaling: at most one decision per cooldown, on the
+  // loop's own window occupancy. The decision instants depend on when the
+  // loop observes the occupancy, so autoscaled runs are deterministic per
+  // backend (and serial==threaded) but not pinned across backends.
+  sim::Cycle next_autoscale = spec_.autoscale.cooldown_cycles;
+  auto autoscale_check = [&](sim::Cycle now) {
+    const AutoscaleSpec& as = spec_.autoscale;
+    if (!as.enabled || now < next_autoscale) return;
+    next_autoscale = now + as.cooldown_cycles;
+    const std::size_t alive = engine.alive_devices();
+    if (inflight >= as.high_inflight && alive < as.max_devices) {
+      RecoveryEvent ev;
+      ev.kind = "autoscale_add";
+      ev.detected_cycle = now;
+      ev.device = engine.add_device();
+      ++devices_added;
+      recovery.push_back(std::move(ev));
+    } else if (inflight <= as.low_inflight && alive > as.min_devices) {
+      // Drain out the highest-numbered live device (the most recently
+      // added slot, all else equal).
+      for (std::size_t i = engine.num_devices(); i-- > 0;) {
+        if (!engine.device_alive(i) || engine.device_failed(i)) continue;
+        RecoveryEvent ev;
+        ev.kind = "autoscale_remove";
+        ev.device = i;
+        record_removal(std::move(ev), engine.remove_device(i));
+        break;
+      }
+    }
+  };
+
   // ---- the closed loop --------------------------------------------------------
   while (true) {
     const sim::Cycle now = engine.max_cycle();
+
+    run_scripted_events(now);
+    recover_failures();
+    autoscale_check(now);
 
     // Admit every due arrival the window allows, batching per channel so
     // bursts hit the amortized submit path.
@@ -245,6 +348,16 @@ ScenarioReport ScenarioRunner::run() {
   report.reconfigurations = engine.reconfigurations();
   report.reconfig_stall_cycles = engine.reconfig_stall_cycles();
   report.bitstream_store = store_spec_name(spec_.bitstream_store);
+  report.recovery = std::move(recovery);
+  report.devices_failed = devices_failed;
+  report.devices_removed = devices_removed;
+  report.devices_added = devices_added;
+  for (const RecoveryEvent& ev : report.recovery) {
+    report.migrated_channels += ev.migrated_channels;
+    report.resubmitted_jobs += ev.resubmitted_jobs;
+    report.lost_jobs += ev.lost_jobs;
+  }
+  report.final_devices = engine.alive_devices();
   for (ClassState& st : states) {
     st.report.image_reconfigurations =
         engine.reconfigurations_to(host::image_for_mode(st.spec->profile.mode));
@@ -292,7 +405,29 @@ std::string report_json(const ScenarioReport& report) {
       .field("reconfig_stall_cycles", report.reconfig_stall_cycles)
       .field("bitstream_store", report.bitstream_store)
       .field("total_offered", report.total_offered())
-      .field("total_completed", report.total_completed());
+      .field("total_completed", report.total_completed())
+      .field("devices_failed", report.devices_failed)
+      .field("devices_removed", report.devices_removed)
+      .field("devices_added", report.devices_added)
+      .field("migrated_channels", report.migrated_channels)
+      .field("resubmitted_jobs", report.resubmitted_jobs)
+      .field("lost_jobs", report.lost_jobs)
+      .field("final_devices", report.final_devices);
+  json.begin_array("recovery");
+  for (const RecoveryEvent& ev : report.recovery) {
+    json.begin_object()
+        .field("kind", ev.kind)
+        .field("device", ev.device)
+        .field("at_cycle", ev.at_cycle)
+        .field("detected_cycle", ev.detected_cycle)
+        .field("drain_cycles", ev.drain_cycles)
+        .field("completed_during_drain", ev.completed_during_drain)
+        .field("migrated_channels", ev.migrated_channels)
+        .field("resubmitted_jobs", ev.resubmitted_jobs)
+        .field("lost_jobs", ev.lost_jobs)
+        .end_object();
+  }
+  json.end_array();
   json.begin_array("classes");
   for (const ClassReport& c : report.classes) {
     json.begin_object()

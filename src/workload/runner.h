@@ -93,6 +93,23 @@ struct QueueSample {
   std::size_t inflight = 0;
 };
 
+/// One fleet-membership change the run performed and what it cost — the
+/// recovery-time metrics for fault-injection / elasticity scenarios
+/// (host::DrainReport surfaced into the report JSON).
+struct RecoveryEvent {
+  std::string kind;  // "kill" | "remove" | "add" | "autoscale_add" | "autoscale_remove"
+  std::size_t device = 0;
+  sim::Cycle at_cycle = 0;        // scripted instant (0 for autoscale decisions)
+  sim::Cycle detected_cycle = 0;  // engine clock when the runner acted
+  /// Time-to-drain: engine-clock cycles from detection to the device's
+  /// in-flight work being resolved (completed or resubmitted).
+  sim::Cycle drain_cycles = 0;
+  std::uint64_t completed_during_drain = 0;
+  std::size_t migrated_channels = 0;
+  std::uint64_t resubmitted_jobs = 0;
+  std::uint64_t lost_jobs = 0;  // must stay 0: losing work is a bug
+};
+
 struct ScenarioReport {
   std::string scenario;
   std::string backend;
@@ -110,6 +127,18 @@ struct ScenarioReport {
   std::uint64_t reconfigurations = 0;
   std::uint64_t reconfig_stall_cycles = 0;
   std::string bitstream_store;  // where on-demand swaps fetched from
+
+  /// Fleet elasticity & recovery accounting: every membership change the
+  /// run performed, plus the totals the acceptance gates pin (lost_jobs
+  /// must be 0 for a clean run).
+  std::vector<RecoveryEvent> recovery;
+  std::size_t devices_failed = 0;
+  std::size_t devices_removed = 0;  // kills + scripted removes + autoscale-downs
+  std::size_t devices_added = 0;
+  std::size_t migrated_channels = 0;
+  std::uint64_t resubmitted_jobs = 0;
+  std::uint64_t lost_jobs = 0;
+  std::size_t final_devices = 0;  // live devices when the run finished
 
   std::vector<ClassReport> classes;
   /// Admission-window occupancy over time (see QueueSample); the sampling

@@ -1,5 +1,6 @@
 #include "workload/spec.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "workload/trace.h"
@@ -195,6 +196,61 @@ ScenarioSpec parse_scenario(const json::Value& doc, const std::string& base_dir)
   if (spec.reconfig_time_divisor == 0)
     throw std::invalid_argument("scenario: reconfig_scale must be >= 1");
 
+  // Fleet elasticity & fault injection: "faults" scripts membership
+  // events, "autoscale" turns on the queue-depth policy.
+  if (const json::Value* faults = doc.find("faults")) {
+    if (!faults->is_array())
+      throw std::invalid_argument("scenario: \"faults\" wants an array of event objects");
+    for (const json::Value& f : faults->as_array()) {
+      if (!f.is_object())
+        throw std::invalid_argument("scenario: each \"faults\" event must be an object");
+      FaultEvent ev;
+      const std::string kind = f.string_or("kind", "");
+      if (kind == "kill") {
+        ev.kind = FaultEvent::Kind::kKill;
+      } else if (kind == "remove") {
+        ev.kind = FaultEvent::Kind::kRemove;
+      } else if (kind == "add") {
+        ev.kind = FaultEvent::Kind::kAdd;
+      } else {
+        throw std::invalid_argument("scenario: fault kind must be \"kill\", \"remove\" or "
+                                    "\"add\" (got \"" + kind + "\")");
+      }
+      ev.at_cycle = f.u64_or("at_cycle", 0);
+      if (ev.at_cycle == 0)
+        throw std::invalid_argument("scenario: fault events need \"at_cycle\" >= 1");
+      ev.device = static_cast<std::size_t>(f.u64_or("device", 0));
+      if (ev.kind == FaultEvent::Kind::kKill && ev.device >= spec.devices)
+        throw std::invalid_argument("scenario: fault kill targets device " +
+                                    std::to_string(ev.device) + " but the fleet boots " +
+                                    std::to_string(spec.devices));
+      if (ev.kind == FaultEvent::Kind::kAdd)
+        if (const json::Value* slots = f.find("slots"))
+          for (const json::Value& s : slots->as_array())
+            ev.slots.push_back(image_from_name(s.as_string()));
+      spec.faults.push_back(std::move(ev));
+    }
+    std::stable_sort(spec.faults.begin(), spec.faults.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.at_cycle < b.at_cycle; });
+  }
+  if (const json::Value* autoscale = doc.find("autoscale")) {
+    if (!autoscale->is_object())
+      throw std::invalid_argument("scenario: \"autoscale\" wants an object");
+    AutoscaleSpec& as = spec.autoscale;
+    as.enabled = autoscale->bool_or("enabled", true);
+    as.high_inflight =
+        static_cast<std::size_t>(autoscale->u64_or("high_inflight", spec.window));
+    as.low_inflight = static_cast<std::size_t>(autoscale->u64_or("low_inflight", 0));
+    as.min_devices = static_cast<std::size_t>(autoscale->u64_or("min_devices", 1));
+    as.max_devices = static_cast<std::size_t>(
+        autoscale->u64_or("max_devices", std::max<std::uint64_t>(spec.devices * 2, 2)));
+    as.cooldown_cycles = autoscale->u64_or("cooldown_cycles", as.cooldown_cycles);
+    if (as.min_devices < 1 || as.max_devices < as.min_devices)
+      throw std::invalid_argument("scenario: autoscale wants 1 <= min_devices <= max_devices");
+    if (as.enabled && as.low_inflight >= as.high_inflight)
+      throw std::invalid_argument("scenario: autoscale wants low_inflight < high_inflight");
+  }
+
   const json::Value* classes = doc.find("classes");
   if (classes == nullptr || !classes->is_array() || classes->as_array().empty())
     throw std::invalid_argument("scenario: wants a non-empty \"classes\" array");
@@ -215,7 +271,14 @@ ScenarioSpec load_scenario(const std::string& path) {
   std::string base_dir;
   if (std::size_t slash = path.find_last_of('/'); slash != std::string::npos)
     base_dir = path.substr(0, slash);
-  return parse_scenario(json::parse_file(path), base_dir);
+  try {
+    return parse_scenario(json::parse_file(path), base_dir);
+  } catch (const json::ParseError& e) {
+    // Name the file: the CLIs print e.what() as their one-line diagnostic,
+    // and "unexpected end of input at line 2" alone doesn't say where.
+    if (std::string(e.what()).find(path) != std::string::npos) throw;
+    throw json::ParseError(path + ": " + e.what());
+  }
 }
 
 const char* backend_name(host::Backend backend) {

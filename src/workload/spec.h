@@ -50,6 +50,39 @@ struct ClassSpec {
   double decrypt_fraction = 0.0;
 };
 
+/// One scripted fleet-membership event ("faults" array): a device death
+/// (fault injection), a scripted drain-out, or a hot-add. Kills are wired
+/// into the engine at construction (EngineConfig::faults) and fire at the
+/// device's own clock; remove/add are executed by the runner's loop when
+/// the engine clock passes `at_cycle`.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kKill,    // device dies hard at `at_cycle` (FaultyDevice freeze)
+    kRemove,  // drain + migrate the device out of the fleet
+    kAdd,     // hot-add a fleet-identical device
+  };
+  Kind kind = Kind::kKill;
+  std::size_t device = 0;   // kill/remove target slot (ignored for add)
+  sim::Cycle at_cycle = 0;  // engine-clock instant
+  /// Add only: boot slot layout override for the new device ("slots").
+  std::vector<reconfig::CoreImage> slots{};
+};
+
+/// Queue-depth-driven autoscaling ("autoscale" object): the runner adds a
+/// device when its admission-window occupancy crosses `high_inflight` and
+/// drains one out when it falls to `low_inflight`, at most one decision
+/// per `cooldown_cycles`. Decisions depend on when the loop observes the
+/// occupancy, so autoscaled runs pin serial==threaded determinism but not
+/// cross-backend equality — keep it off in cross-backend-pinned presets.
+struct AutoscaleSpec {
+  bool enabled = false;
+  std::size_t high_inflight = 0;  // >= this: add a device (0 = window)
+  std::size_t low_inflight = 0;   // <= this: drain one out
+  std::size_t min_devices = 1;
+  std::size_t max_devices = 8;
+  sim::Cycle cooldown_cycles = 50'000;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   std::uint64_t seed = 1;
@@ -81,6 +114,11 @@ struct ScenarioSpec {
   /// "reconfig_scale": swap-duration timescale compression (>= 1; see
   /// reconfig::scaled_reconfiguration_cycles). 1 = faithful Table IV.
   std::uint32_t reconfig_time_divisor = 1;
+
+  // -- fleet elasticity & fault injection -------------------------------------
+  /// Scripted membership events, sorted by at_cycle at parse time.
+  std::vector<FaultEvent> faults{};
+  AutoscaleSpec autoscale{};
 
   std::vector<ClassSpec> classes;
 };

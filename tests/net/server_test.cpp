@@ -71,6 +71,9 @@ class RawConn {
     fd_ = -1;
   }
 
+  /// Half-close: no more requests from us, but keep reading responses.
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
   void send_bytes(const std::vector<std::uint8_t>& bytes) {
     ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
               static_cast<ssize_t>(bytes.size()));
@@ -406,6 +409,73 @@ TEST(NetServer, RemoteEngineMirrorsInProcessResults) {
   EXPECT_EQ(local_job.result().payload, remote_job.result().payload);
   EXPECT_EQ(local_job.result().tag, remote_job.result().tag);
   EXPECT_TRUE(remote_job.result().auth_ok);
+}
+
+TEST(NetServer, HalfClosedClientStillReceivesItsCompletions) {
+  // A client that submits work and then shutdown(SHUT_WR)s — "no more
+  // requests, send me my results" — must NOT be torn down on the recv()==0:
+  // its in-flight completions (including large payload frames mid-write)
+  // still go out, and only then does the server close its side. The old
+  // behavior treated the EOF as a disconnect and dropped the session with
+  // the jobs' results.
+  TestServer server(fast_fleet(2));
+  RawConn conn(server->port());
+  conn.hello();
+  std::optional<Frame> welcome = conn.next_frame();
+  ASSERT_TRUE(welcome && std::holds_alternative<WelcomeFrame>(*welcome));
+
+  ProvisionKeyFrame pk;
+  pk.request_id = 1;
+  pk.key_id = 1;
+  pk.key = Bytes(16, 7);
+  conn.send_frame(pk);
+  std::optional<Frame> ack = conn.next_frame();
+  ASSERT_TRUE(ack && std::holds_alternative<AckFrame>(*ack));
+
+  OpenChannelFrame oc;
+  oc.request_id = 2;
+  oc.mode = static_cast<std::uint8_t>(top::ChannelMode::kGcm);
+  oc.key_id = 1;
+  oc.nonce_len = 12;
+  conn.send_frame(oc);
+  std::optional<Frame> opened = conn.next_frame();
+  ASSERT_TRUE(opened && std::holds_alternative<OpenOkFrame>(*opened));
+  const std::uint32_t channel = std::get<OpenOkFrame>(*opened).channel;
+
+  // Large payloads so the completion writes are fat, then half-close
+  // before anything has completed.
+  constexpr int kJobs = 4;
+  for (int i = 0; i < kJobs; ++i) {
+    SubmitFrame sf;
+    sf.channel = channel;
+    sf.job.job_id = static_cast<std::uint64_t>(i) + 1;
+    sf.job.iv = Bytes(12, static_cast<std::uint8_t>(i));
+    sf.job.payload = Bytes(48'000, static_cast<std::uint8_t>(0xA0 + i));
+    conn.send_frame(sf);
+  }
+  conn.shutdown_write();
+
+  bool seen[kJobs] = {};
+  for (int i = 0; i < kJobs; ++i) {
+    std::optional<Frame> f = conn.next_frame(5000);
+    ASSERT_TRUE(f && std::holds_alternative<CompletionFrame>(*f)) << i;
+    const CompletionFrame& c = std::get<CompletionFrame>(*f);
+    ASSERT_GE(c.job_id, 1u);
+    ASSERT_LE(c.job_id, static_cast<std::uint64_t>(kJobs));
+    seen[c.job_id - 1] = true;
+    EXPECT_TRUE(c.auth_ok);
+    EXPECT_EQ(c.payload.size(), 48'000u);
+  }
+  for (int i = 0; i < kJobs; ++i) EXPECT_TRUE(seen[i]) << i;
+
+  // With everything delivered, the server closes its side in an orderly way.
+  EXPECT_TRUE(conn.wait_eof(5000));
+
+  // The teardown was per-session: the server keeps serving new clients.
+  RawConn second(server->port());
+  second.hello();
+  std::optional<Frame> w2 = second.next_frame();
+  EXPECT_TRUE(w2 && std::holds_alternative<WelcomeFrame>(*w2));
 }
 
 }  // namespace
