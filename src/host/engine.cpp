@@ -108,6 +108,7 @@ Engine::Engine(const EngineConfig& config) : placement_(config.placement) {
   build_config_ = config;
   config_built_ = true;
   retain_specs_ = config.retain_specs || !config.faults.empty();
+  for (const qos::TenantConfig& t : config.tenants) tenants_.register_tenant(t);
   for (const DeviceFault& f : config.faults) inject_fault(f.device, f.kill_at_cycle);
   if (config.num_workers > 0)
     pool_ = std::make_unique<WorkerPool>(std::min(config.num_workers, devices_.size()));
@@ -212,11 +213,14 @@ std::optional<std::pair<std::size_t, ChannelInfo>> Engine::place_channel(Channel
 }
 
 Channel Engine::open_channel(ChannelMode mode, top::KeyId key, unsigned tag_len,
-                             unsigned nonce_len) {
+                             unsigned nonce_len, std::uint16_t tenant) {
+  if (tenant != 0 && !tenants_.known(tenant))
+    throw std::invalid_argument("Engine::open_channel: unknown tenant id " +
+                                std::to_string(tenant));
   auto placed = place_channel(mode, key, tag_len, nonce_len);
   if (!placed) return Channel{};
   std::uint64_t uid = next_channel_uid_++;
-  channels_[uid] = ChannelRecord{placed->first, placed->second, {}, true, false};
+  channels_[uid] = ChannelRecord{placed->first, placed->second, {}, true, false, tenant};
   return Channel(this, uid, placed->first, placed->second);
 }
 
@@ -255,6 +259,9 @@ Completion Engine::submit(const Channel& ch, JobSpec spec) {
   // snapshot: migration may have moved the channel since.
   ChannelRecord& rec = channels_.at(ch.uid_);
   ensure_submittable(rec);
+  // Tenant metering throws the typed rate/quota rejection before any side
+  // effects, so a refused submit leaves no trace in the stats.
+  tenants_.on_submit(rec.tenant, 1, max_cycle());
   spec.channel = rec.info;
 
   auto st = std::make_shared<detail::JobState>();
@@ -312,6 +319,10 @@ std::vector<Completion> Engine::submit_batch(const Channel& ch, std::vector<JobS
   // One channel-record lookup and one stats pass for the whole burst.
   ChannelRecord& rec = channels_.at(ch.uid_);
   ensure_submittable(rec);
+  // Batches admit atomically: either the tenant has tokens and quota
+  // headroom for the whole burst, or the typed rejection refuses all of it
+  // before any side effects.
+  tenants_.on_submit(rec.tenant, specs.size(), max_cycle());
   const std::size_t device_index = rec.device;
   Device& dev = *devices_[device_index];
   if (rec.stats.submitted == 0) rec.stats.first_submit_cycle = dev.now();
@@ -374,6 +385,10 @@ void Engine::finish_job(detail::JobState& st, const JobResult& result) {
   if (st.channel_uid != 0) {
     auto it = channels_.find(st.channel_uid);
     if (it != channels_.end()) {
+      // Tenant in-flight is released before callbacks fire, so a callback
+      // that resubmits (decrypt round-trip) replaces this job's slot
+      // instead of stacking on top of it.
+      tenants_.on_complete(it->second.tenant);
       ChannelStats& s = it->second.stats;
       ++s.completed;
       if (!result.auth_ok) ++s.failed;
@@ -605,6 +620,34 @@ sim::Cycle Engine::max_cycle() const {
   for (const auto& d : devices_)
     if (d) m = std::max(m, d->now());
   return m;
+}
+
+sim::Cycle Engine::min_busy_cycle() const {
+  // Only devices with work in flight can still deliver completions; an
+  // idle device's (possibly lagging) clock does not gate the watermark.
+  bool any = false;
+  sim::Cycle m = 0;
+  for (const auto& d : devices_) {
+    if (!d || d->inflight() == 0) continue;
+    m = any ? std::min(m, d->now()) : d->now();
+    any = true;
+  }
+  return any ? m : max_cycle();
+}
+
+bool Engine::last_image_holder(std::size_t index) const {
+  if (!device_alive(index)) return false;
+  for (const auto& [uid, rec] : channels_) {
+    if (!rec.open || rec.orphaned) continue;
+    const reconfig::CoreImage img = image_for_mode(rec.info.mode);
+    if (devices_[index]->slots_with_image(img) == 0) continue;
+    bool elsewhere = false;
+    for (std::size_t i = 0; i < devices_.size() && !elsewhere; ++i)
+      if (i != index && device_alive(i) && devices_[i]->slots_with_image(img) > 0)
+        elsewhere = true;
+    if (!elsewhere) return true;
+  }
+  return false;
 }
 
 std::size_t Engine::inflight() const {

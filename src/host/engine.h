@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/mpsc_queue.h"
+#include "qos/tenant.h"
 #include "host/channel.h"
 #include "host/completion.h"
 #include "host/device.h"
@@ -120,6 +121,12 @@ struct EngineConfig {
   /// Costs one spec copy per submit; implied by `faults` and by
   /// `inject_fault()`.
   bool retain_specs = false;
+  /// Multi-tenant QoS: tenants registered at construction (dense 1-based
+  /// ids in declaration order). Channels opened with a tenant id are
+  /// metered against the tenant's rate bucket and in-flight quota at every
+  /// submit, with typed qos::TenantThrottledError /
+  /// qos::TenantQuotaExceededError rejections.
+  std::vector<qos::TenantConfig> tenants{};
 };
 
 /// What `Engine::remove_device()` did: how long the drain took, where the
@@ -167,10 +174,21 @@ class Engine {
   // -- control plane ------------------------------------------------------------
   /// Open a channel on a device chosen by the placement policy (falling
   /// back to the other devices if it is out of slots). Returns an invalid
-  /// Channel on failure with the return register in last_error().
+  /// Channel on failure with the return register in last_error(). A
+  /// non-zero `tenant` id (see EngineConfig::tenants / register_tenant())
+  /// binds the channel: every submit on it is metered against that
+  /// tenant's contract. Throws std::invalid_argument for an unknown id.
   Channel open_channel(ChannelMode mode, top::KeyId key, unsigned tag_len = 16,
-                       unsigned nonce_len = 13);
+                       unsigned nonce_len = 13, std::uint16_t tenant = 0);
   std::uint8_t last_error() const { return last_rr_; }
+
+  // -- multi-tenant QoS ---------------------------------------------------------
+  /// Register a tenant after construction; returns its 1-based id.
+  std::uint16_t register_tenant(const qos::TenantConfig& cfg) {
+    return tenants_.register_tenant(cfg);
+  }
+  /// The enforcement table: id lookup, per-tenant runtime counters.
+  const qos::TenantTable& tenants() const { return tenants_; }
 
   // -- data plane ---------------------------------------------------------------
   Completion submit_encrypt(const Channel& ch, Bytes iv_or_nonce, Bytes aad, Bytes plaintext,
@@ -289,6 +307,15 @@ class Engine {
   SimDevice* sim_device(std::size_t i) { return i < sim_devices_.size() ? sim_devices_[i] : nullptr; }
   /// Furthest-ahead device clock (devices advance independently).
   sim::Cycle max_cycle() const;
+  /// Slowest clock among live devices that still have work in flight
+  /// (max_cycle() when none do). Once this passes cycle B, every job whose
+  /// completion stamp is <= B has been delivered — the watermark
+  /// boundary-based autoscale uses to evaluate engine-clock boundaries.
+  sim::Cycle min_busy_cycle() const;
+  /// Would removing device `index` leave some live channel's core image
+  /// with no remaining holder in the fleet? Scale-down policies use this
+  /// to prefer personality-redundant devices.
+  bool last_image_holder(std::size_t index) const;
   std::size_t inflight() const;
   /// Jobs finished over the engine's lifetime (the STATS counter the
   /// networked service pushes to subscribed clients).
@@ -314,6 +341,8 @@ class Engine {
     /// Its device was removed and no survivor could host it: submits
     /// throw DeviceRemovedError.
     bool orphaned = false;
+    /// Owning tenant (0 = untenanted): submits are metered against it.
+    std::uint16_t tenant = 0;
   };
 
   Device& checked_device(std::size_t i) const {
@@ -373,6 +402,10 @@ class Engine {
   /// re-entrant submits completion callbacks issue (decrypt round-trips),
   /// so the draining-device typed error is suspended for the scope.
   bool removal_in_progress_ = false;
+
+  /// Tenant contracts + runtime enforcement state (rate buckets, quotas,
+  /// per-tenant counters).
+  qos::TenantTable tenants_;
 
   std::map<std::uint64_t, ChannelRecord> channels_;
   std::uint64_t next_channel_uid_ = 1;

@@ -55,6 +55,7 @@ Client::Client(const ClientConfig& config) : config_(config) {
     HelloFrame hello;
     hello.ver_min = kProtocolVersion;
     hello.ver_max = kProtocolVersion;
+    hello.tenant = config.tenant;
     hello.client_name = config.name;
     send_frame(hello);
 

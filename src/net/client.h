@@ -35,6 +35,10 @@ struct ClientConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::string name = "mccp-client";
+  /// Tenant id announced in HELLO (0 = untenanted). Every channel this
+  /// connection opens binds to it; an id the server has not registered is
+  /// rejected at handshake time (kUnknownTenant).
+  std::uint16_t tenant = 0;
   /// Cap on any single blocking wait (handshake, control reply, drain
   /// step); exceeding it throws std::runtime_error.
   int io_timeout_ms = 30'000;

@@ -15,6 +15,9 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kOpenFailed: return "open_failed";
     case ErrorCode::kKeyRejected: return "key_rejected";
     case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kTenantThrottled: return "tenant_throttled";
+    case ErrorCode::kTenantQuotaExceeded: return "tenant_quota_exceeded";
+    case ErrorCode::kUnknownTenant: return "unknown_tenant";
   }
   return "unknown_error";
 }
@@ -189,6 +192,7 @@ struct Encoder {
     w.u32(kHelloMagic);
     w.u16(f.ver_min);
     w.u16(f.ver_max);
+    w.u16(f.tenant);
     w.str8(f.client_name);
   }
   void operator()(const WelcomeFrame& f) const {
@@ -310,6 +314,7 @@ bool decode_body(Op op, Reader& r, Frame& out) {
       if (r.u32() != kHelloMagic) return false;
       f.ver_min = r.u16();
       f.ver_max = r.u16();
+      f.tenant = r.u16();
       f.client_name = r.str8();
       out = std::move(f);
       return true;

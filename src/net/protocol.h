@@ -81,6 +81,11 @@ enum class ErrorCode : std::uint16_t {
   kOpenFailed = 6,       // device-side OPEN rejection (no slots, bad key, ...)
   kKeyRejected = 7,      // PROVISION_KEY with an unusable key
   kBusy = 8,             // server at max_sessions
+  // Tenant QoS refusals (src/qos/): job-referenced, non-fatal — the
+  // session stays up and the client backs off / sheds the work.
+  kTenantThrottled = 9,      // tenant over its contracted rate
+  kTenantQuotaExceeded = 10, // tenant at its in-flight quota
+  kUnknownTenant = 11,       // HELLO named a tenant id the fleet has not registered
 };
 const char* error_code_name(ErrorCode code);
 
@@ -89,6 +94,11 @@ const char* error_code_name(ErrorCode code);
 struct HelloFrame {
   std::uint16_t ver_min = kProtocolVersion;
   std::uint16_t ver_max = kProtocolVersion;
+  /// Tenant this session submits under (qos::TenantTable id; 0 = none).
+  /// Every channel the session opens binds to it, so per-session
+  /// admission shares the tenant's rate/quota budget fleet-wide. An
+  /// unregistered id is rejected with kUnknownTenant at HELLO time.
+  std::uint16_t tenant = 0;
   std::string client_name;  // <= 255 bytes, diagnostics only
 };
 

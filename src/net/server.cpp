@@ -36,6 +36,9 @@ struct Server::Session {
   std::string peer;
   bool ready = false;    // HELLO/WELCOME handshake completed
   bool closing = false;  // flush remaining egress, then close
+  /// Tenant from HELLO (qos::TenantTable id, 0 = none); every channel this
+  /// session opens binds to it, so admission shares the tenant's budget.
+  std::uint16_t tenant = 0;
   bool dead = false;     // remove at the end of the loop iteration
   /// Client half-closed its write side (recv saw EOF) but may still be
   /// reading: no more requests will arrive, yet in-flight jobs and queued
@@ -262,6 +265,13 @@ void Server::handle_frame(Session& s, Frame frame) {
       s.closing = true;
       return;
     }
+    if (hello->tenant != 0 && !engine_->tenants().known(hello->tenant)) {
+      send_error(s, ErrorCode::kUnknownTenant, 0,
+                 "tenant " + std::to_string(hello->tenant) + " is not registered");
+      s.closing = true;
+      return;
+    }
+    s.tenant = hello->tenant;
     s.ready = true;
     WelcomeFrame w;
     w.version = kProtocolVersion;
@@ -300,7 +310,7 @@ void Server::handle_frame(Session& s, Frame frame) {
         return;
       }
       host::Channel ch = srv.engine_->open_channel(static_cast<top::ChannelMode>(f.mode),
-                                                   f.key_id, f.tag_len, f.nonce_len);
+                                                   f.key_id, f.tag_len, f.nonce_len, s.tenant);
       if (!ch) {
         srv.send_error(s, ErrorCode::kOpenFailed, f.request_id,
                        "device OPEN rejected (rr=" +
@@ -387,8 +397,22 @@ void Server::handle_submit_jobs(Session& s, std::uint32_t channel,
     specs.push_back(std::move(spec));
   }
 
+  // Tenant QoS: the engine enforces the session tenant's rate/quota at the
+  // submit boundary (atomically for the whole batch — no partial accepts).
+  // Refusals are typed, job-referenced and non-fatal: one ERROR per job so
+  // the client can resolve each as a failed completion, and the session
+  // stays up to retry after backoff.
+  std::vector<host::Completion> completions;
+  try {
+    completions = engine_->submit_batch(it->second, std::move(specs));
+  } catch (const qos::TenantError& e) {
+    const ErrorCode code = dynamic_cast<const qos::TenantQuotaExceededError*>(&e) != nullptr
+                               ? ErrorCode::kTenantQuotaExceeded
+                               : ErrorCode::kTenantThrottled;
+    for (const SubmitJob& j : jobs) send_error(s, code, j.job_id, e.what());
+    return;
+  }
   s.inflight += jobs.size();
-  std::vector<host::Completion> completions = engine_->submit_batch(it->second, std::move(specs));
   for (std::size_t i = 0; i < completions.size(); ++i) {
     // Capture the session *id*, not the session: if the client disconnects
     // while the job is on a device, the completion finds no session and is

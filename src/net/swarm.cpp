@@ -12,6 +12,7 @@
 
 #include "net/client.h"
 #include "workload/jobgen.h"
+#include "workload/tenantplan.h"
 
 namespace mccp::net {
 
@@ -54,6 +55,30 @@ struct Window {
   std::atomic<std::size_t> peak_{0};
 };
 
+/// Client-side mirror of one tenant's in-flight quota, shared by every
+/// worker submitting under that tenant. Reservations are taken before a
+/// job goes on the wire and released when its completion arrives, so the
+/// count here is always >= the server engine's per-tenant inflight — the
+/// engine can never see a quota overrun from swarm traffic, and the
+/// swarm's completion totals match the in-process runner's (which holds
+/// arrivals at the same quota boundary).
+struct TenantGate {
+  std::size_t quota = 0;  // 0 = unlimited
+  std::atomic<std::size_t> inflight{0};
+
+  bool try_acquire() {
+    if (quota == 0) {
+      inflight.fetch_add(1);
+      return true;
+    }
+    std::size_t cur = inflight.load();
+    while (cur < quota)
+      if (inflight.compare_exchange_weak(cur, cur + 1)) return true;
+    return false;
+  }
+  void release() { inflight.fetch_sub(1); }
+};
+
 /// One pre-generated arrival, routed to its connection.
 struct SwarmJob {
   double time = 0.0;
@@ -88,11 +113,19 @@ struct Worker {
   std::exception_ptr error;
 };
 
-void run_worker(Worker& w, const workload::ScenarioSpec& spec, Window& window, int drain_ms) {
+void run_worker(Worker& w, const workload::ScenarioSpec& spec, Window& window,
+                std::vector<TenantGate>& gates, int drain_ms) {
   Client& client = *w.client;
   std::uint64_t& next_job_id = w.next_job_id;
 
   for (SwarmJob& sj : w.jobs) {
+    // Tenant in-flight quota first (the remote mirror of the runner
+    // holding a tenanted arrival), then the fleet-wide window.
+    TenantGate* gate = nullptr;
+    if (const std::uint16_t tid = spec.classes[sj.class_index].tenant_id; tid != 0) {
+      gate = &gates[tid];
+      while (!gate->try_acquire()) client.poll(1);
+    }
     while (!window.try_acquire()) client.poll(1);
 
     ClassShard& shard = w.shards[sj.class_index];
@@ -113,8 +146,9 @@ void run_worker(Worker& w, const workload::ScenarioSpec& spec, Window& window, i
     job.payload = std::move(sj.gen.job.payload);
 
     if (!sj.gen.verify) {
-      client.submit(channel, std::move(job), [&shard, &window](const CompletionFrame& c) {
+      client.submit(channel, std::move(job), [&shard, &window, gate](const CompletionFrame& c) {
         window.release();
+        if (gate != nullptr) gate->release();
         ++shard.completed;
         shard.busy_rejections += c.rejections;
         shard.first_submit_cycle = std::min(shard.first_submit_cycle, c.submit_cycle);
@@ -138,9 +172,10 @@ void run_worker(Worker& w, const workload::ScenarioSpec& spec, Window& window, i
     auto verify_ctx = std::make_shared<GeneratedJob>(std::move(sj.gen));
     client.submit(
         channel, std::move(job),
-        [&client, &shard, &window, &next_job_id, verify_ctx, channel, priority,
-         remac](const CompletionFrame& c) {
+        [&client, &shard, &window, &next_job_id, verify_ctx, channel, priority, remac,
+         gate](const CompletionFrame& c) {
           window.release();
+          if (gate != nullptr) gate->release();
           ++shard.completed;
           shard.busy_rejections += c.rejections;
           shard.first_submit_cycle = std::min(shard.first_submit_cycle, c.submit_cycle);
@@ -184,12 +219,7 @@ void run_worker(Worker& w, const workload::ScenarioSpec& spec, Window& window, i
 
 SwarmRunner::SwarmRunner(workload::ScenarioSpec spec, SwarmConfig net)
     : spec_(std::move(spec)), net_(std::move(net)) {
-  if (spec_.admission != workload::Admission::kDrop && spec_.window == 0)
-    throw std::invalid_argument("swarm: window must be >= 1");
-  if (spec_.admission == workload::Admission::kDrop)
-    throw std::invalid_argument(
-        "swarm: drop admission is timing-dependent and cannot be replayed "
-        "deterministically over the network; use \"admission\": \"block\"");
+  if (spec_.window == 0) throw std::invalid_argument("swarm: window must be >= 1");
   if (spec_.classes.empty())
     throw std::invalid_argument("swarm: scenario needs at least one class");
   if (net_.connections == 0) throw std::invalid_argument("swarm: needs >= 1 connection");
@@ -201,10 +231,57 @@ ScenarioReport SwarmRunner::run() {
   const std::size_t num_classes = spec_.classes.size();
 
   // Global channel order (class-major, matching the in-process runner) and
-  // the connection each channel shards to.
+  // the connection each channel shards to. A session's tenant is fixed at
+  // HELLO, so connections are partitioned into per-tenant pools (key 0 =
+  // untenanted): each tenant with channels gets a pool sized by
+  // largest-remainder share of its channel count (always >= 1), and its
+  // channels shard round-robin within the pool.
   std::size_t total_channels = 0;
   for (const workload::ClassSpec& cs : spec_.classes) total_channels += cs.channels;
-  const std::size_t num_conns = std::min(net_.connections, std::max<std::size_t>(total_channels, 1));
+  total_channels = std::max<std::size_t>(total_channels, 1);
+
+  const std::size_t num_keys_total = spec_.tenants.size() + 1;  // tenant id space incl. 0
+  std::vector<std::size_t> key_channels(num_keys_total, 0);
+  for (const workload::ClassSpec& cs : spec_.classes) key_channels[cs.tenant_id] += cs.channels;
+  std::size_t active_keys = 0;
+  for (std::size_t n : key_channels)
+    if (n > 0) ++active_keys;
+  active_keys = std::max<std::size_t>(active_keys, 1);
+
+  const std::size_t num_conns =
+      std::max(active_keys, std::min(net_.connections, total_channels));
+
+  std::vector<std::size_t> pool_size(num_keys_total, 0);
+  {
+    const std::size_t extra = num_conns - active_keys;
+    std::size_t assigned = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> remainders;  // (remainder, key)
+    for (std::size_t k = 0; k < num_keys_total; ++k) {
+      if (key_channels[k] == 0) continue;
+      pool_size[k] = 1 + extra * key_channels[k] / total_channels;
+      assigned += pool_size[k] - 1;
+      remainders.emplace_back(extra * key_channels[k] % total_channels, k);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;  // ties break toward lower tenant id
+              });
+    for (std::size_t j = 0; assigned < extra; ++j, ++assigned)
+      ++pool_size[remainders[j % remainders.size()].second];
+  }
+
+  std::vector<std::size_t> pool_start(num_keys_total, 0);
+  std::vector<std::uint16_t> conn_tenant(num_conns, 0);
+  {
+    std::size_t start = 0;
+    for (std::size_t k = 0; k < num_keys_total; ++k) {
+      pool_start[k] = start;
+      for (std::size_t j = 0; j < pool_size[k]; ++j)
+        conn_tenant[start + j] = static_cast<std::uint16_t>(k);
+      start += pool_size[k];
+    }
+  }
 
   std::vector<Worker> workers(num_conns);
   for (Worker& w : workers) {
@@ -213,14 +290,15 @@ ScenarioReport SwarmRunner::run() {
     for (std::size_t i = 0; i < num_classes; ++i)
       w.wire_channel[i].assign(spec_.classes[i].channels, 0);
   }
-  // conn_of[class][class_channel]
+  // conn_of[class][class_channel]: round-robin within the class's tenant pool.
   std::vector<std::vector<std::size_t>> conn_of(num_classes);
   {
-    std::size_t global = 0;
+    std::vector<std::size_t> cursor(num_keys_total, 0);
     for (std::size_t i = 0; i < num_classes; ++i) {
+      const std::size_t k = spec_.classes[i].tenant_id;
       conn_of[i].resize(spec_.classes[i].channels);
       for (std::size_t c = 0; c < spec_.classes[i].channels; ++c)
-        conn_of[i][c] = (global++) % num_conns;
+        conn_of[i][c] = pool_start[k] + (cursor[k]++ % pool_size[k]);
     }
   }
 
@@ -232,6 +310,7 @@ ScenarioReport SwarmRunner::run() {
   ccfg.io_timeout_ms = net_.io_timeout_ms;
   for (std::size_t k = 0; k < num_conns; ++k) {
     ccfg.name = net_.client_name + "#" + std::to_string(k);
+    ccfg.tenant = conn_tenant[k];
     workers[k].client = std::make_unique<Client>(ccfg);
   }
   for (std::size_t i = 0; i < num_classes; ++i)
@@ -251,17 +330,44 @@ ScenarioReport SwarmRunner::run() {
   }
 
   // Pre-generate the whole workload per class — identical draws to the
-  // in-process runner — and route each arrival to its connection.
+  // in-process runner — and route each arrival to its connection. The
+  // admission plan resolves every tenant accept/throttle/shed decision up
+  // front (in the same canonical order the in-process runner uses), so
+  // refusals are tallied here and never cross the wire: the swarm offers
+  // exactly the arrivals the runner submits, and the per-tenant counts pin
+  // bit-identical across transports.
+  const workload::AdmissionPlan plan = workload::build_admission_plan(spec_);
+  std::vector<std::uint64_t> class_throttled(num_classes, 0), class_shed(num_classes, 0);
+  std::vector<std::uint64_t> class_dropped(num_classes, 0);
   for (std::size_t i = 0; i < num_classes; ++i) {
     ClassJobStream stream(spec_.classes[i], spec_.seed, i, spec_.max_cycles);
+    std::uint64_t accepted = 0;
     while (!stream.exhausted()) {
+      const qos::Decision d = plan.decision(i, stream.generated());
+      if (d != qos::Decision::kAccept) {
+        if (d == qos::Decision::kThrottle)
+          ++class_throttled[i];
+        else
+          ++class_shed[i];
+        stream.skip();
+        continue;
+      }
+      // Drop admission is planned too (modelled-window replay), so the
+      // swarm sheds the identical arrivals the in-process runner does.
+      if (plan.drop(i, stream.generated())) {
+        ++class_dropped[i];
+        stream.skip();
+        continue;
+      }
       SwarmJob sj;
       sj.time = *stream.next_time();
       sj.class_index = i;
-      sj.arrival = stream.generated();
-      // Blocking admission admits every arrival, so the runner's per-class
-      // round-robin resolves to arrival_index % channels.
-      sj.class_channel = static_cast<std::size_t>(sj.arrival % spec_.classes[i].channels);
+      // Blocking admission admits every plan-accepted arrival, so the
+      // runner's per-class round-robin (which advances on accepts only)
+      // resolves to accepted_index % channels.
+      sj.arrival = accepted;
+      sj.class_channel = static_cast<std::size_t>(accepted % spec_.classes[i].channels);
+      ++accepted;
       sj.gen = stream.take();
       workers[conn_of[i][sj.class_channel]].jobs.push_back(std::move(sj));
     }
@@ -276,12 +382,15 @@ ScenarioReport SwarmRunner::run() {
   const StatsFrame stats_start = workers[0].client->stats_snapshot();
 
   Window window(spec_.window);
+  std::vector<TenantGate> gates(num_keys_total);
+  for (std::size_t t = 0; t < spec_.tenants.size(); ++t)
+    gates[t + 1].quota = spec_.tenants[t].quota;
   std::vector<std::thread> threads;
   threads.reserve(num_conns);
   for (Worker& w : workers)
-    threads.emplace_back([&w, this, &window] {
+    threads.emplace_back([&w, this, &window, &gates] {
       try {
-        run_worker(w, spec_, window, net_.io_timeout_ms);
+        run_worker(w, spec_, window, gates, net_.io_timeout_ms);
       } catch (...) {
         w.error = std::current_exception();
       }
@@ -315,6 +424,13 @@ ScenarioReport SwarmRunner::run() {
     rep.mode = workload::mode_name(cs.profile.mode);
     rep.priority = cs.profile.priority;
     rep.channels = cs.channels;
+    rep.tenant = cs.tenant;
+    // Plan refusals count as offered, never submitted — same accounting as
+    // the in-process runner.
+    rep.throttled = class_throttled[i];
+    rep.shed = class_shed[i];
+    rep.dropped = class_dropped[i];
+    rep.offered = class_throttled[i] + class_shed[i] + class_dropped[i];
     std::uint64_t first_submit = ~std::uint64_t{0};
     for (const Worker& w : workers) {
       const ClassShard& s = w.shards[i];
@@ -335,6 +451,7 @@ ScenarioReport SwarmRunner::run() {
     report.classes.push_back(std::move(rep));
   }
   report.queue_sample_interval = 0;  // swarm replay doesn't sample queue depth
+  workload::build_tenant_reports(spec_, report);
   return report;
 }
 

@@ -23,15 +23,24 @@
 //  2. Open every class's channels in the in-process runner's global order
 //     (class-major), sequentially, through the connection that owns each
 //     channel — so server-side placement matches the in-process run.
-//  3. Per class, arrival k maps to class-channel k % channels (what the
-//     runner's round-robin resolves to under blocking admission), and each
-//     class-channel lives on connection global_index % connections.
+//  3. Per class, accepted arrival k maps to class-channel k % channels
+//     (what the runner's round-robin resolves to under blocking
+//     admission). Connections are partitioned into per-tenant pools (a
+//     session's tenant is fixed at HELLO), and a class's channels shard
+//     round-robin within its tenant's pool.
 //  4. One worker thread per connection submits its jobs in arrival order
 //     against a fleet-wide admission window (shared atomic), pumping its
 //     own completions while the window is full; decrypt/verify round-trips
 //     resubmit from the completion callback, mirroring the runner.
 //  5. STATS snapshots (engine cycle, reconfiguration totals) bracket the
 //     run for the report's fleet-wide aggregates.
+//
+// Tenant QoS: the scenario's admission plan (workload/tenantplan.h) is
+// resolved before anything crosses the wire — throttled/shed arrivals are
+// tallied locally and never submitted, and per-tenant in-flight quotas are
+// mirrored client-side (reservations released on completion receipt), so
+// the server engine never refuses a swarm job and the per-tenant
+// accepted/throttled/shed counts pin bit-identical to the in-process run.
 #pragma once
 
 #include <cstdint>
@@ -56,8 +65,9 @@ struct SwarmConfig {
 
 class SwarmRunner {
  public:
-  /// Throws std::invalid_argument for drop-admission scenarios (their
-  /// drops depend on timing, so remote replay can't pin counts).
+  /// Drop-admission scenarios replay fine: drops, like tenant refusals,
+  /// come precomputed in the admission plan, so the swarm sheds the
+  /// identical arrivals the in-process runner would.
   SwarmRunner(workload::ScenarioSpec spec, SwarmConfig net);
 
   /// Replay the scenario through the swarm and collect the merged report.

@@ -1,0 +1,85 @@
+#include "qos/admission.h"
+
+namespace mccp::qos {
+
+const char* decision_name(Decision d) {
+  switch (d) {
+    case Decision::kAccept: return "accept";
+    case Decision::kThrottle: return "throttle";
+    case Decision::kShed: return "shed";
+  }
+  return "?";
+}
+
+std::uint64_t AdmissionController::shed_floor(SloClass slo, std::uint64_t capacity_burst) {
+  switch (slo) {
+    case SloClass::kBulk: return capacity_burst / 4;
+    case SloClass::kVideo: return capacity_burst / 10;
+    case SloClass::kVoip: return 0;
+  }
+  return 0;
+}
+
+AdmissionController::AdmissionController(const std::vector<TenantConfig>& tenants,
+                                         const CapacityConfig& capacity)
+    : capacity_cfg_(capacity),
+      capacity_(capacity.rate_tokens, capacity.rate_cycles, capacity.burst, /*capped=*/true) {
+  // Surplus capacity (per capacity.rate_cycles) = capacity rate minus the
+  // sum of contracted rates, converted to the capacity denominator with
+  // integer (floor) division so every platform computes the same share.
+  std::uint64_t contracted = 0;
+  std::uint64_t total_weight = 0;
+  for (const TenantConfig& t : tenants) {
+    const sim::Cycle denom = t.rate_cycles == 0 ? 1 : t.rate_cycles;
+    contracted += t.rate_tokens * capacity.rate_cycles / denom;
+    total_weight += t.weight;
+  }
+  const std::uint64_t surplus =
+      capacity.enabled && capacity.rate_tokens > contracted ? capacity.rate_tokens - contracted : 0;
+  states_.reserve(tenants.size());
+  for (const TenantConfig& t : tenants) {
+    TenantState st;
+    st.cfg = t;
+    st.contract = TokenBucket(t.rate_tokens, t.rate_cycles, t.burst, /*capped=*/true);
+    const std::uint64_t share = total_weight == 0 ? 0 : surplus * t.weight / total_weight;
+    st.surplus = TokenBucket(share, capacity.rate_cycles, t.burst, /*capped=*/true);
+    states_.push_back(std::move(st));
+  }
+}
+
+Decision AdmissionController::decide(std::uint16_t tenant, sim::Cycle cycle) {
+  if (tenant == 0 || tenant > states_.size()) return Decision::kAccept;
+  TenantState& st = states_[tenant - 1];
+  st.contract.refill(cycle);
+  st.surplus.refill(cycle);
+  if (capacity_cfg_.enabled) capacity_.refill(cycle);
+
+  const bool in_contract = st.cfg.rate_tokens == 0 || st.contract.has_tokens();
+  if (in_contract) {
+    // Graceful degradation: refuse lower SLO classes once the fleet
+    // capacity bucket falls to their watermark (bulk first, voip last).
+    if (capacity_cfg_.enabled &&
+        capacity_.tokens() <= shed_floor(st.cfg.slo, capacity_cfg_.burst)) {
+      ++st.counts.shed;
+      return Decision::kShed;
+    }
+    if (st.cfg.rate_tokens != 0) st.contract.spend();
+    if (capacity_cfg_.enabled) capacity_.spend();
+    ++st.counts.accepted;
+    return Decision::kAccept;
+  }
+
+  // Over contract: borrow from the tenant's weighted surplus share, but
+  // only while the fleet has comfortable headroom.
+  if (st.surplus.rate_tokens() != 0 && st.surplus.has_tokens() &&
+      (!capacity_cfg_.enabled || capacity_.tokens() > borrow_floor(capacity_cfg_.burst))) {
+    st.surplus.spend();
+    if (capacity_cfg_.enabled) capacity_.spend();
+    ++st.counts.accepted;
+    return Decision::kAccept;
+  }
+  ++st.counts.throttled;
+  return Decision::kThrottle;
+}
+
+}  // namespace mccp::qos

@@ -1,0 +1,85 @@
+// Deterministic weighted-fair admission control with graceful degradation.
+//
+// The AdmissionController decides accept / throttle / shed for a stream of
+// tenant arrivals presented in canonical order (non-decreasing engine-clock
+// cycle; ties broken by the caller's class/arrival ordering). Because every
+// decision is a pure function of the arrival sequence and integer bucket
+// state — never of loop observation instants, completion timing, or thread
+// interleaving — the decision sequence is bit-identical across sim/fast
+// backends, serial/threaded engines, and in-process vs networked runs.
+//
+// Model:
+//  * Each tenant meters against its contracted token bucket
+//    (rate_tokens / rate_cycles, burst-capped). An arrival whose bucket is
+//    empty is over-contract: it may still be admitted from the tenant's
+//    *surplus* bucket — a weight-proportional share of whatever fleet
+//    capacity exceeds the sum of all contracts — but only while the fleet
+//    capacity bucket sits above the borrow watermark. Otherwise it is
+//    **throttled** (the tenant exceeded its own contract).
+//  * A fleet-wide capacity bucket models aggregate service capacity. Every
+//    accepted arrival spends one capacity token. When capacity runs low,
+//    in-contract arrivals are **shed** in SLO order — bulk arrivals are
+//    refused once capacity falls to the bulk watermark (1/4 of burst),
+//    video at 1/10, and voip only when capacity is fully exhausted — so
+//    overload degrades the fleet gracefully instead of uniformly.
+#ifndef MCCP_QOS_ADMISSION_H_
+#define MCCP_QOS_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qos/tenant.h"
+#include "sim/clocked.h"
+
+namespace mccp::qos {
+
+enum class Decision : std::uint8_t { kAccept = 0, kThrottle = 1, kShed = 2 };
+
+const char* decision_name(Decision d);
+
+// Fleet-wide service capacity for the admission controller. Disabled
+// (the default) means no shedding: only per-tenant contracts apply.
+struct CapacityConfig {
+  bool enabled = false;
+  std::uint64_t rate_tokens = 0;  // aggregate accepts per rate_cycles
+  sim::Cycle rate_cycles = 100'000;
+  std::uint64_t burst = 64;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const std::vector<TenantConfig>& tenants, const CapacityConfig& capacity);
+
+  // Decide one arrival for `tenant` (1-based id; 0 = untenanted, always
+  // accepted and exempt from capacity). `cycle` values must be presented
+  // in non-decreasing canonical order.
+  Decision decide(std::uint16_t tenant, sim::Cycle cycle);
+
+  struct Counts {
+    std::uint64_t accepted = 0;
+    std::uint64_t throttled = 0;
+    std::uint64_t shed = 0;
+  };
+  const Counts& counts(std::uint16_t tenant) const { return states_.at(tenant - 1).counts; }
+
+  // Shed watermark (in capacity tokens) below-or-at which arrivals of
+  // `slo` are refused; exposed for tests pinning the degradation order.
+  static std::uint64_t shed_floor(SloClass slo, std::uint64_t capacity_burst);
+  static std::uint64_t borrow_floor(std::uint64_t capacity_burst) { return capacity_burst / 2; }
+
+ private:
+  struct TenantState {
+    TenantConfig cfg;
+    TokenBucket contract;  // burst-capped contracted rate
+    TokenBucket surplus;   // weight-proportional share of surplus capacity
+    Counts counts;
+  };
+
+  std::vector<TenantState> states_;
+  CapacityConfig capacity_cfg_;
+  TokenBucket capacity_;
+};
+
+}  // namespace mccp::qos
+
+#endif  // MCCP_QOS_ADMISSION_H_

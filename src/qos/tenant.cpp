@@ -1,0 +1,109 @@
+#include "qos/tenant.h"
+
+#include <limits>
+
+namespace mccp::qos {
+
+const char* slo_class_name(SloClass slo) {
+  switch (slo) {
+    case SloClass::kVoip: return "voip";
+    case SloClass::kVideo: return "video";
+    case SloClass::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+SloClass slo_class_from_name(const std::string& name) {
+  if (name == "voip") return SloClass::kVoip;
+  if (name == "video") return SloClass::kVideo;
+  if (name == "bulk") return SloClass::kBulk;
+  throw std::invalid_argument("unknown SLO class \"" + name + "\" (voip | video | bulk)");
+}
+
+TokenBucket::TokenBucket(std::uint64_t rate_tokens, sim::Cycle rate_cycles,
+                         std::uint64_t burst_tokens, bool capped)
+    : rate_(rate_tokens), denom_(rate_cycles == 0 ? 1 : rate_cycles) {
+  // Uncapped buckets still need an overflow guard: bound the scaled level
+  // far above any reachable burst but well below the uint64 ceiling.
+  cap_ = capped ? burst_tokens * denom_
+                : std::numeric_limits<std::uint64_t>::max() / 4;
+  // Buckets start at the burst level: a tenant may burst from cycle 0.
+  level_ = burst_tokens * denom_;
+}
+
+void TokenBucket::refill(sim::Cycle now) {
+  if (now <= last_) return;  // clamp: reordered observers cannot drain the bucket
+  const sim::Cycle dt = now - last_;
+  last_ = now;
+  // Saturating add of dt * rate_ scaled units, clamped to the cap.
+  if (rate_ != 0 && dt > (cap_ - level_) / rate_)
+    level_ = cap_;
+  else
+    level_ += dt * rate_;
+}
+
+std::uint16_t TenantTable::register_tenant(const TenantConfig& cfg) {
+  if (cfg.name.empty()) throw std::invalid_argument("tenant name must be non-empty");
+  if (id_of(cfg.name) != 0)
+    throw std::invalid_argument("duplicate tenant \"" + cfg.name + "\"");
+  if (configs_.size() >= 0xFFFF) throw std::invalid_argument("too many tenants");
+  configs_.push_back(cfg);
+  // Enforcement buckets are uncapped (see header): they start at the
+  // contracted burst level and refill without a ceiling, so runtime
+  // enforcement is monotone — it never rejects planner-accepted traffic.
+  buckets_.emplace_back(cfg.rate_tokens, cfg.rate_cycles, cfg.burst, /*capped=*/false);
+  runtime_.emplace_back();
+  return static_cast<std::uint16_t>(configs_.size());
+}
+
+const TenantConfig& TenantTable::config(std::uint16_t id) const {
+  if (!known(id)) throw std::invalid_argument("unknown tenant id " + std::to_string(id));
+  return configs_[id - 1];
+}
+
+const TenantRuntime& TenantTable::runtime(std::uint16_t id) const {
+  if (!known(id)) throw std::invalid_argument("unknown tenant id " + std::to_string(id));
+  return runtime_[id - 1];
+}
+
+std::uint16_t TenantTable::id_of(const std::string& name) const {
+  for (std::size_t i = 0; i < configs_.size(); ++i)
+    if (configs_[i].name == name) return static_cast<std::uint16_t>(i + 1);
+  return 0;
+}
+
+void TenantTable::on_submit(std::uint16_t id, std::size_t jobs, sim::Cycle now) {
+  if (id == 0 || jobs == 0) return;
+  if (!known(id)) throw std::invalid_argument("unknown tenant id " + std::to_string(id));
+  const TenantConfig& cfg = configs_[id - 1];
+  TenantRuntime& rt = runtime_[id - 1];
+  if (cfg.quota != 0 && rt.inflight + jobs > cfg.quota) {
+    rt.quota_rejections += jobs;
+    throw TenantQuotaExceededError("tenant \"" + cfg.name + "\" in-flight quota exceeded (" +
+                                   std::to_string(rt.inflight) + " + " + std::to_string(jobs) +
+                                   " > " + std::to_string(cfg.quota) + ")");
+  }
+  if (cfg.rate_tokens != 0) {
+    TokenBucket& bucket = buckets_[id - 1];
+    bucket.refill(now);
+    if (!bucket.has_tokens(jobs)) {
+      rt.throttled += jobs;
+      throw TenantThrottledError("tenant \"" + cfg.name + "\" throttled: rate limit " +
+                                 std::to_string(cfg.rate_tokens) + "/" +
+                                 std::to_string(cfg.rate_cycles) + " cycles exhausted");
+    }
+    bucket.spend(jobs);
+  }
+  rt.inflight += jobs;
+  rt.submitted += jobs;
+}
+
+void TenantTable::on_complete(std::uint16_t id) {
+  if (id == 0) return;
+  if (!known(id)) return;
+  TenantRuntime& rt = runtime_[id - 1];
+  if (rt.inflight > 0) --rt.inflight;
+  ++rt.completed;
+}
+
+}  // namespace mccp::qos

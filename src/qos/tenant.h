@@ -1,0 +1,156 @@
+// Multi-tenant QoS: tenant identities, SLO classes, token buckets, and the
+// runtime enforcement table at the Engine boundary.
+//
+// A *tenant* owns one or more channel classes and carries a service
+// contract: a token-bucket rate limit (contracted arrivals per cycle
+// window), an in-flight quota, a weight for sharing surplus fleet
+// capacity, and an SLO class that orders who degrades first under
+// overload (bulk sheds before video, video before voip).
+//
+// Two layers consume these configs:
+//
+//  * The *planner* (workload::AdmissionPlan) decides accept/throttle/shed
+//    for every arrival in canonical order on engine-clock boundaries, so
+//    the decision sequence is a pure function of the scenario — identical
+//    across sim/fast backends, serial/threaded engines, and in-process vs
+//    networked transports.
+//  * The *enforcer* (TenantTable, owned by host::Engine) protects the
+//    engine boundary at runtime with typed rejections. Its rate buckets
+//    are deliberately uncapped (no burst ceiling): an uncapped bucket
+//    refilled on the engine clock can never reject traffic the planner
+//    accepted, no matter how submission interleaves — the strict
+//    burst-capped contract lives only in the planner.
+//
+// All bucket arithmetic is integer (level scaled by the rate denominator)
+// so refill/spend sequences are bit-exact on every platform.
+#ifndef MCCP_QOS_TENANT_H_
+#define MCCP_QOS_TENANT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/clocked.h"
+
+namespace mccp::qos {
+
+// SLO classes in degradation order: under fleet overload, kBulk arrivals
+// shed first, kVideo next, kVoip only once capacity is fully exhausted.
+enum class SloClass : std::uint8_t { kVoip = 0, kVideo = 1, kBulk = 2 };
+
+const char* slo_class_name(SloClass slo);
+SloClass slo_class_from_name(const std::string& name);  // throws std::invalid_argument
+
+// A tenant's service contract. Registered with the Engine (EngineConfig)
+// and referenced from workload classes by name; on the wire the tenant
+// travels as a dense 1-based id (0 = untenanted) in the HELLO frame.
+struct TenantConfig {
+  std::string name;
+  SloClass slo = SloClass::kBulk;
+  // Contracted rate: `rate_tokens` submissions per `rate_cycles` engine
+  // cycles. rate_tokens == 0 means uncontracted (never throttled).
+  std::uint64_t rate_tokens = 0;
+  sim::Cycle rate_cycles = 100'000;
+  // Burst allowance in tokens (planner-side bucket ceiling).
+  std::uint64_t burst = 16;
+  // In-flight quota: max jobs outstanding at the engine at once
+  // (0 = unlimited). Enforced at submit with TenantQuotaExceededError.
+  std::size_t quota = 0;
+  // Weight for dividing surplus fleet capacity among tenants that have
+  // exhausted their contracted rate.
+  std::uint32_t weight = 1;
+  // Report-side latency SLO (0 = none): scenario reports flag whether the
+  // tenant's p99 latency held under this bound.
+  sim::Cycle p99_slo_cycles = 0;
+};
+
+// Typed rejections thrown at the Engine boundary (and mapped onto MCCP/1
+// wire ERROR codes kTenantThrottled / kTenantQuotaExceeded by the server).
+class TenantError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class TenantThrottledError : public TenantError {
+ public:
+  using TenantError::TenantError;
+};
+
+class TenantQuotaExceededError : public TenantError {
+ public:
+  using TenantError::TenantError;
+};
+
+// Deterministic integer token bucket. The fill level is stored scaled by
+// the rate denominator (`rate_cycles`), so refilling by `dt` cycles adds
+// exactly dt * rate_tokens scaled units and one token costs `rate_cycles`
+// units — no floating point anywhere. A capped bucket tops out at
+// burst tokens; an uncapped one only at a large overflow guard.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(std::uint64_t rate_tokens, sim::Cycle rate_cycles, std::uint64_t burst_tokens,
+              bool capped = true);
+
+  // Advance the bucket to `now` (monotonic per bucket; earlier cycles are
+  // clamped so reordered observers cannot drain it).
+  void refill(sim::Cycle now);
+  bool has_tokens(std::uint64_t n = 1) const { return level_ >= n * denom_; }
+  void spend(std::uint64_t n = 1) { level_ -= n * denom_; }
+  // Whole tokens currently available.
+  std::uint64_t tokens() const { return denom_ == 0 ? 0 : level_ / denom_; }
+  std::uint64_t rate_tokens() const { return rate_; }
+  sim::Cycle rate_cycles() const { return denom_; }
+
+ private:
+  std::uint64_t rate_ = 0;   // tokens per denom_ cycles
+  sim::Cycle denom_ = 1;     // scale of level_
+  std::uint64_t cap_ = 0;    // max level_ (scaled)
+  std::uint64_t level_ = 0;  // scaled by denom_
+  sim::Cycle last_ = 0;
+};
+
+// Runtime per-tenant accounting kept by the enforcement table.
+struct TenantRuntime {
+  std::size_t inflight = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t throttled = 0;         // typed rate rejections at the boundary
+  std::uint64_t quota_rejections = 0;  // typed quota rejections at the boundary
+};
+
+// Enforcement table owned by host::Engine: validates tenant ids, meters
+// submissions against each tenant's (uncapped) rate bucket and in-flight
+// quota, and keeps per-tenant counters. Tenant ids are dense and 1-based;
+// id 0 always means "no tenant" and is never enforced.
+class TenantTable {
+ public:
+  // Returns the new tenant's id. Throws std::invalid_argument on a
+  // duplicate or empty name.
+  std::uint16_t register_tenant(const TenantConfig& cfg);
+
+  std::size_t size() const { return configs_.size(); }
+  bool known(std::uint16_t id) const { return id >= 1 && id <= configs_.size(); }
+  const TenantConfig& config(std::uint16_t id) const;
+  const TenantRuntime& runtime(std::uint16_t id) const;
+  // 0 when no tenant with that name is registered.
+  std::uint16_t id_of(const std::string& name) const;
+
+  // Meter `jobs` submissions for tenant `id` at engine cycle `now`.
+  // Throws TenantThrottledError (rate) or TenantQuotaExceededError
+  // (in-flight quota) without consuming anything on rejection; a batch is
+  // admitted atomically. id 0 is a no-op.
+  void on_submit(std::uint16_t id, std::size_t jobs, sim::Cycle now);
+  // One job for tenant `id` left the engine (completed or failed).
+  void on_complete(std::uint16_t id);
+
+ private:
+  std::vector<TenantConfig> configs_;
+  std::vector<TokenBucket> buckets_;  // uncapped enforcement buckets
+  std::vector<TenantRuntime> runtime_;
+};
+
+}  // namespace mccp::qos
+
+#endif  // MCCP_QOS_TENANT_H_

@@ -25,6 +25,15 @@ host::EngineConfig engine_config_from(const ScenarioSpec& spec) {
   cfg.placement = spec.placement;
   cfg.backend = spec.backend;
   cfg.num_workers = spec.threads;
+  // Scenario runs register the tenants for identity, quota enforcement
+  // and per-tenant accounting, but zero the live rate metering: the
+  // admission *plan* (workload/tenantplan.h) is the rate/shed authority
+  // for scenario traffic, and it may legitimately accept weighted-surplus
+  // borrows beyond a tenant's contract rate — live contract-only buckets
+  // would spuriously throttle those plan-approved submissions. Live rate
+  // enforcement is for direct-API / service deployments with no plan.
+  cfg.tenants = spec.tenants;
+  for (qos::TenantConfig& t : cfg.tenants) t.rate_tokens = 0;
   return cfg;
 }
 

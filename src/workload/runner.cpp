@@ -12,6 +12,7 @@
 #include "common/json_writer.h"
 #include "sim/simulation.h"
 #include "workload/jobgen.h"
+#include "workload/tenantplan.h"
 
 namespace mccp::workload {
 
@@ -70,6 +71,13 @@ ScenarioReport ScenarioRunner::run() {
       engine_cfg.faults.push_back({ev.device, ev.at_cycle});
   host::Engine engine(engine_cfg);
 
+  // Tenant QoS and boundary-based autoscale both consume the admission
+  // plan: every arrival's accept/throttle/shed decision (and the accepted
+  // arrival schedule) precomputed in canonical order, so the outcomes are
+  // pure functions of the scenario — identical across backends, thread
+  // counts and transports. Cheap (empty) when neither feature is on.
+  const AdmissionPlan plan = build_admission_plan(spec_);
+
   // One session key per class, broadcast fleet-wide so placement is free.
   for (std::size_t i = 0; i < spec_.classes.size(); ++i)
     engine.provision_key(static_cast<top::KeyId>(i + 1),
@@ -86,9 +94,11 @@ ScenarioReport ScenarioRunner::run() {
     st.report.mode = mode_name(cs.profile.mode);
     st.report.priority = cs.profile.priority;
     st.report.channels = cs.channels;
+    st.report.tenant = cs.tenant;
     for (std::size_t c = 0; c < cs.channels; ++c) {
       host::Channel ch = engine.open_channel(cs.profile.mode, static_cast<top::KeyId>(i + 1),
-                                             cs.profile.tag_len, cs.profile.nonce_len);
+                                             cs.profile.tag_len, cs.profile.nonce_len,
+                                             cs.tenant_id);
       if (!ch)
         throw std::runtime_error("scenario " + spec_.name + ": open_channel failed for class \"" +
                                  cs.profile.name + "\" (rr=" +
@@ -207,31 +217,44 @@ ScenarioReport ScenarioRunner::run() {
     }
   };
 
-  // Queue-depth autoscaling: at most one decision per cooldown, on the
-  // loop's own window occupancy. The decision instants depend on when the
-  // loop observes the occupancy, so autoscaled runs are deterministic per
-  // backend (and serial==threaded) but not pinned across backends.
-  sim::Cycle next_autoscale = spec_.autoscale.cooldown_cycles;
-  auto autoscale_check = [&](sim::Cycle now) {
+  // Boundary-based autoscaling: the scale-event sequence was planned
+  // ahead of the run (tenantplan.h: the accepted arrival schedule pushed
+  // through a modelled cost-model queue, evaluated at every
+  // cooldown_cycles boundary), so this loop only *executes* decisions —
+  // kind and at_cycle are pure functions of the scenario, bit-identical
+  // across sim/fast backends, thread counts and transports. A decision
+  // fires once every in-flight device clock has reached its boundary
+  // (min_busy_cycle), i.e. when the fleet's engine clock passes it.
+  std::size_t scale_cursor = 0;  // into plan.scale_decisions
+  auto autoscale_check = [&] {
     const AutoscaleSpec& as = spec_.autoscale;
-    if (!as.enabled || now < next_autoscale) return;
-    next_autoscale = now + as.cooldown_cycles;
-    const std::size_t alive = engine.alive_devices();
-    if (inflight >= as.high_inflight && alive < as.max_devices) {
-      RecoveryEvent ev;
-      ev.kind = "autoscale_add";
-      ev.detected_cycle = now;
-      ev.device = engine.add_device();
-      ++devices_added;
-      recovery.push_back(std::move(ev));
-    } else if (inflight <= as.low_inflight && alive > as.min_devices) {
+    if (!as.enabled) return;
+    while (scale_cursor < plan.scale_decisions.size() &&
+           plan.scale_decisions[scale_cursor].boundary <= engine.min_busy_cycle()) {
+      const ScaleDecision& sd = plan.scale_decisions[scale_cursor++];
+      if (sd.add) {
+        RecoveryEvent ev;
+        ev.kind = "autoscale_add";
+        ev.at_cycle = sd.boundary;
+        ev.detected_cycle = engine.max_cycle();
+        ev.device = engine.add_device();
+        ++devices_added;
+        recovery.push_back(std::move(ev));
+        continue;
+      }
       // Drain out the highest-numbered live device (the most recently
-      // added slot, all else equal).
+      // added slot, all else equal) — but never the last holder of a
+      // core image some open channel still needs: removing it would
+      // force a migration the remaining fleet cannot serve. With no
+      // eligible device the planned removal is skipped outright.
+      if (engine.alive_devices() <= as.min_devices) continue;
       for (std::size_t i = engine.num_devices(); i-- > 0;) {
         if (!engine.device_alive(i) || engine.device_failed(i)) continue;
+        if (engine.last_image_holder(i)) continue;
         RecoveryEvent ev;
         ev.kind = "autoscale_remove";
         ev.device = i;
+        ev.at_cycle = sd.boundary;
         record_removal(std::move(ev), engine.remove_device(i));
         break;
       }
@@ -244,7 +267,7 @@ ScenarioReport ScenarioRunner::run() {
 
     run_scripted_events(now);
     recover_failures();
-    autoscale_check(now);
+    autoscale_check();
 
     // Admit every due arrival the window allows, batching per channel so
     // bursts hit the amortized submit path.
@@ -254,18 +277,47 @@ ScenarioReport ScenarioRunner::run() {
 
       std::vector<std::vector<GeneratedJob>> batches(st.channels.size());
       std::vector<std::size_t> batch_order;
+      std::size_t batched = 0;  // taken this pass, not yet visible in tenant inflight
       while (stream.next_time() && *stream.next_time() <= static_cast<double>(now)) {
-        if (inflight >= spec_.window) {
-          if (spec_.admission == Admission::kBlock) break;  // hold the arrival
-          stream.skip();                                     // drop it
+        // Tenant QoS: the precomputed plan has already decided this
+        // arrival; refusals consume the arrival (offered, never
+        // submitted) without touching the window.
+        const qos::Decision qd = plan.decision(st.index, stream.generated());
+        if (qd != qos::Decision::kAccept) {
+          stream.skip();
+          ++st.report.offered;
+          if (qd == qos::Decision::kThrottle)
+            ++st.report.throttled;
+          else
+            ++st.report.shed;
+          continue;
+        }
+        // Tenant in-flight quota: hold the arrival like a full window
+        // until earlier packets on this tenant's channels complete.
+        // (Tenanted scenarios are parse-forced to blocking admission.)
+        if (st.spec->tenant_id != 0) {
+          const qos::TenantConfig& tc = engine.tenants().config(st.spec->tenant_id);
+          if (tc.quota != 0 &&
+              engine.tenants().runtime(st.spec->tenant_id).inflight + batched >= tc.quota)
+            break;
+        }
+        // Drop admission: the plan has already replayed the window against
+        // the modelled completion schedule, so drop decisions (like tenant
+        // refusals) are a pure function of the scenario. An arrival the
+        // plan accepted is held at a momentarily full live window, never
+        // re-dropped — counts must not depend on backend timing.
+        if (plan.drop(st.index, stream.generated())) {
+          stream.skip();
           ++st.report.offered;
           ++st.report.dropped;
           continue;
         }
+        if (inflight >= spec_.window) break;  // hold the arrival
         std::size_t ch = st.next_channel;
         st.next_channel = (st.next_channel + 1) % st.channels.size();
         if (batches[ch].empty()) batch_order.push_back(ch);
         batches[ch].push_back(stream.take());
+        ++batched;
         ++st.report.offered;
         ++inflight;  // reserve the window slot before the device sees it
       }
@@ -365,7 +417,32 @@ ScenarioReport ScenarioRunner::run() {
   }
   report.queue_depth = std::move(queue_depth);
   report.queue_sample_interval = sample_interval;
+  build_tenant_reports(spec_, report);
   return report;
+}
+
+void build_tenant_reports(const ScenarioSpec& spec, ScenarioReport& report) {
+  report.tenants.clear();
+  for (const qos::TenantConfig& cfg : spec.tenants) {
+    TenantReport tr;
+    tr.name = cfg.name;
+    tr.slo = qos::slo_class_name(cfg.slo);
+    tr.quota = cfg.quota;
+    tr.weight = cfg.weight;
+    tr.p99_slo_cycles = cfg.p99_slo_cycles;
+    for (std::size_t i = 0; i < spec.classes.size() && i < report.classes.size(); ++i) {
+      if (spec.classes[i].tenant != cfg.name) continue;
+      const ClassReport& cr = report.classes[i];
+      tr.accepted += cr.submitted;
+      tr.completed += cr.completed;
+      tr.throttled += cr.throttled;
+      tr.shed += cr.shed;
+      tr.latency.merge(cr.latency);
+    }
+    tr.p99_latency_cycles = tr.latency.quantile(0.99);
+    tr.slo_ok = cfg.p99_slo_cycles == 0 || tr.p99_latency_cycles <= cfg.p99_slo_cycles;
+    report.tenants.push_back(std::move(tr));
+  }
 }
 
 namespace {
@@ -435,11 +512,14 @@ std::string report_json(const ScenarioReport& report) {
         .field("mode", c.mode)
         .field("priority", c.priority)
         .field("channels", c.channels)
+        .field("tenant", c.tenant)
         .field("offered", c.offered)
         .field("submitted", c.submitted)
         .field("completed", c.completed)
         .field("auth_failures", c.auth_failures)
         .field("dropped", c.dropped)
+        .field("throttled", c.throttled)
+        .field("shed", c.shed)
         .field("busy_rejections", c.busy_rejections)
         .field("payload_bytes", c.payload_bytes)
         .field("decrypt_submitted", c.decrypt_submitted)
@@ -448,6 +528,24 @@ std::string report_json(const ScenarioReport& report) {
         .field("throughput_mbps", c.throughput_mbps());
     histogram_json(json, "latency_cycles", c.latency);
     histogram_json(json, "service_cycles", c.service);
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_array("tenants");
+  for (const TenantReport& t : report.tenants) {
+    json.begin_object()
+        .field("name", t.name)
+        .field("slo", t.slo)
+        .field("quota", t.quota)
+        .field("weight", t.weight)
+        .field("accepted", t.accepted)
+        .field("completed", t.completed)
+        .field("throttled", t.throttled)
+        .field("shed", t.shed)
+        .field("p99_latency_cycles", t.p99_latency_cycles)
+        .field("p99_slo_cycles", t.p99_slo_cycles)
+        .field("slo_ok", t.slo_ok);
+    histogram_json(json, "latency_cycles", t.latency);
     json.end_object();
   }
   json.end_array();

@@ -54,13 +54,22 @@ struct ClassReport {
   unsigned priority = 0;
   std::size_t channels = 0;
 
-  std::uint64_t offered = 0;    // arrivals generated (submitted + dropped)
+  /// Owning tenant's name ("" = untenanted class).
+  std::string tenant;
+
+  std::uint64_t offered = 0;    // arrivals generated (submitted + dropped + refused)
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t auth_failures = 0;
   std::uint64_t dropped = 0;           // admission rejections (window full, drop policy)
   std::uint64_t busy_rejections = 0;   // device busy-error retries across jobs
   std::uint64_t payload_bytes = 0;     // submitted payload
+  /// Tenant QoS refusals (workload/tenantplan.h): arrivals the admission
+  /// plan refused because the tenant exceeded its contracted rate
+  /// (throttled) or because fleet capacity forced SLO-ordered load
+  /// shedding (shed). Refused arrivals count as offered, never submitted.
+  std::uint64_t throttled = 0;
+  std::uint64_t shed = 0;
 
   /// Decrypt/verify round-trips (ClassSpec::decrypt_fraction): sealed
   /// packets resubmitted through the fleet as open jobs and how many
@@ -99,7 +108,10 @@ struct QueueSample {
 struct RecoveryEvent {
   std::string kind;  // "kill" | "remove" | "add" | "autoscale_add" | "autoscale_remove"
   std::size_t device = 0;
-  sim::Cycle at_cycle = 0;        // scripted instant (0 for autoscale decisions)
+  /// Scripted instant, or for autoscale decisions the engine-clock
+  /// boundary the decision evaluated — the cross-backend-pinned half of
+  /// the trace (detected_cycle is when this loop happened to act).
+  sim::Cycle at_cycle = 0;
   sim::Cycle detected_cycle = 0;  // engine clock when the runner acted
   /// Time-to-drain: engine-clock cycles from detection to the device's
   /// in-flight work being resolved (completed or resubmitted).
@@ -108,6 +120,26 @@ struct RecoveryEvent {
   std::size_t migrated_channels = 0;
   std::uint64_t resubmitted_jobs = 0;
   std::uint64_t lost_jobs = 0;  // must stay 0: losing work is a bug
+};
+
+/// Per-tenant QoS accounting aggregated over the tenant's classes:
+/// planner decisions (accepted/throttled/shed), completions, the merged
+/// latency distribution, and whether the tenant's p99 SLO held.
+struct TenantReport {
+  std::string name;
+  std::string slo;  // "voip" | "video" | "bulk"
+  std::size_t quota = 0;
+  std::uint32_t weight = 1;
+
+  std::uint64_t accepted = 0;  // plan-accepted arrivals (== submitted)
+  std::uint64_t completed = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t shed = 0;
+
+  LogHistogram latency{};
+  std::uint64_t p99_latency_cycles = 0;
+  sim::Cycle p99_slo_cycles = 0;  // 0 = no SLO declared
+  bool slo_ok = true;             // p99 <= p99_slo_cycles (or no SLO)
 };
 
 struct ScenarioReport {
@@ -141,6 +173,8 @@ struct ScenarioReport {
   std::size_t final_devices = 0;  // live devices when the run finished
 
   std::vector<ClassReport> classes;
+  /// Per-tenant QoS accounting (empty when the scenario has no tenants).
+  std::vector<TenantReport> tenants;
   /// Admission-window occupancy over time (see QueueSample); the sampling
   /// interval doubles (and the series compacts) whenever it outgrows
   /// ~2048 points.
@@ -165,6 +199,12 @@ class ScenarioRunner {
  private:
   ScenarioSpec spec_;
 };
+
+/// Fill `report.tenants` from the spec's tenant declarations and the
+/// per-class counters already in `report.classes` (class order must match
+/// the spec). Shared by the in-process runner and the networked swarm so
+/// both transports account tenants identically.
+void build_tenant_reports(const ScenarioSpec& spec, ScenarioReport& report);
 
 /// The report as a `BENCH_*.json`-style artifact (common/json_writer.h).
 std::string report_json(const ScenarioReport& report);

@@ -130,7 +130,36 @@ ClassSpec parse_class(const json::Value& v, const std::string& base_dir) {
   if (spec.packets == 0 && spec.profile.arrival.kind != ArrivalSpec::Kind::kTrace)
     throw std::invalid_argument(
         "scenario: packets must be >= 1 (0 is only meaningful for trace arrivals)");
+  spec.tenant = v.string_or("tenant", "");
   return spec;
+}
+
+// "rate": {"tokens": N, "per_cycles": M} — N submissions per M cycles.
+void parse_rate(const json::Value& v, const std::string& owner, std::uint64_t& tokens,
+                sim::Cycle& cycles) {
+  if (!v.is_object())
+    throw std::invalid_argument("scenario: " + owner + " \"rate\" wants an object "
+                                "{\"tokens\": N, \"per_cycles\": M}");
+  tokens = v.u64_or("tokens", tokens);
+  cycles = v.u64_or("per_cycles", cycles);
+  if (cycles == 0)
+    throw std::invalid_argument("scenario: " + owner + " rate per_cycles must be >= 1");
+}
+
+qos::TenantConfig parse_tenant(const json::Value& v) {
+  if (!v.is_object()) throw std::invalid_argument("scenario: each tenant must be an object");
+  qos::TenantConfig t;
+  t.name = v.string_or("name", "");
+  if (t.name.empty()) throw std::invalid_argument("scenario: tenant needs a \"name\"");
+  if (const json::Value* slo = v.find("slo")) t.slo = qos::slo_class_from_name(slo->as_string());
+  if (const json::Value* rate = v.find("rate"))
+    parse_rate(*rate, "tenant \"" + t.name + "\"", t.rate_tokens, t.rate_cycles);
+  t.burst = v.u64_or("burst", t.burst);
+  if (t.burst == 0) throw std::invalid_argument("scenario: tenant burst must be >= 1");
+  t.quota = static_cast<std::size_t>(v.u64_or("quota", t.quota));
+  t.weight = static_cast<std::uint32_t>(v.u64_or("weight", t.weight));
+  t.p99_slo_cycles = v.u64_or("p99_slo_cycles", t.p99_slo_cycles);
+  return t;
 }
 
 }  // namespace
@@ -251,6 +280,32 @@ ScenarioSpec parse_scenario(const json::Value& doc, const std::string& base_dir)
       throw std::invalid_argument("scenario: autoscale wants low_inflight < high_inflight");
   }
 
+  // Multi-tenant QoS: "tenants" declares the contracts, "capacity" the
+  // fleet-wide bucket for graceful degradation; classes bind by name.
+  if (const json::Value* tenants = doc.find("tenants")) {
+    if (!tenants->is_array())
+      throw std::invalid_argument("scenario: \"tenants\" wants an array of tenant objects");
+    for (const json::Value& t : tenants->as_array()) {
+      qos::TenantConfig cfg = parse_tenant(t);
+      for (const qos::TenantConfig& prev : spec.tenants)
+        if (prev.name == cfg.name)
+          throw std::invalid_argument("scenario: duplicate tenant \"" + cfg.name + "\"");
+      spec.tenants.push_back(std::move(cfg));
+    }
+  }
+  if (const json::Value* capacity = doc.find("capacity")) {
+    if (!capacity->is_object())
+      throw std::invalid_argument("scenario: \"capacity\" wants an object");
+    spec.capacity.enabled = capacity->bool_or("enabled", true);
+    spec.capacity.rate_tokens = capacity->u64_or("tokens", spec.capacity.rate_tokens);
+    spec.capacity.rate_cycles = capacity->u64_or("per_cycles", spec.capacity.rate_cycles);
+    spec.capacity.burst = capacity->u64_or("burst", spec.capacity.burst);
+    if (spec.capacity.rate_cycles == 0 || spec.capacity.burst == 0)
+      throw std::invalid_argument("scenario: capacity per_cycles and burst must be >= 1");
+    if (spec.capacity.enabled && spec.tenants.empty())
+      throw std::invalid_argument("scenario: \"capacity\" without \"tenants\" has no effect");
+  }
+
   const json::Value* classes = doc.find("classes");
   if (classes == nullptr || !classes->is_array() || classes->as_array().empty())
     throw std::invalid_argument("scenario: wants a non-empty \"classes\" array");
@@ -260,6 +315,31 @@ ScenarioSpec parse_scenario(const json::Value& doc, const std::string& base_dir)
       if (spec.classes[i].profile.name == spec.classes[j].profile.name)
         throw std::invalid_argument("scenario: duplicate class name \"" +
                                     spec.classes[i].profile.name + "\"");
+
+  // Resolve class -> tenant bindings and check the tenanted-scenario
+  // preconditions: the admission plan regenerates the class streams and
+  // must consume them exactly like the live run, which rules out drop
+  // admission (window drops depend on completion timing) and
+  // decrypt/verify resubmits (extra jobs outside the plan).
+  for (ClassSpec& cs : spec.classes) {
+    if (cs.tenant.empty()) continue;
+    std::uint16_t id = 0;
+    for (std::size_t t = 0; t < spec.tenants.size(); ++t)
+      if (spec.tenants[t].name == cs.tenant) id = static_cast<std::uint16_t>(t + 1);
+    if (id == 0)
+      throw std::invalid_argument("scenario: class \"" + cs.profile.name +
+                                  "\" names unknown tenant \"" + cs.tenant + "\"");
+    cs.tenant_id = id;
+    if (spec.admission == Admission::kDrop)
+      throw std::invalid_argument(
+          "scenario: tenanted classes require \"admission\": \"block\" (drop admission "
+          "would desynchronize the deterministic admission plan)");
+    if (cs.decrypt_fraction > 0.0)
+      throw std::invalid_argument("scenario: class \"" + cs.profile.name +
+                                  "\": tenanted classes must be encrypt-only "
+                                  "(decrypt_fraction 0) so the admission plan covers "
+                                  "every submission");
+  }
   return spec;
 }
 

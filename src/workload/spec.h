@@ -28,6 +28,8 @@
 
 #include "common/json.h"
 #include "host/engine.h"
+#include "qos/admission.h"
+#include "qos/tenant.h"
 #include "workload/profile.h"
 
 namespace mccp::workload {
@@ -48,6 +50,10 @@ struct ClassSpec {
   /// arrival order, so the verify mix is deterministic across backends
   /// and thread counts. Ignored for Whirlpool (hashing has no open side).
   double decrypt_fraction = 0.0;
+  /// Owning tenant ("tenant": name from the scenario's "tenants" block;
+  /// "" = untenanted). Resolved to the dense 1-based id at parse time.
+  std::string tenant{};
+  std::uint16_t tenant_id = 0;
 };
 
 /// One scripted fleet-membership event ("faults" array): a device death
@@ -68,19 +74,25 @@ struct FaultEvent {
   std::vector<reconfig::CoreImage> slots{};
 };
 
-/// Queue-depth-driven autoscaling ("autoscale" object): the runner adds a
-/// device when its admission-window occupancy crosses `high_inflight` and
-/// drains one out when it falls to `low_inflight`, at most one decision
-/// per `cooldown_cycles`. Decisions depend on when the loop observes the
-/// occupancy, so autoscaled runs pin serial==threaded determinism but not
-/// cross-backend equality — keep it off in cross-backend-pinned presets.
+/// Demand-driven autoscaling ("autoscale" object), decided on engine-clock
+/// boundaries: at every multiple of `cooldown_cycles` the runner compares
+/// the deterministic demand backlog — accepted arrivals scheduled at or
+/// before the boundary minus jobs whose completion stamp lands at or
+/// before it — against the thresholds, adding a device at `high_inflight`
+/// and draining one out at `low_inflight`. Both inputs are pure functions
+/// of the scenario (arrival schedule) and the calibrated cost model
+/// (completion stamps), so the scale-event sequence (kind, device,
+/// boundary cycle) is bit-identical across sim/fast backends and
+/// serial/threaded engines. Scale-down prefers personality-redundant
+/// devices: a device is skipped while it is the last one holding a core
+/// image some live channel still needs.
 struct AutoscaleSpec {
   bool enabled = false;
-  std::size_t high_inflight = 0;  // >= this: add a device (0 = window)
-  std::size_t low_inflight = 0;   // <= this: drain one out
+  std::size_t high_inflight = 0;  // backlog >= this: add a device (0 = window)
+  std::size_t low_inflight = 0;   // backlog <= this: drain one out
   std::size_t min_devices = 1;
   std::size_t max_devices = 8;
-  sim::Cycle cooldown_cycles = 50'000;
+  sim::Cycle cooldown_cycles = 50'000;  // boundary spacing
 };
 
 struct ScenarioSpec {
@@ -119,6 +131,18 @@ struct ScenarioSpec {
   /// Scripted membership events, sorted by at_cycle at parse time.
   std::vector<FaultEvent> faults{};
   AutoscaleSpec autoscale{};
+
+  // -- multi-tenant QoS -------------------------------------------------------
+  /// Tenant contracts ("tenants" array); classes bind by name via
+  /// ClassSpec::tenant. Ids are dense 1-based in declaration order.
+  /// Tenanted scenarios require block admission and encrypt-only classes
+  /// (enforced at parse): the admission plan mirrors exactly the arrivals
+  /// the runner consumes.
+  std::vector<qos::TenantConfig> tenants{};
+  /// Fleet capacity for graceful degradation ("capacity" object): when
+  /// enabled, in-contract arrivals shed in SLO order (bulk before video
+  /// before voip) as the capacity bucket drains.
+  qos::CapacityConfig capacity{};
 
   std::vector<ClassSpec> classes;
 };

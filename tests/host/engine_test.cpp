@@ -499,5 +499,58 @@ TEST(Engine, AdvanceToSkipsQuietGapsOnBothBackends) {
   }
 }
 
+TEST(Engine, TenantQuotaAndRateEnforcedAtSubmit) {
+  // The enforcement half of the QoS subsystem: channels bound to a tenant
+  // are metered at every submit against the tenant's (uncapped) rate
+  // bucket and in-flight quota, with typed rejections that consume
+  // nothing, and per-tenant runtime counters tracking the traffic.
+  EngineConfig cfg{.num_devices = 1, .device = {.num_cores = 2}};
+  qos::TenantConfig metered;
+  metered.name = "metered";
+  metered.rate_tokens = 1;
+  metered.rate_cycles = 1'000'000'000;  // glacial refill: burst is the budget
+  metered.burst = 2;
+  cfg.tenants.push_back(metered);
+  qos::TenantConfig quotad;
+  quotad.name = "quotad";
+  quotad.quota = 1;
+  cfg.tenants.push_back(quotad);
+  Engine engine(cfg);
+  Rng rng(5);
+  engine.provision_key(1, rng.bytes(16));
+
+  // Binding a channel to an unregistered tenant is a caller bug.
+  EXPECT_THROW(engine.open_channel(ChannelMode::kGcm, 1, 16, 12, 9), std::invalid_argument);
+
+  Channel m =
+      engine.open_channel(ChannelMode::kGcm, 1, 16, 12, engine.tenants().id_of("metered"));
+  Channel q = engine.open_channel(ChannelMode::kGcm, 1, 16, 12, engine.tenants().id_of("quotad"));
+  ASSERT_TRUE(m.valid() && q.valid());
+
+  // Burst 2: two submits spend the bucket, the third gets the typed
+  // rate rejection.
+  engine.submit_encrypt(m, rng.bytes(12), {}, rng.bytes(64)).wait(1'000'000);
+  engine.submit_encrypt(m, rng.bytes(12), {}, rng.bytes(64)).wait(1'000'000);
+  EXPECT_THROW(engine.submit_encrypt(m, rng.bytes(12), {}, rng.bytes(64)),
+               qos::TenantThrottledError);
+
+  // Quota 1: a second job while the first is in flight is refused...
+  Completion first = engine.submit_encrypt(q, rng.bytes(12), {}, rng.bytes(64));
+  EXPECT_THROW(engine.submit_encrypt(q, rng.bytes(12), {}, rng.bytes(64)),
+               qos::TenantQuotaExceededError);
+  first.wait(1'000'000);
+  // ...and admitted again once it completes.
+  engine.submit_encrypt(q, rng.bytes(12), {}, rng.bytes(64)).wait(1'000'000);
+
+  const qos::TenantRuntime& mrt = engine.tenants().runtime(engine.tenants().id_of("metered"));
+  EXPECT_EQ(mrt.submitted, 2u);
+  EXPECT_EQ(mrt.throttled, 1u);
+  EXPECT_EQ(mrt.completed, 2u);
+  const qos::TenantRuntime& qrt = engine.tenants().runtime(engine.tenants().id_of("quotad"));
+  EXPECT_EQ(qrt.submitted, 2u);
+  EXPECT_EQ(qrt.quota_rejections, 1u);
+  EXPECT_EQ(qrt.inflight, 0u);
+}
+
 }  // namespace
 }  // namespace mccp::host

@@ -251,6 +251,36 @@ TEST(ReconfigDevice, RoundRobinCursorsAreIndependentPerImage) {
   EXPECT_EQ(a2.device_index(), 2u);
 }
 
+TEST(ReconfigDevice, LastImageHolderTracksLiveChannelNeeds) {
+  // The scale-down guard's primitive: a device is a "last image holder"
+  // exactly while it hosts the fleet's only copy of a core image some
+  // live channel needs. Mixed AES/Whirlpool fleet, both backends.
+  for (Backend backend : {Backend::kSim, Backend::kFast}) {
+    EngineConfig cfg = fleet_config(backend, {.num_cores = 2}, 2);
+    cfg.slot_layouts = {{CoreImage::kAesEncryptWithKs, CoreImage::kAesEncryptWithKs},
+                        {CoreImage::kAesEncryptWithKs, CoreImage::kWhirlpool}};
+    Engine engine(cfg);
+    Rng rng(31);
+    engine.provision_key(1, rng.bytes(16));
+
+    Channel gcm = engine.open_channel(ChannelMode::kGcm, 1, 16, 12);
+    ASSERT_TRUE(gcm.valid());
+    // AES lives on both devices, so the live GCM channel pins neither.
+    EXPECT_FALSE(engine.last_image_holder(0));
+    EXPECT_FALSE(engine.last_image_holder(1));
+
+    {
+      Channel wp = engine.open_channel(ChannelMode::kWhirlpool, 0);
+      ASSERT_TRUE(wp.valid());
+      // Device 1 now holds the only Whirlpool image a live channel needs.
+      EXPECT_TRUE(engine.last_image_holder(1));
+      EXPECT_FALSE(engine.last_image_holder(0));
+    }
+    // Closing the Whirlpool channel releases the pin.
+    EXPECT_FALSE(engine.last_image_holder(1));
+  }
+}
+
 TEST(ReconfigDevice, CompactFlashVsRamRatioPinsTableIv) {
   // The paper's caching conclusion rests on Table IV: the same image loads
   // ~6x slower from CompactFlash than from the RAM bitstream cache

@@ -22,6 +22,7 @@ std::vector<Frame> sample_frames() {
   HelloFrame hello;
   hello.ver_min = 1;
   hello.ver_max = 7;
+  hello.tenant = 42;
   hello.client_name = "fuzz-client";
   frames.push_back(hello);
 
@@ -245,6 +246,28 @@ TEST(Protocol, HelloMagicChecked) {
   Decoded d = decode_frame(wire);
   EXPECT_EQ(d.status, DecodeStatus::kBad);
   EXPECT_EQ(d.error_code, ErrorCode::kMalformedFrame);
+}
+
+TEST(Protocol, HelloCarriesTheSessionTenant) {
+  // The tenant id rides in HELLO (between the version range and the client
+  // name) so per-session admission can bind to the tenant's fleet-wide
+  // budget before any channel opens. Zero = untenanted, and both extremes
+  // of the id space survive the round-trip.
+  for (std::uint16_t tenant : {std::uint16_t{0}, std::uint16_t{1}, std::uint16_t{0xFFFF}}) {
+    HelloFrame hello;
+    hello.tenant = tenant;
+    hello.client_name = "tenant-client";
+    Decoded d = decode_frame(encode_frame(Frame{hello}));
+    ASSERT_EQ(d.status, DecodeStatus::kFrame);
+    EXPECT_EQ(std::get<HelloFrame>(d.frame).tenant, tenant);
+  }
+}
+
+TEST(Protocol, TenantErrorCodesHaveStableNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kTenantThrottled), "tenant_throttled");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTenantQuotaExceeded), "tenant_quota_exceeded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnknownTenant), "unknown_tenant");
+  EXPECT_STREQ(error_code_name(static_cast<ErrorCode>(0xFFFF)), "unknown_error");
 }
 
 TEST(Protocol, EncodeRejectsOversizedFields) {

@@ -21,6 +21,7 @@
 #include "net/protocol.h"
 #include "net/remote_engine.h"
 #include "net/server.h"
+#include "qos/tenant.h"
 
 namespace mccp::net {
 namespace {
@@ -116,10 +117,12 @@ class RawConn {
     }
   }
 
-  void hello(std::uint16_t ver_min = kProtocolVersion, std::uint16_t ver_max = kProtocolVersion) {
+  void hello(std::uint16_t ver_min = kProtocolVersion, std::uint16_t ver_max = kProtocolVersion,
+             std::uint16_t tenant = 0) {
     HelloFrame h;
     h.ver_min = ver_min;
     h.ver_max = ver_max;
+    h.tenant = tenant;
     h.client_name = "raw";
     send_frame(h);
   }
@@ -253,6 +256,164 @@ TEST(NetServer, OpenChannelWithUnknownKeyRejected) {
   cc.port = server->port();
   Client client(cc);
   EXPECT_THROW(client.open_channel(0, 99 /* never provisioned */, 16, 12), std::runtime_error);
+}
+
+TEST(NetServer, UnknownTenantHelloGetsTypedErrorAndDrop) {
+  // A session claiming a tenant the fleet never registered is refused at
+  // handshake time — before any channel or budget state exists.
+  ServerConfig cfg = fast_fleet();
+  qos::TenantConfig tenant;
+  tenant.name = "acme";
+  cfg.engine.tenants.push_back(tenant);  // ids: acme = 1
+  TestServer server(std::move(cfg));
+
+  RawConn conn(server->port());
+  conn.hello(kProtocolVersion, kProtocolVersion, /*tenant=*/7);
+  std::optional<Frame> reply = conn.next_frame();
+  ASSERT_TRUE(reply.has_value());
+  auto* err = std::get_if<ErrorFrame>(&*reply);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, ErrorCode::kUnknownTenant);
+  EXPECT_TRUE(conn.wait_eof());
+}
+
+TEST(NetServer, UnknownTenantClientCtorThrows) {
+  TestServer server(fast_fleet());  // no tenants registered at all
+  ClientConfig cc;
+  cc.port = server->port();
+  cc.tenant = 1;
+  EXPECT_THROW(Client{cc}, std::runtime_error);
+}
+
+TEST(NetServer, TenantQuotaFloodGetsJobErrorsAndSessionSurvives) {
+  // A tenant flooding past its in-flight quota gets one typed,
+  // job-referenced ERROR per refused job — the batch is refused atomically
+  // and the session stays up for well-sized retries.
+  ServerConfig cfg = fast_fleet();
+  qos::TenantConfig tenant;
+  tenant.name = "acme";
+  tenant.quota = 2;
+  cfg.engine.tenants.push_back(tenant);
+  TestServer server(std::move(cfg));
+
+  RawConn conn(server->port());
+  conn.hello(kProtocolVersion, kProtocolVersion, /*tenant=*/1);
+  ASSERT_TRUE(conn.next_frame().has_value());  // WELCOME
+
+  ProvisionKeyFrame key;
+  key.request_id = 1;
+  key.key_id = 1;
+  key.key = Bytes(16, 0x42);
+  conn.send_frame(key);
+  ASSERT_TRUE(conn.next_frame().has_value());  // ACK
+
+  OpenChannelFrame open;
+  open.request_id = 2;
+  open.mode = 0;  // GCM
+  open.key_id = 1;
+  open.tag_len = 16;
+  open.nonce_len = 12;
+  conn.send_frame(open);
+  std::optional<Frame> opened = conn.next_frame();
+  ASSERT_TRUE(opened.has_value());
+  auto* ok = std::get_if<OpenOkFrame>(&*opened);
+  ASSERT_NE(ok, nullptr);
+
+  SubmitBatchFrame flood;
+  flood.channel = ok->channel;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    SubmitJob j;
+    j.job_id = 100 + i;
+    j.iv = Bytes(12, static_cast<std::uint8_t>(i));
+    j.payload = Bytes(32, 0xAA);
+    flood.jobs.push_back(std::move(j));
+  }
+  conn.send_frame(flood);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    std::optional<Frame> reply = conn.next_frame();
+    ASSERT_TRUE(reply.has_value()) << "job " << i;
+    auto* err = std::get_if<ErrorFrame>(&*reply);
+    ASSERT_NE(err, nullptr) << "job " << i;
+    EXPECT_EQ(err->code, ErrorCode::kTenantQuotaExceeded);
+    EXPECT_EQ(err->ref, 100 + i);
+  }
+
+  // Within quota the same session still computes.
+  SubmitBatchFrame good;
+  good.channel = ok->channel;
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    SubmitJob j;
+    j.job_id = 200 + i;
+    j.iv = Bytes(12, static_cast<std::uint8_t>(0x10 + i));
+    j.payload = Bytes(32, 0xBB);
+    good.jobs.push_back(std::move(j));
+  }
+  conn.send_frame(good);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    std::optional<Frame> reply = conn.next_frame();
+    ASSERT_TRUE(reply.has_value()) << "job " << i;
+    auto* done = std::get_if<CompletionFrame>(&*reply);
+    ASSERT_NE(done, nullptr) << "job " << i;
+    EXPECT_TRUE(done->auth_ok);
+  }
+}
+
+TEST(NetServer, TenantRateFloodThrottledWithTypedError) {
+  // Burst 1 against a glacial refill: the first job spends the only
+  // token, the second is throttled with the rate-specific code, and the
+  // session survives.
+  ServerConfig cfg = fast_fleet();
+  qos::TenantConfig tenant;
+  tenant.name = "metered";
+  tenant.rate_tokens = 1;
+  tenant.rate_cycles = 1'000'000'000;
+  tenant.burst = 1;
+  cfg.engine.tenants.push_back(tenant);
+  TestServer server(std::move(cfg));
+
+  RawConn conn(server->port());
+  conn.hello(kProtocolVersion, kProtocolVersion, /*tenant=*/1);
+  ASSERT_TRUE(conn.next_frame().has_value());  // WELCOME
+
+  ProvisionKeyFrame key;
+  key.request_id = 1;
+  key.key_id = 1;
+  key.key = Bytes(16, 0x42);
+  conn.send_frame(key);
+  ASSERT_TRUE(conn.next_frame().has_value());  // ACK
+
+  OpenChannelFrame open;
+  open.request_id = 2;
+  open.mode = 0;
+  open.key_id = 1;
+  open.tag_len = 16;
+  open.nonce_len = 12;
+  conn.send_frame(open);
+  std::optional<Frame> opened = conn.next_frame();
+  ASSERT_TRUE(opened.has_value());
+  auto* ok = std::get_if<OpenOkFrame>(&*opened);
+  ASSERT_NE(ok, nullptr);
+
+  auto one_job = [&](std::uint64_t id) {
+    SubmitFrame f;
+    f.channel = ok->channel;
+    f.job.job_id = id;
+    f.job.iv = Bytes(12, static_cast<std::uint8_t>(id));
+    f.job.payload = Bytes(32, 0xCC);
+    conn.send_frame(f);
+    return conn.next_frame();
+  };
+
+  std::optional<Frame> first = one_job(301);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_NE(std::get_if<CompletionFrame>(&*first), nullptr);
+
+  std::optional<Frame> second = one_job(302);
+  ASSERT_TRUE(second.has_value());
+  auto* err = std::get_if<ErrorFrame>(&*second);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, ErrorCode::kTenantThrottled);
+  EXPECT_EQ(err->ref, 302u);
 }
 
 TEST(NetServer, MidRunDisconnectLeavesOtherSessionsIntact) {

@@ -45,8 +45,11 @@ void expect_identical_counts(const workload::ScenarioReport& inproc,
     EXPECT_EQ(a.submitted, b.submitted);
     EXPECT_EQ(a.completed, b.completed);
     EXPECT_EQ(a.auth_failures, b.auth_failures);
-    EXPECT_EQ(a.dropped, 0u);  // blocking admission never drops
-    EXPECT_EQ(b.dropped, 0u);
+    // Drops and tenant refusals come precomputed in the admission plan, so
+    // they pin exactly across transports (zero under blocking admission).
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.throttled, b.throttled);
+    EXPECT_EQ(a.shed, b.shed);
     EXPECT_EQ(a.decrypt_submitted, b.decrypt_submitted);
     EXPECT_EQ(a.decrypt_completed, b.decrypt_completed);
     EXPECT_EQ(a.payload_bytes, b.payload_bytes);
@@ -146,14 +149,63 @@ TEST(SwarmScenario, SwarmRunTwiceIsIdenticalToItself) {
   }
 }
 
-TEST(SwarmScenario, DropAdmissionRefused) {
-  // Drop admission makes counts timing-dependent — the swarm refuses it
-  // up front instead of silently reporting unpinnable numbers.
-  workload::ScenarioSpec spec = load_scaled("mixed_radio.json", 0.1, host::Backend::kFast);
-  spec.admission = workload::Admission::kDrop;
+TEST(SwarmScenario, TenantStormPinsPerTenantCountsAcrossTransports) {
+  // The tentpole acceptance pin, transport edition: the shipped
+  // tenant_storm preset resolves identical per-tenant accept/throttle/shed
+  // counts whether it runs in-process or as a swarm of tenant-pinned TCP
+  // sessions (each connection HELLOs with its tenant id and shares the
+  // tenant's budget on the server).
+  workload::ScenarioSpec spec = load_scaled("tenant_storm.json", 1.0, host::Backend::kFast);
+
+  workload::ScenarioReport local = workload::ScenarioRunner(spec).run();
+
+  ScenarioServer server(spec);
   SwarmConfig net;
+  net.port = server.port();
   net.connections = 8;
-  EXPECT_THROW(SwarmRunner(spec, net), std::invalid_argument);
+  workload::ScenarioReport remote = SwarmRunner(spec, net).run();
+
+  expect_identical_counts(local, remote);
+  ASSERT_EQ(local.tenants.size(), remote.tenants.size());
+  ASSERT_EQ(local.tenants.size(), 3u);
+  std::uint64_t total_refused = 0;
+  for (std::size_t i = 0; i < local.tenants.size(); ++i) {
+    const workload::TenantReport& a = local.tenants[i];
+    const workload::TenantReport& b = remote.tenants[i];
+    SCOPED_TRACE("tenant " + a.name);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.throttled, b.throttled);
+    EXPECT_EQ(a.shed, b.shed);
+    total_refused += b.throttled + b.shed;
+  }
+  EXPECT_GT(total_refused, 0u) << "the storm must actually shed bulk traffic";
+  // Degradation order holds over the wire too: bulk sheds, voip rides.
+  EXPECT_GT(remote.tenants[2].shed, 0u);
+  EXPECT_EQ(remote.tenants[0].shed, 0u);
+  EXPECT_EQ(remote.tenants[0].throttled, 0u);
+}
+
+TEST(SwarmScenario, DropAdmissionShedsIdenticalArrivalsAcrossTransports) {
+  // Drop decisions are planned (modelled-window replay), so an overloaded
+  // drop-admission scenario sheds the exact same arrivals whether it runs
+  // in-process or through the swarm — per-class dropped counts included.
+  workload::ScenarioSpec spec = load_scaled("mixed_radio.json", 0.2, host::Backend::kFast);
+  spec.admission = workload::Admission::kDrop;
+  spec.window = 3;  // deliberately undersized: the overload must shed
+
+  workload::ScenarioReport local = workload::ScenarioRunner(spec).run();
+  std::uint64_t total_dropped = 0;
+  for (const workload::ClassReport& c : local.classes) total_dropped += c.dropped;
+  EXPECT_GT(total_dropped, 0u);
+
+  ScenarioServer server(spec);
+  SwarmConfig net;
+  net.port = server.port();
+  net.connections = 8;
+  workload::ScenarioReport remote = SwarmRunner(spec, net).run();
+  expect_identical_counts(local, remote);
 }
 
 }  // namespace

@@ -1,0 +1,188 @@
+// Unit tests for the weighted-fair admission controller: shed ordering
+// (bulk before video before voip), surplus borrowing, and bit-exact
+// determinism of the decision sequence.
+#include "qos/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mccp::qos {
+namespace {
+
+TenantConfig tenant(const std::string& name, SloClass slo, std::uint64_t rate_tokens,
+                    sim::Cycle rate_cycles, std::uint64_t burst, std::uint32_t weight = 1) {
+  TenantConfig cfg;
+  cfg.name = name;
+  cfg.slo = slo;
+  cfg.rate_tokens = rate_tokens;
+  cfg.rate_cycles = rate_cycles;
+  cfg.burst = burst;
+  cfg.weight = weight;
+  return cfg;
+}
+
+TEST(Admission, UntenantedArrivalsAlwaysAccept) {
+  AdmissionController ac({}, CapacityConfig{});
+  for (sim::Cycle c = 0; c < 100; ++c) EXPECT_EQ(ac.decide(0, c), Decision::kAccept);
+}
+
+TEST(Admission, DecisionNamesAreStable) {
+  EXPECT_STREQ(decision_name(Decision::kAccept), "accept");
+  EXPECT_STREQ(decision_name(Decision::kThrottle), "throttle");
+  EXPECT_STREQ(decision_name(Decision::kShed), "shed");
+}
+
+TEST(Admission, ShedFloorsOrderBulkBeforeVideoBeforeVoip) {
+  const std::uint64_t burst = 40;
+  EXPECT_GT(AdmissionController::shed_floor(SloClass::kBulk, burst),
+            AdmissionController::shed_floor(SloClass::kVideo, burst));
+  EXPECT_GT(AdmissionController::shed_floor(SloClass::kVideo, burst),
+            AdmissionController::shed_floor(SloClass::kVoip, burst));
+  EXPECT_EQ(AdmissionController::shed_floor(SloClass::kVoip, burst), 0u);
+}
+
+TEST(Admission, OverContractThrottlesWithoutSurplus) {
+  // Capacity exactly covers the contract: no surplus to borrow from.
+  CapacityConfig cap;
+  cap.enabled = true;
+  cap.rate_tokens = 1;
+  cap.rate_cycles = 1000;
+  cap.burst = 100;
+  AdmissionController ac({tenant("a", SloClass::kBulk, 1, 1000, /*burst=*/2)}, cap);
+  EXPECT_EQ(ac.decide(1, 0), Decision::kAccept);
+  EXPECT_EQ(ac.decide(1, 0), Decision::kAccept);  // burst of 2
+  EXPECT_EQ(ac.decide(1, 0), Decision::kThrottle);
+  EXPECT_EQ(ac.counts(1).accepted, 2u);
+  EXPECT_EQ(ac.counts(1).throttled, 1u);
+  EXPECT_EQ(ac.counts(1).shed, 0u);
+}
+
+TEST(Admission, SurplusBorrowAdmitsOverContractTraffic) {
+  // Fleet capacity (10/1000) far exceeds the 1/1000 contract, so the
+  // tenant's surplus share admits over-contract arrivals while the fleet
+  // has headroom above the borrow floor.
+  CapacityConfig cap;
+  cap.enabled = true;
+  cap.rate_tokens = 10;
+  cap.rate_cycles = 1000;
+  cap.burst = 100;
+  AdmissionController ac({tenant("a", SloClass::kBulk, 1, 1000, /*burst=*/2)}, cap);
+  EXPECT_EQ(ac.decide(1, 0), Decision::kAccept);  // contract burst...
+  EXPECT_EQ(ac.decide(1, 0), Decision::kAccept);
+  EXPECT_EQ(ac.decide(1, 0), Decision::kAccept);  // ...then surplus borrows
+  EXPECT_EQ(ac.decide(1, 0), Decision::kAccept);
+  EXPECT_EQ(ac.decide(1, 0), Decision::kThrottle);  // surplus burst (2) spent
+  EXPECT_EQ(ac.counts(1).accepted, 4u);
+  EXPECT_EQ(ac.counts(1).throttled, 1u);
+}
+
+TEST(Admission, SurplusSharesFollowWeights) {
+  // Contracts are negligible (1 token per million cycles), so nearly all
+  // of the 11-token/1000-cycle capacity is surplus, split 2:1 by weight:
+  // heavy's surplus bucket refills at 7 tokens/1000 cycles, light's at 3.
+  CapacityConfig cap;
+  cap.enabled = true;
+  cap.rate_tokens = 11;
+  cap.rate_cycles = 1000;
+  cap.burst = 1000;
+  AdmissionController ac(
+      {tenant("heavy", SloClass::kBulk, 1, 1'000'000, /*burst=*/8, /*weight=*/2),
+       tenant("light", SloClass::kBulk, 1, 1'000'000, /*burst=*/8, /*weight=*/1)},
+      cap);
+  auto drain = [&](std::uint16_t id, sim::Cycle cycle) {
+    std::uint64_t accepted = 0;
+    while (ac.decide(id, cycle) == Decision::kAccept) ++accepted;
+    return accepted;
+  };
+  // Cycle 0 drains both tenants' initial bursts (contract 8 + surplus 8).
+  EXPECT_EQ(drain(1, 0), 16u);
+  EXPECT_EQ(drain(2, 0), 16u);
+  // One capacity period later, each tenant has exactly its weighted
+  // surplus refill to spend (contracts have accrued nothing yet).
+  EXPECT_EQ(drain(1, 1000), 7u);
+  EXPECT_EQ(drain(2, 1000), 3u);
+}
+
+TEST(Admission, CapacityPressureShedsBulkFirstVoipLast) {
+  // Three tenants with generous contracts share a capacity bucket of
+  // burst 40. Round-robin arrivals at cycle 0 drain capacity; bulk must
+  // shed at <=10 tokens, video at <=4, voip only at 0.
+  CapacityConfig cap;
+  cap.enabled = true;
+  cap.rate_tokens = 1;  // negligible refill at cycle 0
+  cap.rate_cycles = 1'000'000;
+  cap.burst = 40;
+  std::vector<TenantConfig> tenants = {
+      tenant("voice", SloClass::kVoip, 100, 1000, /*burst=*/100),
+      tenant("video", SloClass::kVideo, 100, 1000, /*burst=*/100),
+      tenant("bulk", SloClass::kBulk, 100, 1000, /*burst=*/100),
+  };
+  AdmissionController ac(tenants, cap);
+  std::vector<Decision> first_shed(4, Decision::kAccept);
+  for (int round = 0; round < 60; ++round)
+    for (std::uint16_t id = 1; id <= 3; ++id) {
+      const Decision d = ac.decide(id, 0);
+      if (d == Decision::kShed && first_shed[id] == Decision::kAccept) first_shed[id] = d;
+    }
+  // Everyone was in contract, so nobody throttled; refusals are sheds.
+  EXPECT_EQ(ac.counts(1).throttled, 0u);
+  EXPECT_EQ(ac.counts(2).throttled, 0u);
+  EXPECT_EQ(ac.counts(3).throttled, 0u);
+  // Degradation order: bulk shed the most, voip the least (voip only
+  // sheds once capacity hits zero).
+  EXPECT_GT(ac.counts(3).shed, ac.counts(2).shed);
+  EXPECT_GT(ac.counts(2).shed, ac.counts(1).shed);
+  EXPECT_GT(ac.counts(1).accepted, ac.counts(3).accepted);
+}
+
+TEST(Admission, VoipRidesThroughABulkStorm) {
+  // A paced voip trickle stays clean while a bulk firehose sheds: the
+  // controller's entire point, in miniature.
+  CapacityConfig cap;
+  cap.enabled = true;
+  cap.rate_tokens = 10;
+  cap.rate_cycles = 10'000;
+  cap.burst = 40;
+  AdmissionController ac({tenant("voice", SloClass::kVoip, 1, 4000, /*burst=*/8),
+                          tenant("bulk", SloClass::kBulk, 1, 1000, /*burst=*/16)},
+                         cap);
+  std::uint64_t cycle = 0;
+  for (int i = 0; i < 200; ++i) {
+    cycle += 500;
+    if (i % 10 == 0) {
+      EXPECT_EQ(ac.decide(1, cycle), Decision::kAccept) << "at cycle " << cycle;
+    }
+    ac.decide(2, cycle);  // bulk hammers every 500 cycles
+    ac.decide(2, cycle);
+  }
+  EXPECT_EQ(ac.counts(1).throttled + ac.counts(1).shed, 0u);
+  EXPECT_GT(ac.counts(2).shed + ac.counts(2).throttled, 0u);
+}
+
+TEST(Admission, DecisionSequenceIsDeterministic) {
+  CapacityConfig cap;
+  cap.enabled = true;
+  cap.rate_tokens = 7;
+  cap.rate_cycles = 3000;
+  cap.burst = 24;
+  const std::vector<TenantConfig> tenants = {
+      tenant("a", SloClass::kVoip, 1, 2000, 8, 4),
+      tenant("b", SloClass::kVideo, 3, 5000, 16, 2),
+      tenant("c", SloClass::kBulk, 1, 1000, 16, 1),
+  };
+  auto run = [&] {
+    AdmissionController ac(tenants, cap);
+    std::vector<Decision> out;
+    sim::Cycle cycle = 0;
+    for (int i = 0; i < 500; ++i) {
+      cycle += 1 + (i * 7) % 400;  // irregular but fixed arrival spacing
+      out.push_back(ac.decide(static_cast<std::uint16_t>(1 + i % 3), cycle));
+    }
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mccp::qos

@@ -1,0 +1,161 @@
+// Unit tests for the QoS primitives: the integer token bucket and the
+// Engine-side TenantTable enforcement (typed rejections, atomic batches,
+// per-tenant accounting).
+#include "qos/tenant.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace mccp::qos {
+namespace {
+
+TEST(TokenBucket, StartsFullAndSpendsWholeTokens) {
+  TokenBucket b(/*rate_tokens=*/1, /*rate_cycles=*/1000, /*burst_tokens=*/4);
+  EXPECT_EQ(b.tokens(), 4u);
+  EXPECT_TRUE(b.has_tokens(4));
+  EXPECT_FALSE(b.has_tokens(5));
+  b.spend(4);
+  EXPECT_EQ(b.tokens(), 0u);
+  EXPECT_FALSE(b.has_tokens());
+}
+
+TEST(TokenBucket, RefillAccruesFractionalProgressExactly) {
+  TokenBucket b(/*rate_tokens=*/1, /*rate_cycles=*/1000, /*burst_tokens=*/2);
+  b.spend(2);
+  b.refill(999);
+  EXPECT_EQ(b.tokens(), 0u);  // 999/1000 of a token is not a token
+  b.refill(1000);
+  EXPECT_EQ(b.tokens(), 1u);  // ...but the progress was never lost
+  b.refill(3000);
+  EXPECT_EQ(b.tokens(), 2u);  // capped at burst, not 3
+}
+
+TEST(TokenBucket, CappedBucketTopsOutAtBurst) {
+  TokenBucket b(/*rate_tokens=*/10, /*rate_cycles=*/100, /*burst_tokens=*/5);
+  b.refill(1'000'000);
+  EXPECT_EQ(b.tokens(), 5u);
+}
+
+TEST(TokenBucket, UncappedBucketAccruesBeyondBurst) {
+  TokenBucket b(/*rate_tokens=*/1, /*rate_cycles=*/100, /*burst_tokens=*/5, /*capped=*/false);
+  b.refill(10'000);
+  EXPECT_EQ(b.tokens(), 105u);  // 5 initial + 100 accrued
+}
+
+TEST(TokenBucket, RefillClampsNonMonotonicObservers) {
+  TokenBucket b(/*rate_tokens=*/1, /*rate_cycles=*/100, /*burst_tokens=*/1);
+  b.spend();
+  b.refill(500);
+  EXPECT_EQ(b.tokens(), 1u);
+  b.spend();
+  // An observer reporting an older cycle must not rewind or drain state.
+  b.refill(100);
+  EXPECT_EQ(b.tokens(), 0u);
+  b.refill(500);  // same cycle again: no double refill
+  EXPECT_EQ(b.tokens(), 0u);
+  b.refill(600);
+  EXPECT_EQ(b.tokens(), 1u);
+}
+
+TEST(TokenBucket, UncappedRefillSaturatesInsteadOfOverflowing) {
+  TokenBucket b(/*rate_tokens=*/1'000'000, /*rate_cycles=*/1, /*burst_tokens=*/1,
+                /*capped=*/false);
+  b.refill(std::numeric_limits<sim::Cycle>::max() / 2);
+  b.refill(std::numeric_limits<sim::Cycle>::max());
+  EXPECT_GT(b.tokens(), 0u);  // saturated at the guard, no wraparound to zero
+}
+
+TEST(SloClass, NamesRoundTripAndRejectUnknown) {
+  EXPECT_EQ(slo_class_from_name(slo_class_name(SloClass::kVoip)), SloClass::kVoip);
+  EXPECT_EQ(slo_class_from_name(slo_class_name(SloClass::kVideo)), SloClass::kVideo);
+  EXPECT_EQ(slo_class_from_name(slo_class_name(SloClass::kBulk)), SloClass::kBulk);
+  EXPECT_THROW(slo_class_from_name("gold"), std::invalid_argument);
+}
+
+TenantConfig tenant(const std::string& name, std::uint64_t rate_tokens, std::size_t quota) {
+  TenantConfig cfg;
+  cfg.name = name;
+  cfg.rate_tokens = rate_tokens;
+  cfg.rate_cycles = 1000;
+  cfg.burst = 4;
+  cfg.quota = quota;
+  return cfg;
+}
+
+TEST(TenantTable, IdsAreDenseOneBasedAndNamed) {
+  TenantTable t;
+  EXPECT_EQ(t.register_tenant(tenant("a", 0, 0)), 1u);
+  EXPECT_EQ(t.register_tenant(tenant("b", 0, 0)), 2u);
+  EXPECT_TRUE(t.known(1));
+  EXPECT_TRUE(t.known(2));
+  EXPECT_FALSE(t.known(0));
+  EXPECT_FALSE(t.known(3));
+  EXPECT_EQ(t.id_of("b"), 2u);
+  EXPECT_EQ(t.id_of("nobody"), 0u);
+  EXPECT_EQ(t.config(2).name, "b");
+  EXPECT_THROW(t.config(9), std::invalid_argument);
+}
+
+TEST(TenantTable, RejectsDuplicateAndEmptyNames) {
+  TenantTable t;
+  t.register_tenant(tenant("a", 0, 0));
+  EXPECT_THROW(t.register_tenant(tenant("a", 0, 0)), std::invalid_argument);
+  EXPECT_THROW(t.register_tenant(tenant("", 0, 0)), std::invalid_argument);
+}
+
+TEST(TenantTable, UntenantedSubmissionsAreNeverMetered) {
+  TenantTable t;
+  t.register_tenant(tenant("a", 1, 1));
+  EXPECT_NO_THROW(t.on_submit(0, 1'000'000, 0));
+}
+
+TEST(TenantTable, QuotaRejectionIsTypedAndConsumesNothing) {
+  TenantTable t;
+  const std::uint16_t id = t.register_tenant(tenant("a", 0, 2));
+  t.on_submit(id, 2, 0);
+  EXPECT_EQ(t.runtime(id).inflight, 2u);
+  EXPECT_THROW(t.on_submit(id, 1, 0), TenantQuotaExceededError);
+  // Rejection left inflight/submitted untouched and counted the refusal.
+  EXPECT_EQ(t.runtime(id).inflight, 2u);
+  EXPECT_EQ(t.runtime(id).submitted, 2u);
+  EXPECT_EQ(t.runtime(id).quota_rejections, 1u);
+  t.on_complete(id);
+  EXPECT_EQ(t.runtime(id).inflight, 1u);
+  EXPECT_EQ(t.runtime(id).completed, 1u);
+  EXPECT_NO_THROW(t.on_submit(id, 1, 0));
+}
+
+TEST(TenantTable, RateRejectionIsTypedAndBatchesAreAtomic) {
+  TenantTable t;
+  const std::uint16_t id = t.register_tenant(tenant("a", /*rate_tokens=*/1, /*quota=*/0));
+  t.on_submit(id, 4, 0);  // the full burst
+  // A batch larger than the remaining tokens is refused whole: no partial
+  // admission, no token spend.
+  EXPECT_THROW(t.on_submit(id, 3, 1000), TenantThrottledError);
+  EXPECT_EQ(t.runtime(id).throttled, 3u);
+  EXPECT_EQ(t.runtime(id).submitted, 4u);
+  // The single token accrued by cycle 1000 is still there.
+  EXPECT_NO_THROW(t.on_submit(id, 1, 1000));
+  EXPECT_EQ(t.runtime(id).submitted, 5u);
+}
+
+TEST(TenantTable, EnforcementBucketIsUncapped) {
+  TenantTable t;
+  const std::uint16_t id = t.register_tenant(tenant("a", /*rate_tokens=*/1, /*quota=*/0));
+  // After a long idle period the enforcement bucket holds far more than
+  // the burst (4): runtime enforcement never rejects planner-approved
+  // surplus borrows, no matter how submission interleaves.
+  EXPECT_NO_THROW(t.on_submit(id, 50, 100'000));
+}
+
+TEST(TenantTable, QuotaIsCheckedBeforeRate) {
+  TenantTable t;
+  const std::uint16_t id = t.register_tenant(tenant("a", /*rate_tokens=*/1, /*quota=*/2));
+  EXPECT_THROW(t.on_submit(id, 3, 0), TenantQuotaExceededError);
+  EXPECT_EQ(t.runtime(id).quota_rejections, 3u);
+  EXPECT_EQ(t.runtime(id).throttled, 0u);
+}
+
+}  // namespace
+}  // namespace mccp::qos

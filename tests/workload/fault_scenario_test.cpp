@@ -228,7 +228,8 @@ TEST(FaultScenario, ShippedDeviceFailurePresetRunsClean) {
   EXPECT_EQ(spec.name, "device_failure");
   ASSERT_EQ(spec.faults.size(), 4u);
   EXPECT_FALSE(spec.autoscale.enabled)
-      << "autoscale is not cross-backend deterministic; the pinned preset keeps it off";
+      << "the preset pins a scripted membership timeline; demand-driven "
+         "scaling on top would muddy the recovery-metric assertions";
 
   ScenarioReport r = ScenarioRunner(spec).run();
   EXPECT_EQ(r.devices_failed, 2u);
@@ -241,11 +242,22 @@ TEST(FaultScenario, ShippedDeviceFailurePresetRunsClean) {
 
 // -- autoscale ----------------------------------------------------------------
 
-TEST(FaultScenario, AutoscaleGrowsAndShrinksDeterministically) {
-  // Queue-depth autoscaling reacts to when the loop observes occupancy, so
-  // it pins per-backend determinism (identical reports run to run), not
-  // cross-backend equality — mirroring the spec.h contract.
-  ScenarioSpec spec = parse_scenario_text(R"({
+/// The autoscale acceptance pin: the scale-event trace (kind, device,
+/// boundary cycle) of two runs must be identical.
+void expect_scale_events_identical(const ScenarioReport& a, const ScenarioReport& b,
+                                   const char* what) {
+  EXPECT_EQ(a.devices_added, b.devices_added) << what;
+  EXPECT_EQ(a.devices_removed, b.devices_removed) << what;
+  ASSERT_EQ(a.recovery.size(), b.recovery.size()) << what;
+  for (std::size_t i = 0; i < a.recovery.size(); ++i) {
+    EXPECT_EQ(a.recovery[i].kind, b.recovery[i].kind) << what << " #" << i;
+    EXPECT_EQ(a.recovery[i].device, b.recovery[i].device) << what << " #" << i;
+    EXPECT_EQ(a.recovery[i].at_cycle, b.recovery[i].at_cycle) << what << " #" << i;
+  }
+}
+
+ScenarioSpec autoscale_burst_spec() {
+  return parse_scenario_text(R"({
     "name": "autoscale", "seed": 4242,
     "devices": 1, "cores_per_device": 2, "window": 24,
     "autoscale": {"high_inflight": 10, "low_inflight": 1,
@@ -257,22 +269,95 @@ TEST(FaultScenario, AutoscaleGrowsAndShrinksDeterministically) {
                    "mean_on": 40, "mean_off": 5}}
     ]
   })");
+}
+
+TEST(FaultScenario, AutoscaleGrowsAndShrinksDeterministically) {
+  ScenarioSpec spec = autoscale_burst_spec();
   ScenarioReport a = ScenarioRunner(spec).run();
   EXPECT_GT(a.devices_added, 0u) << "the burst must trip the high-water mark";
+  EXPECT_GT(a.devices_removed, 0u) << "the lull must trip the low-water mark";
   EXPECT_EQ(a.lost_jobs, 0u);
   EXPECT_EQ(a.total_completed(), a.total_offered());
   EXPECT_GE(a.final_devices, 1u);
   EXPECT_LE(a.final_devices, 3u);
-  for (const RecoveryEvent& e : a.recovery)
+  for (const RecoveryEvent& e : a.recovery) {
     EXPECT_TRUE(e.kind == "autoscale_add" || e.kind == "autoscale_remove") << e.kind;
+    // Decisions land on engine-clock boundaries (multiples of cooldown).
+    EXPECT_EQ(e.at_cycle % 2000, 0u) << e.kind;
+    EXPECT_GE(e.detected_cycle, e.at_cycle) << e.kind;
+  }
 
   ScenarioReport b = ScenarioRunner(spec).run();
   EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
-  EXPECT_EQ(a.devices_added, b.devices_added);
-  EXPECT_EQ(a.devices_removed, b.devices_removed);
-  ASSERT_EQ(a.recovery.size(), b.recovery.size());
-  for (std::size_t i = 0; i < a.recovery.size(); ++i)
-    EXPECT_EQ(a.recovery[i].detected_cycle, b.recovery[i].detected_cycle) << i;
+  expect_scale_events_identical(a, b, "rerun");
+}
+
+TEST(FaultScenario, AutoscaleEventsArePinnedAcrossBackendsAndThreads) {
+  // Scale decisions are planned from the accepted arrival schedule and the
+  // calibrated cost model — never from observed occupancy — so the event
+  // trace (kind, device, boundary) is bit-identical across the
+  // cycle-accurate and fast backends and across serial/threaded stepping.
+  ScenarioSpec fast_spec = autoscale_burst_spec();
+  fast_spec.backend = host::Backend::kFast;
+  ScenarioReport fast = ScenarioRunner(fast_spec).run();
+
+  ScenarioSpec sim_spec = autoscale_burst_spec();
+  sim_spec.backend = host::Backend::kSim;
+  ScenarioReport sim = ScenarioRunner(sim_spec).run();
+  expect_scale_events_identical(fast, sim, "fast vs sim");
+
+  ScenarioSpec threaded_spec = autoscale_burst_spec();
+  threaded_spec.threads = 4;
+  ScenarioReport threaded = ScenarioRunner(threaded_spec).run();
+  expect_scale_events_identical(fast, threaded, "serial vs threaded");
+
+  EXPECT_GT(fast.devices_added, 0u);
+  EXPECT_EQ(sim.lost_jobs, 0u);
+  EXPECT_EQ(sim.total_completed(), sim.total_offered());
+}
+
+TEST(FaultScenario, ScaleDownSparesTheLastImageHolder) {
+  // Mixed AES/Whirlpool fleet where the highest-numbered device — the
+  // scale-down scan's first candidate — is the only one booted with a
+  // Whirlpool slot. Draining it would strand the live hash channels, so
+  // every planned removal must skip it and drain an AES-only device
+  // instead; the hash traffic keeps completing on the shrunken fleet.
+  auto make = [](host::Backend backend) {
+    ScenarioSpec spec = parse_scenario_text(R"({
+      "name": "mixed_drain", "seed": 77,
+      "devices": 3, "cores_per_device": 2, "window": 24,
+      "slots": [["aes", "aes"], ["aes", "aes"], ["aes", "whirlpool"]],
+      "auto_reconfig": false,
+      "autoscale": {"high_inflight": 1000, "low_inflight": 6,
+                    "min_devices": 1, "max_devices": 3, "cooldown_cycles": 4000},
+      "classes": [
+        {"class": "video", "packets": 40, "channels": 2,
+         "payload": {"fixed": 512}, "arrival": {"kind": "poisson", "rate": 0.4}},
+        {"class": "whirlpool", "packets": 40, "channels": 2,
+         "payload": {"fixed": 512}, "arrival": {"kind": "poisson", "rate": 0.4}}
+      ]
+    })");
+    spec.backend = backend;
+    return spec;
+  };
+  for (host::Backend backend : {host::Backend::kFast, host::Backend::kSim}) {
+    ScenarioReport r = ScenarioRunner(make(backend)).run();
+    EXPECT_GT(r.devices_removed, 0u) << backend_name(backend);
+    for (const RecoveryEvent& e : r.recovery) {
+      EXPECT_EQ(e.kind, "autoscale_remove");
+      EXPECT_NE(e.device, 2u) << "drained the fleet's only Whirlpool holder";
+      EXPECT_EQ(e.lost_jobs, 0u);
+    }
+    EXPECT_EQ(r.lost_jobs, 0u) << backend_name(backend);
+    for (const ClassReport& c : r.classes) {
+      EXPECT_EQ(c.completed, c.offered) << c.name;
+      EXPECT_EQ(c.auth_failures, 0u) << c.name;
+    }
+  }
+  // And the removal trace itself is backend-pinned.
+  ScenarioReport fast = ScenarioRunner(make(host::Backend::kFast)).run();
+  ScenarioReport sim = ScenarioRunner(make(host::Backend::kSim)).run();
+  expect_scale_events_identical(fast, sim, "mixed fleet fast vs sim");
 }
 
 }  // namespace

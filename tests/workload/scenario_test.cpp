@@ -462,6 +462,188 @@ TEST(Scenario, SlotLayoutAvoidsSwapsEntirely) {
   }
 }
 
+// -- multi-tenant QoS ---------------------------------------------------------
+
+/// Per-tenant planner counts that must be bit-identical across backends,
+/// thread counts and transports.
+void expect_tenants_identical(const ScenarioReport& a, const ScenarioReport& b,
+                              const char* what) {
+  ASSERT_EQ(a.tenants.size(), b.tenants.size()) << what;
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    const TenantReport& x = a.tenants[i];
+    const TenantReport& y = b.tenants[i];
+    EXPECT_EQ(x.name, y.name) << what;
+    EXPECT_EQ(x.accepted, y.accepted) << what << " " << x.name;
+    EXPECT_EQ(x.completed, y.completed) << what << " " << x.name;
+    EXPECT_EQ(x.throttled, y.throttled) << what << " " << x.name;
+    EXPECT_EQ(x.shed, y.shed) << what << " " << x.name;
+  }
+}
+
+TEST(Scenario, TenantStormPinsPerTenantCountsAcrossBackendsAndThreads) {
+  // The tentpole acceptance pin: the shipped tenant_storm preset — a bulk
+  // firehose crowding a voip trickle and a video stream behind shared
+  // fleet capacity — resolves the exact same per-tenant planner decisions
+  // on both backends and under serial/threaded stepping, sheds bulk
+  // (never voip or video), and holds the voip tenant's p99 SLO.
+  const std::string path = std::string(MCCP_SOURCE_DIR) + "/scenarios/tenant_storm.json";
+  std::vector<ScenarioReport> reports;
+  for (host::Backend backend : {host::Backend::kFast, host::Backend::kSim})
+    for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+      ScenarioSpec spec = load_scenario(path);
+      spec.backend = backend;
+      spec.threads = threads;
+      reports.push_back(ScenarioRunner(std::move(spec)).run());
+    }
+
+  const ScenarioReport& r = reports.front();
+  ASSERT_EQ(r.tenants.size(), 3u);
+  const TenantReport& voice = r.tenants[0];
+  const TenantReport& video = r.tenants[1];
+  const TenantReport& bulk = r.tenants[2];
+  // The exact planner decisions for seed 4242 — a regression fingerprint,
+  // not a tunable: any drift in rng draw order, bucket arithmetic or plan
+  // iteration shows up here first.
+  EXPECT_EQ(voice.name, "acme_voice");
+  EXPECT_EQ(voice.accepted, 400u);
+  EXPECT_EQ(voice.throttled, 0u);
+  EXPECT_EQ(voice.shed, 0u);
+  EXPECT_EQ(video.accepted, 600u);
+  EXPECT_EQ(video.throttled, 0u);
+  EXPECT_EQ(video.shed, 0u);
+  EXPECT_EQ(bulk.accepted, 294u);
+  EXPECT_EQ(bulk.throttled, 9u);
+  EXPECT_EQ(bulk.shed, 1197u);
+  // Everything accepted completes (blocking admission, closed loop).
+  for (const TenantReport& t : r.tenants) EXPECT_EQ(t.completed, t.accepted) << t.name;
+  // Graceful degradation order and the voip latency SLO.
+  EXPECT_GT(bulk.shed, video.shed);
+  EXPECT_GE(video.shed, voice.shed);
+  EXPECT_TRUE(voice.slo_ok) << "p99 " << voice.p99_latency_cycles << " vs SLO "
+                            << voice.p99_slo_cycles;
+  EXPECT_GT(voice.p99_slo_cycles, 0u);
+
+  for (std::size_t i = 1; i < reports.size(); ++i)
+    expect_tenants_identical(r, reports[i], "variant");
+}
+
+TEST(Scenario, TenantClassReportsCarryPlannerRefusals) {
+  ScenarioSpec spec = parse_scenario_text(R"({
+    "name": "mini_tenants", "seed": 7, "devices": 1, "cores_per_device": 2,
+    "window": 16,
+    "tenants": [
+      {"name": "metered", "slo": "bulk",
+       "rate": {"tokens": 1, "per_cycles": 2000}, "burst": 4}
+    ],
+    "classes": [
+      {"class": "bulk", "tenant": "metered", "packets": 60, "channels": 1,
+       "payload": {"fixed": 256}, "arrival": {"kind": "fixed_rate", "rate": 2.0}},
+      {"class": "voip", "packets": 10, "channels": 1,
+       "arrival": {"kind": "fixed_rate", "rate": 0.2}}
+    ]
+  })");
+  ScenarioReport r = ScenarioRunner(std::move(spec)).run();
+  const ClassReport& metered = r.classes[0];
+  EXPECT_EQ(metered.tenant, "metered");
+  // 2 arrivals/kcycle against a 0.5/kcycle contract (burst 4): most of
+  // the stream is over contract, and with no capacity bucket declared the
+  // refusals are throttles, never sheds.
+  EXPECT_GT(metered.throttled, 0u);
+  EXPECT_EQ(metered.shed, 0u);
+  EXPECT_EQ(metered.offered, 60u);
+  EXPECT_EQ(metered.offered, metered.submitted + metered.throttled + metered.shed);
+  EXPECT_EQ(metered.completed, metered.submitted);
+  // The untenanted class is exempt from metering.
+  const ClassReport& voip = r.classes[1];
+  EXPECT_EQ(voip.tenant, "");
+  EXPECT_EQ(voip.throttled + voip.shed, 0u);
+  EXPECT_EQ(voip.completed, voip.offered);
+  // Tenant aggregation mirrors the class accounting.
+  ASSERT_EQ(r.tenants.size(), 1u);
+  EXPECT_EQ(r.tenants[0].accepted, metered.submitted);
+  EXPECT_EQ(r.tenants[0].throttled, metered.throttled);
+}
+
+TEST(Scenario, TenantReportsLandInReportJson) {
+  const std::string path = std::string(MCCP_SOURCE_DIR) + "/scenarios/tenant_storm.json";
+  ScenarioReport report = ScenarioRunner(load_scenario(path)).run();
+  json::Value doc = json::parse(report_json(report));
+  const json::Value* tenants = doc.find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_EQ(tenants->as_array().size(), 3u);
+  for (const json::Value& t : tenants->as_array()) {
+    EXPECT_FALSE(t.string_or("name", "").empty());
+    EXPECT_FALSE(t.string_or("slo", "").empty());
+    EXPECT_NE(t.find("accepted"), nullptr);
+    EXPECT_NE(t.find("throttled"), nullptr);
+    EXPECT_NE(t.find("shed"), nullptr);
+    EXPECT_NE(t.find("slo_ok"), nullptr);
+    ASSERT_NE(t.find("latency_cycles"), nullptr);
+    EXPECT_GE(t.find("latency_cycles")->u64_or("p99", 0),
+              t.find("latency_cycles")->u64_or("p50", 1));
+  }
+  // Per-class planner refusals ride along on the class objects.
+  for (const json::Value& c : doc.find("classes")->as_array()) {
+    EXPECT_NE(c.find("tenant"), nullptr);
+    EXPECT_NE(c.find("throttled"), nullptr);
+    EXPECT_NE(c.find("shed"), nullptr);
+  }
+}
+
+TEST(Scenario, DropOverloadAccountingIsPinnedAcrossBackendsAndThreads) {
+  // Overload a one-device fleet through an undersized window with drop
+  // admission. Drops are planned (modelled-window replay in the admission
+  // plan), so per-class offered/submitted/dropped/completed pin
+  // bit-identical across backends and serial/threaded stepping. Busy
+  // rejections are control-bus retry counts — cycle-accurate in sim,
+  // reconstructed from modelled denial time in fast — so they pin per
+  // backend (and across thread counts), not across backends: the golden
+  // values below are regression fingerprints for both calibrations.
+  auto make = [](host::Backend backend, std::size_t threads) {
+    ScenarioSpec spec = parse_scenario_text(R"({
+      "name": "overload", "seed": 1213, "devices": 1, "cores_per_device": 2,
+      "window": 3, "admission": "drop",
+      "classes": [
+        {"class": "voip", "packets": 40, "channels": 2,
+         "arrival": {"kind": "fixed_rate", "rate": 4.0}},
+        {"class": "bulk", "packets": 30, "channels": 1,
+         "payload": {"fixed": 2048},
+         "arrival": {"kind": "poisson", "rate": 2.0}}
+      ]
+    })");
+    spec.backend = backend;
+    spec.threads = threads;
+    return spec;
+  };
+  ScenarioReport base = ScenarioRunner(make(host::Backend::kFast, 0)).run();
+  std::uint64_t total_dropped = 0;
+  for (const ClassReport& c : base.classes) {
+    EXPECT_EQ(c.offered, c.submitted + c.dropped) << c.name;
+    EXPECT_EQ(c.completed, c.submitted) << c.name;
+    total_dropped += c.dropped;
+  }
+  EXPECT_GT(total_dropped, 0u) << "the overload must actually shed arrivals";
+
+  // Per-backend busy-rejection fingerprints for seed 1213.
+  const std::uint64_t kWantRejections[2][2] = {{26, 26},    // fast: voip, bulk
+                                               {644, 23}};  // sim:  voip, bulk
+  for (host::Backend backend : {host::Backend::kFast, host::Backend::kSim})
+    for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+      ScenarioReport r = ScenarioRunner(make(backend, threads)).run();
+      ASSERT_EQ(r.classes.size(), base.classes.size());
+      const std::uint64_t* rej = kWantRejections[backend == host::Backend::kSim ? 1 : 0];
+      for (std::size_t i = 0; i < base.classes.size(); ++i) {
+        const ClassReport& want = base.classes[i];
+        const ClassReport& got = r.classes[i];
+        EXPECT_EQ(got.offered, want.offered) << want.name;
+        EXPECT_EQ(got.submitted, want.submitted) << want.name;
+        EXPECT_EQ(got.dropped, want.dropped) << want.name;
+        EXPECT_EQ(got.completed, want.completed) << want.name;
+        EXPECT_EQ(got.busy_rejections, rej[i]) << want.name;
+      }
+    }
+}
+
 TEST(Scenario, QueueDepthSamplesAreMonotoneAndBounded) {
   ScenarioSpec spec = small_mixed(host::Backend::kFast);
   spec.queue_sample_cycles = 64;  // force compaction

@@ -208,5 +208,86 @@ TEST(Spec, NameRoundTrips) {
     EXPECT_EQ(store_from_name(store_spec_name(s)), s);
 }
 
+// -- multi-tenant QoS ---------------------------------------------------------
+
+TEST(Spec, TenantsParseWithContractsAndCapacity) {
+  ScenarioSpec spec = parse_scenario_text(R"({
+    "tenants": [
+      {"name": "acme", "slo": "voip", "weight": 4,
+       "rate": {"tokens": 2, "per_cycles": 5000}, "burst": 8,
+       "quota": 12, "p99_slo_cycles": 60000},
+      {"name": "bulkco", "slo": "bulk"}
+    ],
+    "capacity": {"tokens": 20, "per_cycles": 10000, "burst": 40},
+    "classes": [
+      {"class": "voip", "tenant": "acme"},
+      {"class": "bulk", "tenant": "bulkco"},
+      {"class": "control"}
+    ]
+  })");
+  ASSERT_EQ(spec.tenants.size(), 2u);
+  const qos::TenantConfig& acme = spec.tenants[0];
+  EXPECT_EQ(acme.name, "acme");
+  EXPECT_EQ(acme.slo, qos::SloClass::kVoip);
+  EXPECT_EQ(acme.weight, 4u);
+  EXPECT_EQ(acme.rate_tokens, 2u);
+  EXPECT_EQ(acme.rate_cycles, 5000u);
+  EXPECT_EQ(acme.burst, 8u);
+  EXPECT_EQ(acme.quota, 12u);
+  EXPECT_EQ(acme.p99_slo_cycles, 60000u);
+  // Defaults: bulk SLO, uncontracted, no quota, weight 1.
+  EXPECT_EQ(spec.tenants[1].slo, qos::SloClass::kBulk);
+  EXPECT_EQ(spec.tenants[1].rate_tokens, 0u);
+  EXPECT_EQ(spec.tenants[1].quota, 0u);
+  EXPECT_EQ(spec.tenants[1].weight, 1u);
+  // Class bindings resolve to dense 1-based ids; untenanted stays 0.
+  EXPECT_EQ(spec.classes[0].tenant_id, 1u);
+  EXPECT_EQ(spec.classes[1].tenant_id, 2u);
+  EXPECT_EQ(spec.classes[2].tenant_id, 0u);
+  EXPECT_TRUE(spec.capacity.enabled);
+  EXPECT_EQ(spec.capacity.rate_tokens, 20u);
+  EXPECT_EQ(spec.capacity.rate_cycles, 10000u);
+  EXPECT_EQ(spec.capacity.burst, 40u);
+}
+
+TEST(Spec, TenantParseRejections) {
+  auto expect_invalid = [](const char* text) {
+    EXPECT_THROW(parse_scenario_text(text), std::invalid_argument) << text;
+  };
+  // A class naming a tenant nobody declared.
+  expect_invalid(R"({
+    "tenants": [{"name": "acme"}],
+    "classes": [{"class": "voip", "tenant": "ghost"}]})");
+  // Duplicate tenant names.
+  expect_invalid(R"({
+    "tenants": [{"name": "acme"}, {"name": "acme"}],
+    "classes": [{"class": "voip", "tenant": "acme"}]})");
+  // Tenanted classes require blocking admission (the plan regenerates the
+  // streams and drop admission depends on completion timing).
+  expect_invalid(R"({
+    "admission": "drop",
+    "tenants": [{"name": "acme"}],
+    "classes": [{"class": "voip", "tenant": "acme"}]})");
+  // ...and must be encrypt-only.
+  expect_invalid(R"({
+    "tenants": [{"name": "acme"}],
+    "classes": [{"class": "video", "tenant": "acme", "decrypt_fraction": 0.5}]})");
+  // Capacity without tenants is a silent no-op: refuse it loudly.
+  expect_invalid(R"({
+    "capacity": {"tokens": 10, "per_cycles": 1000},
+    "classes": [{"class": "voip"}]})");
+  // Degenerate bucket parameters.
+  expect_invalid(R"({
+    "tenants": [{"name": "acme", "burst": 0}],
+    "classes": [{"class": "voip", "tenant": "acme"}]})");
+  expect_invalid(R"({
+    "tenants": [{"name": "acme", "rate": {"tokens": 1, "per_cycles": 0}}],
+    "classes": [{"class": "voip", "tenant": "acme"}]})");
+  // A tenant without a name.
+  expect_invalid(R"({
+    "tenants": [{"slo": "voip"}],
+    "classes": [{"class": "voip"}]})");
+}
+
 }  // namespace
 }  // namespace mccp::workload

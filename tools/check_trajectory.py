@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate.
+
+Parses a BENCH_trajectory.jsonl file (one compact record per bench run:
+scenario/transport/backend/threads identity, wall clock, modeled
+throughput at 190 MHz, all-classes p99 latency) and fails when the newest
+record of any (scenario, transport, backend, threads, devices, window)
+group regresses by more than the threshold against the best prior record
+of the same group:
+
+  * modeled_throughput_mbps  — newest < (1 - threshold) * best prior
+  * p99_latency_cycles       — newest > (1 + threshold) * best (lowest) prior
+  * wall_ms                  — newest > (1 + threshold) * best prior; host
+    wall clock is noisy, so by default this only warns (--strict-wall
+    makes it fail like the modeled metrics)
+
+Groups with a single record pass trivially (nothing to compare). Records
+missing a metric (or with it at zero) skip that metric.
+
+Usage:
+  check_trajectory.py [--file PATH] [--threshold 0.15] [--strict-wall]
+  check_trajectory.py --self-test
+
+Exit codes: 0 ok, 1 regression found, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+METRICS = (
+    # (key, direction, hard) — direction +1 = higher is better
+    ("modeled_throughput_mbps", +1, True),
+    ("p99_latency_cycles", -1, True),
+    ("wall_ms", -1, False),
+)
+
+
+def group_key(rec):
+    return (
+        rec.get("scenario", "?"),
+        rec.get("transport", "?"),
+        rec.get("backend", "?"),
+        rec.get("threads", 0),
+        rec.get("devices", 0),
+        rec.get("window", 0),
+    )
+
+
+def load_records(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{lineno}: not JSON ({e})")
+            if not isinstance(rec, dict):
+                raise ValueError(f"{path}:{lineno}: record is not an object")
+            records.append(rec)
+    return records
+
+
+def check(records, threshold, strict_wall):
+    """Returns (failures, warnings): lists of human-readable strings."""
+    groups = {}
+    for rec in records:
+        groups.setdefault(group_key(rec), []).append(rec)
+
+    failures, warnings = [], []
+    for key, recs in sorted(groups.items()):
+        if len(recs) < 2:
+            continue
+        newest, priors = recs[-1], recs[:-1]
+        name = "/".join(str(k) for k in key)
+        for metric, direction, hard in METRICS:
+            prior_vals = [r[metric] for r in priors if r.get(metric, 0) > 0]
+            cur = newest.get(metric, 0)
+            if not prior_vals or cur <= 0:
+                continue
+            if direction > 0:
+                best = max(prior_vals)
+                regressed = cur < best * (1.0 - threshold)
+                detail = f"{metric} {cur:.6g} vs best {best:.6g}"
+            else:
+                best = min(prior_vals)
+                regressed = cur > best * (1.0 + threshold)
+                detail = f"{metric} {cur:.6g} vs best {best:.6g}"
+            if not regressed:
+                continue
+            msg = f"{name}: {detail} (>{threshold:.0%} regression)"
+            if hard or strict_wall:
+                failures.append(msg)
+            else:
+                warnings.append(msg + " [wall clock, warning only]")
+    return failures, warnings
+
+
+def self_test():
+    base = {"scenario": "s", "transport": "inproc", "backend": "fast",
+            "threads": 0, "devices": 2, "window": 64}
+
+    def rec(mbps, p99, wall):
+        r = dict(base)
+        r.update(modeled_throughput_mbps=mbps, p99_latency_cycles=p99, wall_ms=wall)
+        return r
+
+    # Single record: nothing to compare.
+    f, w = check([rec(100, 1000, 10)], 0.15, False)
+    assert not f and not w, (f, w)
+    # Within threshold: ok.
+    f, w = check([rec(100, 1000, 10), rec(90, 1100, 11)], 0.15, False)
+    assert not f and not w, (f, w)
+    # Throughput collapse: fail.
+    f, w = check([rec(100, 1000, 10), rec(70, 1000, 10)], 0.15, False)
+    assert len(f) == 1 and "modeled_throughput_mbps" in f[0], f
+    # p99 blowup: fail.
+    f, w = check([rec(100, 1000, 10), rec(100, 1300, 10)], 0.15, False)
+    assert len(f) == 1 and "p99_latency_cycles" in f[0], f
+    # Wall regression: warn by default, fail under --strict-wall.
+    f, w = check([rec(100, 1000, 10), rec(100, 1000, 20)], 0.15, False)
+    assert not f and len(w) == 1, (f, w)
+    f, w = check([rec(100, 1000, 10), rec(100, 1000, 20)], 0.15, True)
+    assert len(f) == 1, f
+    # Regression is judged against the best prior, not the latest prior.
+    f, w = check([rec(100, 1000, 10), rec(50, 1000, 10), rec(80, 1000, 10)], 0.15, False)
+    assert len(f) == 1 and "modeled_throughput_mbps" in f[0], f
+    # Different groups never compare against each other.
+    other = rec(10, 9999, 99)
+    other["backend"] = "sim"
+    f, w = check([rec(100, 1000, 10), other], 0.15, False)
+    assert not f and not w, (f, w)
+    # Zero/missing metrics are skipped, not compared.
+    f, w = check([rec(100, 0, 10), rec(100, 5000, 10)], 0.15, False)
+    assert not f, f
+    print("check_trajectory: self-test ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--file", default="BENCH_trajectory.jsonl")
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--strict-wall", action="store_true",
+                    help="fail (not just warn) on wall_ms regressions")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not (0.0 < args.threshold < 1.0):
+        print("check_trajectory: --threshold must be in (0, 1)", file=sys.stderr)
+        return 2
+
+    try:
+        records = load_records(args.file)
+    except FileNotFoundError:
+        print(f"check_trajectory: {args.file} not found — nothing to check (ok)")
+        return 0
+    except ValueError as e:
+        print(f"check_trajectory: {e}", file=sys.stderr)
+        return 2
+
+    failures, warnings = check(records, args.threshold, args.strict_wall)
+    for w in warnings:
+        print(f"WARN {w}")
+    for f in failures:
+        print(f"FAIL {f}")
+    if failures:
+        print(f"check_trajectory: {len(failures)} regression(s) in {args.file}")
+        return 1
+    print(f"check_trajectory: {len(records)} record(s), no regressions beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
