@@ -205,7 +205,17 @@ class Parser {
       if (digits() == 0) fail("digits required in exponent");
     }
     std::string num(text_.substr(start, pos_ - start));
-    return Value(std::strtod(num.c_str(), nullptr));
+    // The scanner above is the JSON grammar; strtod is only the value
+    // converter. Verify it consumed the exact token so a libc quirk (e.g. a
+    // locale with a ',' decimal separator stopping at '.') can never
+    // silently truncate a numeral to its prefix.
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) {
+      pos_ = start + static_cast<std::size_t>(end - num.c_str());
+      fail("malformed number \"" + num + "\"");
+    }
+    return Value(v);
   }
 
   std::string_view text_;

@@ -66,6 +66,27 @@ class CryptoCore final : public sim::Clocked, private pb::IoBus {
   void tick() override;
   std::string name() const override { return name_; }
 
+  // -- batched stepping --------------------------------------------------------
+  /// Sentinel for quiet_horizon(): no upcoming tick can act on its own.
+  static constexpr std::uint64_t kQuietForever = cu::CryptographicUnit::kDormantForever;
+  /// How many immediately upcoming tick()s this core is guaranteed to be
+  /// quiet for — controller parked (no wake pending), Cryptographic Unit
+  /// either idle or inside a time-gated stretch that touches no FIFO or
+  /// shift-register port. Only valid when the caller can assert the core's
+  /// surroundings are frozen for the span (idle crossbar, neighbours also
+  /// quiet). 0 means the next cycle must go through tick().
+  std::uint64_t quiet_horizon() const;
+  /// Apply `n` quiet ticks in O(1); bit-identical to n tick() calls for any
+  /// n <= quiet_horizon().
+  void advance_quiet(std::uint64_t n);
+  /// Burst an *active* controller: retire straight-line instructions
+  /// back-to-back (cpu run loop) while the Cryptographic Unit is idle or
+  /// provably dormant, yielding at I/O-port accesses, HALT and interrupt
+  /// entry. Returns the cycles consumed (0 = the next cycle needs tick(),
+  /// e.g. an I/O execute, a parked controller, or a port-gated CU wait).
+  /// Safe whenever nothing outside the core acts during the burst.
+  sim::Cycle run(sim::Cycle max_cycles);
+
   // -- statistics -------------------------------------------------------------
   std::uint64_t busy_cycles() const { return busy_cycles_; }
   std::uint64_t tasks_completed() const { return tasks_completed_; }

@@ -21,6 +21,7 @@
 
 #include "common/bytes.h"
 #include "crypto/aes.h"
+#include "crypto/gf128.h"
 #include "cu/isa.h"
 #include "sim/clocked.h"
 #include "sim/fifo.h"
@@ -78,6 +79,27 @@ class CryptographicUnit final : public sim::Clocked {
   void tick() override;
   std::string name() const override { return name_; }
 
+  // -- dormancy fast-forward (cycle-accurate batched stepping) ----------------
+  /// Returned by dormant_cycles() when no upcoming tick can ever interact
+  /// externally under the queried assumptions.
+  static constexpr std::uint64_t kDormantForever = ~0ull;
+  /// How many immediately upcoming tick()s are guaranteed to be pure
+  /// latency — touching no FIFO or shift-register port. Time-gated waits
+  /// (the AES/GHASH/Whirlpool horizons) and execute countdowns are counted
+  /// through their completion when the instruction's effect is internal
+  /// (bank writes); 0 means the next tick may interact. With
+  /// `external_frozen` the caller asserts nothing external can change
+  /// (idle crossbar, parked neighbours), so an unsatisfiable port wait
+  /// (LOAD on an empty FIFO, ...) counts as dormant forever.
+  std::uint64_t dormant_cycles(bool external_frozen = false) const;
+  /// Apply `n` ticks in O(1). Only valid for n <= dormant_cycles(...); the
+  /// resulting state (cycle counter, horizons, bank writes, done pulses)
+  /// is bit-identical to calling tick() n times.
+  void advance_dormant(std::uint64_t n);
+  /// Account `n` ticks while no instruction is in flight (pure clock
+  /// advance; only valid when !busy()).
+  void skip_idle(std::uint64_t n) { cycle_ += n; }
+
   // Introspection for tests and the reconfiguration model.
   const Block128& bank(unsigned i) const { return bank_[i & 3]; }
   void debug_set_bank(unsigned i, const Block128& v) { bank_[i & 3] = v; }
@@ -96,6 +118,14 @@ class CryptographicUnit final : public sim::Clocked {
   };
 
   bool wait_satisfied(const Inflight& f) const;
+  /// Ops whose completion reads or writes a FIFO / shift-register port.
+  static bool touches_ports(CuOp op);
+  /// For a waiting instruction: the upcoming tick (1-based) at which the
+  /// wait clears and begin() runs, when that is decidable from internal
+  /// state alone (the time-gated AES/GHASH/Whirlpool horizons and the
+  /// trivially-satisfied waits). nullopt for port-gated waits and the
+  /// FAES-without-SAES deadlock.
+  std::optional<std::uint64_t> wait_clear_tick(const Inflight& f) const;
   int exec_cycles(CuOp op) const;
   void begin(Inflight& f);    // called when the wait clears
   void complete(Inflight& f); // architectural effect + done pulse
@@ -118,6 +148,10 @@ class CryptographicUnit final : public sim::Clocked {
   Block128 ghash_h_{};
   Block128 ghash_y_{};
   std::uint64_t ghash_free_ = 0;  // absolute cycle the multiplier is free
+  /// Shoup-table accelerator for the functional product, keyed on
+  /// ghash_h_ and revalidated lazily at each SGFM (pure software-speed
+  /// cache: no architectural state, deliberately NOT touched by reset()).
+  crypto::Gf128Table ghash_table_{};
 
   // Whirlpool personality state (after partial reconfiguration).
   CuPersonality personality_ = CuPersonality::kAes;

@@ -144,8 +144,47 @@ class Device {
     while (now() < target) step();
   }
   virtual bool idle() const = 0;
+
+  // -- lockstep quiet-burst seam ----------------------------------------------
+  // A cycle-accurate backend can split step() into "run the controller's
+  // scheduling round at the current cycle" (pump_round) and "advance the
+  // clock" (advance_quiet), and can bound how many upcoming cycles are
+  // provably inert (quiet_horizon). A fleet driver then pumps every device
+  // at the same cycle, takes the min horizon across the fleet when no
+  // controller acted, and advances all clocks together — fast-forwarding
+  // quiet spans without ever letting one device's clock race its siblings
+  // (which would skew wait budgets and later submit-cycle stamps). The
+  // resulting trajectory is bit-identical to per-cycle stepping.
+  /// Opt-in flag; when false the driver just calls step() and the three
+  /// methods below are never invoked.
+  virtual bool supports_quiet_burst() const { return false; }
+  /// Run one scheduling round at the current cycle WITHOUT advancing the
+  /// clock. Returns true when the controller did anything observable —
+  /// the fleet must then advance by exactly one cycle so the action's
+  /// consequences replay at the classic cadence.
+  virtual bool pump_round() { return true; }
+  /// After a round where no controller in the fleet acted: upper bound
+  /// (capped at `cap`) on upcoming cycles during which this device is
+  /// provably inert. 0 or 1 means "advance one real cycle".
+  virtual sim::Cycle quiet_horizon(sim::Cycle /*cap*/) const { return 1; }
+  /// Advance exactly `n` cycles; n must be 1 or <= the device's last
+  /// reported quiet_horizon(). n == 1 is a real tick.
+  virtual void advance_quiet(sim::Cycle n) {
+    while (n-- > 0) step();
+  }
+
   /// Live view of a job (partial until `complete`); nullptr if unknown.
   virtual const JobResult* result(DeviceJobId id) const = 0;
+  /// Sentinel for completions(): the backend keeps no counter, so callers
+  /// must scan result() to discover completions.
+  static constexpr std::uint64_t kCompletionsUnknown = ~0ull;
+  /// Monotone count of jobs that have reached a final state — bumped no
+  /// later than the moment result() first reports the job complete. The
+  /// Engine polls this to skip scanning a device whose in-flight jobs
+  /// cannot have finished since the last look; decorators that hide some
+  /// completions may over-report (extra scans are merely wasted work) but
+  /// must never under-report.
+  virtual std::uint64_t completions() const { return kCompletionsUnknown; }
   /// Drop a completed job's bookkeeping (the Engine copies results out).
   virtual void forget(DeviceJobId id) = 0;
 

@@ -8,6 +8,13 @@
 
 namespace mccp::host {
 
+namespace {
+/// Ceiling on one quiet fleet fast-forward, so a wait loop's budget checks
+/// and stranded-work checks still run at a bounded cadence even across a
+/// long inert stretch (e.g. a bitstream transfer).
+constexpr sim::Cycle kQuietStride = 1 << 20;
+}  // namespace
+
 // ---- Completion -------------------------------------------------------------
 
 const JobResult& Completion::result() const {
@@ -35,7 +42,7 @@ const JobResult& Completion::wait(sim::Cycle max_cycles) {
     if (engine_->max_cycle() - start > max_cycles)
       throw std::runtime_error("Completion::wait: job " + std::to_string(state_->id) +
                                " did not complete within max_cycles");
-    engine_->step();
+    engine_->step_quiet(kQuietStride);
   }
   return state_->result;
 }
@@ -103,6 +110,7 @@ Engine::Engine(const EngineConfig& config) : placement_(config.placement) {
     }
   }
   inflight_.resize(devices_.size());
+  completions_seen_.assign(devices_.size(), Device::kCompletionsUnknown);
   draining_.resize(devices_.size(), 0);
   devices_created_ = devices_.size();
   build_config_ = config;
@@ -120,6 +128,7 @@ Engine::Engine(std::vector<std::unique_ptr<Device>> devices, Placement placement
   if (devices_.empty()) throw std::invalid_argument("Engine: need at least one device");
   for (auto& d : devices_) sim_devices_.push_back(dynamic_cast<SimDevice*>(d.get()));
   inflight_.resize(devices_.size());
+  completions_seen_.assign(devices_.size(), Device::kCompletionsUnknown);
   draining_.resize(devices_.size(), 0);
   devices_created_ = devices_.size();
   if (num_workers > 0)
@@ -427,16 +436,29 @@ void Engine::poll_completions() {
     JobId best_id = 0;
     for (std::size_t d = 0; d < devices_.size(); ++d) {
       if (!devices_[d]) continue;
+      // Completion-count skip: while the device's monotone counter still
+      // reads what it read the last time a scan of this device came up
+      // empty, no in-flight entry can have turned complete — skip the
+      // whole list. Without this the rescans below are quadratic in the
+      // backlog depth, and they dominated sim-backend wall-clock.
+      const std::uint64_t count = devices_[d]->completions();
+      if (count != Device::kCompletionsUnknown && count == completions_seen_[d]) continue;
       auto& list = inflight_[d];
+      bool any_complete = false;
       for (std::size_t i = 0; i < list.size(); ++i) {
         const JobResult* r = devices_[d]->result(list[i]->device_job);
-        if (r != nullptr && r->complete &&
-            (best_dev == devices_.size() || list[i]->id < best_id)) {
+        if (r == nullptr || !r->complete) continue;
+        any_complete = true;
+        if (best_dev == devices_.size() || list[i]->id < best_id) {
           best_dev = d;
           best_idx = i;
           best_id = list[i]->id;
         }
       }
+      // Only an empty scan freezes the count: a found completion is
+      // finished below (possibly re-entrantly), so this device must be
+      // rescanned on the next lap even at an unchanged counter.
+      if (!any_complete) completions_seen_[d] = count;
     }
     if (best_dev == devices_.size()) return;
     auto& list = inflight_[best_dev];
@@ -454,6 +476,12 @@ void Engine::collect_completed(std::size_t device_index) {
   // compact the survivors in one pass (no re-entrancy can happen on a
   // worker, so no erase-and-rescan is needed). Side effects (stats,
   // callbacks, forget) wait for drain_completed() on the caller's thread.
+  // Same completion-count skip as the serial poll. The per-device element
+  // of completions_seen_ is touched only by this device's owning worker
+  // during the round (and by the caller's thread between rounds), so no
+  // synchronization is needed.
+  const std::uint64_t count = devices_[device_index]->completions();
+  if (count != Device::kCompletionsUnknown && count == completions_seen_[device_index]) return;
   auto& list = inflight_[device_index];
   std::size_t kept = 0;
   for (std::size_t i = 0; i < list.size(); ++i) {
@@ -465,6 +493,7 @@ void Engine::collect_completed(std::size_t device_index) {
       ++kept;
     }
   }
+  if (kept == list.size()) completions_seen_[device_index] = count;
   list.resize(kept);
 }
 
@@ -520,14 +549,47 @@ void Engine::collect_now() {
   poll_completions();
 }
 
-void Engine::step() {
+void Engine::step() { step_quiet(1); }
+
+sim::Cycle Engine::step_quiet(sim::Cycle max_cycles) {
   if (pool_) {
+    // Worker-pool rounds keep the classic one-step-per-device cadence: a
+    // lockstep burst would need a second barrier per round to agree on the
+    // fleet-min horizon, which costs more than it saves while any chip is
+    // busy. Serial and threaded runs stay bit-identical either way —
+    // quiet fast-forwarding never changes a trajectory, only wall-clock.
     run_round([](Device& d) { d.step(); });
-    return;
+    return 1;
+  }
+  // Phase 1: every controller runs its scheduling round at the current
+  // cycle. Devices are independent, so pumping them all before any clock
+  // moves is indistinguishable from the old pump-then-tick per device.
+  bool acted = false;
+  for (auto& d : devices_) {
+    if (!d) continue;
+    if (d->supports_quiet_burst())
+      acted |= d->pump_round();
+    else {
+      d->step();  // no burst seam: classic step (advances its own clock)
+      acted = true;
+    }
+  }
+  // Phase 2: agree on one fleet-wide stride. Any action (or any non-burst
+  // device, whose clock already moved) pins the stride to a single real
+  // cycle; otherwise the fleet jumps min(horizon) together, so sibling
+  // clocks never drift and every later submit lands on the same cycle
+  // stamp a per-cycle run would give it.
+  sim::Cycle q = 1;
+  if (!acted && max_cycles >= 2) {
+    q = max_cycles;
+    for (auto& d : devices_)
+      if (d && d->supports_quiet_burst()) q = std::min(q, d->quiet_horizon(max_cycles));
+    if (q < 1) q = 1;
   }
   for (auto& d : devices_)
-    if (d) d->step();
+    if (d && d->supports_quiet_burst()) d->advance_quiet(q);
   poll_completions();
+  return q;
 }
 
 void Engine::run(sim::Cycle n) {
@@ -537,14 +599,14 @@ void Engine::run(sim::Cycle n) {
 void Engine::advance_to(sim::Cycle target) {
   // Step while anything is in flight (completions must keep firing in
   // order), then let the now-idle devices jump the remaining quiet gap.
-  // A step that moves neither the clock nor a completion means the only
-  // remaining work is stranded on failed (frozen) devices — stop stepping
-  // rather than spinning; the caller recovers via remove_device().
+  // Work stranded on failed (frozen) devices can never finish — stop
+  // stepping rather than spinning; the caller recovers via
+  // remove_device(). The stride is capped at the distance to `target` so
+  // a quiet burst never overshoots an arrival boundary: pacing relies on
+  // submits landing at the cycle the workload scheduled them for.
   while (!idle() && max_cycle() < target) {
-    const sim::Cycle cycle_before = max_cycle();
-    const std::uint64_t done_before = completed_jobs_;
-    step();
-    if (max_cycle() == cycle_before && completed_jobs_ == done_before) break;
+    step_quiet(target - max_cycle());
+    if (inflight_only_on_failed()) break;
   }
   if (pool_) {
     run_round([target](Device& d) { d.advance_to(target); });
@@ -573,16 +635,22 @@ void Engine::wait_all(sim::Cycle max_cycles) {
   while (!idle()) {
     if (max_cycle() - start > max_cycles)
       throw std::runtime_error("Engine::wait_all: jobs did not complete within max_cycles");
-    const sim::Cycle cycle_before = max_cycle();
-    const std::uint64_t done_before = completed_jobs_;
-    step();
-    if (max_cycle() == cycle_before && completed_jobs_ == done_before)
-      // Nothing moved: the remaining in-flight work is stranded on failed
-      // (frozen) devices and stepping will never finish it.
+    step_quiet(kQuietStride);
+    // Checked on freshly-polled state (any completion visible before a
+    // device froze has just been delivered): every device still holding
+    // in-flight work has failed, and stepping will never finish it.
+    if (!idle() && inflight_only_on_failed())
       throw EngineError("Engine::wait_all: " + std::to_string(inflight_count_) +
                         " job(s) stranded on failed device(s); call remove_device() to "
                         "migrate and resubmit them");
   }
+}
+
+bool Engine::inflight_only_on_failed() const {
+  if (inflight_count_ == 0) return false;
+  for (std::size_t d = 0; d < devices_.size(); ++d)
+    if (devices_[d] && !inflight_[d].empty() && !devices_[d]->failed()) return false;
+  return true;
 }
 
 Engine::ResultStatus Engine::status(JobId id) const {
@@ -736,12 +804,16 @@ std::size_t Engine::adopt_device(std::unique_ptr<Device> dev) {
     if (devices_[i]) continue;
     devices_[i] = std::move(dev);
     sim_devices_[i] = sim;
+    // The slot changed occupants: a cached completion count from the old
+    // device could alias the new device's count and mask its completions.
+    completions_seen_[i] = Device::kCompletionsUnknown;
     draining_[i] = 0;
     return i;
   }
   devices_.push_back(std::move(dev));
   sim_devices_.push_back(sim);
   inflight_.emplace_back();
+  completions_seen_.push_back(Device::kCompletionsUnknown);
   draining_.push_back(0);
   return devices_.size() - 1;
 }

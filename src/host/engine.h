@@ -213,6 +213,14 @@ class Engine {
   /// With `num_workers` > 0 the devices advance in parallel on the pool;
   /// completions still fire here, on the calling thread, exactly once.
   void step();
+  /// One scheduling round that may fast-forward quiet fleet time: every
+  /// device's controller is pumped at the current cycle, and when none of
+  /// them acted all clocks advance together by the fleet-min quiet horizon
+  /// (capped at `max_cycles`) instead of one cycle. Bit-identical to
+  /// calling step() that many times — wait_all(), advance_to() and
+  /// Completion::wait() drive their loops through this. Returns the cycles
+  /// advanced (>= 1).
+  sim::Cycle step_quiet(sim::Cycle max_cycles);
   /// `n` engine steps (each >= 1 device cycle).
   void run(sim::Cycle n);
   /// Advance every device clock to at least `target` cycles, stepping while
@@ -372,6 +380,10 @@ class Engine {
   void release_channel(std::uint64_t uid);
   void track(std::shared_ptr<detail::JobState> st);
   void poll_completions();
+  /// True when work is in flight but every device holding any of it has
+  /// failed: stepping can never finish it (stranded; remove_device()
+  /// migrates and resubmits).
+  bool inflight_only_on_failed() const;
   void finish_job(detail::JobState& st, const JobResult& result);
   const ChannelStats* channel_stats(std::uint64_t uid) const;
   /// Threaded mode: run `op` on every device via the worker pool (device i
@@ -419,6 +431,13 @@ class Engine {
   /// its own devices' lists during a round (no cross-thread sharing; the
   /// caller's thread owns every list between rounds).
   std::vector<std::vector<std::shared_ptr<detail::JobState>>> inflight_;
+  /// Device::completions() value last seen by a scan that found nothing,
+  /// per device slot (kCompletionsUnknown = must scan). While the counter
+  /// sits at this value no in-flight entry can have turned complete, so
+  /// the poll/collect scans skip the device in O(1) instead of walking its
+  /// whole list — the scans were quadratic in backlog depth otherwise.
+  /// Reset whenever a slot changes occupant.
+  std::vector<std::uint64_t> completions_seen_;
   std::size_t inflight_count_ = 0;
   std::uint64_t completed_jobs_ = 0;
   JobId next_job_ = 1;

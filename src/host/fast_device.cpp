@@ -157,6 +157,7 @@ DeviceJobId FastDevice::submit(JobSpec spec) {
     res.complete = true;
     res.auth_ok = false;
     res.complete_cycle = now_;
+    ++completions_;
     return id;
   }
   Job job;
@@ -214,6 +215,7 @@ void FastDevice::fail_unrecoverable(DeviceJobId id) {
   res.complete = true;
   res.auth_ok = false;
   res.complete_cycle = now_ + accept_control_cycles(config_.control_latency_cycles);
+  ++completions_;
   jobs_.erase(id);
 }
 
@@ -270,6 +272,7 @@ void FastDevice::schedule_pending() {
           res.complete = true;
           res.auth_ok = false;
           res.complete_cycle = now_;
+          ++completions_;
           jobs_.erase(id);
           return;
         }
@@ -474,6 +477,7 @@ void FastDevice::step() {
       JobResult& res = results_[*it];
       res.complete = true;
       res.complete_cycle = job.done_at;
+      ++completions_;
       jobs_.erase(*it);
       it = running_.erase(it);
     } else {

@@ -70,6 +70,7 @@ class FastDevice final : public Device {
   void advance_to(sim::Cycle target) override;
   bool idle() const override { return jobs_.empty(); }
   const JobResult* result(DeviceJobId id) const override;
+  std::uint64_t completions() const override { return completions_; }
   void forget(DeviceJobId id) override;
 
   // -- slot personalities & partial reconfiguration ---------------------------
@@ -163,6 +164,7 @@ class FastDevice final : public Device {
   std::map<DeviceJobId, JobResult> results_;  // completed + in-flight partials
   DeviceJobId next_job_ = 1;
   std::uint8_t last_rr_ = 0;
+  std::uint64_t completions_ = 0;  // jobs whose result() turned complete
   sim::Cycle now_ = 0;
 };
 

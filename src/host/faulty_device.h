@@ -150,6 +150,12 @@ class FaultyDevice final : public Device {
     return r;
   }
 
+  /// Forwarded unmasked: the inner count may include completions the kill
+  /// boundary hides, which only over-reports (the Engine's skip logic
+  /// tolerates spurious scans; it must never miss a visible completion —
+  /// and a masked completion never becomes visible later).
+  std::uint64_t completions() const override { return inner_->completions(); }
+
   void forget(DeviceJobId id) override { inner_->forget(id); }
 
   reconfig::CoreImage slot_image(std::size_t slot) const override {

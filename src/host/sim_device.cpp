@@ -28,14 +28,18 @@ std::uint8_t SimDevice::run_control(std::uint32_t instruction) {
   return last_rr_;
 }
 
-void SimDevice::drain_retrieved() {
-  for (DeviceJobId id : active_) {
-    Job& job = jobs_.at(id);
-    if (job.state == Job::State::kRetrieved) {
-      drain_outputs(job);
-      if (fully_drained(job)) job.state = Job::State::kDrained;
+bool SimDevice::drain_retrieved() {
+  bool drained = false;
+  for (Job* job : active_) {
+    if (job->state == Job::State::kRetrieved) {
+      drained |= drain_outputs(*job);
+      if (fully_drained(*job)) {
+        job->state = Job::State::kDrained;
+        drained = true;
+      }
     }
   }
+  return drained;
 }
 
 std::optional<ChannelInfo> SimDevice::open_channel(ChannelMode mode, top::KeyId key,
@@ -94,6 +98,7 @@ DeviceJobId SimDevice::submit(JobSpec spec) {
     res.complete = true;
     res.auth_ok = false;
     res.complete_cycle = sim_.now();
+    ++completions_;
     return id;
   }
   Job job;
@@ -122,7 +127,7 @@ void SimDevice::on_accept(Job& job, std::uint8_t request_id) {
   if (info == nullptr) throw std::logic_error("SimDevice: accepted request has no info");
   job.lanes = info->lanes;
   job.state = Job::State::kAccepted;
-  active_.push_back(job.id);
+  active_.push_back(&job);
   results_[job.id].accept_cycle = sim_.now();
 
   // Now that the core mapping is known, format the per-lane streams
@@ -169,11 +174,11 @@ void SimDevice::on_accept(Job& job, std::uint8_t request_id) {
     mccp_.crossbar().push_words(job.lanes[i], job.lane_jobs[i].stream);
 }
 
-void SimDevice::drain_outputs(Job& job) {
-  for (std::size_t i = 0; i < job.lanes.size(); ++i) {
-    auto words = mccp_.crossbar().take_output(job.lanes[i]);
-    job.collected[i].insert(job.collected[i].end(), words.begin(), words.end());
-  }
+bool SimDevice::drain_outputs(Job& job) {
+  bool any = false;
+  for (std::size_t i = 0; i < job.lanes.size(); ++i)
+    any |= mccp_.crossbar().take_output_into(job.lanes[i], job.collected[i]);
+  return any;
 }
 
 bool SimDevice::fully_drained(const Job& job) const {
@@ -187,6 +192,7 @@ void SimDevice::finalize(Job& job) {
   res.complete = true;
   res.auth_ok = job.auth_ok;
   res.complete_cycle = sim_.now();
+  ++completions_;
   if (job.auth_ok && !job.lane_jobs.empty()) {
     // Lane 0 carries the payload stream in every mapping.
     if (job.spec.decrypt) {
@@ -206,39 +212,37 @@ void SimDevice::finalize(Job& job) {
       res.tag = std::move(parsed.tag);
     }
   }
-  active_.erase(std::find(active_.begin(), active_.end(), job.id));
+  active_.erase(std::find(active_.begin(), active_.end(), &job));
   jobs_.erase(job.id);
 }
 
-void SimDevice::pump() {
+bool SimDevice::pump() {
   // Continuous duties: drain read-granted outputs.
-  drain_retrieved();
+  bool acted = drain_retrieved();
 
   // Priority 1: service the Data Available interrupt.
   if (mccp_.data_available()) {
     std::uint8_t rr = run_control(top::encode_retrieve());
     if (!top::is_error(rr)) {
       std::uint8_t req = top::return_id(rr);
-      for (DeviceJobId id : active_) {
-        Job& job = jobs_.at(id);
-        if (job.state == Job::State::kAccepted && job.request_id == req) {
-          job.auth_ok = !top::is_auth_fail(rr);
-          job.state = job.auth_ok ? Job::State::kRetrieved : Job::State::kDrained;
+      for (Job* job : active_) {
+        if (job->state == Job::State::kAccepted && job->request_id == req) {
+          job->auth_ok = !top::is_auth_fail(rr);
+          job->state = job->auth_ok ? Job::State::kRetrieved : Job::State::kDrained;
           break;
         }
       }
     }
-    return;
+    return true;
   }
 
   // Priority 2: close out fully drained requests.
-  for (DeviceJobId id : active_) {
-    Job& job = jobs_.at(id);
-    if (job.state == Job::State::kDrained) {
-      std::uint8_t rr = run_control(top::encode_transfer_done(job.request_id));
-      if (top::is_ok(rr)) finalize(job);
+  for (Job* job : active_) {
+    if (job->state == Job::State::kDrained) {
+      std::uint8_t rr = run_control(top::encode_transfer_done(job->request_id));
+      if (top::is_ok(rr)) finalize(*job);
       // kBadParameters: cores not fully retired yet; retry next pump.
-      return;
+      return true;
     }
   }
 
@@ -265,14 +269,15 @@ void SimDevice::pump() {
         results_[id].complete = true;
         results_[id].auth_ok = false;
         results_[id].complete_cycle = sim_.now();
+        ++completions_;
         jobs_.erase(id);
-        return;
+        return true;
       }
       for (std::size_t i = mccp_.num_cores(); i-- > 0;)
         if (mccp_.begin_core_reconfiguration(i, need, mccp_.bitstream_store())) break;
       // Every slot busy: retry on a later pump. Swap scheduled: the head
       // waits for the bitstream transfer like any busy-core retry.
-      return;
+      return true;
     }
     std::uint32_t instr =
         job.spec.decrypt
@@ -290,14 +295,55 @@ void SimDevice::pump() {
       results_[id].complete = true;
       results_[id].auth_ok = false;
       results_[id].complete_cycle = sim_.now();
+      ++completions_;
       jobs_.erase(id);
     }
+    return true;
   }
+  return acted;
 }
 
 void SimDevice::step() {
-  pump();  // may advance the simulation through run_control
+  // One scheduling round = exactly one cycle, always. An uncapped quiet
+  // burst here is tempting but wrong at the fleet level: step() has no
+  // horizon to cap against, so an idle device would race its clock
+  // arbitrarily far ahead of busy siblings, blowing wait budgets (which
+  // are denominated in max-over-devices cycles) and shifting the
+  // submit-cycle stamps of every later placement. Quiet fast-forwarding
+  // lives in advance_to(), whose target provides the cap.
+  pump();
   sim_.step();
+}
+
+void SimDevice::advance_quiet(sim::Cycle n) {
+  if (n <= 1) {
+    // Either the fleet round acted somewhere or some chip is busy: this
+    // cycle must replay for real.
+    sim_.step();
+    return;
+  }
+  // n is bounded by this chip's own quiet horizon (the Engine took the
+  // fleet min), so the O(components) fast-forward is bit-exact.
+  mccp_.advance_quiet(n);
+  sim_.skip(n);
+}
+
+void SimDevice::advance_to(sim::Cycle target) {
+  while (sim_.now() < target) {
+    // When the pump acted (it ran control instructions, drained words or
+    // retired a job) the next cycles are control traffic: keep the classic
+    // one-cycle cadence so its decisions replay exactly. When it is purely
+    // waiting on the chip, none of its inputs (Data Available, outboxes,
+    // job states, the pending queue) can change before the chip's next
+    // non-quiet cycle, so Mccp::run may fast-forward to that boundary —
+    // capped at `target`, never overshooting an arrival: pacing relies on
+    // submits landing at the cycle the workload scheduled them for.
+    if (pump()) {
+      sim_.step();
+      continue;
+    }
+    sim_.skip(mccp_.run(target - sim_.now()));
+  }
 }
 
 }  // namespace mccp::host

@@ -38,8 +38,18 @@ class SimDevice final : public Device {
 
   DeviceJobId submit(JobSpec spec) override;
   void step() override;
+  void advance_to(sim::Cycle target) override;
+
+  // Lockstep quiet-burst seam: the Engine pumps the whole fleet at one
+  // cycle, then advances every clock by the fleet-min quiet horizon.
+  bool supports_quiet_burst() const override { return true; }
+  bool pump_round() override { return pump(); }
+  sim::Cycle quiet_horizon(sim::Cycle cap) const override { return mccp_.quiet_horizon(cap); }
+  void advance_quiet(sim::Cycle n) override;
+
   bool idle() const override { return jobs_.empty(); }
   const JobResult* result(DeviceJobId id) const override;
+  std::uint64_t completions() const override { return completions_; }
   void forget(DeviceJobId id) override;
 
   // -- slot personalities (forwarded to the simulated scheduler) --------------
@@ -90,11 +100,15 @@ class SimDevice final : public Device {
     bool auth_ok = true;
   };
 
-  void pump();  // one round of communication-controller work
-  void drain_retrieved();
+  /// One round of communication-controller work. Returns true when it did
+  /// anything observable (ran a control instruction, drained words, retired
+  /// or failed a job, scheduled a swap) — false means the controller is
+  /// purely waiting on the chip, and step() may fast-forward quiet cycles.
+  bool pump();
+  bool drain_retrieved();
   std::uint8_t run_control(std::uint32_t instruction);
   void on_accept(Job& job, std::uint8_t request_id);
-  void drain_outputs(Job& job);
+  bool drain_outputs(Job& job);
   bool fully_drained(const Job& job) const;
   void finalize(Job& job);
 
@@ -110,13 +124,17 @@ class SimDevice final : public Device {
   std::map<unsigned, std::deque<DeviceJobId>> pending_;
   /// Jobs accepted by the device and not yet finalized: the only ones the
   /// interrupt/drain/transfer-done scans need to touch (bounded by the
-  /// core count, never by the backlog depth).
-  std::vector<DeviceJobId> active_;
+  /// core count, never by the backlog depth). Held as pointers into
+  /// `jobs_` (node-stable) because the drain scan runs every single cycle
+  /// of every control-instruction wait — a map lookup per job per cycle
+  /// was a measurable slice of simulated wall-clock.
+  std::vector<Job*> active_;
   std::map<DeviceJobId, Job> jobs_;           // pending + accepted
   std::map<DeviceJobId, JobResult> results_;  // completed + in-flight partials
   DeviceJobId next_job_ = 1;
   std::uint8_t last_rr_ = 0;
   std::size_t open_channels_ = 0;
+  std::uint64_t completions_ = 0;  // jobs whose result() turned complete
 };
 
 }  // namespace mccp::host

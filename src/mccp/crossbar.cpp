@@ -18,6 +18,24 @@ std::vector<std::uint32_t> CrossBar::take_output(std::size_t core_idx) {
   return out;
 }
 
+bool CrossBar::take_output_into(std::size_t core_idx, std::vector<std::uint32_t>& out) {
+  Lane& lane = lanes_.at(core_idx);
+  if (lane.outbox.empty()) return false;
+  out.insert(out.end(), lane.outbox.begin(), lane.outbox.end());
+  lane.outbox.clear();
+  return true;
+}
+
+bool CrossBar::quiet() const {
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& l = lanes_[i];
+    if (!l.outbox.empty()) return false;
+    if (l.write_granted && !l.inbox.empty() && !cores_[i]->in_fifo().full()) return false;
+    if (l.read_granted && !cores_[i]->out_fifo().empty()) return false;
+  }
+  return true;
+}
+
 void CrossBar::tick() {
   const std::size_t n = lanes_.size();
   // One word into one core per cycle (write port).

@@ -45,12 +45,24 @@ class CrossBar final : public sim::Clocked {
   void push_words(std::size_t core_idx, const std::vector<std::uint32_t>& words);
   /// Collect words the crossbar has drained from a read-granted core FIFO.
   std::vector<std::uint32_t> take_output(std::size_t core_idx);
+  /// Allocation-free variant for per-cycle polling: append the drained
+  /// words to `out` and return whether any moved. The empty case — the
+  /// overwhelming majority when the controller polls every cycle — is a
+  /// single branch.
+  bool take_output_into(std::size_t core_idx, std::vector<std::uint32_t>& out);
   std::size_t pending_input(std::size_t core_idx) const {
     return lanes_.at(core_idx).inbox.size();
   }
 
   void tick() override;
   std::string name() const override { return "crossbar"; }
+
+  /// True when a tick() would move nothing — no write-granted lane with a
+  /// buffered word and FIFO space, no read-granted lane with output words —
+  /// and every outbox has been drained by the host. Core-side bursts keep
+  /// this invariant: the FIFO transitions that would un-block a lane (a CU
+  /// LOAD pop or STORE push) always run under a real per-cycle tick.
+  bool quiet() const;
 
   std::uint64_t words_in() const { return words_in_; }
   std::uint64_t words_out() const { return words_out_; }

@@ -1,5 +1,6 @@
 #include "mccp/mccp.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/ccm.h"
@@ -367,6 +368,60 @@ void Mccp::scan_requests() {
     trace_.record(cycle_, "scheduler",
                   "req " + std::to_string(id) + (req.auth_ok ? " done" : " AUTH FAIL"));
   }
+}
+
+std::uint64_t Mccp::quiet_horizon(std::uint64_t budget) const {
+  // Control-plane machinery mid-transaction decides cycle by cycle.
+  if (ctrl_state_ != CtrlState::kIdle || !key_scheduler_.idle()) return 0;
+  if (!crossbar_->quiet()) return 0;
+  std::uint64_t h = budget;
+  for (const CoreReconfigState& r : reconfig_) {
+    if (r.remaining == 0) continue;
+    if (r.remaining == 1) return 0;  // the swap lands next tick
+    h = std::min(h, r.remaining - 1);
+  }
+  for (const auto& [id, req] : requests_) {
+    if (req.state != ReqState::kProcessing) continue;
+    // The next scan would act: a running done-scan countdown, a Data
+    // Available announce for freshly appeared ciphertext, or the first
+    // observation of an all-lanes-done request.
+    if (req.done_scan_countdown >= 0) return 0;
+    if (!req.info.decrypt && !req.announced)
+      for (std::size_t lane : req.info.lanes)
+        if (!cores_[lane]->out_fifo().empty()) return 0;
+    bool all_done = true;
+    for (std::size_t lane : req.info.lanes)
+      if (!cores_[lane]->done_pending()) all_done = false;
+    if (all_done) return 0;
+  }
+  for (const auto& c : cores_) {
+    const std::uint64_t ch = c->quiet_horizon();
+    if (ch == 0) return 0;
+    h = std::min(h, ch);
+  }
+  return h;
+}
+
+void Mccp::advance_quiet(std::uint64_t n) {
+  // Scheduler, key loader, crossbar and request scans are all no-ops for
+  // the span (quiet_horizon's contract): only the swap countdowns, the
+  // cores and the clock move. Countdowns stay >= 1 because the horizon is
+  // capped at remaining - 1, so no swap can land inside the span.
+  for (CoreReconfigState& r : reconfig_)
+    if (r.remaining > 0) r.remaining -= n;
+  for (auto& c : cores_) c->advance_quiet(n);
+  cycle_ += n;
+}
+
+sim::Cycle Mccp::run(sim::Cycle max_cycles) {
+  if (max_cycles == 0) return 0;
+  const std::uint64_t q = quiet_horizon(max_cycles);
+  if (q >= 2) {
+    advance_quiet(q);
+    return q;
+  }
+  tick();
+  return 1;
 }
 
 void Mccp::tick() {

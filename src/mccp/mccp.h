@@ -142,6 +142,23 @@ class Mccp final : public sim::Clocked {
   void tick() override;
   std::string name() const override { return "mccp"; }
 
+  /// Batched stepping: when the whole chip is provably quiet — scheduler
+  /// and key loader idle, crossbar with nothing to move, request scans
+  /// inert, every controller parked inside a time-gated Cryptographic Unit
+  /// stretch — fast-forward up to `max_cycles` at once; otherwise tick()
+  /// once. The resulting state (all counters, horizons, cycle stamps) is
+  /// bit-identical to ticking cycle by cycle. Returns the cycles consumed
+  /// (>= 1 whenever max_cycles >= 1).
+  sim::Cycle run(sim::Cycle max_cycles);
+
+  /// Upcoming ticks (possibly 0) guaranteed to be pure latency chip-wide;
+  /// capped at `budget` and at every countdown that lands inside the span.
+  /// Public so a fleet driver can take the min across devices and advance
+  /// them in lockstep.
+  std::uint64_t quiet_horizon(std::uint64_t budget) const;
+  /// Apply `n` quiet ticks in O(components); n <= quiet_horizon(...).
+  void advance_quiet(std::uint64_t n);
+
  private:
   enum class CtrlState { kIdle, kDecoding, kWaitKeys };
   enum class ReqState { kStarting, kProcessing, kCompleted };

@@ -5,6 +5,24 @@
 // module provides; the custom HALT instruction parks the CPU until wake()
 // is pulsed (the Cryptographic Unit's done signal, or the Task Scheduler's
 // start strobe).
+//
+// HALT / interrupt contract (KCPSM-style, pinned by tests):
+//   - HALT parks the controller until wake() — and only wake(). A pending
+//     interrupt request does NOT resume a halted CPU, even with interrupts
+//     enabled: the IRQ line is sampled at instruction *fetch* boundaries,
+//     and a parked CPU fetches nothing. The request stays asserted and is
+//     taken at the first fetch after the wake pulse, before the
+//     instruction following HALT executes.
+//   - Wake pulses are sticky: a wake() arriving before the HALT executes
+//     makes the HALT fall through immediately instead of sleeping forever.
+//
+// Execution paths: `load_program` predecodes all 1024 instruction words
+// into a dense DecodedOp table, so the per-cycle `tick()` dispatches on a
+// flat enum with no field extraction, and `run(max_cycles)` retires
+// straight-line instructions back-to-back between I/O boundaries. The
+// original decode-per-execute path is retained as `tick_reference()` — a
+// differential oracle the fuzz suite steps in lockstep against the cached
+// paths.
 #pragma once
 
 #include <array>
@@ -34,21 +52,46 @@ class Cpu final : public sim::Clocked {
 
   /// Load a program image (words beyond the image are NOPs). The paper's
   /// instruction memory is one FPGA block RAM of 1024 x 18-bit words,
-  /// dual-ported so two neighbouring cores can share it.
+  /// dual-ported so two neighbouring cores can share it. Decodes the whole
+  /// image into the dispatch table once.
   void load_program(std::span<const Word> image);
 
+  /// Architectural reset: registers, scratchpad, stack, flags, pc and the
+  /// retired-instruction counter all restart from zero. The program image
+  /// (and its decoded table) is preserved.
   void reset();
 
   // -- control/status lines ------------------------------------------------
   /// Pulse the wake line (CU done signal); resumes a HALTed CPU.
   void wake() { wake_pending_ = true; }
-  /// Assert the interrupt request line.
+  /// Assert the interrupt request line. Held until taken; never wakes a
+  /// halted CPU (see the contract above).
   void request_interrupt() { irq_pending_ = true; }
   bool halted() const { return halted_; }
+  bool wake_pending() const { return wake_pending_; }
 
   // -- Clocked --------------------------------------------------------------
   void tick() override;
   std::string name() const override { return name_; }
+
+  /// Batched execution: advance up to `max_cycles` cycles on the cached
+  /// decode path, retiring straight-line instructions back-to-back with the
+  /// flags hoisted into locals. Returns the cycles actually consumed; the
+  /// accounting is bit-identical to calling tick() that many times. The
+  /// loop yields early — so the embedder can synchronize bus-side state —
+  ///   - BEFORE the execute cycle of an INPUT/OUTPUT instruction (run()
+  ///     itself never touches the IoBus; step the access with tick()),
+  ///   - after the fetch cycle that vectors into the interrupt handler,
+  ///   - after HALT executes, and
+  ///   - immediately (returning 0) while parked: a halted CPU burns no
+  ///     internal state, so the caller accounts idle time itself.
+  /// A return of 0 with `!halted()` means the next cycle is an I/O execute.
+  sim::Cycle run(sim::Cycle max_cycles);
+
+  /// The pre-decode-cache execution path (decode every field on every
+  /// execute), kept bit-for-bit as the differential oracle for the cached
+  /// tick()/run() paths. Interchangeable with tick() at cycle granularity.
+  void tick_reference();
 
   // -- introspection for tests ----------------------------------------------
   std::uint8_t reg(unsigned i) const { return regs_[i & 0xF]; }
@@ -58,14 +101,53 @@ class Cpu final : public sim::Clocked {
   bool carry_flag() const { return carry_; }
   std::uint64_t instructions_retired() const { return retired_; }
   std::uint8_t scratch(unsigned addr) const { return scratch_[addr % kScratchpadBytes]; }
+  const std::vector<std::uint16_t>& stack() const { return stack_; }
+  bool interrupts_enabled() const { return int_enable_; }
 
  private:
-  void execute(Word w);
+  /// Dense post-decode opcode tags: one per ALU/flow variant, with the
+  /// shift sub-op folded in so execution is a single flat switch.
+  enum class Exec : std::uint8_t {
+    kLoadK, kLoadR, kAndK, kAndR, kOrK, kOrR, kXorK, kXorR,
+    kAddK, kAddR, kAddcyK, kAddcyR, kSubK, kSubR, kSubcyK, kSubcyR,
+    kCompareK, kCompareR,
+    kInputP, kInputR, kOutputP, kOutputR,  // contiguous: the I/O yield range
+    kStoreS, kStoreR, kFetchS, kFetchR,
+    kSl0, kSl1, kSlx, kSla, kRl, kSr0, kSr1, kSrx, kSra, kRr, kBadShift,
+    kJump, kJumpZ, kJumpNz, kJumpC, kJumpNc,
+    kCall, kCallZ, kCallNz, kCallC, kCallNc,
+    kReturn, kReturnZ, kReturnNz, kReturnC, kReturnNc,
+    kReturniEnable, kReturniDisable,
+    kEnableInt, kDisableInt, kHalt, kNop, kIllegal,
+  };
+
+  /// One predecoded instruction word: tag + extracted fields (scratchpad
+  /// immediates are pre-reduced modulo the pad size).
+  struct DecodedOp {
+    Exec kind = Exec::kLoadK;  // decode of the all-zero word
+    std::uint8_t sx = 0;
+    std::uint8_t sy = 0;
+    std::uint8_t imm = 0;
+    std::uint16_t addr = 0;
+  };
+
+  static DecodedOp decode_word(Word w);
+  static bool is_io(Exec k) { return k >= Exec::kInputP && k <= Exec::kOutputR; }
+
+  /// One fetch cycle on the cached path (including IRQ vectoring). Returns
+  /// true when the fetch vectored into the interrupt handler.
+  bool fetch_cycle();
+  /// Execute the current decoded op with the flags passed by reference
+  /// (members for tick(), hoisted locals for run()).
+  void exec_decoded(const DecodedOp& d, bool& zf, bool& cf);
+
+  void execute(Word w);  // reference path (decode per execute)
   void alu_writeback(unsigned sx, std::uint16_t wide, bool update_carry);
 
   std::string name_;
   IoBus* bus_;
   std::array<Word, kImemWords> imem_{};
+  std::array<DecodedOp, kImemWords> dops_{};
   std::array<std::uint8_t, kNumRegisters> regs_{};
   std::array<std::uint8_t, kScratchpadBytes> scratch_{};
   std::vector<std::uint16_t> stack_;
@@ -80,6 +162,7 @@ class Cpu final : public sim::Clocked {
   bool irq_pending_ = false;
   bool fetch_phase_ = true;  // true: fetch tick, false: execute tick
   Word current_ = 0;
+  const DecodedOp* dcur_ = nullptr;  // decoded twin of current_
   std::uint64_t retired_ = 0;
 };
 

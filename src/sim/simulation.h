@@ -31,6 +31,11 @@ class Simulation {
     for (Cycle i = 0; i < n; ++i) step();
   }
 
+  /// Account `n` cycles the registered components have already consumed
+  /// through a batched run of their own (e.g. Mccp::run) — advances the
+  /// clock without ticking anyone.
+  void skip(Cycle n) { cycle_ += n; }
+
   /// Advance until `done()` returns true, or throw after `max_cycles`
   /// (guards against firmware bugs hanging the test suite).
   Cycle run_until(const std::function<bool()>& done, Cycle max_cycles = 50'000'000) {

@@ -87,6 +87,26 @@ TEST(Json, MalformedDocumentsThrow) {
   }
 }
 
+TEST(Json, MalformedNumeralsThrowWithPosition) {
+  // The number scanner must reject every truncated numeral outright —
+  // scenario specs are user-supplied JSON, and a "1e" silently read as 1.0
+  // would misconfigure a run instead of failing it.
+  for (const char* bad : {"1e", "1e+", "1E-", "-", "-.", "1.", ".5", "+1", "0x10",
+                          "[1, 2e]", "{\"rate\": 3.}"}) {
+    EXPECT_THROW(parse(bad), ParseError) << "input: " << bad;
+  }
+  // Errors carry line/column so a broken spec is locatable.
+  try {
+    parse("{\"a\": 1,\n \"b\": 2e}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  // Well-formed numerals still parse exactly.
+  EXPECT_DOUBLE_EQ(parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_DOUBLE_EQ(parse("0.125").as_number(), 0.125);
+}
+
 TEST(Json, TrailingGarbageRejected) {
   // Anything after the top-level value is an error, not silently ignored
   // — a concatenated or truncated-then-patched scenario file must fail.

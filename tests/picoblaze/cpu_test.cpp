@@ -254,6 +254,65 @@ TEST(Cpu, ShiftAndRotate) {
   EXPECT_EQ(h.cpu.reg(1), 0x40);
 }
 
+TEST(Cpu, ResetRestartsRetiredCounter) {
+  // Regression: reset() used to leave the retired-instruction counter at its
+  // pre-reset value, so a reloaded program reported a stale count.
+  Harness h;
+  h.load("LOAD s0, 1\nLOAD s0, 2\nHALT\n");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.instructions_retired(), 3u);
+
+  h.cpu.reset();
+  EXPECT_EQ(h.cpu.instructions_retired(), 0u);
+  EXPECT_EQ(h.cpu.pc(), 0u);
+  EXPECT_FALSE(h.cpu.halted());
+
+  // Reload (load_program resets too) and re-run: the counter must restart
+  // from zero and count only the new program's instructions.
+  h.load("LOAD s1, 7\nHALT\n");
+  EXPECT_EQ(h.cpu.instructions_retired(), 0u);
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.instructions_retired(), 2u);
+  EXPECT_EQ(h.cpu.reg(1), 7);
+  EXPECT_EQ(h.cpu.reg(0), 0);  // old program's register state is gone
+}
+
+TEST(Cpu, PendingInterruptDoesNotWakeHaltedCpu) {
+  // Contract pin (see cpu.h): HALT parks until wake() and only wake(). A
+  // held IRQ is sampled at the first fetch after the wake pulse — so the
+  // handler runs BEFORE the instruction following HALT.
+  Harness h;
+  h.load(R"(
+    ENABLE INTERRUPT
+    LOAD s0, 1
+    HALT
+    LOAD s0, 2      ; post-HALT instruction
+    HALT
+isr:
+    LOAD s1, 0xEE
+    RETURNI ENABLE
+    ADDRESS 0x3FF
+    JUMP isr
+)");
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(0), 1);
+
+  h.cpu.request_interrupt();
+  h.sim.run(50);
+  EXPECT_TRUE(h.cpu.halted());    // IRQ alone never resumes a parked CPU
+  EXPECT_EQ(h.cpu.reg(1), 0x00);  // handler has not run
+
+  h.cpu.wake();
+  // wake sample + vector fetch + JUMP isr + LOAD s1: the handler runs while
+  // the post-HALT instruction is still pending.
+  h.sim.run(7);
+  EXPECT_EQ(h.cpu.reg(1), 0xEE);
+  EXPECT_EQ(h.cpu.reg(0), 1);  // post-HALT LOAD has NOT executed yet
+
+  h.run_to_halt();
+  EXPECT_EQ(h.cpu.reg(0), 2);  // ...and runs after RETURNI
+}
+
 TEST(Cpu, ProgramTooLargeRejected) {
   RecordingBus bus;
   Cpu cpu{"x", bus};

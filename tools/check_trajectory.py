@@ -17,8 +17,17 @@ of the same group:
 Groups with a single record pass trivially (nothing to compare). Records
 missing a metric (or with it at zero) skip that metric.
 
+Absolute wall-clock floors: --max-wall SCENARIO/BACKEND=MS (repeatable)
+fails when the NEWEST record of a matching scenario+backend exceeds the
+given wall_ms budget — this is how CI pins the cycle-accurate simulator's
+speedup floor (e.g. --max-wall backend_comparison/sim=590 for the
+200-packet head-to-head). Unlike the relative gate, a single record is
+enough; no matching record at all is a failure (the bench stopped
+reporting).
+
 Usage:
   check_trajectory.py [--file PATH] [--threshold 0.15] [--strict-wall]
+                      [--max-wall SCENARIO/BACKEND=MS ...]
   check_trajectory.py --self-test
 
 Exit codes: 0 ok, 1 regression found, 2 bad input.
@@ -100,6 +109,37 @@ def check(records, threshold, strict_wall):
     return failures, warnings
 
 
+def parse_max_wall(spec):
+    """'SCENARIO/BACKEND=MS' -> (scenario, backend, budget_ms) or ValueError."""
+    try:
+        ident, budget = spec.rsplit("=", 1)
+        scenario, backend = ident.split("/", 1)
+        budget_ms = float(budget)
+    except ValueError:
+        raise ValueError(f"--max-wall {spec!r}: expected SCENARIO/BACKEND=MS")
+    if budget_ms <= 0:
+        raise ValueError(f"--max-wall {spec!r}: budget must be positive")
+    return scenario, backend, budget_ms
+
+
+def check_max_wall(records, limits):
+    """Absolute wall_ms budgets on the newest matching record per limit."""
+    failures = []
+    for scenario, backend, budget_ms in limits:
+        matching = [r for r in records
+                    if r.get("scenario") == scenario and r.get("backend") == backend
+                    and r.get("wall_ms", 0) > 0]
+        if not matching:
+            failures.append(f"{scenario}/{backend}: no record with wall_ms "
+                            f"(budget {budget_ms:g} ms unverifiable)")
+            continue
+        cur = matching[-1]["wall_ms"]
+        if cur > budget_ms:
+            failures.append(f"{scenario}/{backend}: wall_ms {cur:.6g} exceeds "
+                            f"absolute budget {budget_ms:g} ms")
+    return failures
+
+
 def self_test():
     base = {"scenario": "s", "transport": "inproc", "backend": "fast",
             "threads": 0, "devices": 2, "window": 64}
@@ -137,6 +177,30 @@ def self_test():
     # Zero/missing metrics are skipped, not compared.
     f, w = check([rec(100, 0, 10), rec(100, 5000, 10)], 0.15, False)
     assert not f, f
+
+    # Absolute wall budgets: newest matching record within budget passes...
+    sim = rec(100, 1000, 500)
+    sim.update(scenario="backend_comparison", backend="sim")
+    f = check_max_wall([sim], [("backend_comparison", "sim", 590.0)])
+    assert not f, f
+    # ...over budget fails...
+    slow = dict(sim, wall_ms=800.0)
+    f = check_max_wall([sim, slow], [("backend_comparison", "sim", 590.0)])
+    assert len(f) == 1 and "exceeds" in f[0], f
+    # ...only the NEWEST record counts (an old blowout already fixed passes)...
+    f = check_max_wall([slow, sim], [("backend_comparison", "sim", 590.0)])
+    assert not f, f
+    # ...and a missing group is itself a failure.
+    f = check_max_wall([sim], [("backend_comparison", "fast", 100.0)])
+    assert len(f) == 1 and "no record" in f[0], f
+    # Spec parsing round-trips and rejects junk.
+    assert parse_max_wall("s/b=12.5") == ("s", "b", 12.5)
+    for bad in ("nobudget", "s=5", "s/b=-1", "s/b=x"):
+        try:
+            parse_max_wall(bad)
+            assert False, bad
+        except ValueError:
+            pass
     print("check_trajectory: self-test ok")
     return 0
 
@@ -147,6 +211,9 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.15)
     ap.add_argument("--strict-wall", action="store_true",
                     help="fail (not just warn) on wall_ms regressions")
+    ap.add_argument("--max-wall", action="append", default=[],
+                    metavar="SCENARIO/BACKEND=MS",
+                    help="absolute wall_ms budget for the newest matching record")
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
 
@@ -154,6 +221,11 @@ def main():
         return self_test()
     if not (0.0 < args.threshold < 1.0):
         print("check_trajectory: --threshold must be in (0, 1)", file=sys.stderr)
+        return 2
+    try:
+        limits = [parse_max_wall(s) for s in args.max_wall]
+    except ValueError as e:
+        print(f"check_trajectory: {e}", file=sys.stderr)
         return 2
 
     try:
@@ -166,6 +238,7 @@ def main():
         return 2
 
     failures, warnings = check(records, args.threshold, args.strict_wall)
+    failures.extend(check_max_wall(records, limits))
     for w in warnings:
         print(f"WARN {w}")
     for f in failures:
