@@ -11,6 +11,8 @@
 //
 // Flags:
 //   --packets N   packets for the head-to-head section (default 1000)
+//   --kernel K    force a crypto kernel tier (portable|auto|aesni|vaes);
+//                 the dispatched tier is reported in the JSON artifacts
 //   --json PATH   also emit a machine-readable BENCH_*.json artifact
 //   --append-trajectory FILE
 //                 append one perf-trajectory record per backend (sim and
@@ -95,6 +97,7 @@ std::string trajectory_record(const char* backend, std::size_t packets, const Ru
       .field("modeled_throughput_mbps", s.modeled_mbps)
       .field("mean_latency_cycles", s.mean_latency_cycles)
       .field("wall_ms", s.wall_ms)
+      .field("kernel", crypto::active_kernel_name())
       .end_object();
   return json.str();
 }
@@ -103,7 +106,8 @@ void run(std::size_t packets, const char* json_path, const char* trajectory_path
   constexpr std::size_t kPayload = 2048;
 
   print_header("Backend head-to-head -- " + std::to_string(packets) +
-               " x 2 KB AES-128-GCM packets, one 4-core device");
+               " x 2 KB AES-128-GCM packets, one 4-core device, " +
+               crypto::active_kernel_name() + " crypto kernels");
   RunStats sim = run_workload(host::Backend::kSim, 1, packets, kPayload);
   RunStats fast = run_workload(host::Backend::kFast, 1, packets, kPayload);
   double speedup = sim.wall_ms / fast.wall_ms;
@@ -146,6 +150,7 @@ void run(std::size_t packets, const char* json_path, const char* trajectory_path
         .field("bench", "backend_comparison")
         .field("payload_bytes", kPayload)
         .field("packets", packets)
+        .field("kernel", crypto::active_kernel_name())
         .begin_object("head_to_head");
     for (auto [name, s] : {std::pair<const char*, RunStats&>{"sim", sim}, {"fast", fast}}) {
       json.begin_object(name)
@@ -187,6 +192,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "backend_comparison: --packets must be a positive integer\n");
     return 2;
   }
+  mccp::bench::apply_kernel_flag(argc, argv);
   mccp::bench::run(packets, mccp::bench::arg_value(argc, argv, "--json"),
                    mccp::bench::arg_value(argc, argv, "--append-trajectory"));
   return 0;

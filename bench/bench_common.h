@@ -14,8 +14,10 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "common/rng.h"
 #include "core/single_core_harness.h"
 #include "crypto/ccm.h"
+#include "crypto/kernels.h"
 #include "host/engine.h"
 #include "radio/traffic.h"
 #include "sim/simulation.h"
@@ -174,6 +177,22 @@ inline const char* arg_value(int argc, char** argv, const char* flag) {
 inline std::size_t arg_size(int argc, char** argv, const char* flag, std::size_t fallback) {
   const char* v = arg_value(argc, argv, flag);
   return v != nullptr ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) : fallback;
+}
+
+/// Shared `--kernel portable|auto|aesni|vaes` flag: forces a crypto kernel
+/// tier (overriding any MCCP_CRYPTO_KERNEL environment setting) so BENCH
+/// records are attributable to a tier. Exits with status 2 on a name this
+/// host cannot run. Returns the dispatched kernel name.
+inline const char* apply_kernel_flag(int argc, char** argv) {
+  if (const char* k = arg_value(argc, argv, "--kernel")) {
+    try {
+      crypto::set_crypto_kernel(k);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "--kernel %s: %s\n", k, e.what());
+      std::exit(2);
+    }
+  }
+  return crypto::active_kernel_name();
 }
 
 // --- table formatting -----------------------------------------------------------

@@ -5,9 +5,14 @@
 // benches instead.
 //
 // `--json PATH` additionally records the runs as a machine-readable
-// BENCH_*.json perf-trajectory artifact (all other flags pass through to
-// google-benchmark).
+// BENCH_*.json perf-trajectory artifact; `--kernel TIER` forces a crypto
+// kernel tier (portable|auto|aesni|vaes) for the google-benchmark section
+// (all other flags pass through to google-benchmark). A closing table
+// sweeps every tier this host supports and compares GCM seal/open wall
+// throughput, portable vs accelerated, in one run.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "bench_common.h"
 #include "common/rng.h"
@@ -17,6 +22,7 @@
 #include "crypto/gcm.h"
 #include "crypto/gf128.h"
 #include "crypto/ghash.h"
+#include "crypto/kernels.h"
 #include "crypto/whirlpool.h"
 
 namespace mccp::crypto {
@@ -134,6 +140,73 @@ void BM_Whirlpool(benchmark::State& state) {
 }
 BENCHMARK(BM_Whirlpool)->Arg(64)->Arg(2048);
 
+// --- per-kernel-tier GCM comparison ------------------------------------------
+
+struct TierGcmRate {
+  std::string tier;
+  double seal_mb_s = 0;  // wall MB/s, 2 KB payloads, cached GcmKey
+  double open_mb_s = 0;
+};
+
+/// Wall throughput of one operation, measured over ~25 ms of repetitions.
+template <typename Fn>
+double measure_mb_s(std::size_t bytes_per_op, Fn&& op) {
+  using Clock = std::chrono::steady_clock;
+  op();  // warm up (tables, caches)
+  std::size_t ops = 0;
+  auto t0 = Clock::now();
+  double elapsed = 0;
+  do {
+    for (int i = 0; i < 8; ++i) op();
+    ops += 8;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < 0.025);
+  return static_cast<double>(ops) * static_cast<double>(bytes_per_op) / elapsed / 1e6;
+}
+
+/// Sweep every kernel tier this host can force and measure GCM seal/open on
+/// 2 KB payloads with a cached per-key GcmKey — the FastDevice hot path.
+/// Restores the previously dispatched tier afterwards.
+std::vector<TierGcmRate> measure_gcm_by_tier() {
+  constexpr std::size_t kPayload = 2048;
+  Rng rng(42);
+  GcmKey key(aes_expand_key(rng.bytes(16)));
+  Bytes iv = rng.bytes(12);
+  Bytes aad = rng.bytes(20);
+  Bytes pt = rng.bytes(kPayload);
+  GcmSealed sealed = gcm_seal(key, iv, aad, pt);
+
+  const std::string previous = active_kernel_name();
+  std::vector<TierGcmRate> rates;
+  for (const std::string& tier : supported_crypto_kernels()) {
+    if (tier == "auto") continue;  // would duplicate the strongest tier
+    set_crypto_kernel(tier);
+    TierGcmRate r;
+    r.tier = tier;
+    r.seal_mb_s = measure_mb_s(kPayload, [&] {
+      benchmark::DoNotOptimize(gcm_seal(key, iv, aad, pt));
+    });
+    r.open_mb_s = measure_mb_s(kPayload, [&] {
+      benchmark::DoNotOptimize(gcm_open(key, iv, aad, sealed.ciphertext, sealed.tag));
+    });
+    rates.push_back(std::move(r));
+  }
+  set_crypto_kernel(previous);
+  return rates;
+}
+
+void print_gcm_tier_table(const std::vector<TierGcmRate>& rates) {
+  bench::print_header(
+      "GCM seal/open by crypto kernel tier -- 2 KB payloads, AES-128, cached key");
+  std::printf("%-10s %14s %14s %10s\n", "tier", "seal (MB/s)", "open (MB/s)", "vs base");
+  const double base = rates.empty() ? 1.0 : rates.front().seal_mb_s;
+  for (const auto& r : rates)
+    std::printf("%-10s %14.1f %14.1f %9.1fx\n", r.tier.c_str(), r.seal_mb_s, r.open_mb_s,
+                r.seal_mb_s / base);
+  std::printf("\ndispatched kernel: %s (MCCP_CRYPTO_KERNEL or --kernel to override)\n",
+              active_kernel_name());
+}
+
 // Collects finished runs so `--json` can record them through the shared
 // JsonWriter (our perf-trajectory format, independent of google-benchmark's
 // own --benchmark_out). Wraps the console reporter so it can act as the
@@ -153,9 +226,12 @@ class JsonCollector : public benchmark::ConsoleReporter {
     }
   }
 
-  void write(const std::string& path) const {
+  void write(const std::string& path, const std::vector<TierGcmRate>& tiers) const {
     bench::JsonWriter json;
-    json.begin_object().field("bench", "crypto_primitives").begin_array("benchmarks");
+    json.begin_object()
+        .field("bench", "crypto_primitives")
+        .field("kernel", active_kernel_name())
+        .begin_array("benchmarks");
     for (const auto& e : entries_) {
       json.begin_object()
           .field("name", e.name)
@@ -163,6 +239,14 @@ class JsonCollector : public benchmark::ConsoleReporter {
           .field("real_time_ns", e.real_time_ns);
       if (e.bytes_per_second > 0) json.field("bytes_per_second", e.bytes_per_second);
       json.end_object();
+    }
+    json.end_array().begin_array("gcm_by_kernel_tier");
+    for (const auto& t : tiers) {
+      json.begin_object()
+          .field("tier", t.tier)
+          .field("seal_mb_s", t.seal_mb_s)
+          .field("open_mb_s", t.open_mb_s)
+          .end_object();
     }
     json.end_array().end_object();
     if (json.write_file(path)) std::printf("wrote %s\n", path.c_str());
@@ -182,12 +266,22 @@ class JsonCollector : public benchmark::ConsoleReporter {
 }  // namespace mccp::crypto
 
 int main(int argc, char** argv) {
-  // Peel off --json <path>; everything else goes to google-benchmark.
+  // Peel off --json <path> and --kernel <tier>; everything else goes to
+  // google-benchmark.
   std::string json_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
       json_path = argv[++i];
+      continue;
+    }
+    if (i + 1 < argc && std::strcmp(argv[i], "--kernel") == 0) {
+      try {
+        mccp::crypto::set_crypto_kernel(argv[++i]);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--kernel %s: %s\n", argv[i], e.what());
+        return 2;
+      }
       continue;
     }
     args.push_back(argv[i]);
@@ -196,9 +290,12 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&pruned_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) return 1;
 
+  std::printf("crypto kernel tier: %s\n", mccp::crypto::active_kernel_name());
   mccp::crypto::JsonCollector collector;
   benchmark::RunSpecifiedBenchmarks(&collector);
-  if (!json_path.empty()) collector.write(json_path);
+  auto tiers = mccp::crypto::measure_gcm_by_tier();
+  mccp::crypto::print_gcm_tier_table(tiers);
+  if (!json_path.empty()) collector.write(json_path, tiers);
   benchmark::Shutdown();
   return 0;
 }

@@ -25,6 +25,9 @@
 //   --seed N          override the spec's seed
 //   --threads N       override the spec's engine worker threads (0 = step
 //                     the fleet serially on this thread)
+//   --kernel K        force a crypto kernel tier (portable|auto|aesni|
+//                     vaes); the dispatched tier lands in the report JSON
+//                     and trajectory records
 //   --json PATH       write the report artifact (with --json and no PATH
 //                     that looks like a file, BENCH_scenario_<name>.json)
 //   --append-trajectory FILE
@@ -53,8 +56,8 @@ int run(int argc, char** argv) {
                  "usage: scenario_runner --scenario PATH [--transport inproc|net]\n"
                  "                       [--connect HOST:PORT] [--clients N]\n"
                  "                       [--backend sim|fast] [--scale F] [--window N]\n"
-                 "                       [--seed N] [--threads N] [--json PATH]\n"
-                 "                       [--append-trajectory FILE]\n");
+                 "                       [--seed N] [--threads N] [--kernel TIER]\n"
+                 "                       [--json PATH] [--append-trajectory FILE]\n");
     return 2;
   }
 
@@ -73,6 +76,7 @@ int run(int argc, char** argv) {
   if (const char* seed = arg_value(argc, argv, "--seed"))
     spec.seed = std::strtoull(seed, nullptr, 10);
   spec.threads = arg_size(argc, argv, "--threads", spec.threads);
+  apply_kernel_flag(argc, argv);
 
   const std::string transport = [&] {
     const char* t = arg_value(argc, argv, "--transport");

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "crypto/kernels.h"
+
 namespace mccp::crypto {
 
 namespace {
@@ -161,6 +163,14 @@ AesRoundKeys aes_expand_key(ByteSpan key) {
 }
 
 Block128 aes_encrypt_block(const AesRoundKeys& keys, const Block128& in) {
+  return active_kernels().aes_encrypt(keys, in);
+}
+
+Block128 aes_decrypt_block(const AesRoundKeys& keys, const Block128& in) {
+  return active_kernels().aes_decrypt(keys, in);
+}
+
+Block128 aes_encrypt_block_portable(const AesRoundKeys& keys, const Block128& in) {
   const AesTables& t = tables();
   const int nr = keys.rounds();
   std::uint32_t w0 = in.word(0) ^ keys.rk[0].word(0);
@@ -192,7 +202,7 @@ Block128 aes_encrypt_block(const AesRoundKeys& keys, const Block128& in) {
   return out;
 }
 
-Block128 aes_decrypt_block(const AesRoundKeys& keys, const Block128& in) {
+Block128 aes_decrypt_block_portable(const AesRoundKeys& keys, const Block128& in) {
   const AesTables& t = tables();
   const int nr = keys.rounds();
   std::uint32_t w0 = in.word(0) ^ keys.drk[0].word(0);

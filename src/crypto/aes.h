@@ -63,9 +63,16 @@ std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b);
 /// FIPS-197 key expansion. `key` must contain exactly the key-size bytes.
 AesRoundKeys aes_expand_key(ByteSpan key);
 
-/// Encrypt / decrypt one block with pre-expanded keys.
+/// Encrypt / decrypt one block with pre-expanded keys. Dispatches to the
+/// active crypto kernel tier (crypto/kernels.h): AES-NI where the CPU has
+/// it, the T-table reference otherwise — bit-identical either way.
 Block128 aes_encrypt_block(const AesRoundKeys& keys, const Block128& in);
 Block128 aes_decrypt_block(const AesRoundKeys& keys, const Block128& in);
+
+/// The portable T-table implementations, always compiled: the differential
+/// oracle for the hardware tiers and the body of the portable kernel set.
+Block128 aes_encrypt_block_portable(const AesRoundKeys& keys, const Block128& in);
+Block128 aes_decrypt_block_portable(const AesRoundKeys& keys, const Block128& in);
 
 /// One-shot helpers (expand + single block).
 Block128 aes_encrypt_block(ByteSpan key, const Block128& in);

@@ -1,6 +1,6 @@
 #include "crypto/ctr.h"
 
-#include <cstring>
+#include "crypto/kernels.h"
 
 namespace mccp::crypto {
 
@@ -18,48 +18,20 @@ Block128 inc16(Block128 ctr, unsigned step) {
   return ctr;
 }
 
-namespace {
-
-template <typename Inc>
-Bytes ctr_transform_with(const AesRoundKeys& keys, Block128 ctr, ByteSpan data, Inc inc) {
-  // Generate the keystream in multi-block batches and fold it in with
-  // word-wide XORs; the key schedule is expanded exactly once by the
-  // caller.
-  constexpr std::size_t kBatchBlocks = 8;
-  std::uint8_t ks[16 * kBatchBlocks];
-
+Bytes ctr_transform(const AesRoundKeys& keys, const Block128& initial_ctr, ByteSpan data) {
   Bytes out(data.size());
-  std::size_t off = 0;
-  while (off < data.size()) {
-    std::size_t n = data.size() - off;
-    if (n > sizeof(ks)) n = sizeof(ks);
-    for (std::size_t b = 0; b < (n + 15) / 16; ++b) {
-      Block128 block = aes_encrypt_block(keys, ctr);
-      std::memcpy(ks + 16 * b, block.b.data(), 16);
-      ctr = inc(ctr);
-    }
-    std::size_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-      std::uint64_t a, k;
-      std::memcpy(&a, data.data() + off + i, 8);
-      std::memcpy(&k, ks + i, 8);
-      a ^= k;
-      std::memcpy(out.data() + off + i, &a, 8);
-    }
-    for (; i < n; ++i) out[off + i] = data[off + i] ^ ks[i];
-    off += n;
-  }
+  if (!data.empty())
+    active_kernels().ctr_xor(keys, initial_ctr, /*wide_counter=*/true, data.data(), out.data(),
+                             data.size());
   return out;
 }
 
-}  // namespace
-
-Bytes ctr_transform(const AesRoundKeys& keys, const Block128& initial_ctr, ByteSpan data) {
-  return ctr_transform_with(keys, initial_ctr, data, [](Block128 c) { return inc32(c); });
-}
-
 Bytes ctr_transform_inc16(const AesRoundKeys& keys, const Block128& initial_ctr, ByteSpan data) {
-  return ctr_transform_with(keys, initial_ctr, data, [](Block128 c) { return inc16(c, 1); });
+  Bytes out(data.size());
+  if (!data.empty())
+    active_kernels().ctr_xor(keys, initial_ctr, /*wide_counter=*/false, data.data(), out.data(),
+                             data.size());
+  return out;
 }
 
 }  // namespace mccp::crypto

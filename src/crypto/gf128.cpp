@@ -109,6 +109,7 @@ void Gf128Table::load(const Block128& h) {
     m_[static_cast<std::size_t>(i)].hi = load_be64(m[static_cast<std::size_t>(i)].b.data());
     m_[static_cast<std::size_t>(i)].lo = load_be64(m[static_cast<std::size_t>(i)].b.data() + 8);
   }
+  clmul_ready_ = detail::build_clmul_powers(h, clmul_pow_.data());
 }
 
 Block128 Gf128Table::mul(const Block128& x) const {

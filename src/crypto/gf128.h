@@ -57,10 +57,19 @@ class Gf128Table {
   /// (Re)build the table for a new fixed operand.
   void load(const Block128& h);
 
-  /// X * H in GF(2^128); identical to gf128_mul(x, h()).
+  /// X * H in GF(2^128); identical to gf128_mul(x, h()). Always the
+  /// portable Shoup path — this is the oracle the CLMUL kernels are
+  /// differential-tested against.
   Block128 mul(const Block128& x) const;
 
   const Block128& h() const { return h_; }
+
+  /// H^1..H^4 in the byte-reflected layout the CLMUL GHASH kernels consume
+  /// (16 bytes each), or nullptr when the CPU cannot build them. Cached by
+  /// load() eagerly — gated on *hardware* support, not the dispatch
+  /// override, so a table built while the portable tier is forced still
+  /// serves a later tier flip.
+  const std::uint8_t* clmul_powers() const { return clmul_ready_ ? clmul_pow_.data() : nullptr; }
 
  private:
   /// One table entry, held as two big-endian 64-bit halves so the per-byte
@@ -71,6 +80,15 @@ class Gf128Table {
 
   Block128 h_{};
   std::array<Half, 256> m_{};
+  alignas(16) std::array<std::uint8_t, 64> clmul_pow_{};
+  bool clmul_ready_ = false;
 };
+
+namespace detail {
+/// Implemented next to the CLMUL kernels (crypto/kernels_x86.cpp); declared
+/// here so Gf128Table::load() can fill the power cache without gf128.h
+/// depending on kernels.h. Returns false when the CPU lacks PCLMULQDQ.
+bool build_clmul_powers(const Block128& h, std::uint8_t* out64);
+}  // namespace detail
 
 }  // namespace mccp::crypto

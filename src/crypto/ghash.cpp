@@ -5,13 +5,10 @@
 namespace mccp::crypto {
 
 void Ghash::update_padded(ByteSpan data) {
-  std::size_t i = 0;
-  while (i + 16 <= data.size()) {
-    update(Block128::from_span(data.subspan(i, 16)));
-    i += 16;
-  }
-  if (i < data.size()) {
-    update(Block128::from_span(data.subspan(i)));  // from_span zero-pads
+  const std::size_t full = data.size() / 16;
+  if (full != 0) active_kernels().ghash_blocks(*table_, y_, data.data(), full);
+  if (full * 16 < data.size()) {
+    update(Block128::from_span(data.subspan(full * 16)));  // from_span zero-pads
   }
 }
 

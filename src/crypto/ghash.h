@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "crypto/gf128.h"
+#include "crypto/kernels.h"
 
 namespace mccp::crypto {
 
@@ -42,10 +43,13 @@ class Ghash {
     y_ = Block128{};
   }
 
-  /// Absorb one 128-bit block: Y <- (Y ^ X) * H.
-  void update(const Block128& x) { y_ = table_->mul(y_ ^ x); }
+  /// Absorb one 128-bit block: Y <- (Y ^ X) * H. Dispatches to the active
+  /// kernel tier (CLMUL where available; Shoup table otherwise).
+  void update(const Block128& x) { y_ = active_kernels().ghash_mul(*table_, y_ ^ x); }
 
-  /// Absorb a byte string, zero-padding the final partial block.
+  /// Absorb a byte string, zero-padding the final partial block. Full
+  /// blocks go through the bulk kernel (4-block aggregated reduction on
+  /// the CLMUL tiers).
   void update_padded(ByteSpan data);
 
   const Block128& digest() const { return y_; }

@@ -1,0 +1,359 @@
+// x86 hardware kernel tiers: AES-NI + PCLMULQDQ, and VAES/AVX2 on top.
+//
+// Everything here is gated on GCC/Clang x86 builds; per-function
+// `__attribute__((target(...)))` markers let the intrinsics compile inside a
+// translation unit built with the project's baseline flags, and CPUID
+// feature detection (run once) decides whether the resulting function
+// pointers are ever published. Other architectures (and other compilers)
+// fall through to the stubs at the bottom, which report "no hardware tier"
+// and leave the portable kernels in charge.
+//
+// Bit-identity notes:
+//  * AESENC/AESDEC implement exactly the FIPS-197 rounds the T-tables
+//    implement; the repo's round-key layout (16 big-endian bytes per
+//    Block128) is byte-for-byte the layout the instructions consume, and
+//    the equivalent-inverse `drk` schedule is precisely AESDEC's expected
+//    key order.
+//  * Counter blocks are still generated with the scalar inc32/inc16
+//    helpers, so the INC core's 16-bit wrap at 0xFFFF is preserved exactly.
+//  * GHASH uses the reflected-operand carry-less multiply of Intel's GCM
+//    white paper (Gueron & Kounavis): operands are byte-reversed on load,
+//    the 255-bit product is shifted left one bit, then reduced modulo
+//    1 + x + x^2 + x^7 + x^128. Same field, same math, identical bits —
+//    enforced by tests/crypto/kernel_dispatch_test.cpp against the Shoup
+//    table and the bit-serial reference.
+
+#include "crypto/kernels.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__) && \
+    !defined(MCCP_NO_X86_KERNELS)
+#define MCCP_X86_KERNELS 1
+#endif
+
+#ifdef MCCP_X86_KERNELS
+
+#include <cpuid.h>
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "crypto/ctr.h"
+
+namespace mccp::crypto {
+namespace {
+
+#define MCCP_TARGET_AESNI __attribute__((target("aes,ssse3")))
+#define MCCP_TARGET_CLMUL __attribute__((target("pclmul,ssse3")))
+#define MCCP_TARGET_VAES __attribute__((target("vaes,avx2,aes,ssse3")))
+
+// ---- feature detection ------------------------------------------------------
+
+bool os_ymm_enabled() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  if (!(ecx & (1u << 27))) return false;  // OSXSAVE: xgetbv is usable
+  unsigned lo, hi;
+  // xgetbv(0), raw-encoded so the TU needs no -mxsave.
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" : "=a"(lo), "=d"(hi) : "c"(0));
+  return (lo & 0x6) == 0x6;  // XMM and YMM state enabled
+}
+
+bool cpu_has_aesni() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const unsigned want = (1u << 25) | (1u << 1) | (1u << 9);  // AES, PCLMULQDQ, SSSE3
+  return (ecx & want) == want;
+}
+
+bool cpu_has_vaes() {
+  if (!cpu_has_aesni() || !os_ymm_enabled()) return false;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 5)) && (ecx & (1u << 9));  // AVX2, VAES
+}
+
+// ---- AES block pipeline (AES-NI) -------------------------------------------
+
+MCCP_TARGET_AESNI inline __m128i load_rk(const Block128& rk) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk.b.data()));
+}
+
+/// Encrypt `n` (1..8) independent blocks in lockstep: one round-key load
+/// feeds every lane, so the AESENC latency of lane 0 hides behind the
+/// issue slots of lanes 1..n-1.
+MCCP_TARGET_AESNI inline void encrypt_lanes(const AesRoundKeys& keys, __m128i* x, int n) {
+  const int nr = keys.rounds();
+  __m128i k = load_rk(keys.rk[0]);
+  for (int j = 0; j < n; ++j) x[j] = _mm_xor_si128(x[j], k);
+  for (int r = 1; r < nr; ++r) {
+    k = load_rk(keys.rk[static_cast<std::size_t>(r)]);
+    for (int j = 0; j < n; ++j) x[j] = _mm_aesenc_si128(x[j], k);
+  }
+  k = load_rk(keys.rk[static_cast<std::size_t>(nr)]);
+  for (int j = 0; j < n; ++j) x[j] = _mm_aesenclast_si128(x[j], k);
+}
+
+MCCP_TARGET_AESNI Block128 aesni_encrypt(const AesRoundKeys& keys, const Block128& in) {
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in.b.data()));
+  encrypt_lanes(keys, &x, 1);
+  Block128 out;
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out.b.data()), x);
+  return out;
+}
+
+MCCP_TARGET_AESNI Block128 aesni_decrypt(const AesRoundKeys& keys, const Block128& in) {
+  // The equivalent-inverse schedule (drk[0] = rk[nr], InvMixColumns on the
+  // middle keys, drk[nr] = rk[0]) is exactly what AESDEC's round order
+  // expects.
+  const int nr = keys.rounds();
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in.b.data()));
+  x = _mm_xor_si128(x, load_rk(keys.drk[0]));
+  for (int r = 1; r < nr; ++r) x = _mm_aesdec_si128(x, load_rk(keys.drk[static_cast<std::size_t>(r)]));
+  x = _mm_aesdeclast_si128(x, load_rk(keys.drk[static_cast<std::size_t>(nr)]));
+  Block128 out;
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out.b.data()), x);
+  return out;
+}
+
+// ---- CTR keystream ----------------------------------------------------------
+
+/// Fill `cbuf` with `blocks` consecutive counter values using the scalar
+/// increment helpers (so inc16's 0xFFFF wrap is bit-exact) and leave `ctr`
+/// at the next value.
+inline void materialize_counters(Block128& ctr, bool wide_counter, std::uint8_t* cbuf,
+                                 std::size_t blocks) {
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::memcpy(cbuf + 16 * b, ctr.b.data(), 16);
+    ctr = wide_counter ? inc32(ctr) : inc16(ctr, 1);
+  }
+}
+
+MCCP_TARGET_AESNI void aesni_ctr_xor(const AesRoundKeys& keys, const Block128& ctr0,
+                                     bool wide_counter, const std::uint8_t* in, std::uint8_t* out,
+                                     std::size_t len) {
+  Block128 ctr = ctr0;
+  alignas(16) std::uint8_t cbuf[16 * 8];
+  std::size_t off = 0;
+  while (off < len) {
+    const std::size_t n = len - off;
+    std::size_t blocks = (n + 15) / 16;
+    if (blocks > 8) blocks = 8;
+    materialize_counters(ctr, wide_counter, cbuf, blocks);
+    __m128i x[8];
+    for (std::size_t b = 0; b < blocks; ++b)
+      x[b] = _mm_load_si128(reinterpret_cast<const __m128i*>(cbuf + 16 * b));
+    encrypt_lanes(keys, x, static_cast<int>(blocks));
+    const std::size_t take = n < 16 * blocks ? n : 16 * blocks;
+    std::size_t b = 0;
+    for (; 16 * (b + 1) <= take; ++b) {
+      __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off + 16 * b));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off + 16 * b),
+                       _mm_xor_si128(d, x[b]));
+    }
+    if (16 * b < take) {  // partial final block
+      alignas(16) std::uint8_t ks[16];
+      _mm_store_si128(reinterpret_cast<__m128i*>(ks), x[b]);
+      for (std::size_t i = 16 * b; i < take; ++i) out[off + i] = in[off + i] ^ ks[i - 16 * b];
+    }
+    off += take;
+  }
+}
+
+MCCP_TARGET_VAES inline __m256i broadcast_rk(const Block128& rk) {
+  return _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk.b.data())));
+}
+
+MCCP_TARGET_VAES void vaes_ctr_xor(const AesRoundKeys& keys, const Block128& ctr0,
+                                   bool wide_counter, const std::uint8_t* in, std::uint8_t* out,
+                                   std::size_t len) {
+  Block128 ctr = ctr0;
+  alignas(32) std::uint8_t cbuf[16 * 16];
+  std::size_t off = 0;
+  // 16 blocks per iteration: 8 YMM lanes of 2 blocks each.
+  while (len - off >= 16 * 16) {
+    materialize_counters(ctr, wide_counter, cbuf, 16);
+    __m256i x[8];
+    for (int j = 0; j < 8; ++j)
+      x[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(cbuf + 32 * j));
+    const int nr = keys.rounds();
+    __m256i k = broadcast_rk(keys.rk[0]);
+    for (int j = 0; j < 8; ++j) x[j] = _mm256_xor_si256(x[j], k);
+    for (int r = 1; r < nr; ++r) {
+      k = broadcast_rk(keys.rk[static_cast<std::size_t>(r)]);
+      for (int j = 0; j < 8; ++j) x[j] = _mm256_aesenc_epi128(x[j], k);
+    }
+    k = broadcast_rk(keys.rk[static_cast<std::size_t>(nr)]);
+    for (int j = 0; j < 8; ++j) x[j] = _mm256_aesenclast_epi128(x[j], k);
+    for (int j = 0; j < 8; ++j) {
+      __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + off + 32 * j));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + off + 32 * j),
+                          _mm256_xor_si256(d, x[j]));
+    }
+    off += 16 * 16;
+  }
+  if (off < len) aesni_ctr_xor(keys, ctr, wide_counter, in + off, out + off, len - off);
+}
+
+// ---- GHASH via carry-less multiply -----------------------------------------
+
+MCCP_TARGET_CLMUL inline __m128i bswap128(__m128i x) {
+  const __m128i rev = _mm_setr_epi8(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+  return _mm_shuffle_epi8(x, rev);
+}
+
+/// Schoolbook 128x128 carry-less multiply into a 256-bit product [hi:lo].
+MCCP_TARGET_CLMUL inline void clmul256(__m128i a, __m128i b, __m128i* lo, __m128i* hi) {
+  __m128i t0 = _mm_clmulepi64_si128(a, b, 0x00);
+  __m128i t1 = _mm_clmulepi64_si128(a, b, 0x10);
+  __m128i t2 = _mm_clmulepi64_si128(a, b, 0x01);
+  __m128i t3 = _mm_clmulepi64_si128(a, b, 0x11);
+  __m128i mid = _mm_xor_si128(t1, t2);
+  *lo = _mm_xor_si128(t0, _mm_slli_si128(mid, 8));
+  *hi = _mm_xor_si128(t3, _mm_srli_si128(mid, 8));
+}
+
+/// Shift the 256-bit product left one bit (reflected-operand fixup) and
+/// reduce modulo 1 + x + x^2 + x^7 + x^128. Linear in [hi:lo], so XOR-ing
+/// several clmul256 products before one reduce is exact.
+MCCP_TARGET_CLMUL inline __m128i ghash_reduce(__m128i lo, __m128i hi) {
+  __m128i c_lo = _mm_srli_epi32(lo, 31);
+  __m128i c_hi = _mm_srli_epi32(hi, 31);
+  lo = _mm_slli_epi32(lo, 1);
+  hi = _mm_slli_epi32(hi, 1);
+  hi = _mm_or_si128(hi, _mm_slli_si128(c_hi, 4));
+  hi = _mm_or_si128(hi, _mm_srli_si128(c_lo, 12));
+  lo = _mm_or_si128(lo, _mm_slli_si128(c_lo, 4));
+
+  __m128i t7 = _mm_slli_epi32(lo, 31);
+  __m128i t8 = _mm_slli_epi32(lo, 30);
+  __m128i t9 = _mm_slli_epi32(lo, 25);
+  t7 = _mm_xor_si128(t7, _mm_xor_si128(t8, t9));
+  t8 = _mm_srli_si128(t7, 4);
+  t7 = _mm_slli_si128(t7, 12);
+  lo = _mm_xor_si128(lo, t7);
+
+  __m128i r = _mm_srli_epi32(lo, 1);
+  r = _mm_xor_si128(r, _mm_srli_epi32(lo, 2));
+  r = _mm_xor_si128(r, _mm_srli_epi32(lo, 7));
+  r = _mm_xor_si128(r, t8);
+  lo = _mm_xor_si128(lo, r);
+  return _mm_xor_si128(hi, lo);
+}
+
+MCCP_TARGET_CLMUL inline __m128i gfmul_reflected(__m128i a, __m128i b) {
+  __m128i lo, hi;
+  clmul256(a, b, &lo, &hi);
+  return ghash_reduce(lo, hi);
+}
+
+MCCP_TARGET_CLMUL bool build_powers_impl(const Block128& h, std::uint8_t* out64) {
+  __m128i h1 = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h.b.data())));
+  __m128i h2 = gfmul_reflected(h1, h1);
+  __m128i h3 = gfmul_reflected(h2, h1);
+  __m128i h4 = gfmul_reflected(h3, h1);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out64 + 0), h1);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out64 + 16), h2);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out64 + 32), h3);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out64 + 48), h4);
+  return true;
+}
+
+MCCP_TARGET_CLMUL Block128 clmul_ghash_mul(const Gf128Table& table, const Block128& x) {
+  const std::uint8_t* pw = table.clmul_powers();
+  if (!pw) return table.mul(x);  // table predates CLMUL support: exact fallback
+  __m128i h1 = _mm_load_si128(reinterpret_cast<const __m128i*>(pw));
+  __m128i a = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(x.b.data())));
+  Block128 out;
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out.b.data()), bswap128(gfmul_reflected(a, h1)));
+  return out;
+}
+
+MCCP_TARGET_CLMUL void clmul_ghash_blocks(const Gf128Table& table, Block128& y,
+                                          const std::uint8_t* data, std::size_t nblocks) {
+  const std::uint8_t* pw = table.clmul_powers();
+  if (!pw) {
+    for (std::size_t i = 0; i < nblocks; ++i)
+      y = table.mul(y ^ Block128::from_span(ByteSpan(data + 16 * i, 16)));
+    return;
+  }
+  const __m128i h1 = _mm_load_si128(reinterpret_cast<const __m128i*>(pw));
+  const __m128i h2 = _mm_load_si128(reinterpret_cast<const __m128i*>(pw + 16));
+  const __m128i h3 = _mm_load_si128(reinterpret_cast<const __m128i*>(pw + 32));
+  const __m128i h4 = _mm_load_si128(reinterpret_cast<const __m128i*>(pw + 48));
+  __m128i acc = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(y.b.data())));
+  // Aggregated reduction: ((((y^X0)H ^ X1)H ^ X2)H ^ X3)H =
+  // (y^X0)H^4 ^ X1·H^3 ^ X2·H^2 ^ X3·H — four multiplies, one reduction.
+  while (nblocks >= 4) {
+    __m128i x0 = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)));
+    __m128i x1 = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)));
+    __m128i x2 = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)));
+    __m128i x3 = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)));
+    __m128i lo, hi, plo, phi;
+    clmul256(_mm_xor_si128(acc, x0), h4, &lo, &hi);
+    clmul256(x1, h3, &plo, &phi);
+    lo = _mm_xor_si128(lo, plo);
+    hi = _mm_xor_si128(hi, phi);
+    clmul256(x2, h2, &plo, &phi);
+    lo = _mm_xor_si128(lo, plo);
+    hi = _mm_xor_si128(hi, phi);
+    clmul256(x3, h1, &plo, &phi);
+    lo = _mm_xor_si128(lo, plo);
+    hi = _mm_xor_si128(hi, phi);
+    acc = ghash_reduce(lo, hi);
+    data += 64;
+    nblocks -= 4;
+  }
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    __m128i x = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * i)));
+    acc = gfmul_reflected(_mm_xor_si128(acc, x), h1);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(y.b.data()), bswap128(acc));
+}
+
+// ---- kernel tables ----------------------------------------------------------
+
+constexpr CryptoKernels kAesniKernels{
+    "aesni",        aesni_encrypt,   aesni_decrypt,
+    aesni_ctr_xor,  clmul_ghash_mul, clmul_ghash_blocks,
+};
+
+constexpr CryptoKernels kVaesKernels{
+    "vaes",        aesni_encrypt,   aesni_decrypt,
+    vaes_ctr_xor,  clmul_ghash_mul, clmul_ghash_blocks,
+};
+
+}  // namespace
+
+namespace detail {
+
+bool build_clmul_powers(const Block128& h, std::uint8_t* out64) {
+  static const bool have = cpu_has_aesni();  // needs PCLMULQDQ + SSSE3
+  if (!have) return false;
+  return build_powers_impl(h, out64);
+}
+
+const CryptoKernels* aesni_kernels() {
+  static const CryptoKernels* k = cpu_has_aesni() ? &kAesniKernels : nullptr;
+  return k;
+}
+
+const CryptoKernels* vaes_kernels() {
+  static const CryptoKernels* k = cpu_has_vaes() ? &kVaesKernels : nullptr;
+  return k;
+}
+
+}  // namespace detail
+}  // namespace mccp::crypto
+
+#else  // !MCCP_X86_KERNELS — portable-only builds (non-x86, other compilers)
+
+namespace mccp::crypto::detail {
+
+bool build_clmul_powers(const Block128&, std::uint8_t*) { return false; }
+const CryptoKernels* aesni_kernels() { return nullptr; }
+const CryptoKernels* vaes_kernels() { return nullptr; }
+
+}  // namespace mccp::crypto::detail
+
+#endif

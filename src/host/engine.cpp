@@ -454,6 +454,13 @@ void Engine::poll_completions() {
           best_idx = i;
           best_id = list[i]->id;
         }
+        // The list is ascending by JobId (appends are monotone; failover
+        // resubmission inserts in sorted position), so the first complete
+        // entry is already this device's minimum — the rest of the list
+        // cannot improve on it. Stopping here makes each lap O(incomplete
+        // prefix) instead of O(backlog), which dominated fast-backend
+        // wall clock at deep in-flight windows.
+        break;
       }
       // Only an empty scan freezes the count: a found completion is
       // finished below (possibly re-entrantly), so this device must be
@@ -917,7 +924,15 @@ DrainReport Engine::remove_device(std::size_t index, sim::Cycle max_drain_cycles
       st->device = rec->device;
       ++st->resubmissions;
       st->device_job = devices_[rec->device]->submit(std::move(spec));
-      inflight_[rec->device].push_back(std::move(st));
+      // Keep the destination list ascending by JobId: a migrated job's id
+      // predates everything submitted since, and both the completion polls
+      // (first-complete-is-minimum early exit) and the delivery-order
+      // contract rely on sorted in-flight lists.
+      auto& dst = inflight_[rec->device];
+      auto pos = std::lower_bound(
+          dst.begin(), dst.end(), st->id,
+          [](const std::shared_ptr<detail::JobState>& a, JobId id) { return a->id < id; });
+      dst.insert(pos, std::move(st));
       ++rep.resubmitted_jobs;
     } else {
       lost.push_back(std::move(st));

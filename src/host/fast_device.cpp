@@ -152,7 +152,7 @@ DeviceJobId FastDevice::submit(JobSpec spec) {
     // Same seam contract as SimDevice: the simulated core would deadlock
     // on this packet, so the fast path must not silently compute it.
     DeviceJobId id = next_job_++;
-    JobResult& res = results_[id];
+    JobResult& res = append_result();
     res.submit_cycle = now_;
     res.complete = true;
     res.auth_ok = false;
@@ -163,7 +163,7 @@ DeviceJobId FastDevice::submit(JobSpec spec) {
   Job job;
   job.id = next_job_++;
   job.spec = std::move(spec);
-  results_[job.id].submit_cycle = now_;
+  append_result().submit_cycle = now_;
   pending_[job.spec.priority].push_back(job.id);
   DeviceJobId id = job.id;
   jobs_[id] = std::move(job);
@@ -183,7 +183,7 @@ std::vector<DeviceJobId> FastDevice::submit_batch(std::span<JobSpec> specs) {
     Job job;
     job.id = next_job_++;
     job.spec = std::move(spec);
-    results_.emplace_hint(results_.end(), job.id, JobResult{})->second.submit_cycle = now_;
+    append_result().submit_cycle = now_;
     if (bucket == nullptr || job.spec.priority != bucket_priority) {
       bucket_priority = job.spec.priority;
       bucket = &pending_[bucket_priority];
@@ -202,16 +202,28 @@ void FastDevice::advance_to(sim::Cycle target) {
 }
 
 const JobResult* FastDevice::result(DeviceJobId id) const {
-  auto it = results_.find(id);
-  return it == results_.end() ? nullptr : &it->second;
+  if (id < results_base_) return nullptr;
+  const std::size_t idx = static_cast<std::size_t>(id - results_base_);
+  if (idx >= results_.size()) return nullptr;
+  const std::optional<JobResult>& slot = results_[idx];
+  return slot ? &*slot : nullptr;
 }
 
-void FastDevice::forget(DeviceJobId id) { results_.erase(id); }
+void FastDevice::forget(DeviceJobId id) {
+  if (id < results_base_) return;
+  const std::size_t idx = static_cast<std::size_t>(id - results_base_);
+  if (idx >= results_.size()) return;
+  results_[idx].reset();
+  while (!results_.empty() && !results_.front()) {
+    results_.pop_front();
+    ++results_base_;
+  }
+}
 
 void FastDevice::fail_unrecoverable(DeviceJobId id) {
   // Mirrors SimDevice's unrecoverable-submit path: the job completes
   // failed, with no payload and no core time charged.
-  JobResult& res = results_[id];
+  JobResult& res = result_at(id);
   res.complete = true;
   res.auth_ok = false;
   res.complete_cycle = now_ + accept_control_cycles(config_.control_latency_cycles);
@@ -268,7 +280,7 @@ void FastDevice::schedule_pending() {
           // models a failed ENCRYPT/DECRYPT round trip) — and, like the
           // pump, at most one head is rejected per scheduling round.
           pop_head();
-          JobResult& res = results_[id];
+          JobResult& res = result_at(id);
           res.complete = true;
           res.auth_ok = false;
           res.complete_cycle = now_;
@@ -356,7 +368,7 @@ void FastDevice::start_job(Job& job, const std::vector<std::size_t>& cores) {
   const sim::Cycle occupancy = key_load + std::max(cost.lane0, cost.lane1);
   const sim::Cycle done = accept + occupancy + retire_control_cycles(config_.control_latency_cycles);
 
-  JobResult& res = results_[job.id];
+  JobResult& res = result_at(job.id);
   if (job.first_denied) {
     // SimDevice counts one rejection per busy-error retry of the ENCRYPT/
     // DECRYPT instruction, one instruction latency apart — reconstruct
@@ -474,7 +486,7 @@ void FastDevice::step() {
   for (auto it = running_.begin(); it != running_.end();) {
     Job& job = jobs_.at(*it);
     if (job.done_at <= now_) {
-      JobResult& res = results_[*it];
+      JobResult& res = result_at(*it);
       res.complete = true;
       res.complete_cycle = job.done_at;
       ++completions_;

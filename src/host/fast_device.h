@@ -132,6 +132,17 @@ class FastDevice final : public Device {
   void compute(const Job& job, JobResult& res);
   void fail_unrecoverable(DeviceJobId id);
 
+  /// Append the result slot for the id submit() just allocated (ids are
+  /// handed out densely, so the new slot always lands at the back).
+  JobResult& append_result() {
+    results_.emplace_back(std::in_place);
+    return *results_.back();
+  }
+  /// The (existing) mutable result slot for an unforgotten job.
+  JobResult& result_at(DeviceJobId id) {
+    return *results_[static_cast<std::size_t>(id - results_base_)];
+  }
+
   std::string name_;
   top::MccpConfig config_;
 
@@ -160,8 +171,16 @@ class FastDevice final : public Device {
   std::map<unsigned, std::deque<DeviceJobId>> pending_;
   /// Jobs placed on cores and awaiting retirement (at most one per core).
   std::vector<DeviceJobId> running_;
-  std::map<DeviceJobId, Job> jobs_;           // pending + running
-  std::map<DeviceJobId, JobResult> results_;  // completed + in-flight partials
+  std::map<DeviceJobId, Job> jobs_;  // pending + running
+  /// Results for completed + in-flight jobs. Ids are dense and increasing,
+  /// so the store is a deque of slots indexed by (id - results_base_):
+  /// the engine probes result() once per in-flight job per completion
+  /// poll, and a bounds check + index keeps that probe O(1) where the old
+  /// std::map walk dominated fast-backend wall clock. forget() blanks a
+  /// slot and advances the base past leading blanks, so memory is bounded
+  /// by the window between the oldest unforgotten job and the newest.
+  std::deque<std::optional<JobResult>> results_;
+  DeviceJobId results_base_ = 1;  // id of results_[0]; tracks next_job_'s start
   DeviceJobId next_job_ = 1;
   std::uint8_t last_rr_ = 0;
   std::uint64_t completions_ = 0;  // jobs whose result() turned complete

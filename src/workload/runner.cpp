@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "common/json_writer.h"
+#include "crypto/kernels.h"
 #include "sim/simulation.h"
 #include "workload/jobgen.h"
 #include "workload/tenantplan.h"
@@ -469,6 +470,7 @@ std::string report_json(const ScenarioReport& report) {
       .field("bench", "scenario_runner")
       .field("scenario", report.scenario)
       .field("backend", report.backend)
+      .field("kernel", crypto::active_kernel_name())
       .field("devices", report.devices)
       .field("cores_per_device", report.cores_per_device)
       .field("threads", report.threads)
@@ -592,6 +594,7 @@ std::string trajectory_line(const ScenarioReport& report, const std::string& tra
       .field("modeled_throughput_mbps", modeled_mbps)
       .field("p99_latency_cycles", latency.quantile(0.99))
       .field("wall_ms", report.wall_ms)
+      .field("kernel", crypto::active_kernel_name())
       .end_object();
   return json.str();
 }

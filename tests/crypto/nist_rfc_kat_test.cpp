@@ -5,15 +5,27 @@
 // vectors already in gcm_test / nist_extended_test these pin the T-table
 // AES and table-driven GHASH to published values, not merely to the old
 // byte-wise implementation they replaced.
+//
+// Tier-parametrized: every case runs once per crypto kernel tier this host
+// supports (portable reference, then each hardware tier), so the AES-NI and
+// CLMUL kernels are pinned to the same published vectors.
 #include <gtest/gtest.h>
 
 #include "common/hex.h"
 #include "crypto/aes.h"
 #include "crypto/ccm.h"
 #include "crypto/gcm.h"
+#include "support/kernel_tiers.h"
 
 namespace mccp::crypto {
 namespace {
+
+class Fips197Kat : public mccp::testing::KernelTierTest {};
+class GcmKat : public mccp::testing::KernelTierTest {};
+class Rfc3610Kat : public mccp::testing::KernelTierTest {};
+MCCP_INSTANTIATE_KERNEL_TIERS(Fips197Kat);
+MCCP_INSTANTIATE_KERNEL_TIERS(GcmKat);
+MCCP_INSTANTIATE_KERNEL_TIERS(Rfc3610Kat);
 
 // --- FIPS-197 Appendix C example vectors ------------------------------------
 
@@ -35,7 +47,7 @@ const Fips197Case kFips197[] = {
      "00112233445566778899aabbccddeeff", "8ea2b7ca516745bfeafc49904b496089"},
 };
 
-TEST(Fips197Kat, AppendixCEncrypt) {
+TEST_P(Fips197Kat, AppendixCEncrypt) {
   for (const auto& c : kFips197) {
     auto keys = aes_expand_key(from_hex(c.key));
     Block128 ct = aes_encrypt_block(keys, Block128::from_span(from_hex(c.plaintext)));
@@ -43,7 +55,7 @@ TEST(Fips197Kat, AppendixCEncrypt) {
   }
 }
 
-TEST(Fips197Kat, AppendixCDecrypt) {
+TEST_P(Fips197Kat, AppendixCDecrypt) {
   for (const auto& c : kFips197) {
     auto keys = aes_expand_key(from_hex(c.key));
     Block128 pt = aes_decrypt_block(keys, Block128::from_span(from_hex(c.ciphertext)));
@@ -51,7 +63,7 @@ TEST(Fips197Kat, AppendixCDecrypt) {
   }
 }
 
-TEST(Fips197Kat, AppendixBCipherExample) {
+TEST_P(Fips197Kat, AppendixBCipherExample) {
   auto keys = aes_expand_key(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
   Block128 ct =
       aes_encrypt_block(keys, Block128::from_span(from_hex("3243f6a8885a308d313198a2e0370734")));
@@ -62,7 +74,7 @@ TEST(Fips197Kat, AppendixBCipherExample) {
 // --- SP 800-38D (McGrew-Viega) GCM: non-96-bit IV paths ----------------------
 
 // Test Case 5: 128-bit key, 8-byte IV (J0 = GHASH of the padded IV).
-TEST(GcmKat, TestCase5ShortIv) {
+TEST_P(GcmKat, TestCase5ShortIv) {
   auto keys = aes_expand_key(from_hex("feffe9928665731c6d6a8f9467308308"));
   Bytes pt = from_hex(
       "d9313225f88406e5a55909c5aff5269a"
@@ -83,7 +95,7 @@ TEST(GcmKat, TestCase5ShortIv) {
 }
 
 // Test Case 6: 128-bit key, 60-byte IV.
-TEST(GcmKat, TestCase6LongIv) {
+TEST_P(GcmKat, TestCase6LongIv) {
   auto keys = aes_expand_key(from_hex("feffe9928665731c6d6a8f9467308308"));
   Bytes pt = from_hex(
       "d9313225f88406e5a55909c5aff5269a"
@@ -106,7 +118,7 @@ TEST(GcmKat, TestCase6LongIv) {
 }
 
 // Test Case 16: 256-bit key with AAD.
-TEST(GcmKat, TestCase16Aes256Aad) {
+TEST_P(GcmKat, TestCase16Aes256Aad) {
   auto keys = aes_expand_key(
       from_hex("feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308"));
   Bytes pt = from_hex(
@@ -147,7 +159,7 @@ const Rfc3610Case kRfc3610[] = {
      "51b1e5f44a197d1da46b0f8e2d282ae871e838bb64da859657", "4adaa76fbd9fb0c5"},
 };
 
-TEST(Rfc3610Kat, PacketVectors) {
+TEST_P(Rfc3610Kat, PacketVectors) {
   auto keys = aes_expand_key(from_hex("c0c1c2c3c4c5c6c7c8c9cacbcccdcecf"));
   CcmParams p{.tag_len = 8, .nonce_len = 13};
   for (const auto& c : kRfc3610) {

@@ -8,6 +8,10 @@
 // that envelope; beyond it (odd lengths, payloads up to 4 KiB) FastDevice
 // is pinned to the golden software references instead — the same oracles
 // the simulator itself is validated against.
+//
+// Tier-parametrized: the whole suite runs once per crypto kernel tier this
+// host supports, so the hardware AES-NI/CLMUL fast paths face the same
+// sim-vs-fast differential the portable reference does.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -20,9 +24,13 @@
 #include "crypto/gcm.h"
 #include "crypto/whirlpool.h"
 #include "host/engine.h"
+#include "support/kernel_tiers.h"
 
 namespace mccp::host {
 namespace {
+
+class BackendDifferential : public mccp::testing::KernelTierTest {};
+MCCP_INSTANTIATE_KERNEL_TIERS(BackendDifferential);
 
 struct Workload {
   ChannelMode mode;
@@ -85,7 +93,7 @@ void expect_identical_encrypt(const Workload& w, std::uint64_t seed) {
   EXPECT_EQ(to_hex(sim.tag), to_hex(fast.tag));
 }
 
-TEST(BackendDifferential, GcmEncryptSweep) {
+TEST_P(BackendDifferential, GcmEncryptSweep) {
   std::uint64_t seed = 1000;
   for (std::size_t key_len : {16u, 24u, 32u})
     for (std::size_t payload : {0u, 16u, 48u, 304u, 2048u})
@@ -93,7 +101,7 @@ TEST(BackendDifferential, GcmEncryptSweep) {
         expect_identical_encrypt({ChannelMode::kGcm, key_len, payload, aad, 16, 12}, ++seed);
 }
 
-TEST(BackendDifferential, GcmNonStandardIvAndTagLen) {
+TEST_P(BackendDifferential, GcmNonStandardIvAndTagLen) {
   std::uint64_t seed = 2000;
   // 8-byte IV exercises the on-core GHASH J0 derivation; truncated tags
   // exercise the tag mask.
@@ -102,7 +110,7 @@ TEST(BackendDifferential, GcmNonStandardIvAndTagLen) {
   expect_identical_encrypt({ChannelMode::kGcm, 24, 64, 5, 4, 12}, ++seed);
 }
 
-TEST(BackendDifferential, CcmEncryptSweep) {
+TEST_P(BackendDifferential, CcmEncryptSweep) {
   std::uint64_t seed = 3000;
   for (std::size_t key_len : {16u, 24u, 32u})
     for (std::size_t payload : {16u, 112u, 1024u})
@@ -110,7 +118,7 @@ TEST(BackendDifferential, CcmEncryptSweep) {
         expect_identical_encrypt({ChannelMode::kCcm, key_len, payload, 24, 8, nonce_len}, ++seed);
 }
 
-TEST(BackendDifferential, CtrAndCbcMacSweep) {
+TEST_P(BackendDifferential, CtrAndCbcMacSweep) {
   std::uint64_t seed = 4000;
   for (std::size_t key_len : {16u, 24u, 32u}) {
     for (std::size_t payload : {16u, 512u, 2048u})
@@ -121,7 +129,7 @@ TEST(BackendDifferential, CtrAndCbcMacSweep) {
   }
 }
 
-TEST(BackendDifferential, CtrCounterWrapMatchesHardware) {
+TEST_P(BackendDifferential, CtrCounterWrapMatchesHardware) {
   // The INC core increments only the low 16 bits; start the counter at
   // 0xFFFF so it wraps inside the packet. Both backends must produce the
   // same (hardware-semantics) keystream.
@@ -144,7 +152,7 @@ TEST(BackendDifferential, CtrCounterWrapMatchesHardware) {
             to_hex(crypto::ctr_transform_inc16(keys, Block128::from_span(iv), payload)));
 }
 
-TEST(BackendDifferential, WhirlpoolDigestsBitIdenticalAcrossBackends) {
+TEST_P(BackendDifferential, WhirlpoolDigestsBitIdenticalAcrossBackends) {
   // A Whirlpool channel needs a CU slot hosting the Whirlpool image (paper
   // SVII.B); both fleets boot one via the slot layout, so the simulated
   // core and the fast path can be run head to head: randomized payloads,
@@ -181,7 +189,7 @@ TEST(BackendDifferential, WhirlpoolDigestsBitIdenticalAcrossBackends) {
   }
 }
 
-TEST(BackendDifferential, MixedAesWhirlpoolFleetParity) {
+TEST_P(BackendDifferential, MixedAesWhirlpoolFleetParity) {
   // GCM and Whirlpool channels interleaved on one two-personality device:
   // every packet's result must match across backends while both images
   // serve concurrently.
@@ -225,7 +233,7 @@ TEST(BackendDifferential, MixedAesWhirlpoolFleetParity) {
   }
 }
 
-TEST(BackendDifferential, SplitCcmMappingMatchesSingleCore) {
+TEST_P(BackendDifferential, SplitCcmMappingMatchesSingleCore) {
   // The two-core CCM mapping changes scheduling, never bits.
   Rng rng(6000);
   Bytes key = rng.bytes(16), nonce = rng.bytes(13), payload = rng.bytes(512);
@@ -244,7 +252,7 @@ TEST(BackendDifferential, SplitCcmMappingMatchesSingleCore) {
   EXPECT_EQ(to_hex(results[0].tag), to_hex(results[1].tag));
 }
 
-TEST(BackendDifferential, DecryptRoundTripAndCrossBackend) {
+TEST_P(BackendDifferential, DecryptRoundTripAndCrossBackend) {
   // Encrypt on one backend, decrypt on the other, for every AEAD mode.
   std::uint64_t seed = 7000;
   for (ChannelMode mode : {ChannelMode::kGcm, ChannelMode::kCcm}) {
@@ -278,7 +286,7 @@ TEST(BackendDifferential, DecryptRoundTripAndCrossBackend) {
   }
 }
 
-TEST(BackendDifferential, CbcMacVerifyMatchesIncludingPlaceholderPayload) {
+TEST_P(BackendDifferential, CbcMacVerifyMatchesIncludingPlaceholderPayload) {
   Workload w{ChannelMode::kCbcMac, 16, 160, 0, 8, 13};
   Rng rng(8000);
   Bytes key = rng.bytes(16);
@@ -299,7 +307,7 @@ TEST(BackendDifferential, CbcMacVerifyMatchesIncludingPlaceholderPayload) {
   EXPECT_FALSE(run_decrypt(Backend::kFast, w, key, {}, {}, msg, bad_tag).auth_ok);
 }
 
-TEST(BackendDifferential, TruncatedTagRejectedByChannelTagLen) {
+TEST_P(BackendDifferential, TruncatedTagRejectedByChannelTagLen) {
   // The verify cores compare tag_len bytes of the *channel* against the
   // zero-padded submitted tag block, so a truncated (prefix) tag must fail
   // on both backends — submitting fewer bytes never weakens the check.
@@ -329,7 +337,7 @@ TEST(BackendDifferential, TruncatedTagRejectedByChannelTagLen) {
   }
 }
 
-TEST(BackendDifferential, ChannelParamsWrapIdentically) {
+TEST_P(BackendDifferential, ChannelParamsWrapIdentically) {
   // tag_len and nonce_len travel in 4-bit OPEN fields; out-of-range values
   // wrap on the wire, and both backends must report the registered values.
   for (Backend backend : {Backend::kSim, Backend::kFast}) {
@@ -347,7 +355,7 @@ TEST(BackendDifferential, ChannelParamsWrapIdentically) {
 
 // --- beyond the simulated datapath's envelope --------------------------------
 
-TEST(BackendDifferential, OddAndLargePayloadsMatchSoftwareReference) {
+TEST_P(BackendDifferential, OddAndLargePayloadsMatchSoftwareReference) {
   // Non-block-multiple and >255-block payloads are outside what the
   // simulated FIFOs accept; FastDevice handles them and must equal the
   // golden software implementations bit for bit.
@@ -377,7 +385,7 @@ TEST(BackendDifferential, OddAndLargePayloadsMatchSoftwareReference) {
   }
 }
 
-TEST(BackendDifferential, RandomizedManyPacketParity) {
+TEST_P(BackendDifferential, RandomizedManyPacketParity) {
   // A mixed randomized stream through two identically configured fleets:
   // every completed packet must match field for field.
   constexpr std::size_t kPackets = 60;

@@ -1,0 +1,43 @@
+// Tier-parametrization support: run a gtest suite once per crypto kernel
+// tier this host supports. Derive the suite fixture from KernelTierTest and
+// instantiate it with MCCP_INSTANTIATE_KERNEL_TIERS — each test body then
+// executes under every concrete tier ("auto" is skipped: it aliases the
+// strongest tier already in the list), with the previously dispatched tier
+// restored afterwards.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/kernels.h"
+
+namespace mccp::testing {
+
+inline std::vector<std::string> concrete_kernel_tiers() {
+  std::vector<std::string> tiers;
+  for (const std::string& t : crypto::supported_crypto_kernels())
+    if (t != "auto") tiers.push_back(t);
+  return tiers;
+}
+
+class KernelTierTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    previous_ = crypto::active_kernel_name();
+    crypto::set_crypto_kernel(GetParam());
+  }
+  void TearDown() override { crypto::set_crypto_kernel(previous_); }
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace mccp::testing
+
+#define MCCP_INSTANTIATE_KERNEL_TIERS(Fixture)                                 \
+  INSTANTIATE_TEST_SUITE_P(                                                    \
+      KernelTiers, Fixture,                                                    \
+      ::testing::ValuesIn(::mccp::testing::concrete_kernel_tiers()),           \
+      [](const ::testing::TestParamInfo<std::string>& info) { return info.param; })

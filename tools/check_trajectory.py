@@ -17,17 +17,19 @@ of the same group:
 Groups with a single record pass trivially (nothing to compare). Records
 missing a metric (or with it at zero) skip that metric.
 
-Absolute wall-clock floors: --max-wall SCENARIO/BACKEND=MS (repeatable)
-fails when the NEWEST record of a matching scenario+backend exceeds the
-given wall_ms budget — this is how CI pins the cycle-accurate simulator's
-speedup floor (e.g. --max-wall backend_comparison/sim=590 for the
-200-packet head-to-head). Unlike the relative gate, a single record is
-enough; no matching record at all is a failure (the bench stopped
-reporting).
+Absolute wall-clock floors: --max-wall SCENARIO/BACKEND[/KERNEL]=MS
+(repeatable) fails when the NEWEST record of a matching scenario+backend
+(optionally further narrowed to a crypto kernel tier — records carry a
+"kernel" field since PR 10) exceeds the given wall_ms budget — this is
+how CI pins the cycle-accurate simulator's speedup floor (e.g. --max-wall
+backend_comparison/sim=590 for the 200-packet head-to-head) and the
+accelerated FastDevice path (e.g. backend_comparison/fast=100). Unlike
+the relative gate, a single record is enough; no matching record at all
+is a failure (the bench stopped reporting).
 
 Usage:
   check_trajectory.py [--file PATH] [--threshold 0.15] [--strict-wall]
-                      [--max-wall SCENARIO/BACKEND=MS ...]
+                      [--max-wall SCENARIO/BACKEND[/KERNEL]=MS ...]
   check_trajectory.py --self-test
 
 Exit codes: 0 ok, 1 regression found, 2 bad input.
@@ -110,32 +112,42 @@ def check(records, threshold, strict_wall):
 
 
 def parse_max_wall(spec):
-    """'SCENARIO/BACKEND=MS' -> (scenario, backend, budget_ms) or ValueError."""
+    """'SCENARIO/BACKEND[/KERNEL]=MS' -> (scenario, backend, kernel_or_None,
+    budget_ms) or ValueError. The optional KERNEL narrows the match to
+    records whose "kernel" field equals it."""
     try:
         ident, budget = spec.rsplit("=", 1)
-        scenario, backend = ident.split("/", 1)
+        parts = ident.split("/")
+        if len(parts) == 2:
+            scenario, backend, kernel = parts[0], parts[1], None
+        elif len(parts) == 3:
+            scenario, backend, kernel = parts
+        else:
+            raise ValueError(spec)
         budget_ms = float(budget)
     except ValueError:
-        raise ValueError(f"--max-wall {spec!r}: expected SCENARIO/BACKEND=MS")
+        raise ValueError(f"--max-wall {spec!r}: expected SCENARIO/BACKEND[/KERNEL]=MS")
     if budget_ms <= 0:
         raise ValueError(f"--max-wall {spec!r}: budget must be positive")
-    return scenario, backend, budget_ms
+    return scenario, backend, kernel, budget_ms
 
 
 def check_max_wall(records, limits):
     """Absolute wall_ms budgets on the newest matching record per limit."""
     failures = []
-    for scenario, backend, budget_ms in limits:
+    for scenario, backend, kernel, budget_ms in limits:
         matching = [r for r in records
                     if r.get("scenario") == scenario and r.get("backend") == backend
+                    and (kernel is None or r.get("kernel") == kernel)
                     and r.get("wall_ms", 0) > 0]
+        name = f"{scenario}/{backend}" + (f"/{kernel}" if kernel else "")
         if not matching:
-            failures.append(f"{scenario}/{backend}: no record with wall_ms "
+            failures.append(f"{name}: no record with wall_ms "
                             f"(budget {budget_ms:g} ms unverifiable)")
             continue
         cur = matching[-1]["wall_ms"]
         if cur > budget_ms:
-            failures.append(f"{scenario}/{backend}: wall_ms {cur:.6g} exceeds "
+            failures.append(f"{name}: wall_ms {cur:.6g} exceeds "
                             f"absolute budget {budget_ms:g} ms")
     return failures
 
@@ -181,21 +193,39 @@ def self_test():
     # Absolute wall budgets: newest matching record within budget passes...
     sim = rec(100, 1000, 500)
     sim.update(scenario="backend_comparison", backend="sim")
-    f = check_max_wall([sim], [("backend_comparison", "sim", 590.0)])
+    f = check_max_wall([sim], [("backend_comparison", "sim", None, 590.0)])
     assert not f, f
     # ...over budget fails...
     slow = dict(sim, wall_ms=800.0)
-    f = check_max_wall([sim, slow], [("backend_comparison", "sim", 590.0)])
+    f = check_max_wall([sim, slow], [("backend_comparison", "sim", None, 590.0)])
     assert len(f) == 1 and "exceeds" in f[0], f
     # ...only the NEWEST record counts (an old blowout already fixed passes)...
-    f = check_max_wall([slow, sim], [("backend_comparison", "sim", 590.0)])
+    f = check_max_wall([slow, sim], [("backend_comparison", "sim", None, 590.0)])
     assert not f, f
     # ...and a missing group is itself a failure.
-    f = check_max_wall([sim], [("backend_comparison", "fast", 100.0)])
+    f = check_max_wall([sim], [("backend_comparison", "fast", None, 100.0)])
     assert len(f) == 1 and "no record" in f[0], f
+    # The optional kernel component narrows matching: a slow portable
+    # record does not trip an accelerated-tier budget...
+    fast_acc = dict(sim, backend="fast", kernel="aesni", wall_ms=5.0)
+    fast_port = dict(sim, backend="fast", kernel="portable", wall_ms=40.0)
+    f = check_max_wall([fast_acc, fast_port],
+                       [("backend_comparison", "fast", "aesni", 10.0)])
+    assert not f, f
+    # ...a matching-tier blowout does...
+    f = check_max_wall([fast_acc, fast_port],
+                       [("backend_comparison", "fast", "portable", 10.0)])
+    assert len(f) == 1 and "portable" in f[0], f
+    # ...and a tier with no records is a failure.
+    f = check_max_wall([fast_acc], [("backend_comparison", "fast", "vaes", 10.0)])
+    assert len(f) == 1 and "no record" in f[0], f
+    # Kernel-less budgets still match records that carry a kernel field.
+    f = check_max_wall([fast_acc], [("backend_comparison", "fast", None, 10.0)])
+    assert not f, f
     # Spec parsing round-trips and rejects junk.
-    assert parse_max_wall("s/b=12.5") == ("s", "b", 12.5)
-    for bad in ("nobudget", "s=5", "s/b=-1", "s/b=x"):
+    assert parse_max_wall("s/b=12.5") == ("s", "b", None, 12.5)
+    assert parse_max_wall("s/b/portable=7") == ("s", "b", "portable", 7.0)
+    for bad in ("nobudget", "s=5", "s/b=-1", "s/b=x", "s/b/k/extra=5"):
         try:
             parse_max_wall(bad)
             assert False, bad
